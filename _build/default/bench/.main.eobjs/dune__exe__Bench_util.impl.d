@@ -1,0 +1,1 @@
+bench/bench_util.ml: Array Float Gc_membership Gc_net Gc_sim Gc_totem Gc_traditional Gcs List Printf

@@ -1,0 +1,1 @@
+bench/e1_complexity.ml: Array Bench_util Engine Gc_sim List Netsim Stack Tr Tt

@@ -1,0 +1,1 @@
+bench/e2_generic_vs_atomic.ml: Bench_util Engine Gc_abcast Gc_gbcast Gc_replication List Netsim Printf Rng Stack Stats

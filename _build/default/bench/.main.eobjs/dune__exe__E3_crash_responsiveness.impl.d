@@ -1,0 +1,1 @@
+bench/e3_crash_responsiveness.ml: Array Bench_util Engine Gc_monitoring List Printf Stack Stats Tr

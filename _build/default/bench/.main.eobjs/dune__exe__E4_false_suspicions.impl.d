@@ -1,0 +1,1 @@
+bench/e4_false_suspicions.ml: Array Bench_util Engine List Printf Stack Stats Tr View

@@ -1,0 +1,1 @@
+bench/e5_view_change_blocking.ml: Array Bench_util Engine Gc_membership List Printf Stack Stats Tr

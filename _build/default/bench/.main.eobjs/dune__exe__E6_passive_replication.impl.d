@@ -1,0 +1,1 @@
+bench/e6_passive_replication.ml: Bench_util Engine Gc_gbcast Gc_replication Int64 List Netsim Stack Stats Tr

@@ -1,0 +1,1 @@
+bench/e7_scalability.ml: Bench_util Engine List Netsim Stack Stats Tr Tt

@@ -1,0 +1,1 @@
+bench/e8_monitoring_policies.ml: Array Bench_util Engine Float Gc_monitoring List Printf Stack Stats View

@@ -1,0 +1,1 @@
+bench/e9_same_view_delivery.ml: Array Bench_util Engine Hashtbl List Printf Stack Stats Tr View

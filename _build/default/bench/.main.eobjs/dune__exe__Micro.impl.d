@@ -1,0 +1,1 @@
+bench/micro.ml: Bechamel Bench_util Engine Hashtbl Printf Stack Tr

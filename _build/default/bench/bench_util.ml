@@ -1,0 +1,208 @@
+(* Shared machinery for the experiment harness: world builders for both
+   architectures, workload generators, fault injectors and measurement
+   helpers.  Every experiment (e1 .. e8) builds on these. *)
+
+module Engine = Gc_sim.Engine
+module Trace = Gc_sim.Trace
+module Rng = Gc_sim.Rng
+module Stats = Gc_sim.Stats
+module Netsim = Gc_net.Netsim
+module Delay = Gc_net.Delay
+module View = Gc_membership.View
+module Stack = Gcs.Gcs_stack
+module Tr = Gc_traditional.Traditional_stack
+module Tt = Gc_totem.Totem_stack
+
+type Gc_net.Payload.t += Load of { k : int; sent_at : float }
+
+let () =
+  Gc_net.Payload.register_printer (function
+    | Load { k; _ } -> Some (Printf.sprintf "load#%d" k)
+    | _ -> None)
+
+(* One delivery record: payload number, sender, virtual receive time. *)
+type delivery = { k : int; sent_at : float; recv_at : float }
+
+type 'stack world = {
+  engine : Engine.t;
+  net : Netsim.t;
+  trace : Trace.t;
+  stacks : 'stack array;
+  deliveries : delivery list ref array; (* newest first, per node *)
+}
+
+let base_net ?(delay = Delay.lan) ~seed ~n () =
+  let engine = Engine.create ~seed () in
+  let trace = Trace.create () in
+  let net = Netsim.create engine ~trace ~delay ~n () in
+  (engine, trace, net)
+
+(* ---------- world builders ---------- *)
+
+let new_world ?delay ?(config = Stack.default_config) ~seed ~n () =
+  let engine, trace, net = base_net ?delay ~seed ~n () in
+  let initial = List.init n (fun i -> i) in
+  let deliveries = Array.init n (fun _ -> ref []) in
+  let stacks =
+    Array.init n (fun id ->
+        let s = Stack.create net ~trace ~id ~initial ~config () in
+        Stack.on_deliver s (fun ~origin:_ ~ordered:_ payload ->
+            match payload with
+            | Load { k; sent_at } ->
+                deliveries.(id) :=
+                  { k; sent_at; recv_at = Engine.now engine }
+                  :: !(deliveries.(id))
+            | _ -> ());
+        s)
+  in
+  { engine; net; trace; stacks; deliveries }
+
+let trad_world ?delay ?(config = Tr.default_config) ~seed ~n () =
+  let engine, trace, net = base_net ?delay ~seed ~n () in
+  let initial = List.init n (fun i -> i) in
+  let deliveries = Array.init n (fun _ -> ref []) in
+  let stacks =
+    Array.init n (fun id ->
+        let s = Tr.create net ~trace ~id ~initial ~config () in
+        Tr.on_deliver s (fun ~origin:_ ~ordered:_ payload ->
+            match payload with
+            | Load { k; sent_at } ->
+                deliveries.(id) :=
+                  { k; sent_at; recv_at = Engine.now engine }
+                  :: !(deliveries.(id))
+            | _ -> ());
+        s)
+  in
+  { engine; net; trace; stacks; deliveries }
+
+let totem_world ?delay ?(config = Tt.default_config) ~seed ~n () =
+  let engine, trace, net = base_net ?delay ~seed ~n () in
+  let initial = List.init n (fun i -> i) in
+  let deliveries = Array.init n (fun _ -> ref []) in
+  let stacks =
+    Array.init n (fun id ->
+        let s = Tt.create net ~trace ~id ~initial ~config () in
+        Tt.on_deliver s (fun ~origin:_ payload ->
+            match payload with
+            | Load { k; sent_at } ->
+                deliveries.(id) :=
+                  { k; sent_at; recv_at = Engine.now engine }
+                  :: !(deliveries.(id))
+            | _ -> ());
+        s)
+  in
+  { engine; net; trace; stacks; deliveries }
+
+(* ---------- workload ---------- *)
+
+(* Broadcast [count] Load messages, one every [period] ms starting at
+   [start], round-robin over senders.  [send] abstracts the primitive. *)
+let drive_load w ~send ~start ~period ~count =
+  let n = Array.length w.stacks in
+  for k = 0 to count - 1 do
+    let at = start +. (float_of_int k *. period) in
+    let sender = k mod n in
+    ignore
+      (Engine.schedule w.engine ~delay:at (fun () ->
+           send w.stacks.(sender) (Load { k; sent_at = Engine.now w.engine })))
+  done
+
+(* ---------- fault injection ---------- *)
+
+(* Periodic transient delay spikes at random nodes: the source of wrong
+   suspicions in the responsiveness experiments.  [rate] spikes per second,
+   each adding [extra] ms to one node's sends for [width] ms. *)
+let inject_spikes w ?(exclude = []) ~until ~rate ~extra ~width () =
+  if rate > 0.0 then begin
+    let rng = Engine.split_rng w.engine in
+    let n = Array.length w.stacks in
+    let victims =
+      List.filter (fun i -> not (List.mem i exclude)) (List.init n (fun i -> i))
+    in
+    let period = 1000.0 /. rate in
+    let rec arm at =
+      if at < until then
+        ignore
+          (Engine.schedule w.engine ~delay:at (fun () ->
+               let v = Rng.pick rng victims in
+               Netsim.delay_spike w.net ~nodes:[ v ]
+                 ~until:(Engine.now w.engine +. width)
+                 ~extra));
+      if at < until then arm (at +. period)
+    in
+    arm (period /. 2.0)
+  end
+
+(* Per-link blackouts: one observer loses one peer's messages for [width]
+   ms — the observer-local wrong suspicion that corroboration (threshold
+   policies) is meant to filter out. *)
+let inject_link_flaps w ?(exclude = []) ~until ~rate ~width () =
+  if rate > 0.0 then begin
+    let rng = Engine.split_rng w.engine in
+    let n = Array.length w.stacks in
+    let nodes =
+      List.filter (fun i -> not (List.mem i exclude)) (List.init n (fun i -> i))
+    in
+    let period = 1000.0 /. rate in
+    let rec arm at =
+      if at < until then begin
+        ignore
+          (Engine.schedule w.engine ~delay:at (fun () ->
+               let src = Rng.pick rng nodes in
+               let dst = Rng.pick rng (List.filter (fun q -> q <> src) nodes) in
+               Netsim.set_link w.net ~src ~dst ~drop:1.0 ();
+               ignore
+                 (Engine.schedule w.engine ~delay:width (fun () ->
+                      Netsim.set_link w.net ~src ~dst ~drop:0.0 ()))));
+        arm (at +. period)
+      end
+    in
+    arm (period /. 2.0)
+  end
+
+(* ---------- measurements ---------- *)
+
+let latencies_of w node =
+  let s = Stats.sample () in
+  List.iter (fun d -> Stats.add s (d.recv_at -. d.sent_at)) !(w.deliveries.(node));
+  s
+
+(* Longest gap between consecutive deliveries at [node] within the window —
+   the service blackout around a failure. *)
+let max_delivery_gap w node ~from_t ~to_t =
+  let times =
+    !(w.deliveries.(node))
+    |> List.filter_map (fun d ->
+           if d.recv_at >= from_t && d.recv_at <= to_t then Some d.recv_at
+           else None)
+    |> List.sort Float.compare
+  in
+  let rec go acc = function
+    | a :: (b :: _ as rest) -> go (Float.max acc (b -. a)) rest
+    | [ last ] -> Float.max acc (to_t -. last)
+    | [] -> to_t -. from_t
+  in
+  go 0.0 times
+
+let delivered_count w node = List.length !(w.deliveries.(node))
+
+(* Recovery latency: time from the crash to the first delivery (at [node])
+   of a message sent after the crash — the client-visible outage after a
+   failure, independent of ambient jitter before it. *)
+let recovery_after w node ~crash_at =
+  !(w.deliveries.(node))
+  |> List.filter_map (fun d ->
+         if d.sent_at > crash_at then Some d.recv_at else None)
+  |> List.fold_left Float.min infinity
+  |> fun first -> if first = infinity then nan else first -. crash_at
+
+let fmt_int = string_of_int
+let fmt_f1 x = if Float.is_nan x then "-" else Printf.sprintf "%.1f" x
+
+let section title claim =
+  Printf.printf "\n================================================================\n";
+  Printf.printf "%s\n" title;
+  Printf.printf "paper claim: %s\n" claim;
+  Printf.printf "================================================================\n\n"
+
+let conclude text = Printf.printf "\n=> %s\n" text

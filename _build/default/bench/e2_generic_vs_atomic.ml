@@ -1,0 +1,119 @@
+(* E2 — Section 4.2: generic broadcast makes commutative operations cheap.
+
+   The paper's bank: deposits commute, withdrawals conflict.  We sweep the
+   fraction of commutative operations and compare state-machine replication
+   over generic broadcast (class-aware) against the same service where every
+   command goes through atomic broadcast. *)
+
+open Bench_util
+module Sm = Gc_replication.State_machine
+module Active = Gc_replication.Active
+module Active_gb = Gc_replication.Active_gb
+module Client = Gc_replication.Client
+
+let n_replicas = 3
+let n_requests = 60
+let request_period = 25.0
+
+let workload rng ~commuting_pct k =
+  ignore k;
+  let account = Rng.int rng 4 in
+  if Rng.int rng 100 < commuting_pct then
+    Sm.Bank.Deposit { account; amount = 10 }
+  else Sm.Bank.Withdraw { account; amount = 5 }
+
+let run_cell ~use_generic ~commuting_pct ~seed =
+  let engine, trace, net = base_net ~seed ~n:(n_replicas + 1) () in
+  let replicas = List.init n_replicas (fun i -> i) in
+  let stacks =
+    if use_generic then
+      List.map
+        (fun id ->
+          Active_gb.stack
+            (Active_gb.create net ~trace ~id ~initial:replicas
+               ~classify:Sm.Bank.classify ~make_sm:Sm.Bank.make ()))
+        replicas
+    else
+      List.map
+        (fun id ->
+          Active.stack
+            (Active.create net ~trace ~id ~initial:replicas
+               ~make_sm:Sm.Bank.make ()))
+        replicas
+  in
+  let client = Client.create net ~trace ~id:n_replicas ~replicas () in
+  let rng = Engine.split_rng engine in
+  let lat = Stats.sample () in
+  Engine.run ~until:300.0 engine;
+  Netsim.reset_counters net;
+  for k = 0 to n_requests - 1 do
+    let cmd = workload rng ~commuting_pct k in
+    ignore
+      (Engine.schedule engine
+         ~delay:(float_of_int k *. request_period)
+         (fun () ->
+           Client.request client ~cmd ~on_reply:(fun _ ~latency ->
+               Stats.add lat latency)))
+  done;
+  Engine.run
+    ~until:(300.0 +. (float_of_int n_requests *. request_period) +. 2_000.0)
+    engine;
+  let stack0 = List.hd stacks in
+  let instances =
+    Gc_abcast.Atomic_broadcast.next_instance (Stack.atomic_broadcast stack0)
+  in
+  let fast =
+    Gc_gbcast.Generic_broadcast.fast_delivered_count
+      (Stack.generic_broadcast stack0)
+  in
+  (Stats.count lat, Stats.mean lat, Stats.percentile lat 95.0, instances, fast,
+   Netsim.messages_sent net)
+
+let run () =
+  section "E2  Generic vs atomic broadcast on the bank workload (Section 4.2)"
+    "commutative operations (deposits) need no ordering: generic broadcast \
+     skips consensus for them, atomic broadcast pays for every operation";
+  let rows =
+    List.concat_map
+      (fun commuting_pct ->
+        let served_g, mean_g, p95_g, inst_g, fast_g, msg_g =
+          run_cell ~use_generic:true ~commuting_pct ~seed:211L
+        and served_a, mean_a, p95_a, inst_a, _fast_a, msg_a =
+          run_cell ~use_generic:false ~commuting_pct ~seed:211L
+        in
+        [
+          [
+            Printf.sprintf "%3d%%" commuting_pct;
+            "generic";
+            Printf.sprintf "%d/%d" served_g n_requests;
+            fmt_f1 mean_g;
+            fmt_f1 p95_g;
+            fmt_int inst_g;
+            fmt_int fast_g;
+            fmt_int msg_g;
+          ];
+          [
+            "";
+            "atomic";
+            Printf.sprintf "%d/%d" served_a n_requests;
+            fmt_f1 mean_a;
+            fmt_f1 p95_a;
+            fmt_int inst_a;
+            "0";
+            fmt_int msg_a;
+          ];
+        ])
+      [ 0; 25; 50; 75; 90; 100 ]
+  in
+  Stats.print_table
+    ~header:
+      [
+        "commuting"; "broadcast"; "served"; "mean ms"; "p95 ms";
+        "consensus inst"; "fast-path"; "msgs";
+      ]
+    rows;
+  conclude
+    "generic broadcast's consensus usage falls towards zero as the workload \
+     commutes; atomic broadcast's stays proportional to the request count. \
+     At 100% commuting the generic run uses no consensus at all (pure fast \
+     path)."

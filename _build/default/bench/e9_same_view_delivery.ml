@@ -1,0 +1,109 @@
+(* E9 — Ablation of design decision D3 (DESIGN.md) / Section 4.4: what is
+   lost if view changes bypass generic broadcast?
+
+   In the paper's design, view changes ride generic broadcast as ordered
+   messages, so every message is delivered in the same view everywhere
+   ("same view delivery") with no blocking.  The ablation routes view
+   changes through plain atomic broadcast: still a unique sequence of views,
+   but commuting (fast path) messages are no longer ordered against them, so
+   the same message can be delivered in view v at one process and view v+1
+   at another.  We count those violations under churn. *)
+
+open Bench_util
+
+let n = 4
+let horizon = 15_000.0
+let load_period = 8.0
+let churner = n - 1
+
+let run_variant ~same_view_delivery ~seed =
+  let config =
+    {
+      Stack.default_config with
+      same_view_delivery;
+      state_transfer_delay = 10.0;
+    }
+  in
+  let engine, trace, net = base_net ~seed ~n () in
+  let initial = List.init n (fun i -> i) in
+  (* Tag every delivery with the view it was delivered in. *)
+  let tags : (int, int) Hashtbl.t array = Array.init n (fun _ -> Hashtbl.create 512) in
+  let stacks =
+    Array.init n (fun id ->
+        let s = Stack.create net ~trace ~id ~initial ~config () in
+        Stack.on_deliver s (fun ~origin:_ ~ordered:_ payload ->
+            match payload with
+            | Load { k; _ } ->
+                Hashtbl.replace tags.(id) k (Stack.view s).View.vid
+            | _ -> ());
+        s)
+  in
+  (* Commuting traffic (the fast path) under leave/rejoin churn. *)
+  let count = int_of_float ((horizon -. 2_000.0) /. load_period) in
+  for k = 0 to count - 1 do
+    let at = 500.0 +. (float_of_int k *. load_period) in
+    let sender = k mod (n - 1) (* stable members only *) in
+    ignore
+      (Engine.schedule engine ~delay:at (fun () ->
+           Stack.rbcast stacks.(sender)
+             (Load { k; sent_at = Engine.now engine })))
+  done;
+  let rec cycle at =
+    if at +. 1_500.0 < horizon -. 2_000.0 then begin
+      ignore
+        (Engine.schedule engine ~delay:at (fun () ->
+             Stack.remove stacks.(churner) churner));
+      ignore
+        (Engine.schedule engine ~delay:(at +. 750.0) (fun () ->
+             Stack.join ~force:true stacks.(churner) ~via:0));
+      cycle (at +. 1_500.0)
+    end
+  in
+  cycle 1_000.0;
+  Engine.run ~until:horizon engine;
+  (* A violation: some message delivered in different views by two of the
+     stable members. *)
+  let violations = ref 0 and compared = ref 0 in
+  Hashtbl.iter
+    (fun k vid0 ->
+      for i = 1 to n - 2 do
+        match Hashtbl.find_opt tags.(i) k with
+        | Some vidi ->
+            incr compared;
+            if vidi <> vid0 then incr violations
+        | None -> ()
+      done)
+    tags.(0);
+  (!violations, !compared, Tr.default_config.hb_period)
+
+let run () =
+  section
+    "E9  Ablation (D3): view changes through generic vs plain atomic broadcast"
+    "routing view changes through generic broadcast gives same view delivery \
+     for free (Section 4.4); bypassing it breaks the property for commuting \
+     messages";
+  let rows =
+    List.concat_map
+      (fun seed ->
+        let v_on, c_on, _ = run_variant ~same_view_delivery:true ~seed in
+        let v_off, c_off, _ = run_variant ~same_view_delivery:false ~seed in
+        [
+          [
+            Printf.sprintf "%Ld" seed;
+            "via generic broadcast";
+            fmt_int c_on;
+            fmt_int v_on;
+          ];
+          [ ""; "via plain atomic broadcast"; fmt_int c_off; fmt_int v_off ];
+        ])
+      [ 901L; 902L; 903L ]
+  in
+  Stats.print_table
+    ~header:
+      [ "seed"; "view-change routing"; "pairs compared"; "same-view violations" ]
+    rows;
+  conclude
+    "the paper's wiring shows zero same-view-delivery violations by \
+     construction; the ablation delivers some commuting messages in \
+     different views at different processes — the property view synchrony \
+     existed to provide, recovered here without any blocking."

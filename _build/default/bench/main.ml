@@ -1,0 +1,36 @@
+(* Experiment harness: regenerates every table of EXPERIMENTS.md.
+
+   Usage:
+     dune exec bench/main.exe            # all experiments
+     dune exec bench/main.exe e3 e5      # a selection
+     dune exec bench/main.exe micro      # wall-clock micro-benchmarks only *)
+
+let experiments =
+  [
+    ("e1", E1_complexity.run);
+    ("e2", E2_generic_vs_atomic.run);
+    ("e3", E3_crash_responsiveness.run);
+    ("e4", E4_false_suspicions.run);
+    ("e5", E5_view_change_blocking.run);
+    ("e6", E6_passive_replication.run);
+    ("e7", E7_scalability.run);
+    ("e8", E8_monitoring_policies.run);
+    ("e9", E9_same_view_delivery.run);
+    ("micro", Micro.run);
+  ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as args) -> args
+    | _ -> List.map fst experiments
+  in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name experiments with
+      | Some run -> run ()
+      | None ->
+          Printf.eprintf "unknown experiment %S; known: %s\n" name
+            (String.concat ", " (List.map fst experiments));
+          exit 1)
+    requested

@@ -1,0 +1,68 @@
+(* Wall-clock micro-benchmarks (Bechamel): cost of the simulator and of the
+   protocol stacks per delivered message.  These measure the implementation,
+   not the paper's claims — the experiment tables (E1..E8) measure those in
+   virtual time. *)
+
+open Bench_util
+module B = Bechamel
+module Toolkit = Bechamel.Toolkit
+
+let engine_events =
+  B.Test.make ~name:"engine: schedule+run 10k events"
+    (B.Staged.stage (fun () ->
+         let e = Engine.create ~seed:1L () in
+         for i = 0 to 9_999 do
+           ignore (Engine.schedule e ~delay:(float_of_int (i mod 100)) (fun () -> ()))
+         done;
+         Engine.run e))
+
+let abcast_run =
+  B.Test.make ~name:"new stack: 20 abcasts, n=3 (full sim)"
+    (B.Staged.stage (fun () ->
+         let w = new_world ~seed:2L ~n:3 () in
+         drive_load w
+           ~send:(fun s p -> Stack.abcast s p)
+           ~start:10.0 ~period:10.0 ~count:20;
+         Engine.run ~until:1_000.0 w.engine))
+
+let gbcast_fast_run =
+  B.Test.make ~name:"new stack: 20 rbcasts (fast path), n=3"
+    (B.Staged.stage (fun () ->
+         let w = new_world ~seed:3L ~n:3 () in
+         drive_load w
+           ~send:(fun s p -> Stack.rbcast s p)
+           ~start:10.0 ~period:10.0 ~count:20;
+         Engine.run ~until:1_000.0 w.engine))
+
+let traditional_run =
+  B.Test.make ~name:"traditional stack: 20 abcasts, n=3"
+    (B.Staged.stage (fun () ->
+         let w = trad_world ~seed:4L ~n:3 () in
+         drive_load w ~send:(fun s p -> Tr.abcast s p) ~start:10.0 ~period:10.0
+           ~count:20;
+         Engine.run ~until:1_000.0 w.engine))
+
+let benchmark () =
+  let tests =
+    B.Test.make_grouped ~name:"groupcomm"
+      [ engine_events; abcast_run; gbcast_fast_run; traditional_run ]
+  in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg = B.Benchmark.cfg ~limit:200 ~quota:(B.Time.second 0.5) () in
+  let raw = B.Benchmark.all cfg instances tests in
+  let results =
+    B.Analyze.all (B.Analyze.ols ~bootstrap:0 ~r_square:true
+                     ~predictors:[| B.Measure.run |])
+      (Toolkit.Instance.monotonic_clock) raw
+  in
+  Hashtbl.iter
+    (fun name result ->
+      match B.Analyze.OLS.estimates result with
+      | Some [ est ] -> Printf.printf "  %-45s %12.0f ns/run\n" name est
+      | _ -> Printf.printf "  %-45s (no estimate)\n" name)
+    results
+
+let run () =
+  section "MICRO  Wall-clock micro-benchmarks (Bechamel)"
+    "(implementation cost, not a paper claim)";
+  benchmark ()

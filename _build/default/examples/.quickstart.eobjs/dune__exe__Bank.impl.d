@@ -1,0 +1,1 @@
+examples/bank.ml: Gc_abcast Gc_gbcast Gc_net Gc_replication Gc_sim Gcs List Printf

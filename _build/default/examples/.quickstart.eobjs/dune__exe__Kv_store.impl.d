@@ -1,0 +1,1 @@
+examples/kv_store.ml: Array Gc_abcast Gc_fd Gc_gbcast Gc_kernel Gc_net Gc_rbcast Gc_rchannel Gc_replication Gc_sim List Printf

@@ -1,0 +1,1 @@
+examples/partition.ml: Array Format Gc_kernel Gc_membership Gc_net Gc_sim Gcs Printf

@@ -1,0 +1,1 @@
+examples/primary_backup.ml: Gc_net Gc_replication Gc_sim Int64 List Printf

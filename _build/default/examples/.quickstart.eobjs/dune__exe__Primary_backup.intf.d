@@ -1,0 +1,1 @@
+examples/primary_backup.mli:

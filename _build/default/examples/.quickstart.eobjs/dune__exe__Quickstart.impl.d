@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Format Gc_gbcast Gc_membership Gc_net Gc_sim Gcs Printf

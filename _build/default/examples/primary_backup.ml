@@ -1,0 +1,75 @@
+(* Figure 8 of the paper, replayed: passive replication where an update and
+   a primary-change race through generic broadcast.
+
+   Run with:  dune exec examples/primary_backup.exe
+
+   The conflict relation (updates commute; primary-change conflicts with
+   everything) admits exactly two global outcomes:
+     1. the update is delivered before the change -> it counts;
+     2. the change wins -> the old primary's processing is void and the
+        client retries against the new primary.
+   Either way every replica agrees and the client's deposit is applied
+   exactly once. *)
+
+module Engine = Gc_sim.Engine
+module Trace = Gc_sim.Trace
+module Netsim = Gc_net.Netsim
+module Sm = Gc_replication.State_machine
+module Passive = Gc_replication.Passive
+module Client = Gc_replication.Client
+
+let scenario seed =
+  let engine = Engine.create ~seed () in
+  let trace = Trace.create ~enabled:true () in
+  let net = Netsim.create engine ~trace ~delay:Gc_net.Delay.lan ~n:4 () in
+  let replicas = [ 0; 1; 2 ] in
+  let servers =
+    List.map
+      (fun id ->
+        Passive.create net ~trace ~id ~initial:replicas
+          ~primary_suspect_timeout:120.0 ~make_sm:Sm.Bank.make ())
+      replicas
+  in
+  let client = Client.create net ~trace ~id:3 ~replicas ~timeout:300.0 () in
+  let done_at = ref nan in
+  (* The spike that provokes the suspicion starts at t=500; the request's
+     offset relative to it varies with the seed, so across seeds the update
+     sometimes beats the primary-change and sometimes loses to it. *)
+  let request_at = 440.0 +. (Int64.to_float seed *. 25.0) in
+  ignore
+    (Engine.schedule engine ~delay:500.0 (fun () ->
+         Netsim.delay_spike net ~nodes:[ 0 ] ~until:900.0 ~extra:300.0));
+  ignore
+    (Engine.schedule engine ~delay:request_at (fun () ->
+         Client.request client
+           ~cmd:(Sm.Bank.Deposit { account = 0; amount = 100 })
+           ~on_reply:(fun _ ~latency -> done_at := latency)));
+  Engine.run ~until:60_000.0 engine;
+  let s1 = List.nth servers 1 in
+  let outcome =
+    if Passive.updates_discarded s1 > 0 then "change first (update discarded, client retried)"
+    else "update first (update counted)"
+  in
+  Printf.printf
+    "seed %-4Ld  outcome: %-48s  client latency %7.1f ms  epoch %d  primary %s\n"
+    seed outcome !done_at (Passive.epoch s1)
+    (match Passive.primary s1 with Some p -> Printf.sprintf "s%d" (p + 1) | None -> "-");
+  (* Every replica converged on the same state with the deposit applied
+     exactly once. *)
+  List.iter
+    (fun s ->
+      match Passive.snapshot s with
+      | Sm.Bank.Bank_state [ (0, 100) ] -> ()
+      | _ -> failwith "replicas diverged or deposit lost/duplicated!")
+    servers
+
+let () =
+  print_endline
+    "Passive replication under a racing primary-change (paper, Figure 8)";
+  print_endline "";
+  List.iter (fun s -> scenario (Int64.of_int s)) [ 1; 2; 3; 4; 5; 6; 7; 8 ];
+  print_endline "";
+  print_endline
+    "Both outcomes are legal; what matters is that all replicas pick the\n\
+     same one, the suspected primary is rotated but never excluded, and the\n\
+     deposit lands exactly once."

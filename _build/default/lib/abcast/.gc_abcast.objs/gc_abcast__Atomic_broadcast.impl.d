@@ -1,0 +1,1 @@
+lib/abcast/atomic_broadcast.ml: Gc_consensus Gc_kernel Gc_net Gc_rbcast Gc_rchannel Hashtbl List Printf

@@ -1,0 +1,165 @@
+module Process = Gc_kernel.Process
+module Rc = Gc_rchannel.Reliable_channel
+module Rb = Gc_rbcast.Reliable_broadcast
+module Consensus = Gc_consensus.Consensus
+
+type msg = { origin : int; mseq : int; body : Gc_net.Payload.t; size : int }
+
+let msg_id m = (m.origin, m.mseq)
+let compare_msg a b = compare (msg_id a) (msg_id b)
+
+type Gc_net.Payload.t +=
+  | Ab_data of msg
+  | Ab_batch of msg list
+
+let () =
+  Gc_net.Payload.register_printer (function
+    | Ab_data m ->
+        Some
+          (Printf.sprintf "ab.data#%d.%d(%s)" m.origin m.mseq
+             (Gc_net.Payload.to_string m.body))
+    | Ab_batch l -> Some (Printf.sprintf "ab.batch(%d msgs)" (List.length l))
+    | _ -> None)
+
+type t = {
+  proc : Process.t;
+  rb : Rb.t;
+  mutable consensus : Consensus.t option;
+  mutable member_list : int list;
+  mutable next_mseq : int;
+  mutable next_to_apply : int; (* next consensus instance to apply *)
+  pending : (int * int, msg) Hashtbl.t; (* rdelivered, not yet adelivered *)
+  delivered : (int * int, unit) Hashtbl.t;
+  proposed : (int, unit) Hashtbl.t;
+  decided_batches : (int, msg list) Hashtbl.t; (* out-of-order decisions *)
+  mutable max_solicited : int;
+  mutable subscribers : (origin:int -> Gc_net.Payload.t -> unit) list;
+  mutable n_delivered : int;
+}
+
+let consensus_of t =
+  match t.consensus with
+  | Some c -> c
+  | None -> invalid_arg "Atomic_broadcast: consensus not wired"
+
+let member t = List.mem (Process.id t.proc) t.member_list
+
+(* Current proposal: pending, minus delivered, in deterministic order. *)
+let current_batch t =
+  let l =
+    Hashtbl.fold
+      (fun id m acc -> if Hashtbl.mem t.delivered id then acc else m :: acc)
+      t.pending []
+  in
+  List.sort compare_msg l
+
+let try_start t =
+  if member t && not (Hashtbl.mem t.proposed t.next_to_apply) then begin
+    let batch = current_batch t in
+    if batch <> [] || t.max_solicited >= t.next_to_apply then begin
+      Hashtbl.replace t.proposed t.next_to_apply ();
+      Consensus.propose (consensus_of t) ~inst:t.next_to_apply
+        ~members:t.member_list (Ab_batch batch)
+    end
+  end
+
+let apply_decisions t =
+  let rec loop () =
+    match Hashtbl.find_opt t.decided_batches t.next_to_apply with
+    | None -> ()
+    | Some batch ->
+        Hashtbl.remove t.decided_batches t.next_to_apply;
+        t.next_to_apply <- t.next_to_apply + 1;
+        List.iter
+          (fun m ->
+            let id = msg_id m in
+            if not (Hashtbl.mem t.delivered id) then begin
+              Hashtbl.replace t.delivered id ();
+              Hashtbl.remove t.pending id;
+              t.n_delivered <- t.n_delivered + 1;
+              Process.emit t.proc ~component:"abcast" ~event:"adeliver"
+                (Printf.sprintf "#%d.%d" m.origin m.mseq);
+              List.iter (fun f -> f ~origin:m.origin m.body) (List.rev t.subscribers)
+            end)
+          batch;
+        loop ()
+  in
+  loop ();
+  try_start t
+
+let on_decide t ~inst v =
+  match v with
+  | Ab_batch batch ->
+      if inst >= t.next_to_apply then begin
+        Hashtbl.replace t.decided_batches inst batch;
+        apply_decisions t
+      end
+  | _ -> ()
+
+let on_solicit t ~inst =
+  if inst > t.max_solicited then t.max_solicited <- inst;
+  if inst >= t.next_to_apply then try_start t
+
+let create proc ~rc ~rb ~fd ?(suspect_timeout = 200.0) ?(adaptive = false)
+    ~members () =
+  let t =
+    {
+      proc;
+      rb;
+      consensus = None;
+      member_list = members;
+      next_mseq = 0;
+      next_to_apply = 0;
+      pending = Hashtbl.create 64;
+      delivered = Hashtbl.create 256;
+      proposed = Hashtbl.create 64;
+      decided_batches = Hashtbl.create 16;
+      max_solicited = -1;
+      subscribers = [];
+      n_delivered = 0;
+    }
+  in
+  let consensus =
+    Consensus.create proc ~rc ~rb ~fd ~suspect_timeout ~adaptive
+      ~score:(function Ab_batch l -> List.length l | _ -> 0)
+      ~on_decide:(fun ~inst v -> on_decide t ~inst v)
+      ~on_solicit:(fun ~inst -> on_solicit t ~inst)
+      ()
+  in
+  t.consensus <- Some consensus;
+  Rb.on_deliver rb (fun ~origin:_ payload ->
+      match payload with
+      | Ab_data m ->
+          let id = msg_id m in
+          if not (Hashtbl.mem t.delivered id || Hashtbl.mem t.pending id) then begin
+            Hashtbl.replace t.pending id m;
+            try_start t
+          end
+      | _ -> ());
+  t
+
+let abcast t ?(size = 64) body =
+  if member t then begin
+    let m =
+      { origin = Process.id t.proc; mseq = t.next_mseq; body; size }
+    in
+    t.next_mseq <- t.next_mseq + 1;
+    Rb.broadcast t.rb ~size ~dests:t.member_list (Ab_data m)
+  end
+
+let on_deliver t f = t.subscribers <- f :: t.subscribers
+let set_members t members = t.member_list <- members
+let members t = t.member_list
+
+let bootstrap t ~next_instance ~members ~delivered =
+  t.member_list <- members;
+  t.next_to_apply <- next_instance;
+  List.iter (fun id -> Hashtbl.replace t.delivered id ()) delivered;
+  (* Decisions that raced ahead of the state transfer may already be waiting;
+     apply them from the new starting point. *)
+  apply_decisions t
+
+let delivered_count t = t.n_delivered
+let next_instance t = t.next_to_apply
+let delivered_ids t = Hashtbl.fold (fun id () acc -> id :: acc) t.delivered []
+let rounds_used t ~inst = Consensus.rounds_used (consensus_of t) ~inst

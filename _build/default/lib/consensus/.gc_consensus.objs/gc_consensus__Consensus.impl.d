@@ -1,0 +1,1 @@
+lib/consensus/consensus.ml: Array Gc_fd Gc_kernel Gc_net Gc_rbcast Gc_rchannel Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/consensus/consensus.mli: Gc_fd Gc_kernel Gc_net Gc_rbcast Gc_rchannel

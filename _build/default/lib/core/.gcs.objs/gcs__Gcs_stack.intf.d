@@ -1,0 +1,1 @@
+lib/core/gcs_stack.mli: Gc_abcast Gc_fd Gc_gbcast Gc_kernel Gc_membership Gc_monitoring Gc_net Gc_rbcast Gc_rchannel Gc_sim

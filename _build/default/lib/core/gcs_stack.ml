@@ -1,0 +1,204 @@
+module Process = Gc_kernel.Process
+module Fd = Gc_fd.Failure_detector
+module Rc = Gc_rchannel.Reliable_channel
+module Rb = Gc_rbcast.Reliable_broadcast
+module Ab = Gc_abcast.Atomic_broadcast
+module Gb = Gc_gbcast.Generic_broadcast
+module Conflict = Gc_gbcast.Conflict
+module View = Gc_membership.View
+module Gm = Gc_membership.Group_membership
+module Mon = Gc_monitoring.Monitoring
+
+type config = {
+  hb_period : float;
+  consensus_timeout : float;
+  consensus_adaptive : bool;
+  exclusion_timeout : float;
+  rto : float;
+  stuck_after : float;
+  policy : Mon.policy;
+  state_transfer_delay : float;
+  gb_ack_mode : Gb.ack_mode;
+  same_view_delivery : bool;
+}
+
+let default_config =
+  {
+    hb_period = 20.0;
+    consensus_timeout = 200.0;
+    consensus_adaptive = false;
+    exclusion_timeout = 5000.0;
+    rto = 50.0;
+    stuck_after = 10_000.0;
+    policy = Mon.Threshold 2;
+    state_transfer_delay = 0.0;
+    gb_ack_mode = Gb.All_members;
+    same_view_delivery = true;
+  }
+
+type Gc_net.Payload.t +=
+  | Gcs_app of { klass : Conflict.klass; body : Gc_net.Payload.t }
+  | Gcs_snapshot of {
+      next_instance : int;
+      ab_delivered : (int * int) list;
+      gb_stage : int;
+      gb_delivered : (int * int) list;
+      app : Gc_net.Payload.t option;
+    }
+
+let () =
+  Gc_net.Payload.register_printer (function
+    | Gcs_app { klass; body } ->
+        let k =
+          match klass with Conflict.Commuting -> "rbcast" | Conflict.Ordered -> "abcast"
+        in
+        Some (Printf.sprintf "gcs.%s(%s)" k (Gc_net.Payload.to_string body))
+    | Gcs_snapshot { next_instance; gb_stage; _ } ->
+        Some (Printf.sprintf "gcs.snapshot(inst=%d,stage=%d)" next_instance gb_stage)
+    | _ -> None)
+
+(* The conflict relation of Section 3.3: rbcast-class application messages
+   commute with each other; everything else (abcast-class application
+   messages, membership changes) is ordered against everything. *)
+let stack_conflict a b =
+  match (a, b) with
+  | Gcs_app { klass = Conflict.Commuting; _ }, Gcs_app { klass = Conflict.Commuting; _ }
+    ->
+      false
+  | _, _ -> true
+
+type t = {
+  proc : Process.t;
+  fd : Fd.t;
+  rc : Rc.t;
+  rb : Rb.t;
+  ab : Ab.t;
+  gb : Gb.t;
+  membership : Gm.t;
+  monitoring : Mon.t;
+  mutable subscribers :
+    (origin:int -> ordered:bool -> Gc_net.Payload.t -> unit) list;
+}
+
+let create net ~trace ~id ~initial ?(config = default_config)
+    ?app_state_provider ?app_state_installer () =
+  let proc = Process.create net ~trace ~id in
+  let fd = Fd.create proc ~hb_period:config.hb_period ~peers:initial () in
+  let rc = Rc.create proc ~rto:config.rto ~stuck_after:config.stuck_after () in
+  let rb = Rb.create proc rc in
+  let ab =
+    Ab.create proc ~rc ~rb ~fd ~suspect_timeout:config.consensus_timeout
+      ~adaptive:config.consensus_adaptive ~members:initial ()
+  in
+  (* Default All_members mode: ordered traffic (including view changes)
+     rides the consensus-backed cut path and stays live with f < n/2;
+     commuting traffic uses the all-ack fast path until a dead member is
+     excluded. *)
+  let gb =
+    Gb.create proc ~rc ~rb ~ab ~conflict:stack_conflict
+      ~ack_mode:config.gb_ack_mode ~members:initial ()
+  in
+  let ab_ref = ref ab and gb_ref = ref gb in
+  let state_provider () =
+    Gcs_snapshot
+      {
+        next_instance = Ab.next_instance !ab_ref;
+        ab_delivered = Ab.delivered_ids !ab_ref;
+        gb_stage = Gb.stage !gb_ref;
+        gb_delivered = Gb.delivered_ids !gb_ref;
+        app = Option.map (fun f -> f ()) app_state_provider;
+      }
+  in
+  let state_installer snapshot =
+    match snapshot with
+    | Gcs_snapshot { next_instance; ab_delivered; gb_stage; gb_delivered; app }
+      ->
+        (* Member lists follow from the view installation that the membership
+           layer performs right after installing the snapshot. *)
+        Ab.bootstrap !ab_ref ~next_instance ~members:(Ab.members !ab_ref)
+          ~delivered:ab_delivered;
+        Gb.bootstrap !gb_ref ~stage:gb_stage ~delivered:gb_delivered;
+        (match (app, app_state_installer) with
+        | Some s, Some f -> f s
+        | _ -> ())
+    | _ -> ()
+  in
+  (* Same view delivery (Section 4.4) comes from routing view changes
+     through generic broadcast, where they conflict with everything.  The
+     ablation routes them through plain atomic broadcast instead: still
+     totally ordered, but no longer ordered against the commuting fast path,
+     so a commuting message may be delivered in different views at different
+     processes. *)
+  let transport =
+    if config.same_view_delivery then
+      {
+        Gm.broadcast = (fun payload -> Gb.gbcast gb payload);
+        subscribe = (fun f -> Gb.on_deliver gb f);
+      }
+    else
+      {
+        Gm.broadcast = (fun payload -> Ab.abcast ab payload);
+        subscribe = (fun f -> Ab.on_deliver ab f);
+      }
+  in
+  let membership =
+    Gm.create proc ~rc ~transport
+      ~state_transfer_delay:config.state_transfer_delay ~state_provider
+      ~state_installer ~initial:(View.initial initial) ()
+  in
+  let monitoring =
+    Mon.create proc ~fd ~rc ~membership
+      ~exclusion_timeout:config.exclusion_timeout ~policy:config.policy ()
+  in
+  let t =
+    { proc; fd; rc; rb; ab; gb; membership; monitoring; subscribers = [] }
+  in
+  (* Keep the lower layers' member sets in lockstep with the view: this runs
+     while the view-change message is being delivered, i.e. at the same point
+     of the total order at every process. *)
+  Gm.on_view membership (fun v ->
+      let old_members = Ab.members ab in
+      Ab.set_members ab v.View.members;
+      Gb.set_members gb v.View.members;
+      Fd.set_peers fd v.View.members;
+      (* Obligations towards excluded processes lapse (Section 3.3.2). *)
+      List.iter
+        (fun q -> if not (View.mem v q) then Rc.forget rc q)
+        old_members);
+  Gb.on_deliver gb (fun ~origin payload ->
+      match payload with
+      | Gcs_app { klass; body } ->
+          let ordered = klass = Conflict.Ordered in
+          List.iter (fun f -> f ~origin ~ordered body) (List.rev t.subscribers)
+      | _ -> ());
+  t
+
+let abcast t ?size body =
+  Gb.gbcast t.gb ?size (Gcs_app { klass = Conflict.Ordered; body })
+
+let rbcast t ?size body =
+  Gb.gbcast t.gb ?size (Gcs_app { klass = Conflict.Commuting; body })
+
+let on_deliver t f = t.subscribers <- f :: t.subscribers
+
+let join ?force t ~via = Gm.join ?force t.membership ~via
+let add t p = Gm.add t.membership p
+let remove t q = Gm.remove t.membership q
+let join_remove_list t ~adds ~removes = Gm.join_remove_list t.membership ~adds ~removes
+let view t = Gm.view t.membership
+let joined t = Gm.joined t.membership
+let left t = Gm.left t.membership
+let on_view t f = Gm.on_view t.membership f
+
+let id t = Process.id t.proc
+let crash t = Process.crash t.proc
+let alive t = Process.alive t.proc
+
+let process t = t.proc
+let failure_detector t = t.fd
+let reliable_channel t = t.rc
+let reliable_broadcast t = t.rb
+let atomic_broadcast t = t.ab
+let generic_broadcast t = t.gb
+let membership t = t.membership
+let monitoring t = t.monitoring

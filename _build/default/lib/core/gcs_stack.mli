@@ -1,0 +1,127 @@
+(** The full new-architecture group communication stack (Figure 9 of the
+    paper): the library's main public entry point.
+
+    One [Gcs_stack.t] per process assembles, bottom-up:
+
+    {v
+      Application
+        Group Membership          (views = totally-ordered messages)
+          Generic Broadcast       (rbcast / abcast, conflict-driven ordering)
+            Atomic Broadcast      (consensus-based, membership-independent)
+              Consensus           (Chandra–Toueg <>S)
+        Monitoring                (exclusion policies, decoupled from FD)
+          Failure Detection       (heartbeats; short + long monitors)
+            Reliable Channel      (FIFO, retransmission, stuck detection)
+              Unreliable Transport (simulated network)
+    v}
+
+    Applications broadcast with {!abcast} (total order) or {!rbcast}
+    (unordered with respect to other {!rbcast} messages, ordered with respect
+    to {!abcast} messages) — exactly the two generic-broadcast invocations of
+    the paper's Section 3.3, with the conflict relation
+
+    {v
+               rbcast       abcast
+    rbcast   no conflict   conflict
+    abcast    conflict     conflict
+    v}
+
+    Membership operations ({!join}, {!add}, {!remove}, {!join_remove_list})
+    and view notifications ({!on_view}) follow the paper's interface.
+    Exclusions are decided by the monitoring component according to the
+    configured policy — a failure suspicion never removes anyone by itself. *)
+
+type config = {
+  hb_period : float;  (** heartbeat period, ms (default 20) *)
+  consensus_timeout : float;
+      (** aggressive FD timeout used to suspect coordinators (default 200) *)
+  consensus_adaptive : bool;
+      (** use the self-tuning adaptive monitor instead of the fixed
+          consensus timeout (default false) *)
+  exclusion_timeout : float;
+      (** conservative FD timeout used by monitoring (default 5000) *)
+  rto : float;  (** reliable-channel retransmission period (default 50) *)
+  stuck_after : float;
+      (** reliable-channel output-stuck threshold (default 10000) *)
+  policy : Gc_monitoring.Monitoring.policy;
+      (** exclusion policy (default [Threshold 2]) *)
+  state_transfer_delay : float;
+      (** snapshot serialisation time for joiners, ms (default 0) *)
+  gb_ack_mode : Gc_gbcast.Generic_broadcast.ack_mode;
+      (** generic-broadcast fast-path quorum (default [All_members]: every
+          layer tolerates f < n/2, but commuting traffic stalls between a
+          member's crash and its exclusion; [Two_thirds] keeps the fast path
+          live with f < n/3, per the published algorithm) *)
+  same_view_delivery : bool;
+      (** route view changes through generic broadcast so every message is
+          delivered in the same view everywhere (default true, the paper's
+          design); false is the ablation: view changes ride plain atomic
+          broadcast and commuting messages may straddle views (Section 4.4) *)
+}
+
+val default_config : config
+
+type t
+
+val create :
+  Gc_net.Netsim.t ->
+  trace:Gc_sim.Trace.t ->
+  id:int ->
+  initial:int list ->
+  ?config:config ->
+  ?app_state_provider:(unit -> Gc_net.Payload.t) ->
+  ?app_state_installer:(Gc_net.Payload.t -> unit) ->
+  unit ->
+  t
+(** Build the stack for node [id].  [initial] is the founding view: a
+    founding member lists itself in [initial]; a process joining later passes
+    the current membership (without itself) and calls {!join}.  The app state
+    hooks serialise/install application state for joiner state transfer. *)
+
+(** {1 Broadcast (generic broadcast: Section 3.3)} *)
+
+val abcast : t -> ?size:int -> Gc_net.Payload.t -> unit
+(** Totally-ordered broadcast to the current view. *)
+
+val rbcast : t -> ?size:int -> Gc_net.Payload.t -> unit
+(** Reliable broadcast: unordered against other [rbcast] messages (fast path,
+    no consensus), totally ordered against [abcast] messages and view
+    changes. *)
+
+val on_deliver :
+  t -> (origin:int -> ordered:bool -> Gc_net.Payload.t -> unit) -> unit
+(** Application deliveries, in generic-broadcast order.  [ordered] tells
+    which primitive the origin used. *)
+
+(** {1 Membership} *)
+
+val join : ?force:bool -> t -> via:int -> unit
+(** Ask [via] to sponsor this process into the group; [force] rejoins even if
+    this process still believes it is a member (post-partition recovery). *)
+
+val add : t -> int -> unit
+val remove : t -> int -> unit
+val join_remove_list : t -> adds:int list -> removes:int list -> unit
+val view : t -> Gc_membership.View.t
+val joined : t -> bool
+val left : t -> bool
+val on_view : t -> (Gc_membership.View.t -> unit) -> unit
+
+(** {1 Process control} *)
+
+val id : t -> int
+val crash : t -> unit
+(** Crash-stop the whole process (simulation control). *)
+
+val alive : t -> bool
+
+(** {1 Component access (tests, benches, advanced use)} *)
+
+val process : t -> Gc_kernel.Process.t
+val failure_detector : t -> Gc_fd.Failure_detector.t
+val reliable_channel : t -> Gc_rchannel.Reliable_channel.t
+val reliable_broadcast : t -> Gc_rbcast.Reliable_broadcast.t
+val atomic_broadcast : t -> Gc_abcast.Atomic_broadcast.t
+val generic_broadcast : t -> Gc_gbcast.Generic_broadcast.t
+val membership : t -> Gc_membership.Group_membership.t
+val monitoring : t -> Gc_monitoring.Monitoring.t

@@ -1,0 +1,1 @@
+lib/fd/failure_detector.ml: Float Gc_kernel Gc_net Hashtbl List Printf

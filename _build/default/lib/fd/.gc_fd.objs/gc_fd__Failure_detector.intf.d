@@ -1,0 +1,1 @@
+lib/fd/failure_detector.mli: Gc_kernel

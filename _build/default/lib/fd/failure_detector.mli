@@ -1,0 +1,81 @@
+(** Heartbeat failure detector ("Failure Detection" in Figure 9).
+
+    One detector instance per process broadcasts heartbeats to its peers and
+    timestamps the heartbeats it receives.  On top of that single heartbeat
+    stream, any number of {e monitors} can be opened, each with its own
+    timeout and callbacks ([start_stop_monitor] / [suspect] in the paper's
+    interface diagram).  This is the decoupling the paper builds on: the
+    consensus component opens an aggressive monitor (seconds), while the
+    monitoring component opens a conservative one (minutes), over the same
+    heartbeats (Section 3.3.2).
+
+    The detector is unreliable in the ◇S sense: it may suspect correct
+    processes (e.g. during delay spikes), and revises its output — a late
+    heartbeat turns a suspicion back into trust. *)
+
+type t
+
+val create :
+  Gc_kernel.Process.t -> ?hb_period:float -> peers:int list -> unit -> t
+(** Start heartbeating to [peers] every [hb_period] ms (default 20) and
+    listening for their heartbeats.  [peers] may include the owner; it is
+    ignored. *)
+
+val set_peers : t -> int list -> unit
+(** Replace the peer set (membership changes).  Peers no longer present stop
+    being heartbeated and monitored. *)
+
+val peers : t -> int list
+
+type monitor
+
+val monitor :
+  t ->
+  ?label:string ->
+  timeout:float ->
+  on_suspect:(int -> unit) ->
+  ?on_trust:(int -> unit) ->
+  unit ->
+  monitor
+(** Open a monitor: peer [q] becomes suspected when no heartbeat from [q] has
+    arrived for [timeout] ms, and trusted again if one later arrives.
+    Callbacks fire on each transition. *)
+
+val stop : monitor -> unit
+
+val suspected : monitor -> int -> bool
+val suspects : monitor -> int list
+
+(** {1 Quality accounting (environment-side, for experiments)} *)
+
+val suspicion_count : monitor -> int
+(** Total suspect transitions so far. *)
+
+val wrong_suspicion_count : monitor -> int
+(** Suspect transitions where the target was in fact alive (checked against
+    the simulator's ground truth; used only by benches/tests). *)
+
+(** {1 Adaptive monitoring (extension)}
+
+    A Chen-style adaptive monitor: the per-peer timeout follows the observed
+    heartbeat inter-arrival distribution ([mean + factor * stddev + margin]
+    over a sliding window), so it tightens on quiet links and loosens under
+    jitter without manual tuning — a natural refinement of the paper's
+    small-timeout argument (Section 4.3). *)
+
+val adaptive_monitor :
+  t ->
+  ?label:string ->
+  ?margin:float ->
+  ?factor:float ->
+  on_suspect:(int -> unit) ->
+  ?on_trust:(int -> unit) ->
+  unit ->
+  monitor
+(** [margin] (default 20 ms) and [factor] (default 4.0) shape the adaptive
+    timeout; until five samples are seen the timeout is
+    [4 * heartbeat period + margin]. *)
+
+val current_timeout : t -> monitor -> int -> float
+(** The timeout the monitor currently applies to the given peer (fixed, or
+    the adaptive estimate). *)

@@ -1,0 +1,1 @@
+lib/gbcast/conflict.ml: Gc_net

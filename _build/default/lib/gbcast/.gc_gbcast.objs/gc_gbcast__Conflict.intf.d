@@ -1,0 +1,1 @@
+lib/gbcast/conflict.mli: Gc_net

@@ -1,0 +1,1 @@
+lib/gbcast/fifo_generic_broadcast.ml: Gc_net Generic_broadcast Hashtbl List Option Printf

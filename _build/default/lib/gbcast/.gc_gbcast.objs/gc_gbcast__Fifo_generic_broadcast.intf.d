@@ -1,0 +1,1 @@
+lib/gbcast/fifo_generic_broadcast.mli: Conflict Gc_net Generic_broadcast

@@ -1,0 +1,1 @@
+lib/gbcast/generic_broadcast.mli: Conflict Gc_abcast Gc_kernel Gc_net Gc_rbcast Gc_rchannel

@@ -1,0 +1,11 @@
+type relation = Gc_net.Payload.t -> Gc_net.Payload.t -> bool
+
+let none _ _ = false
+let all _ _ = true
+
+type klass = Commuting | Ordered
+
+let by_class ~classify m m' =
+  match (classify m, classify m') with
+  | Commuting, Commuting -> false
+  | Commuting, Ordered | Ordered, Commuting | Ordered, Ordered -> true

@@ -1,0 +1,32 @@
+(** Conflict relations for generic broadcast.
+
+    A conflict relation says which pairs of messages must be delivered in the
+    same order everywhere.  Generic broadcast pays ordering cost only for
+    conflicting pairs (Section 3.2.1 of the paper). *)
+
+type relation = Gc_net.Payload.t -> Gc_net.Payload.t -> bool
+(** [conflict m m'] — must be symmetric.  Reflexivity is not required: the
+    relation is only ever consulted on distinct messages. *)
+
+val none : relation
+(** Nothing conflicts: generic broadcast degenerates to reliable broadcast. *)
+
+val all : relation
+(** Everything conflicts: generic broadcast degenerates to atomic
+    broadcast. *)
+
+type klass = Commuting | Ordered
+(** The paper's two-class instantiation (Section 3.3): [Commuting] messages
+    ([rbcast] invocations, e.g. passive-replication updates) conflict only
+    with [Ordered] ones; [Ordered] messages ([abcast] invocations, e.g.
+    primary-change) conflict with everything. *)
+
+val by_class : classify:(Gc_net.Payload.t -> klass) -> relation
+(** The conflict relation induced by the rbcast/abcast class table of
+    Section 3.3:
+
+    {v
+               rbcast       abcast
+    rbcast   no conflict   conflict
+    abcast    conflict     conflict
+    v} *)

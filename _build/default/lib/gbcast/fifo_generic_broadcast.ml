@@ -1,0 +1,64 @@
+type Gc_net.Payload.t +=
+  | Fgb of { fseq : int; body : Gc_net.Payload.t }
+
+let () =
+  Gc_net.Payload.register_printer (function
+    | Fgb { fseq; body } ->
+        Some (Printf.sprintf "fgb#%d(%s)" fseq (Gc_net.Payload.to_string body))
+    | _ -> None)
+
+let unwrap = function Fgb { body; _ } -> body | p -> p
+
+let lift_conflict rel a b = rel (unwrap a) (unwrap b)
+
+type t = {
+  gb : Generic_broadcast.t;
+  mutable next_fseq : int;
+  (* per-origin: next expected sequence and held-back arrivals *)
+  expected : (int, int) Hashtbl.t;
+  held : (int * int, Gc_net.Payload.t) Hashtbl.t;
+  mutable subscribers : (origin:int -> Gc_net.Payload.t -> unit) list;
+  mutable delivered : int;
+}
+
+let deliver t ~origin body =
+  t.delivered <- t.delivered + 1;
+  List.iter (fun f -> f ~origin body) (List.rev t.subscribers)
+
+let rec drain t origin =
+  let next = Option.value ~default:0 (Hashtbl.find_opt t.expected origin) in
+  match Hashtbl.find_opt t.held (origin, next) with
+  | Some body ->
+      Hashtbl.remove t.held (origin, next);
+      Hashtbl.replace t.expected origin (next + 1);
+      deliver t ~origin body;
+      drain t origin
+  | None -> ()
+
+let create gb =
+  let t =
+    {
+      gb;
+      next_fseq = 0;
+      expected = Hashtbl.create 16;
+      held = Hashtbl.create 32;
+      subscribers = [];
+      delivered = 0;
+    }
+  in
+  Generic_broadcast.on_deliver gb (fun ~origin payload ->
+      match payload with
+      | Fgb { fseq; body } ->
+          Hashtbl.replace t.held (origin, fseq) body;
+          drain t origin
+      | _ -> ());
+  t
+
+let gbcast t ?size body =
+  let fseq = t.next_fseq in
+  t.next_fseq <- fseq + 1;
+  Generic_broadcast.gbcast t.gb ?size (Fgb { fseq; body })
+
+let on_deliver t f = t.subscribers <- f :: t.subscribers
+let delivered_count t = t.delivered
+let held_count t = Hashtbl.length t.held

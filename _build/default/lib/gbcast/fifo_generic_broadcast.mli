@@ -1,0 +1,40 @@
+(** FIFO generic broadcast (the paper's footnote 9).
+
+    The passive-replication solution of Section 3.2.3 "assumes FIFO generic
+    broadcast, i.e. the FIFO point-to-point property in addition to the
+    ordering properties of generic broadcast".  This wrapper adds the FIFO
+    property to {!Generic_broadcast}: messages from the same origin are
+    delivered in sending order, by holding back out-of-order arrivals.
+
+    Why this preserves generic order: conflicting messages never take the
+    fast path together — their relative positions come from stage-change
+    cuts, whose sequence is {e identical at every process} (they ride atomic
+    broadcast).  Holding a message until its per-origin predecessors arrive
+    is a deterministic function of that shared sequence plus commuting
+    (order-free) messages, so any conflicting pair still gets the same
+    relative order everywhere, and the per-origin order becomes the sending
+    order. *)
+
+type t
+
+val lift_conflict : Conflict.relation -> Conflict.relation
+(** Wrap a conflict relation so it sees through this module's sequence-number
+    envelope.  The underlying {!Generic_broadcast.create} must be given the
+    lifted relation, otherwise it would compare envelopes instead of
+    application payloads. *)
+
+val create : Generic_broadcast.t -> t
+(** Wrap an existing generic-broadcast instance.  Deliveries must then be
+    consumed through {!on_deliver} of this wrapper ({e not} of the wrapped
+    instance, which would bypass the FIFO buffering). *)
+
+val gbcast : t -> ?size:int -> Gc_net.Payload.t -> unit
+(** Broadcast with a per-origin sequence number. *)
+
+val on_deliver : t -> (origin:int -> Gc_net.Payload.t -> unit) -> unit
+(** FIFO-per-origin, generic-order deliveries. *)
+
+val delivered_count : t -> int
+
+val held_count : t -> int
+(** Messages currently held waiting for a per-origin predecessor. *)

@@ -1,0 +1,374 @@
+module Process = Gc_kernel.Process
+module Rc = Gc_rchannel.Reliable_channel
+module Rb = Gc_rbcast.Reliable_broadcast
+module Ab = Gc_abcast.Atomic_broadcast
+
+type msg = { origin : int; gseq : int; body : Gc_net.Payload.t; size : int }
+
+let msg_id m = (m.origin, m.gseq)
+let compare_msg a b = compare (msg_id a) (msg_id b)
+
+type Gc_net.Payload.t +=
+  | Gb_fast of msg
+  | Gb_ack of { id : int * int; stage : int }
+  | Gb_state of { stage : int; acked : msg list; pending : msg list }
+  | Gb_cut of { stage : int; first : msg list; rest : msg list }
+
+let () =
+  Gc_net.Payload.register_printer (function
+    | Gb_fast m -> Some (Printf.sprintf "gb.fast#%d.%d" m.origin m.gseq)
+    | Gb_ack { id = o, s; stage } ->
+        Some (Printf.sprintf "gb.ack#%d.%d@%d" o s stage)
+    | Gb_state { stage; _ } -> Some (Printf.sprintf "gb.state@%d" stage)
+    | Gb_cut { stage; first; rest } ->
+        Some
+          (Printf.sprintf "gb.cut@%d(%d+%d)" stage (List.length first)
+             (List.length rest))
+    | _ -> None)
+
+type ack_mode = Two_thirds | All_members
+
+type t = {
+  proc : Process.t;
+  rb : Rb.t;
+  rc : Rc.t;
+  ab : Ab.t;
+  conflict : Conflict.relation;
+  ack_mode : ack_mode;
+  mutable member_list : int list;
+  mutable next_gseq : int;
+  mutable stage : int;
+  mutable frozen : bool;
+  pending : (int * int, msg) Hashtbl.t; (* rdelivered, not yet g-delivered *)
+  (* Messages acked by me in the current stage.  Entries survive local fast
+     delivery: the ack rule and the published stage state must keep seeing
+     them, otherwise a conflicting message could gather a quorum too, or a
+     fast-delivered message could drop out of the stage-change cut. *)
+  stage_history : (int * int, msg) Hashtbl.t;
+  delivered : (int * int, unit) Hashtbl.t;
+  ack_counts : ((int * int) * int, (int, unit) Hashtbl.t) Hashtbl.t;
+  (* stage -> sender -> (acked, pending) *)
+  states : (int, (int, msg list * msg list) Hashtbl.t) Hashtbl.t;
+  cut_proposed : (int, unit) Hashtbl.t;
+  cut_timer_armed : (int, unit) Hashtbl.t;
+  cut_backoff : float;
+  mutable subscribers : (origin:int -> Gc_net.Payload.t -> unit) list;
+  mutable n_delivered : int;
+  mutable n_fast : int;
+}
+
+(* Fast-path acknowledgement quorum A. *)
+let ack_quorum t =
+  let n = List.length t.member_list in
+  match t.ack_mode with
+  | Two_thirds -> ((2 * n) + 1 + 2) / 3 (* ceil((2n+1)/3) *)
+  | All_members -> n
+
+(* Stage-change state quorum C.  Correctness needs (i) completeness,
+   A + C - n >= 1, and (ii) a conflict-free must-deliver-first list,
+   3 * min(A, C) > 2n or A = n.  Two_thirds uses A = C = ceil((2n+1)/3)
+   (f < n/3); All_members uses A = n, C = 1: any single state already
+   contains every possibly-fast-delivered message, so stage changes only
+   depend on atomic broadcast (f < n/2). *)
+let chk_quorum t =
+  match t.ack_mode with
+  | Two_thirds ->
+      let n = List.length t.member_list in
+      ((2 * n) + 1 + 2) / 3
+  | All_members -> 1
+
+let member t = List.mem (Process.id t.proc) t.member_list
+
+let send_all t ?size payload =
+  let me = Process.id t.proc in
+  List.iter (fun q -> if q <> me then Rc.send t.rc ?size ~dst:q payload)
+    t.member_list
+
+let deliver t m =
+  let id = msg_id m in
+  if not (Hashtbl.mem t.delivered id) then begin
+    Hashtbl.replace t.delivered id ();
+    Hashtbl.remove t.pending id;
+    t.n_delivered <- t.n_delivered + 1;
+    Process.emit t.proc ~component:"gbcast" ~event:"gdeliver"
+      (Printf.sprintf "#%d.%d" m.origin m.gseq);
+    List.iter (fun f -> f ~origin:m.origin m.body) (List.rev t.subscribers)
+  end
+
+let pending_msgs t =
+  List.sort compare_msg (Hashtbl.fold (fun _ m acc -> m :: acc) t.pending [])
+
+let acked_msgs t =
+  List.sort compare_msg
+    (Hashtbl.fold (fun _ m acc -> m :: acc) t.stage_history [])
+
+let state_table t stage =
+  match Hashtbl.find_opt t.states stage with
+  | Some tbl -> tbl
+  | None ->
+      let tbl = Hashtbl.create 8 in
+      Hashtbl.replace t.states stage tbl;
+      tbl
+
+let ack_set t id stage =
+  match Hashtbl.find_opt t.ack_counts (id, stage) with
+  | Some s -> s
+  | None ->
+      let s = Hashtbl.create 8 in
+      Hashtbl.replace t.ack_counts (id, stage) s;
+      s
+
+(* Freeze the fast path and publish our stage state.  Every process freezes
+   on detecting a conflict locally or on hearing any other process's state
+   broadcast for the current stage. *)
+let rec freeze t =
+  if member t && not t.frozen then begin
+    t.frozen <- true;
+    Process.emit t.proc ~component:"gbcast" ~event:"freeze"
+      (Printf.sprintf "stage %d" t.stage);
+    let acked = acked_msgs t and pending = pending_msgs t in
+    record_state t ~src:(Process.id t.proc) ~stage:t.stage ~acked ~pending;
+    (* In all-members mode a cut needs no remote states (C = 1): each process
+       freezes on its own evidence (the conflicting message reaches everyone
+       by reliable broadcast) and any single state is a complete cut, so the
+       n^2 state exchange is skipped entirely. *)
+    if t.ack_mode = Two_thirds then
+      send_all t (Gb_state { stage = t.stage; acked; pending })
+  end
+
+and record_state t ~src ~stage ~acked ~pending =
+  (* States for stages we have not reached yet (their sender raced ahead of a
+     cut still in our delivery queue) are stored and consulted when the cut
+     moves us there; see [apply_cut]. *)
+  if stage >= t.stage then begin
+    let tbl = state_table t stage in
+    if not (Hashtbl.mem tbl src) then Hashtbl.replace tbl src (acked, pending);
+    if stage = t.stage then begin
+      freeze t;
+      try_cut t
+    end
+  end
+
+(* Compute and abcast a cut once a quorum of stage states is in.  With
+   C = A = ceil((2n+1)/3), a message fast-delivered anywhere was acked by at
+   least [threshold = A + C - n] respondents (quorum intersection), and no
+   two conflicting messages can both reach the threshold (3C > 2n), so
+   [first] is complete and internally conflict-free. *)
+and try_cut t =
+  if member t && not (Hashtbl.mem t.cut_proposed t.stage) then begin
+    (* Stagger proposals by member rank so that normally exactly one cut is
+       broadcast; lower-ranked members take over (after their backoff) if
+       the natural proposer is dead. *)
+    let rank =
+      let rec idx i = function
+        | [] -> 0
+        | q :: rest -> if q = Process.id t.proc then i else idx (i + 1) rest
+      in
+      idx 0 t.member_list
+    in
+    if rank = 0 then force_cut t
+    else if not (Hashtbl.mem t.cut_timer_armed t.stage) then begin
+      Hashtbl.replace t.cut_timer_armed t.stage ();
+      let stage = t.stage in
+      ignore
+        (Process.timer t.proc ~delay:(float_of_int rank *. t.cut_backoff)
+           (fun () ->
+             (* Re-armable: if the cut cannot be built yet (states still
+                missing in two-thirds mode), the next recorded state retries. *)
+             Hashtbl.remove t.cut_timer_armed stage;
+             if t.stage = stage && t.frozen then force_cut t))
+    end
+  end
+
+and force_cut t =
+  if member t && not (Hashtbl.mem t.cut_proposed t.stage) then begin
+    let tbl = state_table t t.stage in
+    let c = chk_quorum t in
+    if Hashtbl.length tbl >= c then begin
+      let n = List.length t.member_list in
+      let threshold = max 1 (ack_quorum t + c - n) in
+      let tally : (int * int, int) Hashtbl.t = Hashtbl.create 16 in
+      let mentioned : (int * int, msg) Hashtbl.t = Hashtbl.create 16 in
+      Hashtbl.iter
+        (fun _src (acked, pending) ->
+          List.iter
+            (fun m ->
+              let id = msg_id m in
+              Hashtbl.replace mentioned id m;
+              Hashtbl.replace tally id
+                (1 + Option.value ~default:0 (Hashtbl.find_opt tally id)))
+            acked;
+          List.iter (fun m -> Hashtbl.replace mentioned (msg_id m) m) pending)
+        tbl;
+      let first, rest =
+        Hashtbl.fold (fun _ m acc -> m :: acc) mentioned []
+        |> List.sort compare_msg
+        |> List.partition (fun m ->
+               Option.value ~default:0 (Hashtbl.find_opt tally (msg_id m))
+               >= threshold)
+      in
+      Hashtbl.replace t.cut_proposed t.stage ();
+      Process.emit t.proc ~component:"gbcast" ~event:"propose_cut"
+        (Printf.sprintf "stage %d: %d first, %d rest" t.stage
+           (List.length first) (List.length rest));
+      Ab.abcast t.ab (Gb_cut { stage = t.stage; first; rest })
+    end
+  end
+
+(* Fast-path examination of a pending message: acknowledge it unless it
+   conflicts with another message of the stage; a conflict changes stage. *)
+let rec examine t m =
+  let id = msg_id m in
+  if
+    member t && (not t.frozen)
+    && (not (Hashtbl.mem t.delivered id))
+    && Hashtbl.mem t.pending id
+    && not (Hashtbl.mem t.stage_history id)
+  then begin
+    let against tbl acc =
+      Hashtbl.fold
+        (fun id' m' acc -> acc || (id' <> id && t.conflict m.body m'.body))
+        tbl acc
+    in
+    (* In all-members mode, a self-conflicting (ordered-class) message never
+       takes the fast path: routing it through the stage-change cut keeps
+       its delivery live with f < n/2, since the cut only needs atomic
+       broadcast. *)
+    let self_conflicting =
+      t.ack_mode = All_members && t.conflict m.body m.body
+    in
+    let conflicts_with_stage =
+      self_conflicting || against t.pending (against t.stage_history false)
+    in
+    if conflicts_with_stage then freeze t
+    else begin
+      Hashtbl.replace t.stage_history id m;
+      Hashtbl.replace (ack_set t id t.stage) (Process.id t.proc) ();
+      send_all t ~size:24 (Gb_ack { id; stage = t.stage });
+      try_fast_deliver t id
+    end
+  end
+
+and try_fast_deliver t id =
+  if (not (Hashtbl.mem t.delivered id)) && Hashtbl.mem t.pending id then begin
+    let acks = ack_set t id t.stage in
+    if Hashtbl.length acks >= ack_quorum t then begin
+      match Hashtbl.find_opt t.pending id with
+      | Some m ->
+          t.n_fast <- t.n_fast + 1;
+          Process.emit t.proc ~component:"gbcast" ~event:"fast_deliver"
+            (Printf.sprintf "#%d.%d" (fst id) (snd id));
+          deliver t m
+      | None -> ()
+    end
+  end
+
+let reexamine_pending t =
+  List.iter (fun m -> examine t m) (pending_msgs t)
+
+let apply_cut t ~stage ~first ~rest =
+  if stage = t.stage then begin
+    List.iter (deliver t) first;
+    List.iter (deliver t) rest;
+    (* New stage: stale acks and states are dropped; survivors of [pending]
+       (messages that arrived during the change) are re-examined. *)
+    Hashtbl.remove t.states stage;
+    Hashtbl.reset t.stage_history;
+    t.stage <- stage + 1;
+    t.frozen <- false;
+    Process.emit t.proc ~component:"gbcast" ~event:"new_stage"
+      (Printf.sprintf "%d" t.stage);
+    reexamine_pending t;
+    (* Some members may already have frozen the new stage (their states were
+       stored above while we were still behind). *)
+    if (not t.frozen) && Hashtbl.length (state_table t t.stage) > 0 then begin
+      freeze t;
+      try_cut t
+    end
+    else if t.frozen then try_cut t
+  end
+
+let create proc ~rc ~rb ~ab ~conflict ?(ack_mode = Two_thirds)
+    ?(cut_backoff = 15.0) ~members () =
+  let t =
+    {
+      proc;
+      rb;
+      rc;
+      ab;
+      conflict;
+      ack_mode;
+      member_list = members;
+      next_gseq = 0;
+      stage = 0;
+      frozen = false;
+      pending = Hashtbl.create 64;
+      stage_history = Hashtbl.create 64;
+      delivered = Hashtbl.create 256;
+      ack_counts = Hashtbl.create 256;
+      states = Hashtbl.create 8;
+      cut_proposed = Hashtbl.create 8;
+      cut_timer_armed = Hashtbl.create 8;
+      cut_backoff;
+      subscribers = [];
+      n_delivered = 0;
+      n_fast = 0;
+    }
+  in
+  Rb.on_deliver rb (fun ~origin:_ payload ->
+      match payload with
+      | Gb_fast m ->
+          let id = msg_id m in
+          if not (Hashtbl.mem t.delivered id || Hashtbl.mem t.pending id)
+          then begin
+            Hashtbl.replace t.pending id m;
+            examine t m
+          end
+      | _ -> ());
+  Rc.on_deliver rc (fun ~src payload ->
+      match payload with
+      | Gb_ack { id; stage } ->
+          Hashtbl.replace (ack_set t id stage) src ();
+          if stage = t.stage then try_fast_deliver t id
+      | Gb_state { stage; acked; pending } ->
+          (* A state for a stage we have not reached yet can only result from
+             reordering relative to the cut that ends our stage; it is keyed
+             by its stage and consulted when we get there. *)
+          List.iter
+            (fun m ->
+              let id = msg_id m in
+              if not (Hashtbl.mem t.delivered id || Hashtbl.mem t.pending id)
+              then Hashtbl.replace t.pending id m)
+            (acked @ pending);
+          record_state t ~src ~stage ~acked ~pending
+      | _ -> ());
+  Ab.on_deliver ab (fun ~origin:_ payload ->
+      match payload with
+      | Gb_cut { stage; first; rest } -> apply_cut t ~stage ~first ~rest
+      | _ -> ());
+  t
+
+let gbcast t ?(size = 64) body =
+  if member t then begin
+    let m = { origin = Process.id t.proc; gseq = t.next_gseq; body; size } in
+    t.next_gseq <- t.next_gseq + 1;
+    Rb.broadcast t.rb ~size ~dests:t.member_list (Gb_fast m)
+  end
+
+let on_deliver t f = t.subscribers <- f :: t.subscribers
+let set_members t members = t.member_list <- members
+let members t = t.member_list
+let delivered_count t = t.n_delivered
+let fast_delivered_count t = t.n_fast
+let stage t = t.stage
+
+let delivered_ids t = Hashtbl.fold (fun id () acc -> id :: acc) t.delivered []
+
+let bootstrap t ~stage ~delivered =
+  t.stage <- stage;
+  List.iter (fun id -> Hashtbl.replace t.delivered id ()) delivered;
+  (* States published by members already frozen in this stage may be waiting. *)
+  if Hashtbl.length (state_table t t.stage) > 0 then begin
+    freeze t;
+    try_cut t
+  end

@@ -1,0 +1,1 @@
+lib/kernel/process.ml: Gc_net Gc_sim List

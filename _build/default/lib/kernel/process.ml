@@ -1,0 +1,77 @@
+module Engine = Gc_sim.Engine
+module Trace = Gc_sim.Trace
+module Netsim = Gc_net.Netsim
+
+type t = {
+  id : int;
+  net : Netsim.t;
+  trace : Trace.t;
+  rng : Gc_sim.Rng.t;
+  mutable alive : bool;
+  mutable subscribers : (src:int -> Gc_net.Payload.t -> unit) list;
+  mutable crash_hooks : (unit -> unit) list;
+}
+
+let create net ~trace ~id =
+  let t =
+    {
+      id;
+      net;
+      trace;
+      rng = Engine.split_rng (Netsim.engine net);
+      alive = true;
+      subscribers = [];
+      crash_hooks = [];
+    }
+  in
+  Netsim.register net ~node:id (fun ~src payload ->
+      if t.alive then
+        (* Subscribers are kept newest-first; dispatch oldest-first so layers
+           receive messages in the order they were stacked. *)
+        List.iter (fun f -> f ~src payload) (List.rev t.subscribers));
+  t
+
+let id t = t.id
+let engine t = Netsim.engine t.net
+let net t = t.net
+let rng t = t.rng
+let now t = Engine.now (engine t)
+let alive t = t.alive
+
+let send t ?size ~dst payload =
+  if t.alive then Netsim.send t.net ?size ~src:t.id ~dst payload
+
+let on_receive t f = t.subscribers <- f :: t.subscribers
+
+let timer t ~delay f =
+  Engine.schedule (engine t) ~delay (fun () -> if t.alive then f ())
+
+type periodic = { mutable stopped : bool }
+
+let every t ?(jitter = 0.0) ~period f =
+  let handle = { stopped = false } in
+  let rec arm () =
+    let extra = if jitter > 0.0 then Gc_sim.Rng.float t.rng jitter else 0.0 in
+    ignore
+      (Engine.schedule (engine t) ~delay:(period +. extra) (fun () ->
+           if t.alive && not handle.stopped then begin
+             f ();
+             arm ()
+           end))
+  in
+  arm ();
+  handle
+
+let cancel_periodic handle = handle.stopped <- true
+
+let emit t ~component ~event detail =
+  Trace.emit t.trace ~time:(now t) ~node:t.id ~component ~event detail
+
+let crash t =
+  if t.alive then begin
+    t.alive <- false;
+    Netsim.crash t.net t.id;
+    List.iter (fun f -> f ()) (List.rev t.crash_hooks)
+  end
+
+let on_crash t f = t.crash_hooks <- f :: t.crash_hooks

@@ -1,0 +1,53 @@
+(** Per-node process context: the glue every protocol component is built on.
+
+    A [Process.t] owns one node of the simulated network and gives its
+    components:
+
+    - message fan-out: components subscribe with {!on_receive}; each incoming
+      payload is offered to every subscriber, which pattern-matches on its
+      own extensible-variant constructors and ignores the rest (this mirrors
+      the event routing of the Appia/Cactus frameworks the paper used);
+    - {e alive-guarded} timers: when the process crashes, pending and
+      periodic timers silently stop firing, so no protocol code runs at a
+      dead process (crash-stop);
+    - a private random stream, and tracing tagged with the node id. *)
+
+type t
+
+val create : Gc_net.Netsim.t -> trace:Gc_sim.Trace.t -> id:int -> t
+(** Create the process for node [id] and hook it into the network. *)
+
+val id : t -> int
+val engine : t -> Gc_sim.Engine.t
+val net : t -> Gc_net.Netsim.t
+val rng : t -> Gc_sim.Rng.t
+val now : t -> float
+val alive : t -> bool
+
+val send : t -> ?size:int -> dst:int -> Gc_net.Payload.t -> unit
+(** Unreliable datagram send ([u-send] in Figure 9 of the paper).  No-op if
+    the process is dead. *)
+
+val on_receive : t -> (src:int -> Gc_net.Payload.t -> unit) -> unit
+(** Subscribe a component to incoming payloads ([u-receive]). *)
+
+val timer : t -> delay:float -> (unit -> unit) -> Gc_sim.Engine.timer
+(** One-shot timer; the callback is skipped if the process has died. *)
+
+type periodic
+
+val every : t -> ?jitter:float -> period:float -> (unit -> unit) -> periodic
+(** Periodic timer firing each [period] ms (plus uniform jitter in
+    [\[0, jitter\]], default 0).  Stops when cancelled or when the process
+    dies. *)
+
+val cancel_periodic : periodic -> unit
+
+val crash : t -> unit
+(** Crash-stop: mark dead, stop the network endpoint, run the registered
+    {!on_crash} hooks (environment-side bookkeeping, not protocol code). *)
+
+val on_crash : t -> (unit -> unit) -> unit
+
+val emit : t -> component:string -> event:string -> string -> unit
+(** Trace helper stamped with this node and the current time. *)

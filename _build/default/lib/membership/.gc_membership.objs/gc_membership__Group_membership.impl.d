@@ -1,0 +1,1 @@
+lib/membership/group_membership.ml: Format Gc_kernel Gc_net Gc_rchannel List Option Printf View

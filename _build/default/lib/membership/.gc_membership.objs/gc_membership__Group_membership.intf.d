@@ -1,0 +1,1 @@
+lib/membership/group_membership.mli: Gc_kernel Gc_net Gc_rchannel View

@@ -1,0 +1,1 @@
+lib/membership/view.ml: Format List String

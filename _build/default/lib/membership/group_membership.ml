@@ -1,0 +1,160 @@
+module Process = Gc_kernel.Process
+module Rc = Gc_rchannel.Reliable_channel
+
+type transport = {
+  broadcast : Gc_net.Payload.t -> unit;
+  subscribe : (origin:int -> Gc_net.Payload.t -> unit) -> unit;
+}
+
+type Gc_net.Payload.t +=
+  | Mb_join_req of { p : int }
+  | Mb_change of { adds : int list; removes : int list; sponsor : int }
+  | Mb_state of { view : View.t; snapshot : Gc_net.Payload.t option }
+
+let () =
+  Gc_net.Payload.register_printer (function
+    | Mb_join_req { p } -> Some (Printf.sprintf "mb.join_req(%d)" p)
+    | Mb_change { adds; removes; _ } ->
+        Some
+          (Printf.sprintf "mb.change(+%d,-%d)" (List.length adds)
+             (List.length removes))
+    | Mb_state { view; _ } ->
+        Some (Format.asprintf "mb.state(%a)" View.pp view)
+    | _ -> None)
+
+type t = {
+  proc : Process.t;
+  rc : Rc.t;
+  transport : transport;
+  state_transfer_delay : float;
+  state_provider : (unit -> Gc_net.Payload.t) option;
+  state_installer : (Gc_net.Payload.t -> unit) option;
+  mutable current : View.t;
+  mutable joined : bool;
+  mutable left : bool;
+  mutable pending_removes : int list; (* proposed in the current view *)
+  mutable view_subscribers : (View.t -> unit) list;
+  mutable left_subscribers : (unit -> unit) list;
+  mutable n_views : int;
+}
+
+let view t = t.current
+let joined t = t.joined
+let left t = t.left
+let on_view t f = t.view_subscribers <- f :: t.view_subscribers
+let on_left t f = t.left_subscribers <- f :: t.left_subscribers
+let view_changes t = t.n_views
+
+let me t = Process.id t.proc
+
+let install t v =
+  t.current <- v;
+  t.pending_removes <- [];
+  t.n_views <- t.n_views + 1;
+  Process.emit t.proc ~component:"membership" ~event:"new_view"
+    (Format.asprintf "%a" View.pp v);
+  List.iter (fun f -> f v) (List.rev t.view_subscribers);
+  if t.joined && not (View.mem v (me t)) then begin
+    t.left <- true;
+    Process.emit t.proc ~component:"membership" ~event:"left" "";
+    List.iter (fun f -> f ()) (List.rev t.left_subscribers)
+  end
+
+let handle_change t ~adds ~removes ~sponsor =
+  let adds = List.filter (fun p -> not (View.mem t.current p)) adds
+  and removes = List.filter (fun q -> View.mem t.current q) removes in
+  if adds <> [] || removes <> [] then begin
+    let v' = View.apply t.current ~adds ~removes in
+    install t v';
+    (* The sponsor ships the snapshot to each joiner once the change has a
+       place in the total order, so the snapshot corresponds to a view
+       boundary. *)
+    if sponsor = me t && t.joined && not t.left then
+      List.iter
+        (fun p ->
+          ignore
+            (Process.timer t.proc ~delay:t.state_transfer_delay (fun () ->
+                 (* Snapshot and view are captured together, at send time, so
+                    the joiner resumes from a consistent point of the total
+                    order. *)
+                 let snapshot = Option.map (fun f -> f ()) t.state_provider in
+                 Rc.send t.rc ~size:4096 ~dst:p
+                   (Mb_state { view = t.current; snapshot }))))
+        adds
+  end
+
+let create proc ~rc ~transport ?(state_transfer_delay = 0.0) ?state_provider
+    ?state_installer ~initial () =
+  let t =
+    {
+      proc;
+      rc;
+      transport;
+      state_transfer_delay;
+      state_provider;
+      state_installer;
+      current = initial;
+      joined = View.mem initial (Process.id proc);
+      left = false;
+      pending_removes = [];
+      view_subscribers = [];
+      left_subscribers = [];
+      n_views = 0;
+    }
+  in
+  transport.subscribe (fun ~origin payload ->
+      match payload with
+      | Mb_change { adds; removes; sponsor } ->
+          (* Changes proposed by processes that are no longer members are
+             void — e.g. stale exclusions accumulated by a partitioned
+             minority must not fire after the network heals. *)
+          if View.mem t.current origin then
+            handle_change t ~adds ~removes ~sponsor
+      | _ -> ());
+  Rc.on_deliver rc (fun ~src:_ payload ->
+      match payload with
+      | Mb_join_req { p } ->
+          (* Sponsor side: only members broadcast the change. *)
+          if t.joined && (not t.left) && not (View.mem t.current p) then
+            t.transport.broadcast
+              (Mb_change { adds = [ p ]; removes = []; sponsor = me t })
+      | Mb_state { view; snapshot } ->
+          if not t.joined then begin
+            (match (snapshot, t.state_installer) with
+            | Some s, Some f -> f s
+            | _ -> ());
+            t.joined <- true;
+            install t view
+          end
+      | _ -> ());
+  t
+
+let join ?(force = false) t ~via =
+  (* A process excluded earlier may rejoin: it re-enters the joiner path and
+     waits for a fresh state transfer.  [force] covers the process that
+     cannot know it was excluded (e.g. it sat in a minority partition and the
+     members' channels to it lapsed): it demotes itself and rejoins. *)
+  if t.left || force then begin
+    t.left <- false;
+    t.joined <- false
+  end;
+  if not t.joined then Rc.send t.rc ~size:32 ~dst:via (Mb_join_req { p = me t })
+
+let add t p =
+  if t.joined && (not t.left) && not (View.mem t.current p) then
+    t.transport.broadcast (Mb_change { adds = [ p ]; removes = []; sponsor = me t })
+
+let remove t q =
+  if
+    t.joined && (not t.left)
+    && View.mem t.current q
+    && not (List.mem q t.pending_removes)
+  then begin
+    t.pending_removes <- q :: t.pending_removes;
+    t.transport.broadcast
+      (Mb_change { adds = []; removes = [ q ]; sponsor = me t })
+  end
+
+let join_remove_list t ~adds ~removes =
+  if t.joined && not t.left then
+    t.transport.broadcast (Mb_change { adds; removes; sponsor = me t })

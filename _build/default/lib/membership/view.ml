@@ -1,0 +1,28 @@
+type t = { vid : int; members : int list }
+
+let initial members = { vid = 0; members }
+let primary t = match t.members with [] -> None | p :: _ -> Some p
+let mem t q = List.mem q t.members
+let size t = List.length t.members
+
+let apply t ~adds ~removes =
+  let kept = List.filter (fun m -> not (List.mem m removes)) t.members in
+  let fresh =
+    List.fold_left
+      (fun acc p ->
+        if List.mem p kept || List.mem p acc || List.mem p removes then acc
+        else acc @ [ p ])
+      [] adds
+  in
+  { vid = t.vid + 1; members = kept @ fresh }
+
+let rotate t =
+  match t.members with
+  | [] | [ _ ] -> t
+  | p :: rest -> { t with members = rest @ [ p ] }
+
+let equal a b = a.vid = b.vid && a.members = b.members
+
+let pp ppf t =
+  Format.fprintf ppf "v%d[%s]" t.vid
+    (String.concat ";" (List.map string_of_int t.members))

@@ -1,0 +1,31 @@
+(** Group views.
+
+    A view is an {e ordered list} of members (paper, footnote 10): the
+    process at the head of the list acts as the primary where one is
+    needed.  Views are numbered; all processes install the same sequence of
+    views (primary-partition membership). *)
+
+type t = { vid : int; members : int list }
+
+val initial : int list -> t
+(** View number 0 with the given members. *)
+
+val primary : t -> int option
+(** Head of the member list. *)
+
+val mem : t -> int -> bool
+
+val size : t -> int
+
+val apply : t -> adds:int list -> removes:int list -> t
+(** Next view: drop [removes] (preserving order), append new [adds]
+    (deduplicated), bump the view number.  Adds already present and removes
+    already absent are ignored; an id in both lists is removed (a
+    contradictory batch does not readmit it). *)
+
+val rotate : t -> t
+(** Move the head to the tail (same members, same vid): the paper's
+    primary-change step for passive replication. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/monitoring/monitoring.ml: Gc_fd Gc_kernel Gc_membership Gc_net Gc_rchannel Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/monitoring/monitoring.mli: Gc_fd Gc_kernel Gc_membership Gc_rchannel

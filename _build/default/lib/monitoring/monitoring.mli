@@ -1,0 +1,51 @@
+(** The monitoring component ("Monitoring" in Figure 9): the place where
+    exclusion decisions are made.
+
+    The decoupling argued for in Section 3.3.2: failure {e suspicion} (the
+    failure detector, consulted by consensus with aggressive timeouts) and
+    membership {e exclusion} (this component, deliberately conservative) are
+    different concerns.  A wrong suspicion costs the consensus a round; a
+    wrong exclusion costs an exclusion plus a rejoin plus a state transfer —
+    so exclusion should be slow and careful, while suspicion can be fast.
+
+    Policies:
+
+    - [Immediate]: exclude on this process's first (long-timeout) suspicion —
+      essentially what traditional stacks do, kept as an ablation baseline;
+    - [Threshold k]: processes gossip their suspicions (and retractions);
+      exclude [q] only once at least [k] current members suspect [q];
+    - [Output_triggered]: exclude [q] when the reliable channel reports that
+      output to [q] has been stuck longer than its (long) threshold — the
+      paper's output-triggered suspicion [12];
+    - [Threshold_or_output k]: either of the above. *)
+
+type policy =
+  | Immediate
+  | Threshold of int
+  | Output_triggered
+  | Threshold_or_output of int
+
+type t
+
+val create :
+  Gc_kernel.Process.t ->
+  fd:Gc_fd.Failure_detector.t ->
+  rc:Gc_rchannel.Reliable_channel.t ->
+  membership:Gc_membership.Group_membership.t ->
+  ?exclusion_timeout:float ->
+  policy:policy ->
+  unit ->
+  t
+(** [exclusion_timeout] (default 5000 ms) is the conservative timeout of the
+    monitor this component opens on the shared failure detector — an order of
+    magnitude above the consensus timeout, per the paper. *)
+
+val stop : t -> unit
+
+(** {1 Accounting (benches / tests)} *)
+
+val exclusions_proposed : t -> int
+
+val wrongful_exclusions_proposed : t -> int
+(** Exclusions proposed while the target was in fact alive (simulator ground
+    truth). *)

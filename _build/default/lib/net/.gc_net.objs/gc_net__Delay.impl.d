@@ -1,0 +1,1 @@
+lib/net/delay.ml: Format Gc_sim

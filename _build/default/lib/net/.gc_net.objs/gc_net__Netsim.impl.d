@@ -1,0 +1,1 @@
+lib/net/netsim.ml: Array Delay Gc_sim List Payload Printf

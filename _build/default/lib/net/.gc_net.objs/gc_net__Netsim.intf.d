@@ -1,0 +1,1 @@
+lib/net/netsim.mli: Delay Gc_sim Payload

@@ -1,0 +1,36 @@
+type t =
+  | Constant of float
+  | Uniform of { lo : float; hi : float }
+  | Exponential of { min : float; mean_extra : float }
+  | Lognormal of { min : float; mu : float; sigma : float }
+
+let floor_positive x = if x <= 0.0 then 0.001 else x
+
+let sample t rng =
+  let v =
+    match t with
+    | Constant d -> d
+    | Uniform { lo; hi } -> Gc_sim.Rng.uniform rng ~lo ~hi
+    | Exponential { min; mean_extra } ->
+        min +. Gc_sim.Rng.exponential rng ~mean:mean_extra
+    | Lognormal { min; mu; sigma } ->
+        min +. Gc_sim.Rng.lognormal rng ~mu ~sigma
+  in
+  floor_positive v
+
+let mean = function
+  | Constant d -> d
+  | Uniform { lo; hi } -> (lo +. hi) /. 2.0
+  | Exponential { min; mean_extra } -> min +. mean_extra
+  | Lognormal { min; mu; sigma } -> min +. exp (mu +. (sigma *. sigma /. 2.0))
+
+let lan = Exponential { min = 1.0; mean_extra = 0.5 }
+let wan = Exponential { min = 20.0; mean_extra = 10.0 }
+
+let pp ppf = function
+  | Constant d -> Format.fprintf ppf "constant(%gms)" d
+  | Uniform { lo; hi } -> Format.fprintf ppf "uniform(%g..%gms)" lo hi
+  | Exponential { min; mean_extra } ->
+      Format.fprintf ppf "exp(min=%gms, tail=%gms)" min mean_extra
+  | Lognormal { min; mu; sigma } ->
+      Format.fprintf ppf "lognormal(min=%gms, mu=%g, sigma=%g)" min mu sigma

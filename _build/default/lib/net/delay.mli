@@ -1,0 +1,31 @@
+(** Link-delay distributions for the simulated network.
+
+    All times are virtual milliseconds.  Every distribution has a strictly
+    positive floor so that a message never arrives at (or before) the instant
+    it was sent. *)
+
+type t =
+  | Constant of float
+      (** Fixed one-way delay. *)
+  | Uniform of { lo : float; hi : float }
+      (** Uniform in [\[lo, hi\]]. *)
+  | Exponential of { min : float; mean_extra : float }
+      (** [min] plus an exponential tail with mean [mean_extra] — the classic
+          LAN model: small base latency, occasional stragglers. *)
+  | Lognormal of { min : float; mu : float; sigma : float }
+      (** [min] plus a log-normal tail; heavier than exponential. *)
+
+val sample : t -> Gc_sim.Rng.t -> float
+(** Draw a delay; always [> 0]. *)
+
+val mean : t -> float
+(** Analytic mean of the distribution (used to pick sensible timeouts in the
+    benches). *)
+
+val lan : t
+(** Default LAN-like model: 1 ms base + exponential tail of mean 0.5 ms. *)
+
+val wan : t
+(** Default WAN-like model: 20 ms base + exponential tail of mean 10 ms. *)
+
+val pp : Format.formatter -> t -> unit

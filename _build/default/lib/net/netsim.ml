@@ -1,0 +1,150 @@
+module Engine = Gc_sim.Engine
+module Rng = Gc_sim.Rng
+module Trace = Gc_sim.Trace
+
+type link = { mutable delay : Delay.t; mutable drop : float }
+
+type t = {
+  engine : Engine.t;
+  trace : Trace.t;
+  rng : Rng.t;
+  n : int;
+  links : link array array; (* links.(src).(dst) *)
+  handlers : (src:int -> Payload.t -> unit) option array;
+  alive : bool array;
+  mutable group_of : int array option; (* partition: node -> group id *)
+  spike_until : float array;
+  spike_extra : float array;
+  mutable sent : int;
+  mutable delivered : int;
+  mutable dropped : int;
+  mutable bytes : int;
+}
+
+let create engine ?(trace = Trace.create ()) ?(delay = Delay.lan) ?(drop = 0.0)
+    ~n () =
+  {
+    engine;
+    trace;
+    rng = Engine.split_rng engine;
+    n;
+    links =
+      Array.init n (fun _ -> Array.init n (fun _ -> { delay; drop }));
+    handlers = Array.make n None;
+    alive = Array.make n true;
+    group_of = None;
+    spike_until = Array.make n 0.0;
+    spike_extra = Array.make n 0.0;
+    sent = 0;
+    delivered = 0;
+    dropped = 0;
+    bytes = 0;
+  }
+
+let engine t = t.engine
+let size t = t.n
+
+let check_node t node name =
+  if node < 0 || node >= t.n then
+    invalid_arg (Printf.sprintf "Netsim.%s: node %d out of range" name node)
+
+let register t ~node f =
+  check_node t node "register";
+  t.handlers.(node) <- Some f
+
+let alive t node =
+  check_node t node "alive";
+  t.alive.(node)
+
+let crash t node =
+  check_node t node "crash";
+  if t.alive.(node) then begin
+    t.alive.(node) <- false;
+    Trace.emit t.trace ~time:(Engine.now t.engine) ~node ~component:"net"
+      ~event:"crash" ""
+  end
+
+let set_link t ~src ~dst ?delay ?drop () =
+  check_node t src "set_link";
+  check_node t dst "set_link";
+  let l = t.links.(src).(dst) in
+  (match delay with Some d -> l.delay <- d | None -> ());
+  match drop with Some d -> l.drop <- d | None -> ()
+
+let partition t groups =
+  let g = Array.make t.n (-1) in
+  List.iteri
+    (fun gid members ->
+      List.iter
+        (fun node ->
+          check_node t node "partition";
+          g.(node) <- gid)
+        members)
+    groups;
+  (* Nodes not mentioned form one extra implicit group. *)
+  let extra = List.length groups in
+  Array.iteri (fun i gid -> if gid = -1 then g.(i) <- extra) g;
+  t.group_of <- Some g;
+  Trace.emit t.trace ~time:(Engine.now t.engine) ~node:(-1) ~component:"net"
+    ~event:"partition" ""
+
+let heal t =
+  t.group_of <- None;
+  Trace.emit t.trace ~time:(Engine.now t.engine) ~node:(-1) ~component:"net"
+    ~event:"heal" ""
+
+let delay_spike t ~nodes ~until ~extra =
+  List.iter
+    (fun node ->
+      check_node t node "delay_spike";
+      t.spike_until.(node) <- until;
+      t.spike_extra.(node) <- extra)
+    nodes
+
+let same_side t src dst =
+  match t.group_of with
+  | None -> true
+  | Some g -> g.(src) = g.(dst)
+
+let send t ?(size = 64) ~src ~dst payload =
+  check_node t src "send";
+  check_node t dst "send";
+  t.sent <- t.sent + 1;
+  t.bytes <- t.bytes + size;
+  let link = t.links.(src).(dst) in
+  let deliverable =
+    t.alive.(src) && t.alive.(dst)
+    && same_side t src dst
+    && not (Rng.bernoulli t.rng link.drop)
+  in
+  if not deliverable then t.dropped <- t.dropped + 1
+  else begin
+    let now = Engine.now t.engine in
+    let spike =
+      if now < t.spike_until.(src) then t.spike_extra.(src) else 0.0
+    in
+    let delay = Delay.sample link.delay t.rng +. spike in
+    ignore
+      (Engine.schedule t.engine ~delay (fun () ->
+           if t.alive.(dst) then
+             match t.handlers.(dst) with
+             | None -> t.dropped <- t.dropped + 1
+             | Some h ->
+                 t.delivered <- t.delivered + 1;
+                 Trace.emit t.trace ~time:(Engine.now t.engine) ~node:dst
+                   ~component:"net" ~event:"recv"
+                   (Printf.sprintf "from %d: %s" src (Payload.to_string payload));
+                 h ~src payload
+           else t.dropped <- t.dropped + 1))
+  end
+
+let messages_sent t = t.sent
+let messages_delivered t = t.delivered
+let messages_dropped t = t.dropped
+let bytes_sent t = t.bytes
+
+let reset_counters t =
+  t.sent <- 0;
+  t.delivered <- 0;
+  t.dropped <- 0;
+  t.bytes <- 0

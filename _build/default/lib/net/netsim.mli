@@ -1,0 +1,76 @@
+(** Simulated unreliable transport ("Unreliable Transport" in Figure 9 of the
+    paper).
+
+    Provides unreliable, unordered, point-to-point datagram delivery between
+    numbered nodes over the discrete-event {!Gc_sim.Engine}:
+
+    - each message is delayed by a draw from the link's delay distribution,
+      so messages can be reordered;
+    - each message is dropped with the link's drop probability;
+    - crashed nodes neither send nor receive (crash-stop model, as in the
+      paper's primary-partition setting);
+    - the node set can be partitioned; messages across partition boundaries
+      are dropped at send time;
+    - transient delay spikes can be injected per node, to provoke wrong
+      failure suspicions (Section 4.3 of the paper).
+
+    Nothing here retransmits or orders — those are the jobs of the reliable
+    channel layer built on top. *)
+
+type t
+
+val create :
+  Gc_sim.Engine.t ->
+  ?trace:Gc_sim.Trace.t ->
+  ?delay:Delay.t ->
+  ?drop:float ->
+  n:int ->
+  unit ->
+  t
+(** [create engine ~n ()] builds a network of nodes [0 .. n-1].  [delay]
+    (default {!Delay.lan}) and [drop] (default [0.]) apply to every link
+    unless overridden with {!set_link}. *)
+
+val engine : t -> Gc_sim.Engine.t
+val size : t -> int
+
+val register : t -> node:int -> (src:int -> Payload.t -> unit) -> unit
+(** Install the receive handler for [node].  At most one handler per node;
+    registering again replaces it (used when a process restarts as a fresh
+    incarnation). *)
+
+val send : t -> ?size:int -> src:int -> dst:int -> Payload.t -> unit
+(** Fire-and-forget datagram.  [size] (bytes, default 64) only feeds the
+    traffic accounting.  Sends from crashed nodes, to crashed nodes, or
+    across a partition boundary are silently dropped. *)
+
+val crash : t -> int -> unit
+(** Crash-stop [node]: all future sends and deliveries involving it are
+    suppressed (in-flight messages to it are dropped on arrival). *)
+
+val alive : t -> int -> bool
+
+val set_link : t -> src:int -> dst:int -> ?delay:Delay.t -> ?drop:float -> unit -> unit
+(** Override delay and/or drop probability of the directed link
+    [src -> dst]. *)
+
+val partition : t -> int list list -> unit
+(** Split the nodes into the given groups; nodes absent from every group form
+    an implicit extra group.  Replaces any previous partition. *)
+
+val heal : t -> unit
+(** Remove the partition. *)
+
+val delay_spike : t -> nodes:int list -> until:float -> extra:float -> unit
+(** Add [extra] ms to every message {e sent by} the given nodes until virtual
+    time [until].  Models transient overload / GC pauses that cause wrong
+    suspicions. *)
+
+(** {1 Accounting} *)
+
+val messages_sent : t -> int
+val messages_delivered : t -> int
+val messages_dropped : t -> int
+val bytes_sent : t -> int
+
+val reset_counters : t -> unit

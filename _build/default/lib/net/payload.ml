@@ -1,0 +1,11 @@
+type t = ..
+
+let printers : (t -> string option) list ref = ref []
+let register_printer f = printers := f :: !printers
+
+let to_string p =
+  let rec go = function
+    | [] -> "<payload>"
+    | f :: rest -> ( match f p with Some s -> s | None -> go rest)
+  in
+  go !printers

@@ -1,0 +1,16 @@
+(** Extensible message payloads.
+
+    Each protocol layer extends {!t} with its own constructors (heartbeats,
+    consensus phases, broadcast data, ...).  Keeping one extensible type lets
+    the simulated network, the tracer and the statistics treat all protocol
+    traffic uniformly while every layer still pattern-matches only on its own
+    messages. *)
+
+type t = ..
+
+val register_printer : (t -> string option) -> unit
+(** Layers register a printer for their constructors; used by traces and
+    debugging output. *)
+
+val to_string : t -> string
+(** Best-effort rendering through the registered printers. *)

@@ -1,0 +1,1 @@
+lib/rbcast/reliable_broadcast.mli: Gc_kernel Gc_net Gc_rchannel

@@ -1,0 +1,74 @@
+module Process = Gc_kernel.Process
+module Rc = Gc_rchannel.Reliable_channel
+
+type Gc_net.Payload.t +=
+  | Rb_msg of {
+      origin : int;
+      bid : int;
+      inner : Gc_net.Payload.t;
+      dests : int list;
+      size : int;
+    }
+
+let () =
+  Gc_net.Payload.register_printer (function
+    | Rb_msg { origin; bid; inner; _ } ->
+        Some
+          (Printf.sprintf "rb#%d.%d(%s)" origin bid
+             (Gc_net.Payload.to_string inner))
+    | _ -> None)
+
+type t = {
+  proc : Process.t;
+  rc : Rc.t;
+  seen : (int * int, unit) Hashtbl.t; (* (origin, bid) already delivered *)
+  mutable next_bid : int;
+  mutable subscribers : (origin:int -> Gc_net.Payload.t -> unit) list;
+  mutable delivered : int;
+}
+
+let deliver t ~origin inner =
+  t.delivered <- t.delivered + 1;
+  List.iter (fun f -> f ~origin inner) (List.rev t.subscribers)
+
+let handle t = function
+  | Rb_msg { origin; bid; inner; dests; size } ->
+      if not (Hashtbl.mem t.seen (origin, bid)) then begin
+        Hashtbl.replace t.seen (origin, bid) ();
+        (* Relay before delivering: if we deliver, every correct destination
+           has the message in some correct process's reliable channel. *)
+        let me = Process.id t.proc in
+        List.iter
+          (fun dst ->
+            if dst <> me && dst <> origin then
+              Rc.send t.rc ~size ~dst (Rb_msg { origin; bid; inner; dests; size }))
+          dests;
+        if List.mem me dests || me = origin then deliver t ~origin inner
+      end
+  | _ -> ()
+
+let create proc rc =
+  let t =
+    {
+      proc;
+      rc;
+      seen = Hashtbl.create 64;
+      next_bid = 0;
+      subscribers = [];
+      delivered = 0;
+    }
+  in
+  Rc.on_deliver rc (fun ~src:_ payload -> handle t payload);
+  t
+
+let broadcast t ?(size = 64) ~dests inner =
+  let origin = Process.id t.proc in
+  let bid = t.next_bid in
+  t.next_bid <- bid + 1;
+  let msg = Rb_msg { origin; bid; inner; dests; size } in
+  (* Routing through our own reliable channel (loopback included) funnels the
+     message into [handle], which relays and delivers exactly once. *)
+  Rc.send t.rc ~size ~dst:origin msg
+
+let on_deliver t f = t.subscribers <- f :: t.subscribers
+let delivered_count t = t.delivered

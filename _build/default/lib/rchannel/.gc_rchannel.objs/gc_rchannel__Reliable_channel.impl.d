@@ -1,0 +1,1 @@
+lib/rchannel/reliable_channel.ml: Gc_kernel Gc_net Gc_sim Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/rchannel/reliable_channel.mli: Gc_kernel Gc_net

@@ -1,0 +1,184 @@
+module Process = Gc_kernel.Process
+module Engine = Gc_sim.Engine
+
+(* [gen] is the connection generation: [forget] starts a new generation, so
+   that the receiver does not wait forever for sequence numbers whose
+   messages were dropped with the old output buffer (the moral equivalent of
+   a TCP reset). *)
+type Gc_net.Payload.t +=
+  | Rc_data of { gen : int; seq : int; inner : Gc_net.Payload.t; size : int }
+  | Rc_ack of { gen : int; cum : int }
+
+let () =
+  Gc_net.Payload.register_printer (function
+    | Rc_data { gen; seq; inner; _ } ->
+        Some
+          (Printf.sprintf "rc.data#%d.%d(%s)" gen seq
+             (Gc_net.Payload.to_string inner))
+    | Rc_ack { gen; cum } -> Some (Printf.sprintf "rc.ack#%d<=%d" gen cum)
+    | _ -> None)
+
+type pending = { seq : int; inner : Gc_net.Payload.t; size : int; since : float }
+
+type outgoing = {
+  mutable gen : int;
+  mutable next_seq : int;
+  mutable window : pending list; (* oldest first, all unacked *)
+  mutable stuck_reported : bool;
+}
+
+type incoming = {
+  mutable gen : int;
+  mutable expected : int; (* next in-order seq to deliver *)
+  buffer : (int, Gc_net.Payload.t) Hashtbl.t; (* out-of-order arrivals *)
+}
+
+type t = {
+  proc : Process.t;
+  rto : float;
+  stuck_after : float;
+  out : (int, outgoing) Hashtbl.t;
+  inc : (int, incoming) Hashtbl.t;
+  mutable subscribers : (src:int -> Gc_net.Payload.t -> unit) list;
+  mutable on_stuck : (dst:int -> age:float -> unit) option;
+  mutable accepted : int;
+}
+
+let outgoing_for t dst =
+  match Hashtbl.find_opt t.out dst with
+  | Some o -> o
+  | None ->
+      let o = { gen = 0; next_seq = 0; window = []; stuck_reported = false } in
+      Hashtbl.replace t.out dst o;
+      o
+
+let incoming_for t src =
+  match Hashtbl.find_opt t.inc src with
+  | Some i -> i
+  | None ->
+      let i = { gen = 0; expected = 0; buffer = Hashtbl.create 8 } in
+      Hashtbl.replace t.inc src i;
+      i
+
+let deliver t ~src inner =
+  List.iter (fun f -> f ~src inner) (List.rev t.subscribers)
+
+let handle_data t ~src ~gen ~seq ~inner =
+  let i = incoming_for t src in
+  if gen > i.gen then begin
+    (* The sender reset the stream: earlier sequence numbers are gone. *)
+    i.gen <- gen;
+    i.expected <- 0;
+    Hashtbl.reset i.buffer
+  end;
+  if gen = i.gen && seq >= i.expected && not (Hashtbl.mem i.buffer seq) then
+    Hashtbl.replace i.buffer seq inner;
+  (* Flush the in-order prefix. *)
+  let rec flush () =
+    match Hashtbl.find_opt i.buffer i.expected with
+    | Some payload ->
+        Hashtbl.remove i.buffer i.expected;
+        i.expected <- i.expected + 1;
+        deliver t ~src payload;
+        flush ()
+    | None -> ()
+  in
+  flush ();
+  (* Cumulative ack: everything below [expected] has been delivered. *)
+  Process.send t.proc ~size:16 ~dst:src
+    (Rc_ack { gen = i.gen; cum = i.expected - 1 })
+
+let handle_ack t ~src ~gen ~cum =
+  match Hashtbl.find_opt t.out src with
+  | None -> ()
+  | Some o ->
+      if gen = o.gen then begin
+        let before = List.length o.window in
+        o.window <- List.filter (fun p -> p.seq > cum) o.window;
+        if List.length o.window < before then o.stuck_reported <- false
+      end
+
+let retransmit t =
+  let now = Process.now t.proc in
+  Hashtbl.iter
+    (fun dst (o : outgoing) ->
+      List.iter
+        (fun p ->
+          Process.send t.proc ~size:p.size ~dst
+            (Rc_data { gen = o.gen; seq = p.seq; inner = p.inner; size = p.size }))
+        o.window;
+      match (o.window, t.on_stuck) with
+      | oldest :: _, Some f when not o.stuck_reported ->
+          let age = now -. oldest.since in
+          if age > t.stuck_after then begin
+            o.stuck_reported <- true;
+            Process.emit t.proc ~component:"rchannel" ~event:"stuck"
+              (Printf.sprintf "dst %d age %.0fms" dst age);
+            f ~dst ~age
+          end
+      | _ -> ())
+    t.out
+
+let create proc ?(rto = 50.0) ?(stuck_after = 10_000.0) () =
+  let t =
+    {
+      proc;
+      rto;
+      stuck_after;
+      out = Hashtbl.create 16;
+      inc = Hashtbl.create 16;
+      subscribers = [];
+      on_stuck = None;
+      accepted = 0;
+    }
+  in
+  Process.on_receive proc (fun ~src payload ->
+      match payload with
+      | Rc_data { gen; seq; inner; _ } -> handle_data t ~src ~gen ~seq ~inner
+      | Rc_ack { gen; cum } -> handle_ack t ~src ~gen ~cum
+      | _ -> ());
+  ignore (Process.every proc ~period:rto (fun () -> retransmit t));
+  t
+
+let send t ?(size = 64) ~dst payload =
+  if Process.alive t.proc then begin
+    t.accepted <- t.accepted + 1;
+    if dst = Process.id t.proc then
+      (* Local loopback: deliver through the event queue so that a broadcast
+         to a set including self behaves uniformly (no synchronous
+         reentrancy). *)
+      ignore
+        (Process.timer t.proc ~delay:0.0 (fun () ->
+             deliver t ~src:dst payload))
+    else begin
+      let o = outgoing_for t dst in
+      let seq = o.next_seq in
+      o.next_seq <- seq + 1;
+      o.window <-
+        o.window @ [ { seq; inner = payload; size; since = Process.now t.proc } ];
+      Process.send t.proc ~size ~dst
+        (Rc_data { gen = o.gen; seq; inner = payload; size })
+    end
+  end
+
+let on_deliver t f = t.subscribers <- f :: t.subscribers
+let set_on_stuck t f = t.on_stuck <- Some f
+
+let forget t dst =
+  match Hashtbl.find_opt t.out dst with
+  | None -> ()
+  | Some o ->
+      (* Drop the buffered output and reset the stream: the next message to
+         [dst] starts a fresh generation, so the receiver does not block on
+         the sequence numbers we just discarded. *)
+      o.window <- [];
+      o.stuck_reported <- false;
+      o.gen <- o.gen + 1;
+      o.next_seq <- 0
+
+let unacked t ~dst =
+  match Hashtbl.find_opt t.out dst with
+  | None -> 0
+  | Some o -> List.length o.window
+
+let sent_count t = t.accepted

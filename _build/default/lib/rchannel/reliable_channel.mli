@@ -1,0 +1,52 @@
+(** Reliable FIFO point-to-point channels ("Reliable Channel" in Figure 9).
+
+    Guarantees, per ordered pair of processes (p, q):
+
+    - {b no loss}: if p and q are correct and p sends m, q eventually
+      delivers m (retransmission until acknowledged);
+    - {b no duplication}: each message is delivered at most once;
+    - {b FIFO}: messages from p are delivered at q in sending order.
+
+    This is the abstraction the paper implements over TCP [15]; here it runs
+    over the lossy, reordering simulated transport.
+
+    The channel also implements the paper's {e output-triggered suspicion}
+    hook (Section 3.3.2): a message that stays unacknowledged longer than
+    [stuck_after] triggers [on_stuck], which the monitoring component may
+    turn into an exclusion; {!forget} then releases the output buffer. *)
+
+type t
+
+val create :
+  Gc_kernel.Process.t ->
+  ?rto:float ->
+  ?stuck_after:float ->
+  unit ->
+  t
+(** [rto] is the retransmission period (default 50 ms); [stuck_after] the
+    output-buffer age that triggers the stuck callback (default 10_000 ms —
+    "long timeout values", as the paper prescribes for output-triggered
+    suspicion). *)
+
+val send : t -> ?size:int -> dst:int -> Gc_net.Payload.t -> unit
+(** Enqueue [payload] for reliable FIFO delivery at [dst].  Sending to
+    yourself delivers locally (via the event queue, not synchronously). *)
+
+val on_deliver : t -> (src:int -> Gc_net.Payload.t -> unit) -> unit
+(** Subscribe to delivered payloads.  All subscribers see every delivery. *)
+
+val set_on_stuck : t -> (dst:int -> age:float -> unit) -> unit
+(** Install the output-triggered suspicion callback.  It fires at most once
+    per destination per stuck episode (rearmed by {!forget} or by progress). *)
+
+val forget : t -> int -> unit
+(** Drop all undelivered output buffered for the given destination and stop
+    retransmitting to it — called after the destination has been excluded
+    from the membership, when the obligation to deliver lapses. *)
+
+val unacked : t -> dst:int -> int
+(** Number of messages buffered for [dst] awaiting acknowledgement. *)
+
+val sent_count : t -> int
+(** Payload messages accepted by {!send} so far (excludes retransmissions and
+    acks; for accounting). *)

@@ -1,0 +1,1 @@
+lib/replication/active.ml: Gc_net Gc_rchannel Gcs Hashtbl List Printf Rpc State_machine

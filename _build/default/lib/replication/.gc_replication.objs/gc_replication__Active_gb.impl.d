@@ -1,0 +1,1 @@
+lib/replication/active_gb.ml: Gc_gbcast Gc_net Gc_rchannel Gcs Hashtbl List Printf Rpc State_machine

@@ -1,0 +1,1 @@
+lib/replication/active_gb.mli: Gc_gbcast Gc_net Gc_sim Gcs State_machine

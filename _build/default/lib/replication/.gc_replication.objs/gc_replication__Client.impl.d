@@ -1,0 +1,1 @@
+lib/replication/client.ml: Array Gc_kernel Gc_net Gc_rchannel Hashtbl Rpc

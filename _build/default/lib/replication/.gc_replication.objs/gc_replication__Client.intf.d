@@ -1,0 +1,1 @@
+lib/replication/client.mli: Gc_kernel Gc_net Gc_sim

@@ -1,0 +1,1 @@
+lib/replication/passive.ml: Gc_fd Gc_kernel Gc_membership Gc_net Gc_rchannel Gcs Hashtbl List Printf Rpc State_machine

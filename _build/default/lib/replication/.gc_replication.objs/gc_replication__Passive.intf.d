@@ -1,0 +1,1 @@
+lib/replication/passive.mli: Gc_net Gc_sim Gcs State_machine

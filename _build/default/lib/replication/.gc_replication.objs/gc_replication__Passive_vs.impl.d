@@ -1,0 +1,1 @@
+lib/replication/passive_vs.ml: Gc_membership Gc_net Gc_rchannel Gc_traditional Hashtbl List Printf Rpc State_machine

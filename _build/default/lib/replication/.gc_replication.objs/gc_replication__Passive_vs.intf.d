@@ -1,0 +1,1 @@
+lib/replication/passive_vs.mli: Gc_net Gc_sim Gc_traditional State_machine

@@ -1,0 +1,1 @@
+lib/replication/rpc.ml: Gc_net Printf

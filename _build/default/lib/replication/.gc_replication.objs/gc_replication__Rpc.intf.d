@@ -1,0 +1,1 @@
+lib/replication/rpc.mli: Gc_net

@@ -1,0 +1,1 @@
+lib/replication/state_machine.ml: Gc_gbcast Gc_net Hashtbl List Option Printf

@@ -1,0 +1,1 @@
+lib/replication/state_machine.mli: Gc_gbcast Gc_net

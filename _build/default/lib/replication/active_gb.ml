@@ -1,0 +1,82 @@
+module Stack = Gcs.Gcs_stack
+module Rc = Gc_rchannel.Reliable_channel
+module Conflict = Gc_gbcast.Conflict
+
+type Gc_net.Payload.t +=
+  | Ag_cmd of { contact : int; cid : int; rid : int; cmd : Gc_net.Payload.t }
+  | Ag_state of {
+      app : Gc_net.Payload.t;
+      completed : ((int * int) * Gc_net.Payload.t) list;
+    }
+
+let () =
+  Gc_net.Payload.register_printer (function
+    | Ag_cmd { cid; rid; _ } -> Some (Printf.sprintf "activegb.cmd#%d.%d" cid rid)
+    | Ag_state _ -> Some "activegb.state"
+    | _ -> None)
+
+type t = {
+  stack : Stack.t;
+  sm : State_machine.t;
+  classify : Gc_net.Payload.t -> Conflict.klass;
+  completed : (int * int, Gc_net.Payload.t) Hashtbl.t;
+  mutable applied : int;
+}
+
+let stack t = t.stack
+let commands_applied t = t.applied
+let crash t = Stack.crash t.stack
+let snapshot t = t.sm.State_machine.snapshot ()
+
+let reply t ~cid ~rid result =
+  Rc.send (Stack.reliable_channel t.stack) ~dst:cid (Rpc.Rep { rid; result })
+
+let create net ~trace ~id ~initial ?config ~classify ~make_sm () =
+  let sm = make_sm () in
+  let completed = Hashtbl.create 64 in
+  let provider () =
+    Ag_state
+      {
+        app = sm.State_machine.snapshot ();
+        completed = Hashtbl.fold (fun k v acc -> (k, v) :: acc) completed [];
+      }
+  in
+  let installer = function
+    | Ag_state { app; completed = l } ->
+        sm.State_machine.restore app;
+        List.iter (fun (k, v) -> Hashtbl.replace completed k v) l
+    | _ -> ()
+  in
+  let stack =
+    Stack.create net ~trace ~id ~initial ?config ~app_state_provider:provider
+      ~app_state_installer:installer ()
+  in
+  let t = { stack; sm; classify; completed; applied = 0 } in
+  Rc.on_deliver (Stack.reliable_channel stack) (fun ~src:_ payload ->
+      match payload with
+      | Rpc.Req { cid; rid; cmd } -> (
+          match Hashtbl.find_opt completed (cid, rid) with
+          | Some result -> reply t ~cid ~rid result
+          | None ->
+              let wrapped = Ag_cmd { contact = id; cid; rid; cmd } in
+              (* The command's class decides the broadcast primitive — the
+                 paper's deposit/withdrawal distinction. *)
+              (match t.classify cmd with
+              | Conflict.Commuting -> Stack.rbcast stack wrapped
+              | Conflict.Ordered -> Stack.abcast stack wrapped))
+      | _ -> ());
+  Stack.on_deliver stack (fun ~origin:_ ~ordered:_ payload ->
+      match payload with
+      | Ag_cmd { contact; cid; rid; cmd } ->
+          let result =
+            match Hashtbl.find_opt completed (cid, rid) with
+            | Some r -> r
+            | None ->
+                let r = t.sm.State_machine.apply cmd in
+                Hashtbl.replace completed (cid, rid) r;
+                t.applied <- t.applied + 1;
+                r
+          in
+          if contact = id then reply t ~cid ~rid result
+      | _ -> ());
+  t

@@ -1,0 +1,31 @@
+(** State-machine replication over {e generic} broadcast — the paper's
+    Section 4.2 bank-account scenario as a replication scheme.
+
+    Like {!Active}, every replica executes every command; unlike it, commands
+    are broadcast through the generic-broadcast classes: commands classified
+    [Commuting] (e.g. deposits) take the consensus-free fast path, commands
+    classified [Ordered] (e.g. withdrawals) are totally ordered against
+    everything.  Replicas may apply commuting commands in different orders —
+    which is exactly why they must commute — and still converge. *)
+
+type t
+
+val create :
+  Gc_net.Netsim.t ->
+  trace:Gc_sim.Trace.t ->
+  id:int ->
+  initial:int list ->
+  ?config:Gcs.Gcs_stack.config ->
+  classify:(Gc_net.Payload.t -> Gc_gbcast.Conflict.klass) ->
+  make_sm:(unit -> State_machine.t) ->
+  unit ->
+  t
+(** [classify] maps each {e command} to its broadcast class (e.g.
+    {!State_machine.Bank.classify}). *)
+
+val stack : t -> Gcs.Gcs_stack.t
+val commands_applied : t -> int
+val crash : t -> unit
+
+val snapshot : t -> Gc_net.Payload.t
+(** Current state-machine snapshot (tests: replica convergence checks). *)

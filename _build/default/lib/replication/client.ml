@@ -1,0 +1,88 @@
+module Process = Gc_kernel.Process
+module Rc = Gc_rchannel.Reliable_channel
+
+type pending = {
+  cmd : Gc_net.Payload.t;
+  first_sent : float;
+  on_reply : Gc_net.Payload.t -> latency:float -> unit;
+  mutable attempt : int;
+}
+
+type t = {
+  proc : Process.t;
+  rc : Rc.t;
+  replicas : int array;
+  timeout : float;
+  mutable target : int; (* index into replicas *)
+  mutable next_rid : int;
+  pending : (int, pending) Hashtbl.t;
+  mutable n_retries : int;
+}
+
+let process t = t.proc
+let retries t = t.n_retries
+let outstanding t = Hashtbl.length t.pending
+
+let target_replica t = t.replicas.(t.target mod Array.length t.replicas)
+
+let rec send_attempt t rid =
+  match Hashtbl.find_opt t.pending rid with
+  | None -> ()
+  | Some p ->
+      let dst = target_replica t in
+      p.attempt <- p.attempt + 1;
+      Rc.send t.rc ~dst (Rpc.Req { cid = Process.id t.proc; rid; cmd = p.cmd });
+      let attempt_no = p.attempt in
+      ignore
+        (Process.timer t.proc ~delay:t.timeout (fun () ->
+             match Hashtbl.find_opt t.pending rid with
+             | Some p' when p'.attempt = attempt_no ->
+                 (* No progress since this attempt: rotate and retry. *)
+                 t.n_retries <- t.n_retries + 1;
+                 t.target <- t.target + 1;
+                 send_attempt t rid
+             | _ -> ()))
+
+let retarget t primary =
+  let n = Array.length t.replicas in
+  let rec find i = if i >= n then t.target else if t.replicas.(i) = primary then i else find (i + 1) in
+  t.target <- find 0
+
+let create net ~trace ~id ~replicas ?(timeout = 500.0) () =
+  let proc = Process.create net ~trace ~id in
+  let rc = Rc.create proc () in
+  let t =
+    {
+      proc;
+      rc;
+      replicas = Array.of_list replicas;
+      timeout;
+      target = 0;
+      next_rid = 0;
+      pending = Hashtbl.create 8;
+      n_retries = 0;
+    }
+  in
+  Rc.on_deliver rc (fun ~src:_ payload ->
+      match payload with
+      | Rpc.Rep { rid; result } -> (
+          match Hashtbl.find_opt t.pending rid with
+          | Some p ->
+              Hashtbl.remove t.pending rid;
+              p.on_reply result ~latency:(Process.now proc -. p.first_sent)
+          | None -> ())
+      | Rpc.Redirect { rid; primary } -> (
+          match Hashtbl.find_opt t.pending rid with
+          | Some _ ->
+              retarget t primary;
+              send_attempt t rid
+          | None -> ())
+      | _ -> ());
+  t
+
+let request t ~cmd ~on_reply =
+  let rid = t.next_rid in
+  t.next_rid <- rid + 1;
+  Hashtbl.replace t.pending rid
+    { cmd; first_sent = Process.now t.proc; on_reply; attempt = 0 };
+  send_attempt t rid

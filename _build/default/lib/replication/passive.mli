@@ -1,0 +1,51 @@
+(** Passive replication (primary-backup) over generic broadcast — the
+    paper's Section 3.2.3 and Figure 8, verbatim:
+
+    - the primary executes client requests and propagates {e update}
+      messages with the [rbcast] (commuting) invocation — updates commute
+      with each other, so the fast path carries them without consensus;
+    - when a backup's (aggressive) failure detector suspects the primary, it
+      broadcasts a {e primary-change} message with the [abcast] (ordered)
+      invocation.  The conflict relation orders every update against every
+      primary-change, so either an in-flight update is delivered before the
+      change (it counts) or after (it is discarded, and the client retries
+      with the new primary) — the two outcomes of Figure 8, consistent at
+      every replica;
+    - a primary change does {e not} exclude the old primary: the replica list
+      is rotated (footnote 10) and the suspected process stays in the group.
+      Actual exclusion is the monitoring component's independent, much
+      slower decision.
+
+    Updates carry an (epoch, sequence) stamp; backups apply them in sequence
+    order within the epoch and discard stamps from older epochs — the "must
+    be ignored" rule of the paper, made concrete. *)
+
+type t
+
+val create :
+  Gc_net.Netsim.t ->
+  trace:Gc_sim.Trace.t ->
+  id:int ->
+  initial:int list ->
+  ?config:Gcs.Gcs_stack.config ->
+  ?primary_suspect_timeout:float ->
+  make_sm:(unit -> State_machine.t) ->
+  unit ->
+  t
+(** [primary_suspect_timeout] (default 250 ms) is the backup-side timeout for
+    suspecting the primary — aggressive on purpose: a wrong suspicion only
+    costs one rotation, never an exclusion. *)
+
+val stack : t -> Gcs.Gcs_stack.t
+val primary : t -> int option
+val epoch : t -> int
+val primary_changes : t -> int
+val updates_applied : t -> int
+val updates_discarded : t -> int
+(** Updates dropped because they were ordered after a primary change
+    (outcome 2 of Figure 8). *)
+
+val crash : t -> unit
+
+val snapshot : t -> Gc_net.Payload.t
+(** Current state-machine snapshot (tests: replica convergence checks). *)

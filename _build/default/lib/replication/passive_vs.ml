@@ -1,0 +1,95 @@
+module Tr = Gc_traditional.Traditional_stack
+module Rc = Gc_rchannel.Reliable_channel
+module View = Gc_membership.View
+
+type Gc_net.Payload.t +=
+  | Pv_update of { cid : int; rid : int; cmd : Gc_net.Payload.t }
+  | Pv_state of {
+      app : Gc_net.Payload.t;
+      completed : ((int * int) * Gc_net.Payload.t) list;
+    }
+
+let () =
+  Gc_net.Payload.register_printer (function
+    | Pv_update { cid; rid; _ } -> Some (Printf.sprintf "pv.update#%d.%d" cid rid)
+    | Pv_state _ -> Some "pv.state"
+    | _ -> None)
+
+type t = {
+  stack : Tr.t;
+  sm : State_machine.t;
+  id : int;
+  completed : (int * int, Gc_net.Payload.t) Hashtbl.t;
+  in_flight : (int * int, unit) Hashtbl.t;
+  mutable n_applied : int;
+}
+
+let stack t = t.stack
+let primary t = View.primary (Tr.view t.stack)
+let updates_applied t = t.n_applied
+let crash t = Tr.crash t.stack
+
+let client_rc t = Tr.reliable_channel t.stack
+
+let reply t ~cid ~rid result =
+  Rc.send (client_rc t) ~dst:cid (Rpc.Rep { rid; result })
+
+let handle_request t ~cid ~rid ~cmd =
+  match Hashtbl.find_opt t.completed (cid, rid) with
+  | Some result -> reply t ~cid ~rid result
+  | None -> (
+      match primary t with
+      | Some p when p = t.id && Tr.is_member t.stack ->
+          if not (Hashtbl.mem t.in_flight (cid, rid)) then begin
+            Hashtbl.replace t.in_flight (cid, rid) ();
+            Tr.vscast t.stack (Pv_update { cid; rid; cmd })
+          end
+      | Some p -> Rc.send (client_rc t) ~dst:cid (Rpc.Redirect { rid; primary = p })
+      | None -> ())
+
+let handle_update t ~cid ~rid ~cmd ~mine =
+  Hashtbl.remove t.in_flight (cid, rid);
+  let result =
+    match Hashtbl.find_opt t.completed (cid, rid) with
+    | Some r -> r
+    | None ->
+        let r = t.sm.State_machine.apply cmd in
+        Hashtbl.replace t.completed (cid, rid) r;
+        t.n_applied <- t.n_applied + 1;
+        r
+  in
+  if mine then reply t ~cid ~rid result
+
+let create net ~trace ~id ~initial ?config ~make_sm () =
+  let sm = make_sm () in
+  let completed = Hashtbl.create 64 in
+  let provider () =
+    Pv_state
+      {
+        app = sm.State_machine.snapshot ();
+        completed = Hashtbl.fold (fun k v acc -> (k, v) :: acc) completed [];
+      }
+  in
+  let installer = function
+    | Pv_state { app; completed = l } ->
+        sm.State_machine.restore app;
+        List.iter (fun (k, v) -> Hashtbl.replace completed k v) l
+    | _ -> ()
+  in
+  let stack =
+    Tr.create net ~trace ~id ~initial ?config ~app_state_provider:provider
+      ~app_state_installer:installer ()
+  in
+  let t = { stack; sm; id; completed; in_flight = Hashtbl.create 16; n_applied = 0 } in
+  Rc.on_deliver (Tr.reliable_channel stack) (fun ~src:_ payload ->
+      match payload with
+      | Rpc.Req { cid; rid; cmd } -> handle_request t ~cid ~rid ~cmd
+      | _ -> ());
+  Tr.on_deliver stack (fun ~origin ~ordered:_ payload ->
+      match payload with
+      | Pv_update { cid; rid; cmd } ->
+          handle_update t ~cid ~rid ~cmd ~mine:(origin = id)
+      | _ -> ());
+  t
+
+let snapshot t = t.sm.State_machine.snapshot ()

@@ -1,0 +1,32 @@
+(** Passive replication over the traditional GM-VS stack — the baseline the
+    paper's Section 3.2.3 improves on.
+
+    The standard solution [20]: the primary is the head of the current view
+    and propagates updates with view-synchronous broadcast; replacing a
+    suspected primary requires a {e view change that excludes it}.  The
+    contrast with {!Passive}:
+
+    - failover is gated by the traditional stack's single (large) detection
+      timeout and by the blocking flush;
+    - a wrongly suspected primary is excluded and must rejoin with a state
+      transfer, instead of quietly becoming a backup. *)
+
+type t
+
+val create :
+  Gc_net.Netsim.t ->
+  trace:Gc_sim.Trace.t ->
+  id:int ->
+  initial:int list ->
+  ?config:Gc_traditional.Traditional_stack.config ->
+  make_sm:(unit -> State_machine.t) ->
+  unit ->
+  t
+
+val stack : t -> Gc_traditional.Traditional_stack.t
+val primary : t -> int option
+val updates_applied : t -> int
+val crash : t -> unit
+
+val snapshot : t -> Gc_net.Payload.t
+(** Current state-machine snapshot (tests: replica convergence checks). *)

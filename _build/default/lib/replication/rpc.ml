@@ -1,0 +1,13 @@
+type Gc_net.Payload.t +=
+  | Req of { cid : int; rid : int; cmd : Gc_net.Payload.t }
+  | Rep of { rid : int; result : Gc_net.Payload.t }
+  | Redirect of { rid : int; primary : int }
+
+let () =
+  Gc_net.Payload.register_printer (function
+    | Req { cid; rid; cmd } ->
+        Some
+          (Printf.sprintf "req#%d.%d(%s)" cid rid (Gc_net.Payload.to_string cmd))
+    | Rep { rid; _ } -> Some (Printf.sprintf "rep#%d" rid)
+    | Redirect { rid; primary } -> Some (Printf.sprintf "redirect#%d->%d" rid primary)
+    | _ -> None)

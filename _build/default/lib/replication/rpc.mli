@@ -1,0 +1,10 @@
+(** Client/replica request-reply payloads shared by the replication
+    schemes. *)
+
+type Gc_net.Payload.t +=
+  | Req of { cid : int; rid : int; cmd : Gc_net.Payload.t }
+      (** client request: [cid] the client's node id, [rid] its local request
+          number (retries reuse it, giving at-most-once execution) *)
+  | Rep of { rid : int; result : Gc_net.Payload.t }
+  | Redirect of { rid : int; primary : int }
+      (** "not the primary; try there" — how clients learn a new primary *)

@@ -1,0 +1,87 @@
+type timer = {
+  time : float;
+  seq : int;
+  mutable cancelled : bool;
+  callback : unit -> unit;
+}
+
+type t = {
+  mutable clock : float;
+  mutable next_seq : int;
+  mutable executed : int;
+  queue : timer Heap.t;
+  root_rng : Rng.t;
+}
+
+let compare_timer a b =
+  let c = Float.compare a.time b.time in
+  if c <> 0 then c else Int.compare a.seq b.seq
+
+let create ?(seed = 1L) () =
+  {
+    clock = 0.0;
+    next_seq = 0;
+    executed = 0;
+    queue = Heap.create ~cmp:compare_timer ();
+    root_rng = Rng.create seed;
+  }
+
+let now t = t.clock
+let rng t = t.root_rng
+let split_rng t = Rng.split t.root_rng
+
+let schedule_at t ~time f =
+  let time = if time < t.clock then t.clock else time in
+  let timer = { time; seq = t.next_seq; cancelled = false; callback = f } in
+  t.next_seq <- t.next_seq + 1;
+  Heap.push t.queue timer;
+  timer
+
+let schedule t ~delay f =
+  let delay = if delay < 0.0 then 0.0 else delay in
+  schedule_at t ~time:(t.clock +. delay) f
+
+let cancel timer = timer.cancelled <- true
+
+let pending t =
+  List.fold_left
+    (fun acc e -> if e.cancelled then acc else acc + 1)
+    0 (Heap.to_list t.queue)
+
+let step t =
+  let rec loop () =
+    match Heap.pop t.queue with
+    | None -> false
+    | Some e when e.cancelled -> loop ()
+    | Some e ->
+        t.clock <- e.time;
+        t.executed <- t.executed + 1;
+        e.callback ();
+        true
+  in
+  loop ()
+
+let run ?until ?(max_events = 50_000_000) t =
+  let budget = ref max_events in
+  let continue = ref true in
+  while !continue && !budget > 0 do
+    match Heap.peek t.queue with
+    | None -> continue := false
+    | Some e when e.cancelled ->
+        ignore (Heap.pop t.queue)
+    | Some e -> (
+        match until with
+        | Some limit when e.time > limit ->
+            t.clock <- limit;
+            continue := false
+        | _ ->
+            ignore (step t);
+            decr budget)
+  done;
+  if !budget = 0 then
+    failwith "Engine.run: max_events exhausted (runaway simulation?)";
+  match until with
+  | Some limit when t.clock < limit && Heap.is_empty t.queue -> t.clock <- limit
+  | _ -> ()
+
+let events_executed t = t.executed

@@ -1,0 +1,58 @@
+(** Discrete-event simulation engine.
+
+    The engine owns a virtual clock and an ordered queue of pending events.
+    Components schedule closures to run at future virtual times; [run]
+    repeatedly pops the earliest event, advances the clock to its timestamp
+    and executes it.  Two events at the same timestamp execute in scheduling
+    order, which — together with the seeded {!Rng} — makes whole simulations
+    deterministic.
+
+    Times are in virtual {e milliseconds} (floats).  Nothing in the engine
+    depends on wall-clock time. *)
+
+type t
+
+type timer
+(** Handle for a scheduled event; allows cancellation. *)
+
+val create : ?seed:int64 -> unit -> t
+(** Fresh engine with the clock at [0.0].  [seed] (default [1L]) seeds the
+    root random stream. *)
+
+val now : t -> float
+(** Current virtual time in milliseconds. *)
+
+val rng : t -> Rng.t
+(** The engine's root random stream.  Components should normally call
+    {!split_rng} once instead of drawing from the root directly. *)
+
+val split_rng : t -> Rng.t
+(** An independent random stream derived from the root; see {!Rng.split}. *)
+
+val schedule : t -> delay:float -> (unit -> unit) -> timer
+(** [schedule t ~delay f] runs [f] at [now t +. max delay 0.]. *)
+
+val schedule_at : t -> time:float -> (unit -> unit) -> timer
+(** [schedule_at t ~time f] runs [f] at virtual time [time] ([now t] if the
+    requested time is already past). *)
+
+val cancel : timer -> unit
+(** Cancel a pending event.  Cancelling an already-fired or already-cancelled
+    timer is a no-op. *)
+
+val pending : t -> int
+(** Number of scheduled, not-yet-cancelled events. *)
+
+val step : t -> bool
+(** Execute the earliest pending event.  Returns [false] when the queue is
+    empty. *)
+
+val run : ?until:float -> ?max_events:int -> t -> unit
+(** Drain the event queue.  Stops when the queue is empty, when the next
+    event lies beyond [until] (the clock is then advanced to [until]), or
+    after [max_events] events (a runaway-simulation backstop,
+    default 50 million). *)
+
+val events_executed : t -> int
+(** Total number of events executed so far (for micro-benchmarks and runaway
+    detection in tests). *)

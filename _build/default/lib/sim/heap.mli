@@ -1,0 +1,27 @@
+(** Minimal array-based binary min-heap, specialised by a user-supplied
+    comparison.
+
+    Used by the event queue; kept polymorphic so tests can exercise it on
+    plain integers. *)
+
+type 'a t
+
+val create : cmp:('a -> 'a -> int) -> unit -> 'a t
+(** Empty heap ordered by [cmp] (smallest element at the top). *)
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val push : 'a t -> 'a -> unit
+
+val peek : 'a t -> 'a option
+(** Smallest element without removing it. *)
+
+val pop : 'a t -> 'a option
+(** Remove and return the smallest element. *)
+
+val clear : 'a t -> unit
+
+val to_list : 'a t -> 'a list
+(** Elements in unspecified order (heap layout); for inspection only. *)

@@ -1,0 +1,45 @@
+(** Measurement helpers for experiments: samples, counters and formatted
+    summary rows.
+
+    All experiment tables in the benchmark harness are produced from these
+    aggregates, so the formatting lives here rather than being re-invented in
+    every bench. *)
+
+(** {1 Sample sets} *)
+
+type sample
+(** A growable set of float observations (e.g. latencies in ms). *)
+
+val sample : unit -> sample
+val add : sample -> float -> unit
+val count : sample -> int
+val mean : sample -> float
+(** Mean of the observations; [nan] when empty. *)
+
+val stddev : sample -> float
+(** Population standard deviation; [nan] when empty. *)
+
+val min_value : sample -> float
+val max_value : sample -> float
+
+val percentile : sample -> float -> float
+(** [percentile s p] for [p] in [\[0,100\]], by nearest-rank on the sorted
+    observations; [nan] when empty. *)
+
+val median : sample -> float
+
+(** {1 Counters} *)
+
+type counter
+val counter : unit -> counter
+val incr : counter -> unit
+val incr_by : counter -> int -> unit
+val value : counter -> int
+
+(** {1 Table formatting} *)
+
+val fmt_ms : float -> string
+(** Render a duration in ms with adaptive precision ("-" for [nan]). *)
+
+val print_table : header:string list -> string list list -> unit
+(** Print an aligned plain-text table on stdout. *)

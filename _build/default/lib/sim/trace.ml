@@ -1,0 +1,41 @@
+type record = {
+  time : float;
+  node : int;
+  component : string;
+  event : string;
+  detail : string;
+}
+
+type t = {
+  mutable on : bool;
+  capacity : int;
+  buf : record Queue.t;
+}
+
+let create ?(enabled = false) ?(capacity = 100_000) () =
+  { on = enabled; capacity; buf = Queue.create () }
+
+let enable t b = t.on <- b
+let enabled t = t.on
+
+let emit t ~time ~node ~component ~event detail =
+  if t.on then begin
+    if Queue.length t.buf >= t.capacity then ignore (Queue.pop t.buf);
+    Queue.push { time; node; component; event; detail } t.buf
+  end
+
+let records t = List.of_seq (Queue.to_seq t.buf)
+
+let find t ?node ?component ?event () =
+  let keep r =
+    (match node with None -> true | Some n -> r.node = n)
+    && (match component with None -> true | Some c -> r.component = c)
+    && match event with None -> true | Some e -> r.event = e
+  in
+  List.filter keep (records t)
+
+let clear t = Queue.clear t.buf
+
+let pp_record ppf r =
+  Format.fprintf ppf "[%8.2f] n%d %s/%s %s" r.time r.node r.component r.event
+    r.detail

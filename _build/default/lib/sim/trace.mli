@@ -1,0 +1,37 @@
+(** Structured trace of simulation events.
+
+    Components emit trace records (who, when, what); tests assert on them
+    and the examples print them.  Tracing is off by default and costs one
+    branch per emit when disabled. *)
+
+type record = {
+  time : float;      (** virtual time of the event *)
+  node : int;        (** emitting process, [-1] for the environment *)
+  component : string;(** e.g. "consensus", "fd" *)
+  event : string;    (** short event tag, e.g. "decide" *)
+  detail : string;   (** free-form detail *)
+}
+
+type t
+
+val create : ?enabled:bool -> ?capacity:int -> unit -> t
+(** A trace buffer keeping at most [capacity] (default 100_000) most recent
+    records. *)
+
+val enable : t -> bool -> unit
+val enabled : t -> bool
+
+val emit :
+  t -> time:float -> node:int -> component:string -> event:string ->
+  string -> unit
+
+val records : t -> record list
+(** Records in emission order. *)
+
+val find : t -> ?node:int -> ?component:string -> ?event:string -> unit ->
+  record list
+(** Records matching all the given filters. *)
+
+val clear : t -> unit
+
+val pp_record : Format.formatter -> record -> unit

@@ -1,0 +1,1 @@
+lib/totem/totem_stack.ml: Format Gc_fd Gc_kernel Gc_membership Gc_net Gc_rchannel Hashtbl List Option Printf

@@ -1,0 +1,1 @@
+lib/totem/totem_stack.mli: Gc_membership Gc_net Gc_sim

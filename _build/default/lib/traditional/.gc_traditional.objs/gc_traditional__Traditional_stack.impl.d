@@ -1,0 +1,1 @@
+lib/traditional/traditional_stack.ml: Format Gc_consensus Gc_fd Gc_kernel Gc_membership Gc_net Gc_rbcast Gc_rchannel Hashtbl List Option Printf String

@@ -1,0 +1,1 @@
+lib/traditional/traditional_stack.mli: Gc_kernel Gc_membership Gc_net Gc_rchannel Gc_sim

@@ -1,0 +1,1 @@
+test/support.ml: Alcotest Array Gc_consensus Gc_fd Gc_kernel Gc_net Gc_rbcast Gc_rchannel Gc_sim Int64 List

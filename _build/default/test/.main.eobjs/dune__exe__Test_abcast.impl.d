@@ -1,0 +1,1 @@
+test/test_abcast.ml: Alcotest Array Gc_abcast Gc_kernel Gc_net Gc_sim Int64 List Printf QCheck QCheck_alcotest Support

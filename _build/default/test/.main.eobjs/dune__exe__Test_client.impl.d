@@ -1,0 +1,1 @@
+test/test_client.ml: Alcotest Gc_kernel Gc_net Gc_rchannel Gc_replication Gc_sim List Support

@@ -1,0 +1,1 @@
+test/test_consensus.ml: Alcotest Array Gc_consensus Gc_kernel Gc_net Gc_sim Int64 List Printf QCheck QCheck_alcotest Support

@@ -1,0 +1,1 @@
+test/test_fd.ml: Alcotest Array Gc_fd Gc_kernel Gc_net Gc_sim List Printf Support

@@ -1,0 +1,1 @@
+test/test_fifo_gbcast.ml: Alcotest Array Gc_abcast Gc_gbcast Gc_kernel Gc_net Gc_sim Hashtbl List Printf Support

@@ -1,0 +1,1 @@
+test/test_gbcast.ml: Alcotest Array Gc_abcast Gc_gbcast Gc_kernel Gc_net Gc_sim Hashtbl Int64 List Printf QCheck QCheck_alcotest Support

@@ -1,0 +1,1 @@
+test/test_gcs.ml: Alcotest Array Gc_gbcast Gc_membership Gc_net Gc_sim Gcs Hashtbl List Printf Support

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Gc_abcast Gc_gbcast Gc_membership Gc_net Gc_replication Gc_sim Gcs Hashtbl Int64 List Printf QCheck QCheck_alcotest Rng Support

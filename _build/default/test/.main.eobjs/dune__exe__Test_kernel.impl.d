@@ -1,0 +1,1 @@
+test/test_kernel.ml: Alcotest Array Gc_kernel Gc_net Gc_sim List Support

@@ -1,0 +1,1 @@
+test/test_membership.ml: Alcotest Array Gc_abcast Gc_kernel Gc_membership Gc_net Gc_sim Gen List Printf QCheck QCheck_alcotest Support

@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Array Gc_abcast Gc_net Gc_sim List Printf Support

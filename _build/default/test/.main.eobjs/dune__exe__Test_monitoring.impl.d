@@ -1,0 +1,1 @@
+test/test_monitoring.ml: Alcotest Array Gc_abcast Gc_kernel Gc_membership Gc_monitoring Gc_net Gc_sim Option Support

@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Float Gc_net Gc_sim List Printf Support

@@ -1,0 +1,1 @@
+test/test_rbcast.ml: Alcotest Array Gc_kernel Gc_net Gc_rbcast Gc_sim List Printf String Support

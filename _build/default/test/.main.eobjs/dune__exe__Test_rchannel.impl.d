@@ -1,0 +1,1 @@
+test/test_rchannel.ml: Alcotest Array Gc_kernel Gc_net Gc_rchannel Gc_sim Int64 List QCheck QCheck_alcotest Support

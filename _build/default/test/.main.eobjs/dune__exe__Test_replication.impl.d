@@ -1,0 +1,1 @@
+test/test_replication.ml: Alcotest Gc_gbcast Gc_membership Gc_net Gc_replication Gc_sim Gc_traditional Gcs Gen List QCheck QCheck_alcotest Support

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Float Gc_sim Gen Int List Printf QCheck QCheck_alcotest Support

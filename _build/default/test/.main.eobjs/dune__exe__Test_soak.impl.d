@@ -1,0 +1,1 @@
+test/test_soak.ml: Alcotest Array Gc_membership Gc_net Gc_sim Gcs Hashtbl List Printf Support

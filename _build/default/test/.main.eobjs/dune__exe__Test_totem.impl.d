@@ -1,0 +1,1 @@
+test/test_totem.ml: Alcotest Array Gc_membership Gc_net Gc_sim Gc_totem Int64 List QCheck QCheck_alcotest Support

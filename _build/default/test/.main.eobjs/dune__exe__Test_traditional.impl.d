@@ -1,0 +1,1 @@
+test/test_traditional.ml: Alcotest Array Gc_membership Gc_net Gc_sim Gc_traditional List Printf Support

@@ -1,0 +1,165 @@
+(* Tests for the replication client: reply matching, timeout-driven retry
+   rotation, redirects, latency accounting from first send. *)
+
+module Engine = Gc_sim.Engine
+module Trace = Gc_sim.Trace
+module Netsim = Gc_net.Netsim
+module Process = Gc_kernel.Process
+module Rc = Gc_rchannel.Reliable_channel
+module Client = Gc_replication.Client
+module Rpc = Gc_replication.Rpc
+open Support
+
+type Gc_net.Payload.t += Echo of int
+
+(* A scriptable fake replica: a process + reliable channel whose behaviour
+   per request is injected by the test. *)
+let fake_replica net trace id behave =
+  let proc = Process.create net ~trace ~id in
+  let rc = Rc.create proc () in
+  Rc.on_deliver rc (fun ~src payload ->
+      match payload with
+      | Rpc.Req { cid; rid; cmd } -> behave ~rc ~src ~cid ~rid ~cmd
+      | _ -> ());
+  (proc, rc)
+
+let make n_replicas =
+  let engine = Engine.create ~seed:5L () in
+  let trace = Trace.create () in
+  let net =
+    Netsim.create engine ~trace ~delay:(Gc_net.Delay.Constant 2.0)
+      ~n:(n_replicas + 1) ()
+  in
+  (engine, trace, net)
+
+let test_simple_reply_and_latency () =
+  let engine, trace, net = make 1 in
+  let _ =
+    fake_replica net trace 0 (fun ~rc ~src:_ ~cid ~rid ~cmd ->
+        match cmd with
+        | Echo k -> Rc.send rc ~dst:cid (Rpc.Rep { rid; result = Echo (k * 2) })
+        | _ -> ())
+  in
+  let client = Client.create net ~trace ~id:1 ~replicas:[ 0 ] () in
+  let got = ref None in
+  Client.request client ~cmd:(Echo 21) ~on_reply:(fun r ~latency ->
+      got := Some (r, latency));
+  Engine.run ~until:5_000.0 engine;
+  (match !got with
+  | Some (Echo 42, latency) ->
+      (* Constant 2 ms links: request + reply ≈ 4 ms. *)
+      check_bool "latency ~4ms" true (latency > 3.0 && latency < 8.0)
+  | _ -> Alcotest.fail "bad reply");
+  check_int "no retries" 0 (Client.retries client);
+  check_int "none outstanding" 0 (Client.outstanding client)
+
+let test_retry_rotates_to_next_replica () =
+  let engine, trace, net = make 2 in
+  (* Replica 0 is mute; replica 1 answers. *)
+  let _ = fake_replica net trace 0 (fun ~rc:_ ~src:_ ~cid:_ ~rid:_ ~cmd:_ -> ()) in
+  let _ =
+    fake_replica net trace 1 (fun ~rc ~src:_ ~cid ~rid ~cmd ->
+        match cmd with
+        | Echo k -> Rc.send rc ~dst:cid (Rpc.Rep { rid; result = Echo k })
+        | _ -> ())
+  in
+  let client =
+    Client.create net ~trace ~id:2 ~replicas:[ 0; 1 ] ~timeout:100.0 ()
+  in
+  let got = ref None in
+  Client.request client ~cmd:(Echo 9) ~on_reply:(fun r ~latency ->
+      got := Some (r, latency));
+  Engine.run ~until:5_000.0 engine;
+  (match !got with
+  | Some (Echo 9, latency) ->
+      check_bool "latency includes the timeout" true (latency > 100.0)
+  | _ -> Alcotest.fail "no reply");
+  check_bool "retried at least once" true (Client.retries client >= 1)
+
+let test_redirect_retargets () =
+  let engine, trace, net = make 2 in
+  (* Replica 0 redirects to 1; replica 1 answers. *)
+  let _ =
+    fake_replica net trace 0 (fun ~rc ~src:_ ~cid ~rid ~cmd:_ ->
+        Rc.send rc ~dst:cid (Rpc.Redirect { rid; primary = 1 }))
+  in
+  let served_by_1 = ref 0 in
+  let _ =
+    fake_replica net trace 1 (fun ~rc ~src:_ ~cid ~rid ~cmd ->
+        incr served_by_1;
+        Rc.send rc ~dst:cid (Rpc.Rep { rid; result = cmd }))
+  in
+  let client =
+    Client.create net ~trace ~id:2 ~replicas:[ 0; 1 ] ~timeout:1_000.0 ()
+  in
+  let got = ref 0 in
+  Client.request client ~cmd:(Echo 1) ~on_reply:(fun _ ~latency ->
+      ignore latency;
+      incr got);
+  Engine.run ~until:5_000.0 engine;
+  check_int "one reply" 1 !got;
+  check_int "served by the redirect target" 1 !served_by_1;
+  check_int "redirect is not a timeout retry" 0 (Client.retries client)
+
+let test_duplicate_replies_ignored () =
+  let engine, trace, net = make 1 in
+  let _ =
+    fake_replica net trace 0 (fun ~rc ~src:_ ~cid ~rid ~cmd ->
+        (* Reply twice. *)
+        Rc.send rc ~dst:cid (Rpc.Rep { rid; result = cmd });
+        Rc.send rc ~dst:cid (Rpc.Rep { rid; result = cmd }))
+  in
+  let client = Client.create net ~trace ~id:1 ~replicas:[ 0 ] () in
+  let got = ref 0 in
+  Client.request client ~cmd:(Echo 1) ~on_reply:(fun _ ~latency:_ -> incr got);
+  Engine.run ~until:5_000.0 engine;
+  check_int "callback fired exactly once" 1 !got
+
+let test_concurrent_requests_matched_by_rid () =
+  let engine, trace, net = make 1 in
+  let replica_proc = ref None in
+  let _ =
+    let proc, rc =
+      fake_replica net trace 0 (fun ~rc ~src:_ ~cid ~rid ~cmd ->
+          match cmd with
+          | Echo k ->
+              (* Answer out of order: delay even request numbers. *)
+              let delay = if k mod 2 = 0 then 80.0 else 1.0 in
+              (match !replica_proc with
+              | Some proc ->
+                  ignore
+                    (Process.timer proc ~delay (fun () ->
+                         Rc.send rc ~dst:cid (Rpc.Rep { rid; result = Echo k })))
+              | None -> ())
+          | _ -> ())
+    in
+    replica_proc := Some proc;
+    (proc, rc)
+  in
+  let client =
+    Client.create net ~trace ~id:1 ~replicas:[ 0 ] ~timeout:1_000.0 ()
+  in
+  let replies = ref [] in
+  for k = 0 to 5 do
+    Client.request client ~cmd:(Echo k) ~on_reply:(fun r ~latency:_ ->
+        match r with Echo v -> replies := v :: !replies | _ -> ())
+  done;
+  Engine.run ~until:5_000.0 engine;
+  (* Every request got its own answer despite the reordering. *)
+  check_list_int "all matched" [ 0; 1; 2; 3; 4; 5 ]
+    (List.sort compare !replies);
+  check_int "none outstanding" 0 (Client.outstanding client)
+
+let suite =
+  [
+    ( "client",
+      [
+        Alcotest.test_case "reply and latency" `Quick test_simple_reply_and_latency;
+        Alcotest.test_case "retry rotates" `Quick test_retry_rotates_to_next_replica;
+        Alcotest.test_case "redirect retargets" `Quick test_redirect_retargets;
+        Alcotest.test_case "duplicate replies ignored" `Quick
+          test_duplicate_replies_ignored;
+        Alcotest.test_case "concurrent requests matched by rid" `Quick
+          test_concurrent_requests_matched_by_rid;
+      ] );
+  ]

@@ -1,0 +1,202 @@
+(* Tests for the heartbeat failure detector: completeness (crashed processes
+   get suspected), accuracy in calm networks, revision after delay spikes,
+   and independent monitors with distinct timeouts. *)
+
+module Engine = Gc_sim.Engine
+module Netsim = Gc_net.Netsim
+module Process = Gc_kernel.Process
+module Fd = Gc_fd.Failure_detector
+open Support
+
+let test_detects_crash () =
+  let w = make_world ~n:3 () in
+  let suspected_at = ref nan in
+  let m =
+    Fd.monitor w.nodes.(0).fd ~timeout:200.0
+      ~on_suspect:(fun q -> if q = 2 then suspected_at := Engine.now w.engine)
+      ()
+  in
+  ignore
+    (Engine.schedule w.engine ~delay:500.0 (fun () ->
+         Process.crash w.nodes.(2).proc));
+  run_until w 2000.0;
+  check_bool "suspected" true (Fd.suspected m 2);
+  check_bool "within ~timeout+slack" true
+    (!suspected_at > 600.0 && !suspected_at < 900.0)
+
+let test_no_false_suspicion_when_calm () =
+  let w = make_world ~n:4 () in
+  let m =
+    Fd.monitor w.nodes.(0).fd ~timeout:200.0 ~on_suspect:(fun _ -> ()) ()
+  in
+  run_until w 5000.0;
+  check_list_int "no suspects" [] (Fd.suspects m);
+  check_int "no wrong suspicions" 0 (Fd.wrong_suspicion_count m)
+
+let test_wrong_suspicion_then_trust () =
+  let w = make_world ~n:2 () in
+  let events = ref [] in
+  let m =
+    Fd.monitor w.nodes.(0).fd ~timeout:150.0
+      ~on_suspect:(fun q -> events := `Suspect q :: !events)
+      ~on_trust:(fun q -> events := `Trust q :: !events)
+      ()
+  in
+  (* Node 1 pauses (delay spike on its heartbeats) then recovers. *)
+  ignore
+    (Engine.schedule w.engine ~delay:1000.0 (fun () ->
+         Netsim.delay_spike w.net ~nodes:[ 1 ] ~until:1500.0 ~extra:400.0));
+  run_until w 4000.0;
+  (match List.rev !events with
+  | `Suspect 1 :: `Trust 1 :: _ -> ()
+  | _ -> Alcotest.fail "expected suspect then trust");
+  check_bool "trusted again at the end" false (Fd.suspected m 1);
+  check_bool "counted as wrong" true (Fd.wrong_suspicion_count m >= 1)
+
+let test_two_monitors_distinct_timeouts () =
+  (* The paper's point (3.3.2): an aggressive monitor suspects during a
+     transient spike while the conservative one never does. *)
+  let w = make_world ~n:2 () in
+  let fast =
+    Fd.monitor w.nodes.(0).fd ~label:"fast" ~timeout:100.0
+      ~on_suspect:(fun _ -> ())
+      ()
+  and slow =
+    Fd.monitor w.nodes.(0).fd ~label:"slow" ~timeout:2000.0
+      ~on_suspect:(fun _ -> ())
+      ()
+  in
+  ignore
+    (Engine.schedule w.engine ~delay:500.0 (fun () ->
+         Netsim.delay_spike w.net ~nodes:[ 1 ] ~until:900.0 ~extra:300.0));
+  run_until w 5000.0;
+  check_bool "fast monitor tripped" true (Fd.suspicion_count fast >= 1);
+  check_int "slow monitor silent" 0 (Fd.suspicion_count slow)
+
+let test_stop_monitor () =
+  let w = make_world ~n:2 () in
+  let count = ref 0 in
+  let m =
+    Fd.monitor w.nodes.(0).fd ~timeout:100.0 ~on_suspect:(fun _ -> incr count) ()
+  in
+  Fd.stop m;
+  ignore
+    (Engine.schedule w.engine ~delay:100.0 (fun () ->
+         Process.crash w.nodes.(1).proc));
+  run_until w 3000.0;
+  check_int "stopped monitor silent" 0 !count
+
+let test_set_peers_clears_suspicion () =
+  let w = make_world ~n:3 () in
+  let m =
+    Fd.monitor w.nodes.(0).fd ~timeout:150.0 ~on_suspect:(fun _ -> ()) ()
+  in
+  ignore
+    (Engine.schedule w.engine ~delay:100.0 (fun () ->
+         Process.crash w.nodes.(2).proc));
+  run_until w 1000.0;
+  check_bool "suspected before removal" true (Fd.suspected m 2);
+  Fd.set_peers w.nodes.(0).fd [ 0; 1 ];
+  run_until w 1100.0;
+  check_bool "removed peer no longer suspected" false (Fd.suspected m 2);
+  check_list_int "peer list updated" [ 1 ] (Fd.peers w.nodes.(0).fd)
+
+let test_completeness_all_monitors () =
+  (* Every live node's monitor eventually suspects every crashed node. *)
+  for_seeds ~count:5 (fun seed ->
+      let w = make_world ~seed ~n:5 ~drop:0.05 () in
+      let monitors =
+        Array.map
+          (fun node -> Fd.monitor node.fd ~timeout:300.0 ~on_suspect:(fun _ -> ()) ())
+          w.nodes
+      in
+      ignore
+        (Engine.schedule w.engine ~delay:200.0 (fun () ->
+             Process.crash w.nodes.(3).proc;
+             Process.crash w.nodes.(4).proc));
+      run_until w 5000.0;
+      List.iter
+        (fun i ->
+          check_bool "suspects 3" true (Fd.suspected monitors.(i) 3);
+          check_bool "suspects 4" true (Fd.suspected monitors.(i) 4))
+        [ 0; 1; 2 ])
+
+let test_adaptive_adapts_to_jitter () =
+  (* A jittery link (heavy-tailed delays): a fixed 60 ms monitor false-
+     suspects, the adaptive one widens its timeout and stays quiet — and
+     both still detect a real crash. *)
+  (* Uniform 5..100 ms delays on 20 ms heartbeats: inter-arrival gaps reach
+     ~115 ms, far past a 60 ms fixed timeout, while the adaptive estimate
+     (mean + 4 sigma + margin ~ 190 ms) sits above the maximum gap. *)
+  let w =
+    make_world ~seed:31L
+      ~delay:(Gc_net.Delay.Uniform { lo = 5.0; hi = 100.0 })
+      ~n:2 ()
+  in
+  let fixed =
+    Fd.monitor w.nodes.(0).fd ~label:"fixed" ~timeout:60.0
+      ~on_suspect:(fun _ -> ())
+      ()
+  and adaptive =
+    Fd.adaptive_monitor w.nodes.(0).fd ~margin:20.0 ~factor:4.0
+      ~on_suspect:(fun _ -> ())
+      ()
+  in
+  run_until w 20_000.0;
+  check_bool "fixed monitor false-suspects under jitter" true
+    (Fd.wrong_suspicion_count fixed > 0);
+  (* Adaptive detectors still err occasionally on heavy tails; the property
+     is that they err far less than a fixed timeout exposed to the same
+     stream. *)
+  check_bool
+    (Printf.sprintf "adaptive (%d) clearly quieter than fixed (%d)"
+       (Fd.wrong_suspicion_count adaptive)
+       (Fd.wrong_suspicion_count fixed))
+    true
+    (Fd.wrong_suspicion_count adaptive = 0
+    || Fd.wrong_suspicion_count adaptive * 3 < Fd.wrong_suspicion_count fixed);
+  check_bool "adaptive timeout widened beyond the fixed one" true
+    (Fd.current_timeout w.nodes.(0).fd adaptive 1 > 60.0);
+  Process.crash w.nodes.(1).proc;
+  run_until w 30_000.0;
+  check_bool "adaptive still detects the crash" true (Fd.suspected adaptive 1)
+
+let test_adaptive_tightens_on_quiet_links () =
+  (* On a near-constant-delay link the adaptive timeout converges close to
+     the heartbeat period — much tighter than a conservative fixed value. *)
+  let w = make_world ~seed:32L ~delay:(Gc_net.Delay.Constant 1.0) ~n:2 () in
+  let adaptive =
+    Fd.adaptive_monitor w.nodes.(0).fd ~margin:10.0 ~factor:4.0
+      ~on_suspect:(fun _ -> ())
+      ()
+  in
+  run_until w 5_000.0;
+  let timeout = Fd.current_timeout w.nodes.(0).fd adaptive 1 in
+  check_bool
+    (Printf.sprintf "tight timeout (%.1f ms)" timeout)
+    true
+    (timeout < 60.0);
+  check_int "no suspicions" 0 (Fd.suspicion_count adaptive)
+
+let suite =
+  [
+    ( "fd",
+      [
+        Alcotest.test_case "detects crash" `Quick test_detects_crash;
+        Alcotest.test_case "no false suspicion when calm" `Quick
+          test_no_false_suspicion_when_calm;
+        Alcotest.test_case "wrong suspicion then trust" `Quick
+          test_wrong_suspicion_then_trust;
+        Alcotest.test_case "two monitors distinct timeouts" `Quick
+          test_two_monitors_distinct_timeouts;
+        Alcotest.test_case "stop monitor" `Quick test_stop_monitor;
+        Alcotest.test_case "set_peers clears suspicion" `Quick
+          test_set_peers_clears_suspicion;
+        Alcotest.test_case "completeness across seeds" `Quick
+          test_completeness_all_monitors;
+        Alcotest.test_case "adaptive adapts to jitter" `Quick
+          test_adaptive_adapts_to_jitter;
+        Alcotest.test_case "adaptive tightens on quiet links" `Quick
+          test_adaptive_tightens_on_quiet_links;
+      ] );
+  ]

@@ -1,0 +1,96 @@
+(* Tests for the process context: dispatch, guarded timers, crash hooks. *)
+
+module Engine = Gc_sim.Engine
+module Trace = Gc_sim.Trace
+module Delay = Gc_net.Delay
+module Netsim = Gc_net.Netsim
+module Process = Gc_kernel.Process
+
+type Gc_net.Payload.t += Token of int
+
+let make n =
+  let engine = Engine.create ~seed:3L () in
+  let trace = Trace.create () in
+  let net = Netsim.create engine ~delay:(Delay.Constant 1.0) ~n () in
+  let procs = Array.init n (fun id -> Process.create net ~trace ~id) in
+  (engine, net, procs)
+
+let test_fanout_dispatch () =
+  let engine, _net, procs = make 2 in
+  let hits = ref 0 in
+  Process.on_receive procs.(1) (fun ~src:_ _ -> incr hits);
+  Process.on_receive procs.(1) (fun ~src:_ _ -> incr hits);
+  Process.send procs.(0) ~dst:1 (Token 1);
+  Engine.run engine;
+  Support.check_int "both subscribers saw it" 2 !hits
+
+let test_dispatch_order_is_stack_order () =
+  let engine, _net, procs = make 2 in
+  let order = ref [] in
+  Process.on_receive procs.(1) (fun ~src:_ _ -> order := 1 :: !order);
+  Process.on_receive procs.(1) (fun ~src:_ _ -> order := 2 :: !order);
+  Process.send procs.(0) ~dst:1 (Token 1);
+  Engine.run engine;
+  Support.check_list_int "subscription order preserved" [ 1; 2 ] (List.rev !order)
+
+let test_timer_guarded_by_crash () =
+  let engine, _net, procs = make 1 in
+  let fired = ref false in
+  ignore (Process.timer procs.(0) ~delay:10.0 (fun () -> fired := true));
+  ignore (Engine.schedule engine ~delay:5.0 (fun () -> Process.crash procs.(0)));
+  Engine.run engine;
+  Support.check_bool "timer suppressed after crash" false !fired
+
+let test_periodic_fires_and_cancels () =
+  let engine, _net, procs = make 1 in
+  let count = ref 0 in
+  let handle = Process.every procs.(0) ~period:10.0 (fun () -> incr count) in
+  ignore
+    (Engine.schedule engine ~delay:55.0 (fun () ->
+         Process.cancel_periodic handle));
+  Engine.run ~until:200.0 engine;
+  Support.check_int "fired until cancelled" 5 !count
+
+let test_periodic_stops_on_crash () =
+  let engine, _net, procs = make 1 in
+  let count = ref 0 in
+  ignore (Process.every procs.(0) ~period:10.0 (fun () -> incr count));
+  ignore (Engine.schedule engine ~delay:35.0 (fun () -> Process.crash procs.(0)));
+  Engine.run ~until:200.0 engine;
+  Support.check_int "stopped at crash" 3 !count
+
+let test_crash_hooks_run_once () =
+  let engine, _net, procs = make 1 in
+  let hooks = ref [] in
+  Process.on_crash procs.(0) (fun () -> hooks := "a" :: !hooks);
+  Process.on_crash procs.(0) (fun () -> hooks := "b" :: !hooks);
+  Process.crash procs.(0);
+  Process.crash procs.(0);
+  Engine.run engine;
+  Alcotest.(check (list string)) "hooks in order, once" [ "a"; "b" ] (List.rev !hooks)
+
+let test_send_after_crash_noop () =
+  let engine, net, procs = make 2 in
+  let got = ref 0 in
+  Process.on_receive procs.(1) (fun ~src:_ _ -> incr got);
+  Process.crash procs.(0);
+  Process.send procs.(0) ~dst:1 (Token 1);
+  Engine.run engine;
+  Support.check_int "nothing sent" 0 !got;
+  Support.check_bool "netsim agrees" false (Netsim.alive net 0)
+
+let suite =
+  [
+    ( "kernel",
+      [
+        Alcotest.test_case "fanout dispatch" `Quick test_fanout_dispatch;
+        Alcotest.test_case "dispatch order" `Quick test_dispatch_order_is_stack_order;
+        Alcotest.test_case "timer guarded by crash" `Quick test_timer_guarded_by_crash;
+        Alcotest.test_case "periodic fires and cancels" `Quick
+          test_periodic_fires_and_cancels;
+        Alcotest.test_case "periodic stops on crash" `Quick
+          test_periodic_stops_on_crash;
+        Alcotest.test_case "crash hooks run once" `Quick test_crash_hooks_run_once;
+        Alcotest.test_case "send after crash noop" `Quick test_send_after_crash_noop;
+      ] );
+  ]

