@@ -12,6 +12,9 @@ module View = Gc_membership.View
 module Stack = Gcs.Gcs_stack
 module Tr = Gc_traditional.Traditional_stack
 module Tt = Gc_totem.Totem_stack
+module Metrics = Gc_obs.Metrics
+module Json = Gc_obs.Json
+module Process = Gc_kernel.Process
 
 type Gc_net.Payload.t += Load of { k : int; sent_at : float }
 
@@ -29,6 +32,7 @@ type 'stack world = {
   trace : Trace.t;
   stacks : 'stack array;
   deliveries : delivery list ref array; (* newest first, per node *)
+  metrics : Metrics.t array; (* per-node layer metrics *)
 }
 
 let base_net ?(delay = Delay.lan) ~seed ~n () =
@@ -55,7 +59,8 @@ let new_world ?delay ?(config = Stack.default_config) ~seed ~n () =
             | _ -> ());
         s)
   in
-  { engine; net; trace; stacks; deliveries }
+  let metrics = Array.map Stack.metrics stacks in
+  { engine; net; trace; stacks; deliveries; metrics }
 
 let trad_world ?delay ?(config = Tr.default_config) ~seed ~n () =
   let engine, trace, net = base_net ?delay ~seed ~n () in
@@ -73,7 +78,8 @@ let trad_world ?delay ?(config = Tr.default_config) ~seed ~n () =
             | _ -> ());
         s)
   in
-  { engine; net; trace; stacks; deliveries }
+  let metrics = Array.map (fun s -> Process.metrics (Tr.process s)) stacks in
+  { engine; net; trace; stacks; deliveries; metrics }
 
 let totem_world ?delay ?(config = Tt.default_config) ~seed ~n () =
   let engine, trace, net = base_net ?delay ~seed ~n () in
@@ -91,7 +97,8 @@ let totem_world ?delay ?(config = Tt.default_config) ~seed ~n () =
             | _ -> ());
         s)
   in
-  { engine; net; trace; stacks; deliveries }
+  let metrics = Array.map (fun s -> Process.metrics (Tt.process s)) stacks in
+  { engine; net; trace; stacks; deliveries; metrics }
 
 (* ---------- workload ---------- *)
 
@@ -195,6 +202,44 @@ let recovery_after w node ~crash_at =
          if d.sent_at > crash_at then Some d.recv_at else None)
   |> List.fold_left Float.min infinity
   |> fun first -> if first = infinity then nan else first -. crash_at
+
+(* ---------- metrics emission ---------- *)
+
+let merged_metrics w = Metrics.merged (Array.to_list w.metrics)
+
+(* Representative cells accumulated across experiments, then dumped as one
+   machine-readable document by [write_metrics_file] (bench/main.ml calls it
+   after the selected experiments ran). *)
+let metrics_notes : (string * (string * Json.t)) list ref = ref []
+
+let note_metrics ~experiment ~cell m =
+  metrics_notes := (experiment, (cell, Metrics.to_json m)) :: !metrics_notes
+
+let note_world_metrics ~experiment ~cell w =
+  note_metrics ~experiment ~cell (merged_metrics w)
+
+let write_metrics_file ?(path = "BENCH_metrics.json") () =
+  let notes = List.rev !metrics_notes in
+  let experiments =
+    List.fold_left
+      (fun acc (e, _) -> if List.mem e acc then acc else acc @ [ e ])
+      [] notes
+  in
+  let doc =
+    Json.Obj
+      (List.map
+         (fun e ->
+           (e, Json.Obj (List.filter_map
+                           (fun (e', cell) -> if e' = e then Some cell else None)
+                           notes)))
+         experiments)
+  in
+  let oc = open_out path in
+  output_string oc (Json.to_string_pretty doc);
+  output_string oc "\n";
+  close_out oc;
+  Printf.printf "\nmetrics written to %s (%d experiments, %d cells)\n" path
+    (List.length experiments) (List.length notes)
 
 let fmt_int = string_of_int
 let fmt_f1 x = if Float.is_nan x then "-" else Printf.sprintf "%.1f" x

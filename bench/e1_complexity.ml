@@ -45,6 +45,7 @@ let messages_per_abcast () =
         ~start:0.0 ~period:20.0 ~count;
       Engine.run ~until:(500.0 +. (float_of_int count *. 20.0) +. 1_000.0)
         w.engine;
+      note_world_metrics ~experiment:"e1" ~cell:(Printf.sprintf "new-n%d" n) w;
       Netsim.messages_sent w.net
     in
     let trad_msgs =
@@ -55,6 +56,7 @@ let messages_per_abcast () =
         ~count;
       Engine.run ~until:(500.0 +. (float_of_int count *. 20.0) +. 1_000.0)
         w.engine;
+      note_world_metrics ~experiment:"e1" ~cell:(Printf.sprintf "trad-n%d" n) w;
       Netsim.messages_sent w.net
     in
     (* Heartbeat background over the same horizon, to subtract. *)
@@ -130,7 +132,7 @@ let messages_per_view_change () =
     in
     let new_diff =
       measure ~idle_then_change:(fun () ->
-          let config = { Stack.default_config with hb_period = 250.0 } in
+          let config = Stack.Config.make ~hb_period:250.0 () in
           let w = new_world ~config ~seed:103L ~n () in
           Engine.run ~until:1_000.0 w.engine;
           Netsim.reset_counters w.net;

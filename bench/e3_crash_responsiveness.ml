@@ -25,12 +25,8 @@ let spike_width = 250.0
 
 let run_new ?(adaptive = false) ~timeout ~seed () =
   let config =
-    {
-      Stack.default_config with
-      consensus_timeout = timeout;
-      consensus_adaptive = adaptive;
-      exclusion_timeout = 3_000.0 (* conservative, independent of [timeout] *);
-    }
+    Stack.Config.make ~consensus_timeout:timeout ~consensus_adaptive:adaptive
+      ~exclusion_timeout:3_000.0 (* conservative, independent of [timeout] *) ()
   in
   let w = new_world ~config ~seed ~n () in
   drive_load w
@@ -54,6 +50,13 @@ let run_new ?(adaptive = false) ~timeout ~seed () =
                (Stack.monitoring s))
          0
   in
+  if seed = 301L then
+    note_world_metrics ~experiment:"e3"
+      ~cell:
+        (Printf.sprintf "new%s-timeout%.0f"
+           (if adaptive then "-adaptive" else "")
+           timeout)
+      w;
   (recovery, wrongful, delivered_count w 1)
 
 let run_trad ~timeout ~seed =
@@ -76,6 +79,10 @@ let run_trad ~timeout ~seed =
     |> List.filter Tr.alive
     |> List.fold_left (fun acc s -> acc + Tr.exclusions_suffered s) 0
   in
+  if seed = 301L then
+    note_world_metrics ~experiment:"e3"
+      ~cell:(Printf.sprintf "trad-timeout%.0f" timeout)
+      w;
   (recovery, wrongful, delivered_count w 1)
 
 let avg3 f =

@@ -19,11 +19,7 @@ let load_count = int_of_float ((horizon -. 2_000.0) /. load_period)
 
 let run_new ~rate ~seed =
   let config =
-    {
-      Stack.default_config with
-      consensus_timeout = timeout;
-      exclusion_timeout = 4_000.0;
-    }
+    Stack.Config.make ~consensus_timeout:timeout ~exclusion_timeout:4_000.0 ()
   in
   let w = new_world ~config ~seed ~n () in
   drive_load w
@@ -35,6 +31,7 @@ let run_new ~rate ~seed =
   let excluded =
     n - View.size (Stack.view w.stacks.(1))
   in
+  note_world_metrics ~experiment:"e4" ~cell:(Printf.sprintf "new-rate%.1f" rate) w;
   (delivered_count w 1, Stats.mean lat, Stats.percentile lat 95.0, excluded, 0.0)
 
 let run_trad ~rate ~seed =
@@ -54,6 +51,7 @@ let run_trad ~rate ~seed =
   let excluded_time =
     Array.fold_left (fun acc s -> acc +. Tr.excluded_time_total s) 0.0 w.stacks
   in
+  note_world_metrics ~experiment:"e4" ~cell:(Printf.sprintf "trad-rate%.1f" rate) w;
   ( delivered_count w 1,
     Stats.mean lat,
     Stats.percentile lat 95.0,

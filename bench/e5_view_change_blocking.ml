@@ -20,7 +20,7 @@ let load_count = int_of_float ((horizon -. 2_000.0) /. load_period)
 
 let run_new ~churn_period ~seed =
   let config =
-    { Stack.default_config with state_transfer_delay = 20.0 }
+    Stack.Config.make ~state_transfer_delay:20.0 ()
   in
   let w = new_world ~config ~seed ~n () in
   drive_load w
@@ -42,6 +42,9 @@ let run_new ~churn_period ~seed =
   cycle 1_000.0;
   Engine.run ~until:horizon w.engine;
   let lat = latencies_of w 0 in
+  note_world_metrics ~experiment:"e5"
+    ~cell:(Printf.sprintf "new-churn%.0f" churn_period)
+    w;
   ( delivered_count w 0,
     Stats.mean lat,
     Stats.percentile lat 95.0,
@@ -74,6 +77,9 @@ let run_trad ~churn_period ~seed =
   let blocked =
     Array.fold_left (fun acc s -> acc +. Tr.blocked_time_total s) 0.0 w.stacks
   in
+  note_world_metrics ~experiment:"e5"
+    ~cell:(Printf.sprintf "trad-churn%.0f" churn_period)
+    w;
   ( delivered_count w 0,
     Stats.mean lat,
     Stats.percentile lat 95.0,

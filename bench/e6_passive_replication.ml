@@ -90,10 +90,7 @@ let failover () =
     let engine, trace, net = base_net ~seed ~n:5 () in
     let replicas = [ 0; 1; 2; 3 ] in
     let config =
-      {
-        Stack.default_config with
-        gb_ack_mode = Gc_gbcast.Generic_broadcast.Two_thirds;
-      }
+      Stack.Config.make ~gb_ack_mode:Gc_gbcast.Generic_broadcast.Two_thirds ()
     in
     let servers =
       List.map
@@ -114,6 +111,10 @@ let failover () =
              ~cmd:(Sm.Bank.Deposit { account = 0; amount = 7 })
              ~on_reply:(fun _ ~latency:l -> latency := l)));
     Engine.run ~until:60_000.0 engine;
+    if seed = 601L then
+      note_metrics ~experiment:"e6" ~cell:"failover-gb"
+        (Metrics.merged
+           (List.map (fun s -> Stack.metrics (Passive.stack s)) servers));
     !latency
   in
   let measure_vs seed =

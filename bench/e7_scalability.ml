@@ -22,6 +22,7 @@ let run_cell ~kind ~n ~seed =
         ~until:(500.0 +. (float_of_int count *. period) +. 1_500.0)
         w.engine;
       let lat = latencies_of w (n - 1) in
+      note_world_metrics ~experiment:"e7" ~cell:(Printf.sprintf "totem-n%d" n) w;
       (Stats.mean lat, Stats.percentile lat 95.0, Netsim.messages_sent w.net)
   | `New ->
       let w = new_world ~seed ~n () in
@@ -34,6 +35,7 @@ let run_cell ~kind ~n ~seed =
         ~until:(500.0 +. (float_of_int count *. period) +. 1_500.0)
         w.engine;
       let lat = latencies_of w (n - 1) in
+      note_world_metrics ~experiment:"e7" ~cell:(Printf.sprintf "new-n%d" n) w;
       (Stats.mean lat, Stats.percentile lat 95.0, Netsim.messages_sent w.net)
   | `Trad ->
       let w = trad_world ~seed ~n () in
@@ -44,6 +46,7 @@ let run_cell ~kind ~n ~seed =
         ~until:(500.0 +. (float_of_int count *. period) +. 1_500.0)
         w.engine;
       let lat = latencies_of w (n - 1) in
+      note_world_metrics ~experiment:"e7" ~cell:(Printf.sprintf "trad-n%d" n) w;
       (Stats.mean lat, Stats.percentile lat 95.0, Netsim.messages_sent w.net)
 
 let run () =

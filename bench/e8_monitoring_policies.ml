@@ -21,12 +21,7 @@ let policy_name = function
 
 let run_policy ~policy ~seed =
   let config =
-    {
-      Stack.default_config with
-      policy;
-      exclusion_timeout = 600.0;
-      stuck_after = 1_500.0;
-    }
+    Stack.Config.make ~policy ~exclusion_timeout:600.0 ~stuck_after:1_500.0 ()
   in
   let w = new_world ~config ~seed ~n () in
   (* Load keeps the reliable channels busy so output-triggered suspicion has
@@ -60,6 +55,8 @@ let run_policy ~policy ~seed =
     if Float.is_nan !excluded_at then nan else !excluded_at -. crash_at
   in
   let final_view = View.size (Stack.view w.stacks.(0)) in
+  if seed = 801L then
+    note_world_metrics ~experiment:"e8" ~cell:(policy_name policy) w;
   (detection, wrongful, final_view)
 
 let run () =

@@ -18,11 +18,7 @@ let churner = n - 1
 
 let run_variant ~same_view_delivery ~seed =
   let config =
-    {
-      Stack.default_config with
-      same_view_delivery;
-      state_transfer_delay = 10.0;
-    }
+    Stack.Config.make ~same_view_delivery ~state_transfer_delay:10.0 ()
   in
   let engine, trace, net = base_net ~seed ~n () in
   let initial = List.init n (fun i -> i) in
@@ -74,6 +70,10 @@ let run_variant ~same_view_delivery ~seed =
         | None -> ()
       done)
     tags.(0);
+  if seed = 901L then
+    note_metrics ~experiment:"e9"
+      ~cell:(if same_view_delivery then "via-gb" else "via-ab")
+      (Metrics.merged (Array.to_list stacks |> List.map Stack.metrics));
   (!violations, !compared, Tr.default_config.hb_period)
 
 let run () =

@@ -33,4 +33,5 @@ let () =
           Printf.eprintf "unknown experiment %S; known: %s\n" name
             (String.concat ", " (List.map fst experiments));
           exit 1)
-    requested
+    requested;
+  Bench_util.write_metrics_file ()

@@ -62,7 +62,19 @@ let benchmark () =
       | _ -> Printf.printf "  %-45s (no estimate)\n" name)
     results
 
+(* A single non-benchmarked run of the abcast workload, so `micro` also
+   contributes a metrics cell (the Bechamel closures above run hundreds of
+   times and must stay note-free). *)
+let note_reference_run () =
+  let w = new_world ~seed:2L ~n:3 () in
+  drive_load w
+    ~send:(fun s p -> Stack.abcast s p)
+    ~start:10.0 ~period:10.0 ~count:20;
+  Engine.run ~until:1_000.0 w.engine;
+  note_world_metrics ~experiment:"micro" ~cell:"abcast-n3" w
+
 let run () =
   section "MICRO  Wall-clock micro-benchmarks (Bechamel)"
     "(implementation cost, not a paper claim)";
+  note_reference_run ();
   benchmark ()

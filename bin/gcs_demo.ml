@@ -15,6 +15,8 @@ module Stack = Gcs.Gcs_stack
 module Tr = Gc_traditional.Traditional_stack
 module Tt = Gc_totem.Totem_stack
 module Stats = Gc_sim.Stats
+module Metrics = Gc_obs.Metrics
+module Process = Gc_kernel.Process
 module Sm = Gc_replication.State_machine
 module Active_gb = Gc_replication.Active_gb
 module Client = Gc_replication.Client
@@ -23,14 +25,14 @@ type Gc_net.Payload.t += Demo of { k : int; sent_at : float }
 
 (* ---------- run: a broadcast workload on either stack ---------- *)
 
-let run_cmd arch nodes casts period crash_node seed show_trace =
+let run_cmd arch nodes casts period crash_node seed show_trace show_metrics =
   let engine = Engine.create ~seed () in
   let trace = Trace.create ~enabled:show_trace () in
   let net = Netsim.create engine ~trace ~delay:Gc_net.Delay.lan ~n:nodes () in
   let initial = List.init nodes (fun i -> i) in
   let lat = Stats.sample () in
   let views = ref [] in
-  let send, crash, final_view =
+  let send, crash, final_view, all_metrics =
     match arch with
     | `New ->
         let stacks =
@@ -50,7 +52,8 @@ let run_cmd arch nodes casts period crash_node seed show_trace =
         ( (fun i k ->
             Stack.abcast stacks.(i) (Demo { k; sent_at = Engine.now engine })),
           (fun i -> Stack.crash stacks.(i)),
-          fun () -> Format.asprintf "%a" View.pp (Stack.view stacks.(1)) )
+          (fun () -> Format.asprintf "%a" View.pp (Stack.view stacks.(1))),
+          fun () -> Array.to_list stacks |> List.map Stack.metrics )
     | `Traditional ->
         let stacks =
           Array.init nodes (fun id -> Tr.create net ~trace ~id ~initial ())
@@ -68,7 +71,10 @@ let run_cmd arch nodes casts period crash_node seed show_trace =
           stacks;
         ( (fun i k -> Tr.abcast stacks.(i) (Demo { k; sent_at = Engine.now engine })),
           (fun i -> Tr.crash stacks.(i)),
-          fun () -> Format.asprintf "%a" View.pp (Tr.view stacks.(1)) )
+          (fun () -> Format.asprintf "%a" View.pp (Tr.view stacks.(1))),
+          fun () ->
+            Array.to_list stacks
+            |> List.map (fun s -> Process.metrics (Tr.process s)) )
     | `Totem ->
         let stacks =
           Array.init nodes (fun id -> Tt.create net ~trace ~id ~initial ())
@@ -86,7 +92,10 @@ let run_cmd arch nodes casts period crash_node seed show_trace =
           stacks;
         ( (fun i k -> Tt.abcast stacks.(i) (Demo { k; sent_at = Engine.now engine })),
           (fun i -> Tt.crash stacks.(i)),
-          fun () -> Format.asprintf "%a" View.pp (Tt.view stacks.(1)) )
+          (fun () -> Format.asprintf "%a" View.pp (Tt.view stacks.(1))),
+          fun () ->
+            Array.to_list stacks
+            |> List.map (fun s -> Process.metrics (Tt.process s)) )
   in
   for k = 0 to casts - 1 do
     let sender = k mod nodes in
@@ -122,7 +131,11 @@ let run_cmd arch nodes casts period crash_node seed show_trace =
   Printf.printf "views at node 1: %s\n"
     (String.concat " -> " (List.rev !views));
   Printf.printf "final view: %s\n" (final_view ());
-  Printf.printf "network messages: %d\n" (Netsim.messages_sent net)
+  Printf.printf "network messages: %d\n" (Netsim.messages_sent net);
+  if show_metrics then begin
+    Printf.printf "\nmerged layer metrics (all nodes):\n";
+    Format.printf "%a@." Metrics.pp (Metrics.merged (all_metrics ()))
+  end
 
 (* ---------- bank: the Section 4.2 workload ---------- *)
 
@@ -206,9 +219,14 @@ let run_term =
       & info [ "crash" ] ~docv:"ID" ~doc:"Crash this node mid-run.")
   and show_trace =
     Arg.(value & flag & info [ "trace" ] ~doc:"Dump the full event trace.")
+  and show_metrics =
+    Arg.(
+      value & flag
+      & info [ "metrics" ]
+          ~doc:"Print the merged per-layer metrics registry after the run.")
   in
   Term.(const run_cmd $ arch_arg $ nodes_arg $ casts $ period $ crash $ seed_arg
-        $ show_trace)
+        $ show_trace $ show_metrics)
 
 let bank_term =
   let requests =

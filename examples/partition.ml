@@ -25,7 +25,7 @@ let () =
   let net = Netsim.create engine ~trace ~delay:Gc_net.Delay.lan ~n () in
   let initial = [ 0; 1; 2; 3; 4 ] in
   let config =
-    { Stack.default_config with exclusion_timeout = 1200.0 }
+    Stack.Config.make ~exclusion_timeout:1200.0 ()
   in
   let delivered = Array.make n 0 in
   let stacks =

@@ -24,7 +24,7 @@ let () =
   let net = Netsim.create engine ~trace ~delay:Gc_net.Delay.lan ~n () in
   let initial = [ 0; 1; 2 ] in
   let config =
-    { Stack.default_config with exclusion_timeout = 1500.0 }
+    Stack.Config.make ~exclusion_timeout:1500.0 ()
   in
   let stacks =
     Array.init n (fun id -> Stack.create net ~trace ~id ~initial ~config ())

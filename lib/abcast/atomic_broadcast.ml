@@ -3,7 +3,13 @@ module Rc = Gc_rchannel.Reliable_channel
 module Rb = Gc_rbcast.Reliable_broadcast
 module Consensus = Gc_consensus.Consensus
 
-type msg = { origin : int; mseq : int; body : Gc_net.Payload.t; size : int }
+type msg = {
+  origin : int;
+  mseq : int;
+  body : Gc_net.Payload.t;
+  size : int;
+  sent_at : float; (* virtual submit time at the origin, for latency metrics *)
+}
 
 let msg_id m = (m.origin, m.mseq)
 let compare_msg a b = compare (msg_id a) (msg_id b)
@@ -58,6 +64,9 @@ let try_start t =
     let batch = current_batch t in
     if batch <> [] || t.max_solicited >= t.next_to_apply then begin
       Hashtbl.replace t.proposed t.next_to_apply ();
+      Process.incr t.proc "abcast.proposals";
+      Process.observe t.proc "abcast.batch_size"
+        (float_of_int (List.length batch));
       Consensus.propose (consensus_of t) ~inst:t.next_to_apply
         ~members:t.member_list (Ab_batch batch)
     end
@@ -77,8 +86,16 @@ let apply_decisions t =
               Hashtbl.replace t.delivered id ();
               Hashtbl.remove t.pending id;
               t.n_delivered <- t.n_delivered + 1;
+              Process.incr t.proc "abcast.delivered";
+              Process.observe t.proc "abcast.latency_ms"
+                (Process.now t.proc -. m.sent_at);
               Process.emit t.proc ~component:"abcast" ~event:"adeliver"
-                (Printf.sprintf "#%d.%d" m.origin m.mseq);
+                ~attrs:
+                  [
+                    ("origin", string_of_int m.origin);
+                    ("mseq", string_of_int m.mseq);
+                  ]
+                ();
               List.iter (fun f -> f ~origin:m.origin m.body) (List.rev t.subscribers)
             end)
           batch;
@@ -119,6 +136,7 @@ let create proc ~rc ~rb ~fd ?(suspect_timeout = 200.0) ?(adaptive = false)
       n_delivered = 0;
     }
   in
+  Process.incr ~by:0 proc "abcast.delivered";
   let consensus =
     Consensus.create proc ~rc ~rb ~fd ~suspect_timeout ~adaptive
       ~score:(function Ab_batch l -> List.length l | _ -> 0)
@@ -141,9 +159,16 @@ let create proc ~rc ~rb ~fd ?(suspect_timeout = 200.0) ?(adaptive = false)
 let abcast t ?(size = 64) body =
   if member t then begin
     let m =
-      { origin = Process.id t.proc; mseq = t.next_mseq; body; size }
+      {
+        origin = Process.id t.proc;
+        mseq = t.next_mseq;
+        body;
+        size;
+        sent_at = Process.now t.proc;
+      }
     in
     t.next_mseq <- t.next_mseq + 1;
+    Process.incr t.proc "abcast.submitted";
     Rb.broadcast t.rb ~size ~dests:t.member_list (Ab_data m)
   end
 

@@ -94,8 +94,15 @@ let decide t inst v =
       | Some st -> st.decided <- true
       | None -> ());
       t.n_decided <- t.n_decided + 1;
+      Process.incr t.proc "consensus.instances_decided";
+      (match Hashtbl.find_opt t.states inst with
+      | Some st when st.max_round > 0 ->
+          Process.observe t.proc "consensus.rounds"
+            (float_of_int st.max_round)
+      | _ -> ());
       Process.emit t.proc ~component:"consensus" ~event:"decide"
-        (Printf.sprintf "inst %d" inst);
+        ~attrs:[ ("inst", string_of_int inst) ]
+        ();
       t.on_decide ~inst v
 
 let broadcast_decision t st inst v =
@@ -176,8 +183,15 @@ and check_phase3 t inst st =
     | None ->
         if Fd.suspected t.monitor c then begin
           st.phase3_done <- true;
+          Process.incr t.proc "consensus.coordinator_suspicions";
           Process.emit t.proc ~component:"consensus" ~event:"skip_round"
-            (Printf.sprintf "inst %d round %d coord %d suspected" inst r c);
+            ~attrs:
+              [
+                ("inst", string_of_int inst);
+                ("round", string_of_int r);
+                ("coord", string_of_int c);
+              ]
+            ();
           (* Pace suspicion-driven round changes: with every coordinator
              suspected (e.g. during a partition) an immediate re-entry would
              spin through rounds without consuming virtual time. *)
@@ -239,6 +253,8 @@ let on_suspicion t _q =
 let create proc ~rc ~rb ~fd ?(suspect_timeout = 200.0) ?(adaptive = false)
     ?(round_backoff = 25.0) ?(score = fun _ -> 0) ~on_decide ~on_solicit () =
   let states = Hashtbl.create 32 in
+  Process.incr ~by:0 proc "consensus.instances_started";
+  Process.incr ~by:0 proc "consensus.instances_decided";
   let t_ref = ref None in
   let on_suspect q =
     match !t_ref with Some t -> on_suspicion t q | None -> ()
@@ -311,6 +327,7 @@ let propose t ~inst ~members v =
           }
         in
         Hashtbl.replace t.states inst st;
+        Process.incr t.proc "consensus.instances_started";
         (* Solicitation ping: lets members that have nothing to propose yet
            join the instance reactively (their layer above is asked to
            propose on first contact). *)

@@ -36,6 +36,34 @@ let default_config =
     same_view_delivery = true;
   }
 
+module Config = struct
+  type t = config
+
+  let default = default_config
+
+  let make ?(hb_period = default_config.hb_period)
+      ?(consensus_timeout = default_config.consensus_timeout)
+      ?(consensus_adaptive = default_config.consensus_adaptive)
+      ?(exclusion_timeout = default_config.exclusion_timeout)
+      ?(rto = default_config.rto) ?(stuck_after = default_config.stuck_after)
+      ?(policy = default_config.policy)
+      ?(state_transfer_delay = default_config.state_transfer_delay)
+      ?(gb_ack_mode = default_config.gb_ack_mode)
+      ?(same_view_delivery = default_config.same_view_delivery) () =
+    {
+      hb_period;
+      consensus_timeout;
+      consensus_adaptive;
+      exclusion_timeout;
+      rto;
+      stuck_after;
+      policy;
+      state_transfer_delay;
+      gb_ack_mode;
+      same_view_delivery;
+    }
+end
+
 type Gc_net.Payload.t +=
   | Gcs_app of { klass : Conflict.klass; body : Gc_net.Payload.t }
   | Gcs_snapshot of {
@@ -80,9 +108,9 @@ type t = {
     (origin:int -> ordered:bool -> Gc_net.Payload.t -> unit) list;
 }
 
-let create net ~trace ~id ~initial ?(config = default_config)
+let create net ~trace ?metrics ~id ~initial ?(config = default_config)
     ?app_state_provider ?app_state_installer () =
-  let proc = Process.create net ~trace ~id in
+  let proc = Process.create ?metrics net ~trace ~id in
   let fd = Fd.create proc ~hb_period:config.hb_period ~peers:initial () in
   let rc = Rc.create proc ~rto:config.rto ~stuck_after:config.stuck_after () in
   let rb = Rb.create proc rc in
@@ -195,6 +223,7 @@ let crash t = Process.crash t.proc
 let alive t = Process.alive t.proc
 
 let process t = t.proc
+let metrics t = Process.metrics t.proc
 let failure_detector t = t.fd
 let reliable_channel t = t.rc
 let reliable_broadcast t = t.rb

@@ -61,11 +61,38 @@ type config = {
 
 val default_config : config
 
+(** Smart constructor for {!config}.  New code should build configurations
+    with {!Config.make} — the record type stays exposed above for reads and
+    pattern matches, but constructing it literally means every new knob is a
+    breaking change, while [make] grows backwards-compatibly. *)
+module Config : sig
+  type t = config
+
+  val default : t
+  (** Same value as {!default_config}. *)
+
+  val make :
+    ?hb_period:float ->
+    ?consensus_timeout:float ->
+    ?consensus_adaptive:bool ->
+    ?exclusion_timeout:float ->
+    ?rto:float ->
+    ?stuck_after:float ->
+    ?policy:Gc_monitoring.Monitoring.policy ->
+    ?state_transfer_delay:float ->
+    ?gb_ack_mode:Gc_gbcast.Generic_broadcast.ack_mode ->
+    ?same_view_delivery:bool ->
+    unit ->
+    t
+  (** Every omitted argument takes its {!default} value. *)
+end
+
 type t
 
 val create :
   Gc_net.Netsim.t ->
   trace:Gc_sim.Trace.t ->
+  ?metrics:Gc_obs.Metrics.t ->
   id:int ->
   initial:int list ->
   ?config:config ->
@@ -76,7 +103,9 @@ val create :
 (** Build the stack for node [id].  [initial] is the founding view: a
     founding member lists itself in [initial]; a process joining later passes
     the current membership (without itself) and calls {!join}.  The app state
-    hooks serialise/install application state for joiner state transfer. *)
+    hooks serialise/install application state for joiner state transfer.
+    [metrics] (default: a fresh registry) collects every layer's counters and
+    latency histograms; read it back with {!metrics}. *)
 
 (** {1 Broadcast (generic broadcast: Section 3.3)} *)
 
@@ -118,6 +147,12 @@ val alive : t -> bool
 (** {1 Component access (tests, benches, advanced use)} *)
 
 val process : t -> Gc_kernel.Process.t
+
+val metrics : t -> Gc_obs.Metrics.t
+(** The node's metrics registry (counters, gauges, latency histograms from
+    every layer of this stack).  Merge across nodes with
+    {!Gc_obs.Metrics.merged}. *)
+
 val failure_detector : t -> Gc_fd.Failure_detector.t
 val reliable_channel : t -> Gc_rchannel.Reliable_channel.t
 val reliable_broadcast : t -> Gc_rbcast.Reliable_broadcast.t

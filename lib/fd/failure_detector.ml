@@ -17,7 +17,8 @@ type monitor = {
   rule : timeout_rule;
   on_suspect : int -> unit;
   on_trust : (int -> unit) option;
-  suspected_set : (int, unit) Hashtbl.t;
+  (* suspected peer -> virtual time the suspicion was raised *)
+  suspected_set : (int, float) Hashtbl.t;
   mutable stopped : bool;
   mutable suspicions : int;
   mutable wrong : int;
@@ -141,17 +142,30 @@ let check t m () =
           let late = now -. last > timeout_for t m q in
           let currently = Hashtbl.mem m.suspected_set q in
           if late && not currently then begin
-            Hashtbl.replace m.suspected_set q ();
+            Hashtbl.replace m.suspected_set q now;
             m.suspicions <- m.suspicions + 1;
-            if Netsim.alive (Process.net t.proc) q then m.wrong <- m.wrong + 1;
+            Process.incr t.proc "fd.suspicions";
+            if Netsim.alive (Process.net t.proc) q then begin
+              m.wrong <- m.wrong + 1;
+              Process.incr t.proc "fd.wrong_suspicions"
+            end;
             Process.emit t.proc ~component:"fd" ~event:"suspect"
-              (Printf.sprintf "%s: %d" m.label q);
+              ~attrs:[ ("monitor", m.label); ("peer", string_of_int q) ]
+              ();
             m.on_suspect q
           end
           else if (not late) && currently then begin
+            (match Hashtbl.find_opt m.suspected_set q with
+            | Some since ->
+                (* A retraction means the suspicion was a mistake; its
+                   duration is the paper's "mistake duration" metric. *)
+                Process.observe t.proc "fd.mistake_ms" (now -. since)
+            | None -> ());
             Hashtbl.remove m.suspected_set q;
+            Process.incr t.proc "fd.retractions";
             Process.emit t.proc ~component:"fd" ~event:"trust"
-              (Printf.sprintf "%s: %d" m.label q);
+              ~attrs:[ ("monitor", m.label); ("peer", string_of_int q) ]
+              ();
             match m.on_trust with Some f -> f q | None -> ()
           end
     in
@@ -195,6 +209,6 @@ let stop m =
   match m.checker with Some c -> Process.cancel_periodic c | None -> ()
 
 let suspected m q = Hashtbl.mem m.suspected_set q
-let suspects m = List.sort compare (Hashtbl.fold (fun q () acc -> q :: acc) m.suspected_set [])
+let suspects m = List.sort compare (Hashtbl.fold (fun q _ acc -> q :: acc) m.suspected_set [])
 let suspicion_count m = m.suspicions
 let wrong_suspicion_count m = m.wrong

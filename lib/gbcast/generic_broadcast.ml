@@ -3,7 +3,13 @@ module Rc = Gc_rchannel.Reliable_channel
 module Rb = Gc_rbcast.Reliable_broadcast
 module Ab = Gc_abcast.Atomic_broadcast
 
-type msg = { origin : int; gseq : int; body : Gc_net.Payload.t; size : int }
+type msg = {
+  origin : int;
+  gseq : int;
+  body : Gc_net.Payload.t;
+  size : int;
+  sent_at : float; (* virtual submit time at the origin, for latency metrics *)
+}
 
 let msg_id m = (m.origin, m.gseq)
 let compare_msg a b = compare (msg_id a) (msg_id b)
@@ -55,6 +61,7 @@ type t = {
   mutable subscribers : (origin:int -> Gc_net.Payload.t -> unit) list;
   mutable n_delivered : int;
   mutable n_fast : int;
+  mutable froze_at : float; (* freeze time of the current stage, for check_ms *)
 }
 
 (* Fast-path acknowledgement quorum A. *)
@@ -90,8 +97,12 @@ let deliver t m =
     Hashtbl.replace t.delivered id ();
     Hashtbl.remove t.pending id;
     t.n_delivered <- t.n_delivered + 1;
+    Process.incr t.proc "gbcast.delivered";
+    Process.observe t.proc "gbcast.latency_ms" (Process.now t.proc -. m.sent_at);
     Process.emit t.proc ~component:"gbcast" ~event:"gdeliver"
-      (Printf.sprintf "#%d.%d" m.origin m.gseq);
+      ~attrs:
+        [ ("origin", string_of_int m.origin); ("gseq", string_of_int m.gseq) ]
+      ();
     List.iter (fun f -> f ~origin:m.origin m.body) (List.rev t.subscribers)
   end
 
@@ -124,8 +135,11 @@ let ack_set t id stage =
 let rec freeze t =
   if member t && not t.frozen then begin
     t.frozen <- true;
+    t.froze_at <- Process.now t.proc;
+    Process.incr t.proc "gbcast.freezes";
     Process.emit t.proc ~component:"gbcast" ~event:"freeze"
-      (Printf.sprintf "stage %d" t.stage);
+      ~attrs:[ ("stage", string_of_int t.stage) ]
+      ();
     let acked = acked_msgs t and pending = pending_msgs t in
     record_state t ~src:(Process.id t.proc) ~stage:t.stage ~acked ~pending;
     (* In all-members mode a cut needs no remote states (C = 1): each process
@@ -208,9 +222,15 @@ and force_cut t =
                >= threshold)
       in
       Hashtbl.replace t.cut_proposed t.stage ();
+      Process.incr t.proc "gbcast.cuts_proposed";
       Process.emit t.proc ~component:"gbcast" ~event:"propose_cut"
-        (Printf.sprintf "stage %d: %d first, %d rest" t.stage
-           (List.length first) (List.length rest));
+        ~attrs:
+          [
+            ("stage", string_of_int t.stage);
+            ("first", string_of_int (List.length first));
+            ("rest", string_of_int (List.length rest));
+          ]
+        ();
       Ab.abcast t.ab (Gb_cut { stage = t.stage; first; rest })
     end
   end
@@ -256,8 +276,14 @@ and try_fast_deliver t id =
       match Hashtbl.find_opt t.pending id with
       | Some m ->
           t.n_fast <- t.n_fast + 1;
+          Process.incr t.proc "gbcast.fast_deliveries";
           Process.emit t.proc ~component:"gbcast" ~event:"fast_deliver"
-            (Printf.sprintf "#%d.%d" (fst id) (snd id));
+            ~attrs:
+              [
+                ("origin", string_of_int (fst id));
+                ("gseq", string_of_int (snd id));
+              ]
+            ();
           deliver t m
       | None -> ()
     end
@@ -268,8 +294,19 @@ let reexamine_pending t =
 
 let apply_cut t ~stage ~first ~rest =
   if stage = t.stage then begin
-    List.iter (deliver t) first;
-    List.iter (deliver t) rest;
+    (* Check-phase latency: time from freezing the fast path to applying the
+       winning cut.  Members that never froze (the cut outran the conflict
+       evidence) have nothing to report. *)
+    if t.frozen then
+      Process.observe t.proc "gbcast.check_ms"
+        (Process.now t.proc -. t.froze_at);
+    let via_cut m =
+      if not (Hashtbl.mem t.delivered (msg_id m)) then
+        Process.incr t.proc "gbcast.cut_deliveries";
+      deliver t m
+    in
+    List.iter via_cut first;
+    List.iter via_cut rest;
     (* New stage: stale acks and states are dropped; survivors of [pending]
        (messages that arrived during the change) are re-examined. *)
     Hashtbl.remove t.states stage;
@@ -277,7 +314,8 @@ let apply_cut t ~stage ~first ~rest =
     t.stage <- stage + 1;
     t.frozen <- false;
     Process.emit t.proc ~component:"gbcast" ~event:"new_stage"
-      (Printf.sprintf "%d" t.stage);
+      ~attrs:[ ("stage", string_of_int t.stage) ]
+      ();
     reexamine_pending t;
     (* Some members may already have frozen the new stage (their states were
        stored above while we were still behind). *)
@@ -313,8 +351,11 @@ let create proc ~rc ~rb ~ab ~conflict ?(ack_mode = Two_thirds)
       subscribers = [];
       n_delivered = 0;
       n_fast = 0;
+      froze_at = 0.0;
     }
   in
+  Process.incr ~by:0 proc "gbcast.fast_deliveries";
+  Process.incr ~by:0 proc "gbcast.cut_deliveries";
   Rb.on_deliver rb (fun ~origin:_ payload ->
       match payload with
       | Gb_fast m ->
@@ -350,8 +391,17 @@ let create proc ~rc ~rb ~ab ~conflict ?(ack_mode = Two_thirds)
 
 let gbcast t ?(size = 64) body =
   if member t then begin
-    let m = { origin = Process.id t.proc; gseq = t.next_gseq; body; size } in
+    let m =
+      {
+        origin = Process.id t.proc;
+        gseq = t.next_gseq;
+        body;
+        size;
+        sent_at = Process.now t.proc;
+      }
+    in
     t.next_gseq <- t.next_gseq + 1;
+    Process.incr t.proc "gbcast.submitted";
     Rb.broadcast t.rb ~size ~dests:t.member_list (Gb_fast m)
   end
 

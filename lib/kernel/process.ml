@@ -6,18 +6,23 @@ type t = {
   id : int;
   net : Netsim.t;
   trace : Trace.t;
+  metrics : Gc_obs.Metrics.t;
   rng : Gc_sim.Rng.t;
   mutable alive : bool;
   mutable subscribers : (src:int -> Gc_net.Payload.t -> unit) list;
   mutable crash_hooks : (unit -> unit) list;
 }
 
-let create net ~trace ~id =
+let create ?metrics net ~trace ~id =
+  let metrics =
+    match metrics with Some m -> m | None -> Gc_obs.Metrics.create ()
+  in
   let t =
     {
       id;
       net;
       trace;
+      metrics;
       rng = Engine.split_rng (Netsim.engine net);
       alive = true;
       subscribers = [];
@@ -32,6 +37,7 @@ let create net ~trace ~id =
   t
 
 let id t = t.id
+let metrics t = t.metrics
 let engine t = Netsim.engine t.net
 let net t = t.net
 let rng t = t.rng
@@ -64,8 +70,11 @@ let every t ?(jitter = 0.0) ~period f =
 
 let cancel_periodic handle = handle.stopped <- true
 
-let emit t ~component ~event detail =
-  Trace.emit t.trace ~time:(now t) ~node:t.id ~component ~event detail
+let emit t ~component ~event ?attrs () =
+  Trace.emit t.trace ~time:(now t) ~node:t.id ~component ~event ?attrs ()
+
+let incr ?by t name = Gc_obs.Metrics.incr ?by t.metrics name
+let observe t name value = Gc_obs.Metrics.observe t.metrics name value
 
 let crash t =
   if t.alive then begin

@@ -10,14 +10,22 @@
     - {e alive-guarded} timers: when the process crashes, pending and
       periodic timers silently stop firing, so no protocol code runs at a
       dead process (crash-stop);
-    - a private random stream, and tracing tagged with the node id. *)
+    - a private random stream, tracing tagged with the node id, and a
+      per-node {!Gc_obs.Metrics} registry every layer records into. *)
 
 type t
 
-val create : Gc_net.Netsim.t -> trace:Gc_sim.Trace.t -> id:int -> t
-(** Create the process for node [id] and hook it into the network. *)
+val create :
+  ?metrics:Gc_obs.Metrics.t ->
+  Gc_net.Netsim.t -> trace:Gc_sim.Trace.t -> id:int -> t
+(** Create the process for node [id] and hook it into the network.
+    [metrics] defaults to a fresh registry. *)
 
 val id : t -> int
+
+val metrics : t -> Gc_obs.Metrics.t
+(** The node's metrics registry (shared by every layer on this node). *)
+
 val engine : t -> Gc_sim.Engine.t
 val net : t -> Gc_net.Netsim.t
 val rng : t -> Gc_sim.Rng.t
@@ -49,5 +57,13 @@ val crash : t -> unit
 
 val on_crash : t -> (unit -> unit) -> unit
 
-val emit : t -> component:string -> event:string -> string -> unit
+val emit :
+  t -> component:string -> event:string ->
+  ?attrs:(string * string) list -> unit -> unit
 (** Trace helper stamped with this node and the current time. *)
+
+val incr : ?by:int -> t -> string -> unit
+(** Bump a counter in the node's metrics registry. *)
+
+val observe : t -> string -> float -> unit
+(** Record a histogram sample in the node's metrics registry. *)

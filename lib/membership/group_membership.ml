@@ -36,6 +36,8 @@ type t = {
   mutable view_subscribers : (View.t -> unit) list;
   mutable left_subscribers : (unit -> unit) list;
   mutable n_views : int;
+  mutable join_requested_at : float option; (* pending join, for join_ms *)
+  mutable change_proposed_at : float option; (* pending local change, for change_ms *)
 }
 
 let view t = t.current
@@ -51,12 +53,19 @@ let install t v =
   t.current <- v;
   t.pending_removes <- [];
   t.n_views <- t.n_views + 1;
+  Process.incr t.proc "membership.view_changes";
+  (match t.change_proposed_at with
+  | Some since ->
+      t.change_proposed_at <- None;
+      Process.observe t.proc "membership.change_ms" (Process.now t.proc -. since)
+  | None -> ());
   Process.emit t.proc ~component:"membership" ~event:"new_view"
-    (Format.asprintf "%a" View.pp v);
+    ~attrs:[ ("view", Format.asprintf "%a" View.pp v) ]
+    ();
   List.iter (fun f -> f v) (List.rev t.view_subscribers);
   if t.joined && not (View.mem v (me t)) then begin
     t.left <- true;
-    Process.emit t.proc ~component:"membership" ~event:"left" "";
+    Process.emit t.proc ~component:"membership" ~event:"left" ();
     List.iter (fun f -> f ()) (List.rev t.left_subscribers)
   end
 
@@ -100,8 +109,15 @@ let create proc ~rc ~transport ?(state_transfer_delay = 0.0) ?state_provider
       view_subscribers = [];
       left_subscribers = [];
       n_views = 0;
+      join_requested_at = None;
+      change_proposed_at = None;
     }
   in
+  (* The paper's membership never blocks senders during a view change; the
+     gauge exists so merged reports show the 0 explicitly, against the
+     traditional stack's [traditional.blocked_ms_total]. *)
+  Gc_obs.Metrics.set_gauge (Process.metrics proc)
+    "membership.sender_blocked_ms_total" 0.0;
   transport.subscribe (fun ~origin payload ->
       match payload with
       | Mb_change { adds; removes; sponsor } ->
@@ -124,6 +140,12 @@ let create proc ~rc ~transport ?(state_transfer_delay = 0.0) ?state_provider
             | Some s, Some f -> f s
             | _ -> ());
             t.joined <- true;
+            (match t.join_requested_at with
+            | Some since ->
+                t.join_requested_at <- None;
+                Process.observe t.proc "membership.join_ms"
+                  (Process.now t.proc -. since)
+            | None -> ());
             install t view
           end
       | _ -> ());
@@ -138,11 +160,18 @@ let join ?(force = false) t ~via =
     t.left <- false;
     t.joined <- false
   end;
-  if not t.joined then Rc.send t.rc ~size:32 ~dst:via (Mb_join_req { p = me t })
+  if not t.joined then begin
+    if t.join_requested_at = None then
+      t.join_requested_at <- Some (Process.now t.proc);
+    Rc.send t.rc ~size:32 ~dst:via (Mb_join_req { p = me t })
+  end
 
 let add t p =
-  if t.joined && (not t.left) && not (View.mem t.current p) then
+  if t.joined && (not t.left) && not (View.mem t.current p) then begin
+    if t.change_proposed_at = None then
+      t.change_proposed_at <- Some (Process.now t.proc);
     t.transport.broadcast (Mb_change { adds = [ p ]; removes = []; sponsor = me t })
+  end
 
 let remove t q =
   if
@@ -151,6 +180,8 @@ let remove t q =
     && not (List.mem q t.pending_removes)
   then begin
     t.pending_removes <- q :: t.pending_removes;
+    if t.change_proposed_at = None then
+      t.change_proposed_at <- Some (Process.now t.proc);
     t.transport.broadcast
       (Mb_change { adds = []; removes = [ q ]; sponsor = me t })
   end

@@ -42,9 +42,14 @@ let suspector_set t q =
 let propose_exclusion t q reason =
   if (not t.stopped) && Gc_membership.View.mem (Gm.view t.membership) q then begin
     t.proposed <- t.proposed + 1;
-    if Netsim.alive (Process.net t.proc) q then t.wrongful <- t.wrongful + 1;
+    Process.incr t.proc "monitoring.exclusions_proposed";
+    if Netsim.alive (Process.net t.proc) q then begin
+      t.wrongful <- t.wrongful + 1;
+      Process.incr t.proc "monitoring.wrongful_exclusions"
+    end;
     Process.emit t.proc ~component:"monitoring" ~event:"exclude"
-      (Printf.sprintf "%d (%s)" q reason);
+      ~attrs:[ ("peer", string_of_int q); ("reason", reason) ]
+      ();
     Gm.remove t.membership q
   end
 

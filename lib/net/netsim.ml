@@ -61,7 +61,7 @@ let crash t node =
   if t.alive.(node) then begin
     t.alive.(node) <- false;
     Trace.emit t.trace ~time:(Engine.now t.engine) ~node ~component:"net"
-      ~event:"crash" ""
+      ~event:"crash" ()
   end
 
 let set_link t ~src ~dst ?delay ?drop () =
@@ -86,12 +86,12 @@ let partition t groups =
   Array.iteri (fun i gid -> if gid = -1 then g.(i) <- extra) g;
   t.group_of <- Some g;
   Trace.emit t.trace ~time:(Engine.now t.engine) ~node:(-1) ~component:"net"
-    ~event:"partition" ""
+    ~event:"partition" ()
 
 let heal t =
   t.group_of <- None;
   Trace.emit t.trace ~time:(Engine.now t.engine) ~node:(-1) ~component:"net"
-    ~event:"heal" ""
+    ~event:"heal" ()
 
 let delay_spike t ~nodes ~until ~extra =
   List.iter
@@ -133,7 +133,12 @@ let send t ?(size = 64) ~src ~dst payload =
                  t.delivered <- t.delivered + 1;
                  Trace.emit t.trace ~time:(Engine.now t.engine) ~node:dst
                    ~component:"net" ~event:"recv"
-                   (Printf.sprintf "from %d: %s" src (Payload.to_string payload));
+                   ~attrs:
+                     [
+                       ("from", string_of_int src);
+                       ("payload", Payload.to_string payload);
+                     ]
+                   ();
                  h ~src payload
            else t.dropped <- t.dropped + 1))
   end

@@ -1,0 +1,36 @@
+(** A minimal JSON value type with printing and parsing.
+
+    Used by {!Metrics} to serialise registries and by the bench harness to
+    assemble [BENCH_metrics.json].  Deliberately tiny: no streaming, no
+    full unicode escapes beyond what {!to_string} itself produces — the
+    goal is a faithful round-trip for machine-generated metric documents,
+    not a general-purpose JSON library. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact single-line rendering. *)
+
+val to_string_pretty : t -> string
+(** Two-space-indented rendering, for files meant to be read by humans. *)
+
+exception Parse_error of string
+
+val of_string : string -> t
+(** Parse a complete JSON document.  @raise Parse_error on malformed
+    input or trailing garbage. *)
+
+(** {1 Accessors} *)
+
+val member : string -> t -> t option
+(** [member k (Obj kvs)] is the value bound to [k], if any. *)
+
+val to_float : t -> float option
+val to_str : t -> string option
+val to_list : t -> t list option

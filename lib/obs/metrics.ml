@@ -1,0 +1,269 @@
+(* Per-node registry of named counters, gauges and log-bucketed latency
+   histograms.  Everything on the record path is an integer increment or a
+   single array bump, so the registry is cheap enough to leave always-on. *)
+
+(* Histogram bucketing: 4 buckets per octave (factor sqrt(sqrt 2) ~ 1.19
+   between bucket edges) starting at [base] = 0.001 ms.  Bucket 0 holds
+   values <= base; the last bucket is an overflow catch-all.  With 128
+   buckets this spans 0.001 ms .. ~2.6e6 ms, far beyond any simulated
+   latency, with <= ~19% relative quantile error — tightened further by
+   tracking the exact min/max/sum. *)
+let n_buckets = 128
+let base = 0.001
+let buckets_per_octave = 4.0
+
+let bucket_of value =
+  if value <= base then 0
+  else
+    let idx = 1 + int_of_float (Float.log2 (value /. base) *. buckets_per_octave) in
+    if idx >= n_buckets then n_buckets - 1 else idx
+
+(* Upper edge of bucket [i]: representative value reported for quantiles. *)
+let bucket_upper i =
+  if i = 0 then base
+  else base *. Float.exp2 (float_of_int i /. buckets_per_octave)
+
+type hist = {
+  counts : int array;
+  mutable count : int;
+  mutable sum : float;
+  mutable min : float;
+  mutable max : float;
+}
+
+type entry =
+  | Counter of int ref
+  | Gauge of float ref
+  | Hist of hist
+
+type t = { entries : (string, entry) Hashtbl.t }
+
+let create () = { entries = Hashtbl.create 32 }
+
+let counter_ref t name =
+  match Hashtbl.find_opt t.entries name with
+  | Some (Counter r) -> r
+  | Some _ -> invalid_arg ("Metrics: " ^ name ^ " is not a counter")
+  | None ->
+      let r = ref 0 in
+      Hashtbl.add t.entries name (Counter r);
+      r
+
+let incr ?(by = 1) t name = counter_ref t name := !(counter_ref t name) + by
+
+let gauge_ref t name =
+  match Hashtbl.find_opt t.entries name with
+  | Some (Gauge r) -> r
+  | Some _ -> invalid_arg ("Metrics: " ^ name ^ " is not a gauge")
+  | None ->
+      let r = ref 0.0 in
+      Hashtbl.add t.entries name (Gauge r);
+      r
+
+let set_gauge t name v = gauge_ref t name := v
+
+let hist t name =
+  match Hashtbl.find_opt t.entries name with
+  | Some (Hist h) -> h
+  | Some _ -> invalid_arg ("Metrics: " ^ name ^ " is not a histogram")
+  | None ->
+      let h =
+        {
+          counts = Array.make n_buckets 0;
+          count = 0;
+          sum = 0.0;
+          min = infinity;
+          max = neg_infinity;
+        }
+      in
+      Hashtbl.add t.entries name (Hist h);
+      h
+
+let observe t name value =
+  let h = hist t name in
+  let b = bucket_of value in
+  h.counts.(b) <- h.counts.(b) + 1;
+  h.count <- h.count + 1;
+  h.sum <- h.sum +. value;
+  if value < h.min then h.min <- value;
+  if value > h.max then h.max <- value
+
+(* ---------- reads ---------- *)
+
+let counter t name =
+  match Hashtbl.find_opt t.entries name with
+  | Some (Counter r) -> !r
+  | _ -> 0
+
+let gauge t name =
+  match Hashtbl.find_opt t.entries name with
+  | Some (Gauge r) -> !r
+  | _ -> 0.0
+
+let hist_count t name =
+  match Hashtbl.find_opt t.entries name with
+  | Some (Hist h) -> h.count
+  | _ -> 0
+
+let quantile_of_hist h q =
+  if h.count = 0 then Float.nan
+  else begin
+    let rank =
+      let r = int_of_float (Float.of_int h.count *. q +. 0.5) in
+      if r < 1 then 1 else if r > h.count then h.count else r
+    in
+    let acc = ref 0 and result = ref h.max in
+    (try
+       for i = 0 to n_buckets - 1 do
+         acc := !acc + h.counts.(i);
+         if !acc >= rank then begin
+           result := bucket_upper i;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    (* The bucket edge can overshoot the true extremes; clamp. *)
+    if !result > h.max then h.max else if !result < h.min then h.min else !result
+  end
+
+let quantile t name q =
+  match Hashtbl.find_opt t.entries name with
+  | Some (Hist h) -> quantile_of_hist h q
+  | _ -> Float.nan
+
+let hist_max t name =
+  match Hashtbl.find_opt t.entries name with
+  | Some (Hist h) when h.count > 0 -> h.max
+  | _ -> Float.nan
+
+let hist_mean t name =
+  match Hashtbl.find_opt t.entries name with
+  | Some (Hist h) when h.count > 0 -> h.sum /. float_of_int h.count
+  | _ -> Float.nan
+
+let names t =
+  Hashtbl.fold (fun k _ acc -> k :: acc) t.entries []
+  |> List.sort String.compare
+
+(* ---------- merge ---------- *)
+
+(* Counters and histograms add; gauges keep the max (the interesting
+   cross-node reading for e.g. blocked time or queue depth). *)
+let merge_into ~into src =
+  Hashtbl.iter
+    (fun name entry ->
+      match entry with
+      | Counter r -> incr ~by:!r into name
+      | Gauge r ->
+          let g = gauge_ref into name in
+          if !r > !g then g := !r
+      | Hist h ->
+          let h' = hist into name in
+          Array.iteri
+            (fun i c -> h'.counts.(i) <- h'.counts.(i) + c)
+            h.counts;
+          h'.count <- h'.count + h.count;
+          h'.sum <- h'.sum +. h.sum;
+          if h.min < h'.min then h'.min <- h.min;
+          if h.max > h'.max then h'.max <- h.max)
+    src.entries
+
+let merged ms =
+  let into = create () in
+  List.iter (fun m -> merge_into ~into m) ms;
+  into
+
+(* ---------- JSON ---------- *)
+
+let num x : Json.t = if Float.is_nan x then Null else Num x
+
+let hist_to_json h : Json.t =
+  (* Sparse bucket encoding: only non-empty buckets, as [idx, count]. *)
+  let buckets =
+    Array.to_list h.counts
+    |> List.mapi (fun i c -> (i, c))
+    |> List.filter (fun (_, c) -> c > 0)
+    |> List.map (fun (i, c) ->
+           Json.Arr [ Num (float_of_int i); Num (float_of_int c) ])
+  in
+  Obj
+    [
+      ("type", Str "hist");
+      ("count", Num (float_of_int h.count));
+      ("sum", num h.sum);
+      ("min", num (if h.count = 0 then Float.nan else h.min));
+      ("max", num (if h.count = 0 then Float.nan else h.max));
+      ("p50", num (quantile_of_hist h 0.50));
+      ("p95", num (quantile_of_hist h 0.95));
+      ("p99", num (quantile_of_hist h 0.99));
+      ("buckets", Arr buckets);
+    ]
+
+let to_json t : Json.t =
+  Obj
+    (List.map
+       (fun name ->
+         let v : Json.t =
+           match Hashtbl.find t.entries name with
+           | Counter r -> Obj [ ("type", Str "counter"); ("value", Num (float_of_int !r)) ]
+           | Gauge r -> Obj [ ("type", Str "gauge"); ("value", num !r) ]
+           | Hist h -> hist_to_json h
+         in
+         (name, v))
+       (names t))
+
+let of_json (j : Json.t) =
+  let t = create () in
+  let float_field obj k =
+    match Json.member k obj with Some (Num x) -> x | _ -> Float.nan
+  in
+  (match j with
+  | Obj kvs ->
+      List.iter
+        (fun (name, v) ->
+          match Json.member "type" v with
+          | Some (Str "counter") ->
+              incr ~by:(int_of_float (float_field v "value")) t name
+          | Some (Str "gauge") -> set_gauge t name (float_field v "value")
+          | Some (Str "hist") ->
+              let h = hist t name in
+              (match Json.member "buckets" v with
+              | Some (Arr bs) ->
+                  List.iter
+                    (function
+                      | Json.Arr [ Num i; Num c ] ->
+                          let i = int_of_float i and c = int_of_float c in
+                          if i >= 0 && i < n_buckets then
+                            h.counts.(i) <- h.counts.(i) + c
+                      | _ -> ())
+                    bs
+              | _ -> ());
+              h.count <- int_of_float (float_field v "count");
+              h.sum <- float_field v "sum";
+              let mn = float_field v "min" and mx = float_field v "max" in
+              h.min <- (if Float.is_nan mn then infinity else mn);
+              h.max <- (if Float.is_nan mx then neg_infinity else mx)
+          | _ -> ())
+        kvs
+  | _ -> invalid_arg "Metrics.of_json: expected an object");
+  t
+
+(* ---------- pretty-printing ---------- *)
+
+let pp ppf t =
+  let pp_entry name =
+    match Hashtbl.find t.entries name with
+    | Counter r -> Fmt.pf ppf "  %-42s %10d@." name !r
+    | Gauge r -> Fmt.pf ppf "  %-42s %10.2f@." name !r
+    | Hist h ->
+        if h.count = 0 then Fmt.pf ppf "  %-42s (no samples)@." name
+        else
+          Fmt.pf ppf
+            "  %-42s n=%-6d p50=%-8.3f p95=%-8.3f p99=%-8.3f max=%-8.3f@."
+            name h.count
+            (quantile_of_hist h 0.50)
+            (quantile_of_hist h 0.95)
+            (quantile_of_hist h 0.99)
+            h.max
+  in
+  List.iter pp_entry (names t)

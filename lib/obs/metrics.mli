@@ -1,0 +1,75 @@
+(** Per-node registry of named counters, gauges and log-bucketed latency
+    histograms.
+
+    The registry is designed to be left on in every run: recording a
+    counter is one integer increment, recording a histogram sample is one
+    array bump plus four scalar updates.  Names are flat dotted strings
+    ([layer.metric], e.g. ["consensus.instances_decided"],
+    ["abcast.latency_ms"]); entries are created lazily on first use, so
+    layers never need to pre-register anything.
+
+    Histograms use 4 log-spaced buckets per octave starting at 0.001 ms
+    (128 buckets total), giving quantile estimates within ~19% relative
+    error over the whole simulated-latency range; exact min/max/sum/count
+    are kept alongside and quantiles are clamped to the observed extremes.
+
+    A metric name denotes one kind for the lifetime of the registry —
+    using it as a different kind raises [Invalid_argument]. *)
+
+type t
+
+val create : unit -> t
+
+(** {1 Recording} *)
+
+val incr : ?by:int -> t -> string -> unit
+(** Bump a counter (created at 0 on first use). *)
+
+val set_gauge : t -> string -> float -> unit
+(** Set a gauge to its latest reading. *)
+
+val observe : t -> string -> float -> unit
+(** Record one histogram sample (unit: whatever the metric's name says,
+    milliseconds for the built-in [*_ms] metrics). *)
+
+(** {1 Reading} *)
+
+val counter : t -> string -> int
+(** 0 when absent. *)
+
+val gauge : t -> string -> float
+(** 0.0 when absent. *)
+
+val hist_count : t -> string -> int
+
+val quantile : t -> string -> float -> float
+(** [quantile t name 0.99] — [nan] when the histogram is absent or empty. *)
+
+val hist_max : t -> string -> float
+val hist_mean : t -> string -> float
+
+val names : t -> string list
+(** All registered metric names, sorted. *)
+
+(** {1 Merging}
+
+    Cross-node aggregation: counters and histogram buckets add, gauges
+    keep the maximum (the interesting cross-node reading for e.g. blocked
+    time). *)
+
+val merge_into : into:t -> t -> unit
+val merged : t list -> t
+
+(** {1 Serialisation} *)
+
+val to_json : t -> Json.t
+(** Self-describing object: each entry carries its ["type"], counters and
+    gauges their ["value"], histograms count/sum/min/max, derived
+    p50/p95/p99, and sparse non-empty buckets. *)
+
+val of_json : Json.t -> t
+(** Inverse of {!to_json} (derived quantiles are recomputed from buckets).
+    @raise Invalid_argument when the value is not an object. *)
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable table, one metric per line. *)

@@ -29,6 +29,7 @@ type t = {
 
 let deliver t ~origin inner =
   t.delivered <- t.delivered + 1;
+  Process.incr t.proc "rbcast.delivered";
   List.iter (fun f -> f ~origin inner) (List.rev t.subscribers)
 
 let handle t = function
@@ -62,6 +63,7 @@ let create proc rc =
   t
 
 let broadcast t ?(size = 64) ~dests inner =
+  Process.incr t.proc "rbcast.broadcasts";
   let origin = Process.id t.proc in
   let bid = t.next_bid in
   t.next_bid <- bid + 1;

@@ -104,6 +104,7 @@ let retransmit t =
     (fun dst (o : outgoing) ->
       List.iter
         (fun p ->
+          Process.incr t.proc "rchannel.retransmissions";
           Process.send t.proc ~size:p.size ~dst
             (Rc_data { gen = o.gen; seq = p.seq; inner = p.inner; size = p.size }))
         o.window;
@@ -112,8 +113,11 @@ let retransmit t =
           let age = now -. oldest.since in
           if age > t.stuck_after then begin
             o.stuck_reported <- true;
+            Process.incr t.proc "rchannel.stuck_detections";
             Process.emit t.proc ~component:"rchannel" ~event:"stuck"
-              (Printf.sprintf "dst %d age %.0fms" dst age);
+              ~attrs:
+                [ ("dst", string_of_int dst); ("age_ms", Printf.sprintf "%.0f" age) ]
+              ();
             f ~dst ~age
           end
       | _ -> ())
@@ -132,6 +136,10 @@ let create proc ?(rto = 50.0) ?(stuck_after = 10_000.0) () =
       accepted = 0;
     }
   in
+  (* Pre-register the headline counters so merged reports carry them even
+     when nothing fired (absent and zero must read the same). *)
+  Process.incr ~by:0 proc "rchannel.sends";
+  Process.incr ~by:0 proc "rchannel.retransmissions";
   Process.on_receive proc (fun ~src payload ->
       match payload with
       | Rc_data { gen; seq; inner; _ } -> handle_data t ~src ~gen ~seq ~inner
@@ -143,6 +151,7 @@ let create proc ?(rto = 50.0) ?(stuck_after = 10_000.0) () =
 let send t ?(size = 64) ~dst payload =
   if Process.alive t.proc then begin
     t.accepted <- t.accepted + 1;
+    Process.incr t.proc "rchannel.sends";
     if dst = Process.id t.proc then
       (* Local loopback: deliver through the event queue so that a broadcast
          to a set including self behaves uniformly (no synchronous

@@ -97,8 +97,12 @@ let handle_update t ~origin u =
         (* Ordered after a primary change: the paper's outcome 2 — the old
            primary's processing is void; the client will retry. *)
         t.n_discarded <- t.n_discarded + 1;
+        Gc_kernel.Process.incr (Stack.process t.stack) "passive.discards";
         Gc_kernel.Process.emit (Stack.process t.stack) ~component:"passive"
-          ~event:"discard" (Printf.sprintf "stale epoch %d useq %d" epoch useq)
+          ~event:"discard"
+          ~attrs:
+            [ ("epoch", string_of_int epoch); ("useq", string_of_int useq) ]
+          ()
       end
   | _ -> ()
 
@@ -112,10 +116,16 @@ let handle_change t e =
     Hashtbl.reset t.in_flight;
     t.change_requested <- false;
     t.n_changes <- t.n_changes + 1;
+    Gc_kernel.Process.incr (Stack.process t.stack) "passive.primary_changes";
     Gc_kernel.Process.emit (Stack.process t.stack) ~component:"passive"
       ~event:"primary_change"
-      (Printf.sprintf "epoch %d, primary now %s" t.epoch
-         (match primary t with Some p -> string_of_int p | None -> "-"))
+      ~attrs:
+        [
+          ("epoch", string_of_int t.epoch);
+          ( "primary",
+            match primary t with Some p -> string_of_int p | None -> "-" );
+        ]
+      ()
   end
 
 let handle_request t ~cid ~rid ~cmd =

@@ -3,7 +3,7 @@ type record = {
   node : int;
   component : string;
   event : string;
-  detail : string;
+  attrs : (string * string) list;
 }
 
 type t = {
@@ -18,24 +18,34 @@ let create ?(enabled = false) ?(capacity = 100_000) () =
 let enable t b = t.on <- b
 let enabled t = t.on
 
-let emit t ~time ~node ~component ~event detail =
+let emit t ~time ~node ~component ~event ?(attrs = []) () =
   if t.on then begin
     if Queue.length t.buf >= t.capacity then ignore (Queue.pop t.buf);
-    Queue.push { time; node; component; event; detail } t.buf
+    Queue.push { time; node; component; event; attrs } t.buf
   end
+
+let emit_legacy t ~time ~node ~component ~event detail =
+  let attrs = if detail = "" then [] else [ ("detail", detail) ] in
+  emit t ~time ~node ~component ~event ~attrs ()
+
+let detail r =
+  String.concat " " (List.map (fun (k, v) -> k ^ "=" ^ v) r.attrs)
+
+let attr r key = List.assoc_opt key r.attrs
 
 let records t = List.of_seq (Queue.to_seq t.buf)
 
-let find t ?node ?component ?event () =
+let find t ?node ?component ?event ?attr:a () =
   let keep r =
     (match node with None -> true | Some n -> r.node = n)
     && (match component with None -> true | Some c -> r.component = c)
-    && match event with None -> true | Some e -> r.event = e
+    && (match event with None -> true | Some e -> r.event = e)
+    && match a with None -> true | Some (k, v) -> attr r k = Some v
   in
   List.filter keep (records t)
 
 let clear t = Queue.clear t.buf
 
 let pp_record ppf r =
-  Format.fprintf ppf "[%8.2f] n%d %s/%s %s" r.time r.node r.component r.event
-    r.detail
+  Format.fprintf ppf "[%8.2f] n%d %s/%s" r.time r.node r.component r.event;
+  List.iter (fun (k, v) -> Format.fprintf ppf " %s=%s" k v) r.attrs

@@ -1,15 +1,17 @@
 (** Structured trace of simulation events.
 
-    Components emit trace records (who, when, what); tests assert on them
-    and the examples print them.  Tracing is off by default and costs one
-    branch per emit when disabled. *)
+    Components emit trace records (who, when, what, plus structured
+    key/value attributes); tests assert on them and the examples print
+    them.  Tracing is off by default and costs one branch per emit when
+    disabled. *)
 
 type record = {
   time : float;      (** virtual time of the event *)
   node : int;        (** emitting process, [-1] for the environment *)
   component : string;(** e.g. "consensus", "fd" *)
   event : string;    (** short event tag, e.g. "decide" *)
-  detail : string;   (** free-form detail *)
+  attrs : (string * string) list;
+      (** structured attributes, e.g. [("inst", "4"); ("round", "2")] *)
 }
 
 type t
@@ -23,14 +25,32 @@ val enabled : t -> bool
 
 val emit :
   t -> time:float -> node:int -> component:string -> event:string ->
+  ?attrs:(string * string) list -> unit -> unit
+
+val emit_legacy :
+  t -> time:float -> node:int -> component:string -> event:string ->
   string -> unit
+[@@alert deprecated
+    "Use emit with ?attrs; the free-form detail becomes a single \
+     [(\"detail\", _)] attribute."]
+(** Old five-string signature; the detail string is stored as a single
+    [("detail", _)] attribute (omitted when empty). *)
+
+val detail : record -> string
+(** Attributes rendered as ["k=v k=v ..."] — the closest equivalent of the
+    old free-form detail field. *)
+
+val attr : record -> string -> string option
+(** [attr r k] is the value of attribute [k], if present. *)
 
 val records : t -> record list
 (** Records in emission order. *)
 
-val find : t -> ?node:int -> ?component:string -> ?event:string -> unit ->
-  record list
-(** Records matching all the given filters. *)
+val find :
+  t -> ?node:int -> ?component:string -> ?event:string ->
+  ?attr:string * string -> unit -> record list
+(** Records matching all the given filters; [?attr:(k, v)] keeps records
+    carrying exactly that attribute binding. *)
 
 val clear : t -> unit
 

@@ -118,6 +118,7 @@ let crash t = Process.crash t.proc
 let on_deliver t f = t.subscribers <- f :: t.subscribers
 let on_view t f = t.view_subscribers <- f :: t.view_subscribers
 let token_passes t = t.n_token_passes
+let process t = t.proc
 let view_changes t = t.n_views
 let exclusions_suffered t = t.n_exclusions
 
@@ -262,8 +263,10 @@ and start_recovery t proposal joiners =
   t.my_recovery <- Some r;
   adopt_recovery t epoch;
   Hashtbl.replace r.responses (me t) (t.last_gseq, recovery_payload t);
+  Process.incr t.proc "totem.recoveries";
   Process.emit t.proc ~component:"totem" ~event:"recovery_start"
-    (Printf.sprintf "epoch (%d,%d)" (fst epoch) (snd epoch));
+    ~attrs:[ ("epoch", Printf.sprintf "%d,%d" (fst epoch) (snd epoch)) ]
+    ();
   List.iter
     (fun q ->
       if q <> me t && List.mem q old then
@@ -371,8 +374,10 @@ and apply_install t ~view ~fill ~last_gseq =
   t.pending_joins <-
     List.filter (fun (p, _) -> not (View.mem view p)) t.pending_joins;
   Fd.set_peers t.fd view.View.members;
+  Process.incr t.proc "totem.view_changes";
   Process.emit t.proc ~component:"totem" ~event:"install"
-    (Format.asprintf "%a" View.pp view);
+    ~attrs:[ ("view", Format.asprintf "%a" View.pp view) ]
+    ();
   List.iter (fun f -> f view) (List.rev t.view_subscribers);
   replay_stashed_token t
 
@@ -386,7 +391,8 @@ and handle_install t ~epoch ~view ~fill ~last_gseq =
       t.view <- view;
       t.n_exclusions <- t.n_exclusions + 1;
       t.excluded_since <- Some (Process.now t.proc);
-      Process.emit t.proc ~component:"totem" ~event:"excluded" "";
+      Process.incr t.proc "totem.exclusions";
+      Process.emit t.proc ~component:"totem" ~event:"excluded" ();
       schedule_rejoin t
     end
   end
@@ -427,7 +433,8 @@ let handle_state t ~view ~last_gseq ~app =
     Fd.set_peers t.fd view.View.members;
     t.n_views <- t.n_views + 1;
     Process.emit t.proc ~component:"totem" ~event:"joined"
-      (Format.asprintf "%a" View.pp view);
+      ~attrs:[ ("view", Format.asprintf "%a" View.pp view) ]
+      ();
     List.iter (fun f -> f view) (List.rev t.view_subscribers);
     replay_stashed_token t
   end
@@ -435,6 +442,9 @@ let handle_state t ~view ~last_gseq ~app =
 let create net ~trace ~id ~initial ?(config = default_config)
     ?app_state_provider ?app_state_installer () =
   let proc = Process.create net ~trace ~id in
+  Process.incr ~by:0 proc "totem.recoveries";
+  Process.incr ~by:0 proc "totem.view_changes";
+  Process.incr ~by:0 proc "totem.exclusions";
   let fd = Fd.create proc ~hb_period:config.hb_period ~peers:initial () in
   let rc = Rc.create proc ~rto:config.rto () in
   let t_ref = ref None in

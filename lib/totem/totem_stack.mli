@@ -70,3 +70,4 @@ val id : t -> int
 val token_passes : t -> int
 val view_changes : t -> int
 val exclusions_suffered : t -> int
+val process : t -> Gc_kernel.Process.t

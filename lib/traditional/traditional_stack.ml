@@ -320,7 +320,12 @@ let start_block t =
 let end_block t =
   match t.blocked_since with
   | Some s ->
-      t.blocked_total <- t.blocked_total +. (Process.now t.proc -. s);
+      let span = Process.now t.proc -. s in
+      t.blocked_total <- t.blocked_total +. span;
+      Process.observe t.proc "traditional.blocked_ms" span;
+      Gc_obs.Metrics.set_gauge
+        (Process.metrics t.proc)
+        "traditional.blocked_ms_total" t.blocked_total;
       t.blocked_since <- None
   | None -> ()
 
@@ -366,9 +371,14 @@ and start_flush t proposal joiners =
     }
   in
   t.my_flush <- Some f;
+  Process.incr t.proc "traditional.flushes";
   Process.emit t.proc ~component:"traditional" ~event:"flush_start"
-    (Printf.sprintf "epoch (%d,%d) proposal [%s]" (fst epoch) (snd epoch)
-       (String.concat ";" (List.map string_of_int proposal)));
+    ~attrs:
+      [
+        ("epoch", Printf.sprintf "%d,%d" (fst epoch) (snd epoch));
+        ("proposal", String.concat ";" (List.map string_of_int proposal));
+      ]
+    ();
   (* Ask every surviving old member (they hold old-view state); pure joiners
      have nothing to flush. *)
   let responders = List.filter (fun q -> List.mem q old_members) proposal in
@@ -509,8 +519,10 @@ and apply_install t ~view ~deliver =
   t.pending_leaves <- List.filter (fun p -> View.mem view p) t.pending_leaves;
   Fd.set_peers t.fd view.View.members;
   end_block t;
+  Process.incr t.proc "traditional.view_changes";
   Process.emit t.proc ~component:"traditional" ~event:"install"
-    (Format.asprintf "%a" View.pp view);
+    ~attrs:[ ("view", Format.asprintf "%a" View.pp view) ]
+    ();
   List.iter (fun f -> f view) (List.rev t.view_subscribers);
   (* Replay messages that arrived tagged with this view before we got here. *)
   let future = List.rev t.future in
@@ -543,7 +555,8 @@ and handle_install t ~epoch ~view ~deliver =
       if not t.leaving then begin
         t.n_exclusions <- t.n_exclusions + 1;
         t.excluded_since <- Some (Process.now t.proc);
-        Process.emit t.proc ~component:"traditional" ~event:"excluded" "";
+        Process.incr t.proc "traditional.exclusions";
+        Process.emit t.proc ~component:"traditional" ~event:"excluded" ();
         schedule_rejoin t
       end
     end
@@ -603,7 +616,8 @@ let handle_state t ~view ~last_gseq ~app =
     Fd.set_peers t.fd view.View.members;
     t.n_views <- t.n_views + 1;
     Process.emit t.proc ~component:"traditional" ~event:"joined"
-      (Format.asprintf "%a" View.pp view);
+      ~attrs:[ ("view", Format.asprintf "%a" View.pp view) ]
+      ();
     List.iter (fun f -> f view) (List.rev t.view_subscribers);
     (* Flush operations queued while we were out. *)
     let q = List.rev t.out_queue in
@@ -614,6 +628,11 @@ let handle_state t ~view ~last_gseq ~app =
 let create net ~trace ~id ~initial ?(config = default_config)
     ?app_state_provider ?app_state_installer () =
   let proc = Process.create net ~trace ~id in
+  Process.incr ~by:0 proc "traditional.flushes";
+  Process.incr ~by:0 proc "traditional.view_changes";
+  Process.incr ~by:0 proc "traditional.exclusions";
+  Gc_obs.Metrics.set_gauge (Process.metrics proc)
+    "traditional.blocked_ms_total" 0.0;
   let fd = Fd.create proc ~hb_period:config.hb_period ~peers:initial () in
   let rc = Rc.create proc ~rto:config.rto () in
   let t_ref = ref None in

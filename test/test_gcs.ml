@@ -70,9 +70,7 @@ let test_rbcast_fast_and_agreed () =
 
 let test_crash_leads_to_exclusion_and_progress () =
   for_seeds ~count:5 (fun seed ->
-      let config =
-        { Stack.default_config with exclusion_timeout = 500.0 }
-      in
+      let config = Stack.Config.make ~exclusion_timeout:500.0 () in
       let engine, _net, stacks, applied = make_stacks ~config ~n:4 ~seed () in
       Stack.abcast stacks.(0) (Op 1);
       ignore
@@ -98,11 +96,7 @@ let test_wrong_suspicion_does_not_exclude () =
      spike longer than the consensus timeout but shorter than the exclusion
      timeout must leave the membership intact while messages keep flowing. *)
   let config =
-    {
-      Stack.default_config with
-      consensus_timeout = 80.0;
-      exclusion_timeout = 4000.0;
-    }
+    Stack.Config.make ~consensus_timeout:80.0 ~exclusion_timeout:4000.0 ()
   in
   let engine, net, stacks, applied = make_stacks ~config ~n:3 ~seed:5L () in
   Netsim.delay_spike net ~nodes:[ 0 ] ~until:600.0 ~extra:300.0;
@@ -201,7 +195,7 @@ let test_mixed_classes_order_against_each_other () =
 let test_adaptive_consensus_config () =
   (* The stack runs with the self-tuning consensus monitor: same behaviour,
      no timeout knob. *)
-  let config = { Stack.default_config with consensus_adaptive = true } in
+  let config = Stack.Config.make ~consensus_adaptive:true () in
   let engine, _net, stacks, applied = make_stacks ~config ~n:3 ~seed:21L () in
   for k = 0 to 5 do
     Stack.abcast stacks.(k mod 3) (Op k)
@@ -219,11 +213,8 @@ let test_two_thirds_stack_config () =
   (* The stack on the published quorums: with n = 4 the fast path survives a
      crash without waiting for the exclusion. *)
   let config =
-    {
-      Stack.default_config with
-      gb_ack_mode = Gc_gbcast.Generic_broadcast.Two_thirds;
-      exclusion_timeout = 60_000.0 (* exclusion effectively disabled *);
-    }
+    Stack.Config.make ~gb_ack_mode:Gc_gbcast.Generic_broadcast.Two_thirds
+      ~exclusion_timeout:60_000.0 (* exclusion effectively disabled *) ()
   in
   let engine, _net, stacks, applied = make_stacks ~config ~n:4 ~seed:22L () in
   ignore (Engine.schedule engine ~delay:500.0 (fun () -> Stack.crash stacks.(3)));

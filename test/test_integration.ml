@@ -29,7 +29,7 @@ let scenario ~seed ~n ~ops ~crash ~leave =
   let trace = Trace.create () in
   let net = Netsim.create engine ~trace ~delay:Gc_net.Delay.lan ~n () in
   let initial = List.init n (fun i -> i) in
-  let config = { Stack.default_config with exclusion_timeout = 800.0 } in
+  let config = Stack.Config.make ~exclusion_timeout:800.0 () in
   let histories = Array.make n [] in
   let stacks =
     Array.init n (fun id ->
@@ -166,7 +166,7 @@ let test_rejoin_after_exclusion_full_stack () =
   let trace = Trace.create () in
   let net = Netsim.create engine ~trace ~delay:Gc_net.Delay.lan ~n:4 () in
   let initial = [ 0; 1; 2; 3 ] in
-  let config = { Stack.default_config with exclusion_timeout = 600.0 } in
+  let config = Stack.Config.make ~exclusion_timeout:600.0 () in
   let histories = Array.make 4 [] in
   let stacks =
     Array.init 4 (fun id ->

@@ -17,24 +17,39 @@ let () =
 
 let test_trace_roundtrip () =
   let tr = Trace.create ~enabled:true () in
-  Trace.emit tr ~time:1.0 ~node:0 ~component:"a" ~event:"x" "one";
-  Trace.emit tr ~time:2.0 ~node:1 ~component:"b" ~event:"y" "two";
-  Trace.emit tr ~time:3.0 ~node:0 ~component:"a" ~event:"y" "three";
+  Trace.emit tr ~time:1.0 ~node:0 ~component:"a" ~event:"x"
+    ~attrs:[ ("step", "one") ]
+    ();
+  Trace.emit tr ~time:2.0 ~node:1 ~component:"b" ~event:"y"
+    ~attrs:[ ("step", "two") ]
+    ();
+  Trace.emit tr ~time:3.0 ~node:0 ~component:"a" ~event:"y"
+    ~attrs:[ ("step", "three"); ("extra", "z") ]
+    ();
   check_int "all records" 3 (List.length (Trace.records tr));
   check_int "by node" 2 (List.length (Trace.find tr ~node:0 ()));
   check_int "by component" 2 (List.length (Trace.find tr ~component:"a" ()));
   check_int "by event and node" 1
     (List.length (Trace.find tr ~node:0 ~event:"y" ()));
+  check_int "by attr" 1
+    (List.length (Trace.find tr ~attr:("step", "two") ()));
+  (match Trace.find tr ~attr:("extra", "z") () with
+  | [ r ] ->
+      Alcotest.(check string) "derived detail" "step=three extra=z"
+        (Trace.detail r);
+      Alcotest.(check (option string)) "attr lookup" (Some "three")
+        (Trace.attr r "step")
+  | rs -> Alcotest.failf "expected 1 record with extra=z, got %d" (List.length rs));
   Trace.clear tr;
   check_int "cleared" 0 (List.length (Trace.records tr))
 
 let test_trace_disabled_and_capacity () =
   let off = Trace.create () in
-  Trace.emit off ~time:1.0 ~node:0 ~component:"a" ~event:"x" "";
+  Trace.emit off ~time:1.0 ~node:0 ~component:"a" ~event:"x" ();
   check_int "disabled drops" 0 (List.length (Trace.records off));
   let tiny = Trace.create ~enabled:true ~capacity:3 () in
   for i = 1 to 5 do
-    Trace.emit tiny ~time:(float_of_int i) ~node:0 ~component:"a" ~event:"x" ""
+    Trace.emit tiny ~time:(float_of_int i) ~node:0 ~component:"a" ~event:"x" ()
   done;
   let records = Trace.records tiny in
   check_int "capacity bound" 3 (List.length records);

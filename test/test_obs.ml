@@ -1,0 +1,216 @@
+(* Gc_obs: the metrics registry (counters, gauges, log-bucketed
+   histograms), its JSON round-trip, cross-node merging, the trace
+   buffer's bounded capacity, the deprecated emit shim — and the
+   architectural end-to-end property the registry exists to expose:
+   rbcast-only traffic consumes strictly fewer consensus instances than
+   the same traffic totally ordered. *)
+
+module Engine = Gc_sim.Engine
+module Trace = Gc_sim.Trace
+module Netsim = Gc_net.Netsim
+module Stack = Gcs.Gcs_stack
+module Metrics = Gc_obs.Metrics
+module Json = Gc_obs.Json
+open Support
+
+type Gc_net.Payload.t += Obs_op of int
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* ---------- counters and gauges ---------- *)
+
+let test_counters () =
+  let m = Metrics.create () in
+  check_int "absent counter reads 0" 0 (Metrics.counter m "c");
+  Metrics.incr m "c";
+  Metrics.incr m "c" ~by:4;
+  check_int "incremented" 5 (Metrics.counter m "c");
+  Metrics.set_gauge m "g" 7.5;
+  Metrics.set_gauge m "g" 3.25;
+  check_float "gauge keeps latest" 3.25 (Metrics.gauge m "g");
+  Alcotest.(check (list string)) "names sorted" [ "c"; "g" ] (Metrics.names m)
+
+let test_kind_mismatch () =
+  let m = Metrics.create () in
+  Metrics.incr m "x";
+  Alcotest.check_raises "counter used as histogram"
+    (Invalid_argument "Metrics: x is not a histogram") (fun () ->
+      Metrics.observe m "x" 1.0)
+
+(* ---------- histogram quantiles ---------- *)
+
+let test_quantiles () =
+  let m = Metrics.create () in
+  Alcotest.(check bool)
+    "empty histogram quantile is nan" true
+    (Float.is_nan (Metrics.quantile m "h" 0.5));
+  for v = 1 to 1000 do
+    Metrics.observe m "h" (float_of_int v)
+  done;
+  check_int "count" 1000 (Metrics.hist_count m "h");
+  check_float "max exact" 1000.0 (Metrics.hist_max m "h");
+  check_float "mean exact" 500.5 (Metrics.hist_mean m "h");
+  (* Log-bucketed estimates: within one bucket (~19% relative error). *)
+  let within q lo hi =
+    let v = Metrics.quantile m "h" q in
+    Alcotest.(check bool)
+      (Printf.sprintf "p%.0f=%.1f in [%.0f,%.0f]" (q *. 100.0) v lo hi)
+      true
+      (v >= lo && v <= hi)
+  in
+  within 0.50 400.0 620.0;
+  within 0.95 780.0 1000.0;
+  within 0.99 820.0 1000.0;
+  let p50 = Metrics.quantile m "h" 0.5
+  and p95 = Metrics.quantile m "h" 0.95
+  and p99 = Metrics.quantile m "h" 0.99 in
+  Alcotest.(check bool) "quantiles monotone" true (p50 <= p95 && p95 <= p99);
+  Alcotest.(check bool)
+    "clamped to observed max" true
+    (Metrics.quantile m "h" 1.0 <= Metrics.hist_max m "h")
+
+(* ---------- merging ---------- *)
+
+let test_merge () =
+  let a = Metrics.create () and b = Metrics.create () in
+  Metrics.incr a "c" ~by:3;
+  Metrics.incr b "c" ~by:4;
+  Metrics.set_gauge a "g" 10.0;
+  Metrics.set_gauge b "g" 2.0;
+  Metrics.observe a "h" 5.0;
+  Metrics.observe b "h" 50.0;
+  Metrics.incr b "only_b";
+  let m = Metrics.merged [ a; b ] in
+  check_int "counters add" 7 (Metrics.counter m "c");
+  check_float "gauges keep max" 10.0 (Metrics.gauge m "g");
+  check_int "histogram counts add" 2 (Metrics.hist_count m "h");
+  check_float "merged max" 50.0 (Metrics.hist_max m "h");
+  check_int "entry present in one side survives" 1 (Metrics.counter m "only_b");
+  check_int "sources untouched" 3 (Metrics.counter a "c")
+
+(* ---------- JSON round-trip ---------- *)
+
+let test_json_roundtrip () =
+  let m = Metrics.create () in
+  Metrics.incr m "consensus.instances_decided" ~by:17;
+  Metrics.set_gauge m "membership.sender_blocked_ms_total" 0.0;
+  for v = 1 to 64 do
+    Metrics.observe m "abcast.latency_ms" (float_of_int v *. 0.7)
+  done;
+  let j = Metrics.to_json m in
+  let m' = Metrics.of_json j in
+  Alcotest.(check string)
+    "to_json (of_json j) = j" (Json.to_string j)
+    (Json.to_string (Metrics.to_json m'));
+  check_int "counter survives" 17
+    (Metrics.counter m' "consensus.instances_decided");
+  check_int "histogram count survives" 64
+    (Metrics.hist_count m' "abcast.latency_ms");
+  check_float "histogram max survives"
+    (Metrics.hist_max m "abcast.latency_ms")
+    (Metrics.hist_max m' "abcast.latency_ms");
+  (* And through the string parser too. *)
+  let m'' = Metrics.of_json (Json.of_string (Json.to_string_pretty j)) in
+  Alcotest.(check string)
+    "text round-trip" (Json.to_string j)
+    (Json.to_string (Metrics.to_json m''))
+
+(* ---------- trace capacity and deprecated shim ---------- *)
+
+let test_trace_capacity () =
+  let t = Trace.create ~enabled:true ~capacity:10 () in
+  for i = 0 to 24 do
+    Trace.emit t ~time:(float_of_int i) ~node:0 ~component:"c" ~event:"e"
+      ~attrs:[ ("i", string_of_int i) ]
+      ()
+  done;
+  let rs = Trace.records t in
+  check_int "capacity bounds the buffer" 10 (List.length rs);
+  Alcotest.(check (option string))
+    "oldest surviving record is #15" (Some "15")
+    (Trace.attr (List.hd rs) "i");
+  Alcotest.(check (option string))
+    "newest record is #24" (Some "24")
+    (Trace.attr (List.nth rs 9) "i")
+
+(* The deprecated shim is exercised on purpose. *)
+[@@@alert "-deprecated"]
+
+let test_emit_legacy () =
+  let t = Trace.create ~enabled:true () in
+  Trace.emit_legacy t ~time:1.0 ~node:2 ~component:"old" ~event:"ev"
+    "free-form detail";
+  Trace.emit_legacy t ~time:2.0 ~node:2 ~component:"old" ~event:"empty" "";
+  match Trace.records t with
+  | [ r1; r2 ] ->
+      Alcotest.(check (option string))
+        "detail becomes an attribute" (Some "free-form detail")
+        (Trace.attr r1 "detail");
+      Alcotest.(check string)
+        "detail rendering" "detail=free-form detail" (Trace.detail r1);
+      Alcotest.(check (list (pair string string)))
+        "empty detail omitted" [] r2.Trace.attrs
+  | rs -> Alcotest.failf "expected 2 records, got %d" (List.length rs)
+
+(* ---------- end-to-end: rbcast avoids consensus ---------- *)
+
+let run_workload ~ordered =
+  let engine = Engine.create ~seed:77L () in
+  let trace = Trace.create () in
+  let n = 3 in
+  let net = Netsim.create engine ~trace ~delay:Gc_net.Delay.lan ~n () in
+  let initial = List.init n (fun i -> i) in
+  let delivered = ref 0 in
+  let stacks =
+    Array.init n (fun id ->
+        let s = Stack.create net ~trace ~id ~initial () in
+        Stack.on_deliver s (fun ~origin:_ ~ordered:_ _ ->
+            if id = 0 then incr delivered);
+        s)
+  in
+  for k = 0 to 19 do
+    ignore
+      (Engine.schedule engine
+         ~delay:(100.0 +. (float_of_int k *. 25.0))
+         (fun () ->
+           let s = stacks.(k mod n) in
+           let p = Obs_op (1000 + k) in
+           if ordered then Stack.abcast s p else Stack.rbcast s p))
+  done;
+  Engine.run ~until:5_000.0 engine;
+  let m = Metrics.merged (Array.to_list stacks |> List.map Stack.metrics) in
+  (!delivered, m)
+
+let test_rbcast_needs_fewer_instances () =
+  let d_rb, m_rb = run_workload ~ordered:false in
+  let d_ab, m_ab = run_workload ~ordered:true in
+  check_int "rbcast delivered all" 20 d_rb;
+  check_int "abcast delivered all" 20 d_ab;
+  let i_rb = Metrics.counter m_rb "consensus.instances_decided"
+  and i_ab = Metrics.counter m_ab "consensus.instances_decided" in
+  Alcotest.(check bool)
+    (Printf.sprintf
+       "rbcast-only uses strictly fewer consensus instances (%d < %d)" i_rb
+       i_ab)
+    true (i_rb < i_ab);
+  Alcotest.(check bool)
+    "abcast workload used consensus at all" true (i_ab > 0);
+  Alcotest.(check bool)
+    "rbcast workload counted its deliveries" true
+    (Metrics.counter m_rb "rbcast.delivered" >= 20 * 3)
+
+let suite =
+  [
+    ( "obs",
+      [
+        Alcotest.test_case "counters and gauges" `Quick test_counters;
+        Alcotest.test_case "kind mismatch raises" `Quick test_kind_mismatch;
+        Alcotest.test_case "histogram quantiles" `Quick test_quantiles;
+        Alcotest.test_case "merge semantics" `Quick test_merge;
+        Alcotest.test_case "json round-trip" `Quick test_json_roundtrip;
+        Alcotest.test_case "trace capacity eviction" `Quick test_trace_capacity;
+        Alcotest.test_case "deprecated emit shim" `Quick test_emit_legacy;
+        Alcotest.test_case "rbcast uses fewer consensus instances" `Quick
+          test_rbcast_needs_fewer_instances;
+      ] );
+  ]

@@ -26,12 +26,8 @@ let scenario ~seed =
   let net = Netsim.create engine ~trace ~delay:Gc_net.Delay.lan ~n () in
   let initial = List.init n (fun i -> i) in
   let config =
-    {
-      Stack.default_config with
-      consensus_timeout = 120.0;
-      exclusion_timeout = 1_500.0;
-      state_transfer_delay = 25.0;
-    }
+    Stack.Config.make ~consensus_timeout:120.0 ~exclusion_timeout:1_500.0
+      ~state_transfer_delay:25.0 ()
   in
   let histories = Array.make n [] in
   let stacks =
