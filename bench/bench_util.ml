@@ -35,16 +35,19 @@ type 'stack world = {
   metrics : Metrics.t array; (* per-node layer metrics *)
 }
 
-let base_net ?(delay = Delay.lan) ~seed ~n () =
+(* Every cell records its causal event trace by default so the harness can
+   audit it (see [audit_trace]); the Bechamel micro-benchmarks pass
+   [~record:false] because they measure wall-clock cost. *)
+let base_net ?(delay = Delay.lan) ?(record = true) ~seed ~n () =
   let engine = Engine.create ~seed () in
-  let trace = Trace.create () in
+  let trace = Trace.create ~enabled:record ~capacity:500_000 () in
   let net = Netsim.create engine ~trace ~delay ~n () in
   (engine, trace, net)
 
 (* ---------- world builders ---------- *)
 
-let new_world ?delay ?(config = Stack.default_config) ~seed ~n () =
-  let engine, trace, net = base_net ?delay ~seed ~n () in
+let new_world ?delay ?record ?(config = Stack.default_config) ~seed ~n () =
+  let engine, trace, net = base_net ?delay ?record ~seed ~n () in
   let initial = List.init n (fun i -> i) in
   let deliveries = Array.init n (fun _ -> ref []) in
   let stacks =
@@ -62,8 +65,8 @@ let new_world ?delay ?(config = Stack.default_config) ~seed ~n () =
   let metrics = Array.map Stack.metrics stacks in
   { engine; net; trace; stacks; deliveries; metrics }
 
-let trad_world ?delay ?(config = Tr.default_config) ~seed ~n () =
-  let engine, trace, net = base_net ?delay ~seed ~n () in
+let trad_world ?delay ?record ?(config = Tr.default_config) ~seed ~n () =
+  let engine, trace, net = base_net ?delay ?record ~seed ~n () in
   let initial = List.init n (fun i -> i) in
   let deliveries = Array.init n (fun _ -> ref []) in
   let stacks =
@@ -81,8 +84,8 @@ let trad_world ?delay ?(config = Tr.default_config) ~seed ~n () =
   let metrics = Array.map (fun s -> Process.metrics (Tr.process s)) stacks in
   { engine; net; trace; stacks; deliveries; metrics }
 
-let totem_world ?delay ?(config = Tt.default_config) ~seed ~n () =
-  let engine, trace, net = base_net ?delay ~seed ~n () in
+let totem_world ?delay ?record ?(config = Tt.default_config) ~seed ~n () =
+  let engine, trace, net = base_net ?delay ?record ~seed ~n () in
   let initial = List.init n (fun i -> i) in
   let deliveries = Array.init n (fun _ -> ref []) in
   let stacks =
@@ -203,6 +206,33 @@ let recovery_after w node ~crash_at =
   |> List.fold_left Float.min infinity
   |> fun first -> if first = infinity then nan else first -. crash_at
 
+(* ---------- trace audits ---------- *)
+
+module Audit = Gc_obs.Audit
+
+(* Violations found while auditing experiment cells.  bench/main.ml checks
+   this after all experiments ran and fails the whole run: a bench binary
+   exiting non-zero means a recorded history broke a protocol invariant. *)
+let audit_failures = ref 0
+
+(* Replay a cell's recorded trace through the offline auditor.  Same-view
+   needs each node's full history from time zero, so it is dropped when the
+   ring buffer evicted records. *)
+let audit_trace ?(checks = Audit.all_checks) ~experiment ~cell trace =
+  if Trace.enabled trace then begin
+    let checks =
+      if Trace.dropped trace > 0 then
+        List.filter (fun c -> c <> Audit.Same_view) checks
+      else checks
+    in
+    let report = Audit.run ~checks (Trace.records trace) in
+    if not (Audit.ok report) then begin
+      incr audit_failures;
+      Printf.printf "\nAUDIT FAILURE [%s/%s]:\n" experiment cell;
+      Format.printf "%a@." Audit.pp_report report
+    end
+  end
+
 (* ---------- metrics emission ---------- *)
 
 let merged_metrics w = Metrics.merged (Array.to_list w.metrics)
@@ -215,7 +245,10 @@ let metrics_notes : (string * (string * Json.t)) list ref = ref []
 let note_metrics ~experiment ~cell m =
   metrics_notes := (experiment, (cell, Metrics.to_json m)) :: !metrics_notes
 
-let note_world_metrics ~experiment ~cell w =
+(* Noting a world's metrics also audits its trace: every reported cell is a
+   checked cell. *)
+let note_world_metrics ?checks ~experiment ~cell w =
+  audit_trace ?checks ~experiment ~cell w.trace;
   note_metrics ~experiment ~cell (merged_metrics w)
 
 let write_metrics_file ?(path = "BENCH_metrics.json") () =
@@ -235,7 +268,7 @@ let write_metrics_file ?(path = "BENCH_metrics.json") () =
          experiments)
   in
   let oc = open_out path in
-  output_string oc (Json.to_string_pretty doc);
+  output_string oc (Json.to_string doc);
   output_string oc "\n";
   close_out oc;
   Printf.printf "\nmetrics written to %s (%d experiments, %d cells)\n" path

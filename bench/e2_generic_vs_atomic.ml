@@ -66,11 +66,13 @@ let run_cell ~use_generic ~commuting_pct ~seed =
     Gc_gbcast.Generic_broadcast.fast_delivered_count
       (Stack.generic_broadcast stack0)
   in
-  note_metrics ~experiment:"e2"
-    ~cell:
-      (Printf.sprintf "%s-%d%%"
-         (if use_generic then "generic" else "atomic")
-         commuting_pct)
+  let cell =
+    Printf.sprintf "%s-%d%%"
+      (if use_generic then "generic" else "atomic")
+      commuting_pct
+  in
+  audit_trace ~experiment:"e2" ~cell trace;
+  note_metrics ~experiment:"e2" ~cell
     (Metrics.merged (List.map Stack.metrics stacks));
   (Stats.count lat, Stats.mean lat, Stats.percentile lat 95.0, instances, fast,
    Netsim.messages_sent net)

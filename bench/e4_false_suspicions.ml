@@ -51,7 +51,22 @@ let run_trad ~rate ~seed =
   let excluded_time =
     Array.fold_left (fun acc s -> acc +. Tr.excluded_time_total s) 0.0 w.stacks
   in
-  note_world_metrics ~experiment:"e4" ~cell:(Printf.sprintf "trad-rate%.1f" rate) w;
+  (* Under injected wrong suspicions the coordinator-mode (Isis-style)
+     stack can briefly fork: two overlapping majorities install rival views
+     with the same vid and rival sequencers reuse sequence numbers until
+     the loser is excluded.  That total-order breach is the old-generation
+     defect this experiment exists to exhibit (the paper's consensus-based
+     membership is the cure), so the auditor's total-order check is waived
+     for the fault-injected traditional cells — the remaining invariants
+     must still hold. *)
+  let checks =
+    if rate > 0.0 then
+      List.filter (fun c -> c <> Audit.Total_order) Audit.all_checks
+    else Audit.all_checks
+  in
+  note_world_metrics ~checks ~experiment:"e4"
+    ~cell:(Printf.sprintf "trad-rate%.1f" rate)
+    w;
   ( delivered_count w 1,
     Stats.mean lat,
     Stats.percentile lat 95.0,

@@ -111,6 +111,8 @@ let failover () =
              ~cmd:(Sm.Bank.Deposit { account = 0; amount = 7 })
              ~on_reply:(fun _ ~latency:l -> latency := l)));
     Engine.run ~until:60_000.0 engine;
+    audit_trace ~experiment:"e6" ~cell:(Printf.sprintf "failover-gb-%Ld" seed)
+      trace;
     if seed = 601L then
       note_metrics ~experiment:"e6" ~cell:"failover-gb"
         (Metrics.merged
@@ -141,6 +143,8 @@ let failover () =
              ~cmd:(Sm.Bank.Deposit { account = 0; amount = 7 })
              ~on_reply:(fun _ ~latency:l -> latency := l)));
     Engine.run ~until:60_000.0 engine;
+    audit_trace ~experiment:"e6" ~cell:(Printf.sprintf "failover-vs-%Ld" seed)
+      trace;
     !latency
   in
   let gb = Stats.sample () and vs = Stats.sample () in

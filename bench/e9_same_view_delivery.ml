@@ -70,6 +70,19 @@ let run_variant ~same_view_delivery ~seed =
         | None -> ()
       done)
     tags.(0);
+  (* The via-ab cells violate same-view delivery by design (that is what the
+     ablation demonstrates), so only the other invariants are audited there;
+     via-gb cells must pass all checks including same-view. *)
+  let checks =
+    if same_view_delivery then Audit.all_checks
+    else List.filter (fun c -> c <> Audit.Same_view) Audit.all_checks
+  in
+  audit_trace ~checks ~experiment:"e9"
+    ~cell:
+      (Printf.sprintf "%s-%Ld"
+         (if same_view_delivery then "via-gb" else "via-ab")
+         seed)
+    trace;
   if seed = 901L then
     note_metrics ~experiment:"e9"
       ~cell:(if same_view_delivery then "via-gb" else "via-ab")

@@ -34,4 +34,10 @@ let () =
             (String.concat ", " (List.map fst experiments));
           exit 1)
     requested;
-  Bench_util.write_metrics_file ()
+  Bench_util.write_metrics_file ();
+  if !Bench_util.audit_failures > 0 then begin
+    Printf.eprintf "\n%d experiment cell(s) FAILED the trace audit\n"
+      !Bench_util.audit_failures;
+    exit 1
+  end;
+  print_endline "all audited experiment cells passed the trace audit"

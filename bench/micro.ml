@@ -19,7 +19,7 @@ let engine_events =
 let abcast_run =
   B.Test.make ~name:"new stack: 20 abcasts, n=3 (full sim)"
     (B.Staged.stage (fun () ->
-         let w = new_world ~seed:2L ~n:3 () in
+         let w = new_world ~record:false ~seed:2L ~n:3 () in
          drive_load w
            ~send:(fun s p -> Stack.abcast s p)
            ~start:10.0 ~period:10.0 ~count:20;
@@ -28,7 +28,7 @@ let abcast_run =
 let gbcast_fast_run =
   B.Test.make ~name:"new stack: 20 rbcasts (fast path), n=3"
     (B.Staged.stage (fun () ->
-         let w = new_world ~seed:3L ~n:3 () in
+         let w = new_world ~record:false ~seed:3L ~n:3 () in
          drive_load w
            ~send:(fun s p -> Stack.rbcast s p)
            ~start:10.0 ~period:10.0 ~count:20;
@@ -37,7 +37,7 @@ let gbcast_fast_run =
 let traditional_run =
   B.Test.make ~name:"traditional stack: 20 abcasts, n=3"
     (B.Staged.stage (fun () ->
-         let w = trad_world ~seed:4L ~n:3 () in
+         let w = trad_world ~record:false ~seed:4L ~n:3 () in
          drive_load w ~send:(fun s p -> Tr.abcast s p) ~start:10.0 ~period:10.0
            ~count:20;
          Engine.run ~until:1_000.0 w.engine))

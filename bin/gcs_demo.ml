@@ -23,11 +23,25 @@ module Client = Gc_replication.Client
 
 type Gc_net.Payload.t += Demo of { k : int; sent_at : float }
 
+let save_record trace = function
+  | None -> ()
+  | Some path ->
+      Trace.save_jsonl trace path;
+      Printf.printf "recorded %d events to %s\n"
+        (List.length (Trace.records trace))
+        path;
+      if Trace.dropped trace > 0 then
+        Printf.printf
+          "warning: ring buffer evicted %d events; same-view audit may be \
+           unreliable\n"
+          (Trace.dropped trace)
+
 (* ---------- run: a broadcast workload on either stack ---------- *)
 
-let run_cmd arch nodes casts period crash_node seed show_trace show_metrics =
+let run_cmd arch nodes casts period crash_node seed show_trace show_metrics
+    record =
   let engine = Engine.create ~seed () in
-  let trace = Trace.create ~enabled:show_trace () in
+  let trace = Trace.create ~enabled:(show_trace || record <> None) () in
   let net = Netsim.create engine ~trace ~delay:Gc_net.Delay.lan ~n:nodes () in
   let initial = List.init nodes (fun i -> i) in
   let lat = Stats.sample () in
@@ -135,14 +149,15 @@ let run_cmd arch nodes casts period crash_node seed show_trace show_metrics =
   if show_metrics then begin
     Printf.printf "\nmerged layer metrics (all nodes):\n";
     Format.printf "%a@." Metrics.pp (Metrics.merged (all_metrics ()))
-  end
+  end;
+  save_record trace record
 
 (* ---------- bank: the Section 4.2 workload ---------- *)
 
-let bank_cmd requests commuting seed =
+let bank_cmd requests commuting seed record =
   let n_replicas = 3 in
   let engine = Engine.create ~seed () in
-  let trace = Trace.create () in
+  let trace = Trace.create ~enabled:(record <> None) () in
   let net =
     Netsim.create engine ~trace ~delay:Gc_net.Delay.lan ~n:(n_replicas + 1) ()
   in
@@ -181,12 +196,13 @@ let bank_cmd requests commuting seed =
        (Stack.atomic_broadcast (Active_gb.stack s0)))
     (Gc_gbcast.Generic_broadcast.fast_delivered_count
        (Stack.generic_broadcast (Active_gb.stack s0)));
-  match Active_gb.snapshot s0 with
+  (match Active_gb.snapshot s0 with
   | Sm.Bank.Bank_state accounts ->
       Printf.printf "final balances: %s\n"
         (String.concat ", "
            (List.map (fun (a, b) -> Printf.sprintf "acct%d=%d" a b) accounts))
-  | _ -> ()
+  | _ -> ());
+  save_record trace record
 
 (* ---------- cmdliner plumbing ---------- *)
 
@@ -194,6 +210,15 @@ open Cmdliner
 
 let seed_arg =
   Arg.(value & opt int64 42L & info [ "seed" ] ~docv:"SEED" ~doc:"RNG seed.")
+
+let record_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "record" ] ~docv:"FILE"
+        ~doc:
+          "Record the full causal event trace to $(docv) as JSON-lines \
+           (audit or export it with $(b,gcs_trace)).")
 
 let nodes_arg =
   Arg.(value & opt int 3 & info [ "nodes" ] ~docv:"N" ~doc:"Group size.")
@@ -226,7 +251,7 @@ let run_term =
           ~doc:"Print the merged per-layer metrics registry after the run.")
   in
   Term.(const run_cmd $ arch_arg $ nodes_arg $ casts $ period $ crash $ seed_arg
-        $ show_trace $ show_metrics)
+        $ show_trace $ show_metrics $ record_arg)
 
 let bank_term =
   let requests =
@@ -236,7 +261,7 @@ let bank_term =
       value & opt int 80
       & info [ "commuting" ] ~docv:"PCT" ~doc:"Percentage of deposits (commutative).")
   in
-  Term.(const bank_cmd $ requests $ commuting $ seed_arg)
+  Term.(const bank_cmd $ requests $ commuting $ seed_arg $ record_arg)
 
 let cmds =
   [

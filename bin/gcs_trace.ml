@@ -1,0 +1,156 @@
+(* gcs_trace — offline tooling for recorded runs.
+
+   A simulation run recorded with [gcs_demo run --record FILE] (or any
+   JSONL dump of [Gc_obs.Event] lines) can be audited against the
+   protocol invariants and exported to Chrome trace_event format:
+
+     dune exec bin/gcs_trace.exe -- audit trace.jsonl
+     dune exec bin/gcs_trace.exe -- audit trace.jsonl --checks total-order,fifo
+     dune exec bin/gcs_trace.exe -- export trace.jsonl -o chrome.json
+     dune exec bin/gcs_trace.exe -- info trace.jsonl *)
+
+module Event = Gc_obs.Event
+module Audit = Gc_obs.Audit
+module Json = Gc_obs.Json
+
+let load path =
+  try Ok (Event.load_jsonl path) with
+  | Sys_error msg -> Error msg
+  | Failure msg -> Error (Printf.sprintf "%s: %s" path msg)
+
+let write_chrome events path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (Json.to_string (Event.to_chrome events)))
+
+(* ---------- audit ---------- *)
+
+let parse_checks = function
+  | None -> Ok Audit.all_checks
+  | Some s ->
+      let names = String.split_on_char ',' (String.trim s) in
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | name :: rest -> (
+            match Audit.check_of_string (String.trim name) with
+            | Some c -> go (c :: acc) rest
+            | None -> Error (Printf.sprintf "unknown check %S" name))
+      in
+      go [] names
+
+let audit_cmd file checks_opt chrome =
+  match load file with
+  | Error msg ->
+      Printf.eprintf "gcs_trace: %s\n" msg;
+      2
+  | Ok events -> (
+      match parse_checks checks_opt with
+      | Error msg ->
+          Printf.eprintf "gcs_trace: %s\n" msg;
+          2
+      | Ok checks ->
+          let report = Audit.run ~checks events in
+          Format.printf "%a@?" Audit.pp_report report;
+          (match chrome with
+          | Some out ->
+              write_chrome events out;
+              Printf.printf "chrome trace written to %s\n" out
+          | None -> ());
+          if Audit.ok report then 0 else 1)
+
+(* ---------- export ---------- *)
+
+let export_cmd file out =
+  match load file with
+  | Error msg ->
+      Printf.eprintf "gcs_trace: %s\n" msg;
+      2
+  | Ok events ->
+      write_chrome events out;
+      Printf.printf "%d events -> %s (open in chrome://tracing)\n"
+        (List.length events) out;
+      0
+
+(* ---------- info ---------- *)
+
+let info_cmd file =
+  match load file with
+  | Error msg ->
+      Printf.eprintf "gcs_trace: %s\n" msg;
+      2
+  | Ok events ->
+      let tally = Hashtbl.create 32 and nodes = Hashtbl.create 16 in
+      let t0 = ref infinity and t1 = ref neg_infinity in
+      List.iter
+        (fun (e : Event.t) ->
+          let key = (e.Event.component, Event.kind_to_string e.Event.kind) in
+          Hashtbl.replace tally key
+            (1 + Option.value ~default:0 (Hashtbl.find_opt tally key));
+          Hashtbl.replace nodes e.Event.node ();
+          if e.Event.time < !t0 then t0 := e.Event.time;
+          if e.Event.time > !t1 then t1 := e.Event.time)
+        events;
+      Printf.printf "%s: %d events, %d nodes, %.1f..%.1f ms\n" file
+        (List.length events) (Hashtbl.length nodes) !t0 !t1;
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) tally []
+      |> List.sort compare
+      |> List.iter (fun ((c, k), n) -> Printf.printf "  %-14s %-14s %d\n" c k n);
+      0
+
+(* ---------- cmdliner plumbing ---------- *)
+
+open Cmdliner
+
+let file_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"TRACE" ~doc:"JSONL trace file recorded with --record.")
+
+let audit_term =
+  let checks =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "checks" ] ~docv:"LIST"
+          ~doc:
+            "Comma-separated checks to run: $(b,fifo), $(b,total-order), \
+             $(b,conflict-order), $(b,same-view), $(b,agreement).  Default: \
+             all.")
+  and chrome =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "chrome" ] ~docv:"FILE"
+          ~doc:"Also export the trace in Chrome trace_event format.")
+  in
+  Term.(const audit_cmd $ file_arg $ checks $ chrome)
+
+let export_term =
+  let out =
+    Arg.(
+      value & opt string "chrome_trace.json"
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output file.")
+  in
+  Term.(const export_cmd $ file_arg $ out)
+
+let info_term = Term.(const info_cmd $ file_arg)
+
+let cmds =
+  [
+    Cmd.v
+      (Cmd.info "audit"
+         ~doc:
+           "Replay a recorded trace through the protocol auditor (exit 1 on \
+            violation)")
+      audit_term;
+    Cmd.v
+      (Cmd.info "export" ~doc:"Convert a trace to Chrome trace_event format")
+      export_term;
+    Cmd.v (Cmd.info "info" ~doc:"Summarise a recorded trace") info_term;
+  ]
+
+let () =
+  let doc = "audit and explore recorded group-communication runs" in
+  exit (Cmd.eval' (Cmd.group (Cmd.info "gcs_trace" ~doc) cmds))

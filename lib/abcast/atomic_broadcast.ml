@@ -24,7 +24,16 @@ let () =
         Some
           (Printf.sprintf "ab.data#%d.%d(%s)" m.origin m.mseq
              (Gc_net.Payload.to_string m.body))
-    | Ab_batch l -> Some (Printf.sprintf "ab.batch(%d msgs)" (List.length l))
+    | Ab_batch l ->
+        (* Listing the message ids makes the rendering content-distinguishing,
+           so equality of the printed form means equality of the batch — the
+           trace auditor compares decision values by this string. *)
+        Some
+          (Printf.sprintf "ab.batch[%s]"
+             (String.concat ";"
+                (List.map
+                   (fun m -> Printf.sprintf "%d.%d" m.origin m.mseq)
+                   l)))
     | _ -> None)
 
 type t = {
@@ -89,13 +98,17 @@ let apply_decisions t =
               Process.incr t.proc "abcast.delivered";
               Process.observe t.proc "abcast.latency_ms"
                 (Process.now t.proc -. m.sent_at);
-              Process.emit t.proc ~component:"abcast" ~event:"adeliver"
-                ~attrs:
-                  [
-                    ("origin", string_of_int m.origin);
-                    ("mseq", string_of_int m.mseq);
-                  ]
-                ();
+              if Process.traced t.proc then
+                Process.event t.proc ~component:"abcast"
+                  ~kind:Gc_obs.Event.Deliver
+                  ~msg:(Printf.sprintf "ab:%d.%d" m.origin m.mseq)
+                  ~attrs:
+                    [
+                      ("origin", string_of_int m.origin);
+                      ("mseq", string_of_int m.mseq);
+                      ("inst", string_of_int (t.next_to_apply - 1));
+                    ]
+                  ();
               List.iter (fun f -> f ~origin:m.origin m.body) (List.rev t.subscribers)
             end)
           batch;
@@ -169,6 +182,10 @@ let abcast t ?(size = 64) body =
     in
     t.next_mseq <- t.next_mseq + 1;
     Process.incr t.proc "abcast.submitted";
+    if Process.traced t.proc then
+      Process.event t.proc ~component:"abcast" ~kind:Gc_obs.Event.Send
+        ~msg:(Printf.sprintf "ab:%d.%d" m.origin m.mseq)
+        ();
     Rb.broadcast t.rb ~size ~dests:t.member_list (Ab_data m)
   end
 

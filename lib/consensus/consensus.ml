@@ -100,9 +100,15 @@ let decide t inst v =
           Process.observe t.proc "consensus.rounds"
             (float_of_int st.max_round)
       | _ -> ());
-      Process.emit t.proc ~component:"consensus" ~event:"decide"
-        ~attrs:[ ("inst", string_of_int inst) ]
-        ();
+      if Process.traced t.proc then
+        Process.event t.proc ~component:"consensus" ~kind:Gc_obs.Event.Decide
+          ~msg:(Printf.sprintf "cs:%d" inst)
+          ~attrs:
+            [
+              ("inst", string_of_int inst);
+              ("val", Gc_net.Payload.to_string v);
+            ]
+          ();
       t.on_decide ~inst v
 
 let broadcast_decision t st inst v =
@@ -328,6 +334,15 @@ let propose t ~inst ~members v =
         in
         Hashtbl.replace t.states inst st;
         Process.incr t.proc "consensus.instances_started";
+        if Process.traced t.proc then
+          Process.event t.proc ~component:"consensus" ~kind:Gc_obs.Event.Propose
+            ~msg:(Printf.sprintf "cs:%d" inst)
+            ~attrs:
+              [
+                ("inst", string_of_int inst);
+                ("val", Gc_net.Payload.to_string v);
+              ]
+            ();
         (* Solicitation ping: lets members that have nothing to propose yet
            join the instance reactively (their layer above is asked to
            propose on first contact). *)

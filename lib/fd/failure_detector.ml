@@ -149,7 +149,7 @@ let check t m () =
               m.wrong <- m.wrong + 1;
               Process.incr t.proc "fd.wrong_suspicions"
             end;
-            Process.emit t.proc ~component:"fd" ~event:"suspect"
+            Process.event t.proc ~component:"fd" ~kind:Gc_obs.Event.Suspect
               ~attrs:[ ("monitor", m.label); ("peer", string_of_int q) ]
               ();
             m.on_suspect q
@@ -163,7 +163,7 @@ let check t m () =
             | None -> ());
             Hashtbl.remove m.suspected_set q;
             Process.incr t.proc "fd.retractions";
-            Process.emit t.proc ~component:"fd" ~event:"trust"
+            Process.event t.proc ~component:"fd" ~kind:Gc_obs.Event.Trust
               ~attrs:[ ("monitor", m.label); ("peer", string_of_int q) ]
               ();
             match m.on_trust with Some f -> f q | None -> ()

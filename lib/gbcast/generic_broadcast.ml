@@ -99,10 +99,22 @@ let deliver t m =
     t.n_delivered <- t.n_delivered + 1;
     Process.incr t.proc "gbcast.delivered";
     Process.observe t.proc "gbcast.latency_ms" (Process.now t.proc -. m.sent_at);
-    Process.emit t.proc ~component:"gbcast" ~event:"gdeliver"
-      ~attrs:
-        [ ("origin", string_of_int m.origin); ("gseq", string_of_int m.gseq) ]
-      ();
+    if Process.traced t.proc then
+      (* The conflict class rides along so the auditor can tell which
+         delivery pairs must agree in order: a message conflicting with
+         itself conflicts with every message of its class (the stack's
+         relation orders Ordered x Ordered and Ordered x Commuting). *)
+      Process.event t.proc ~component:"gbcast" ~kind:Gc_obs.Event.Deliver
+        ~msg:(Printf.sprintf "gb:%d.%d" m.origin m.gseq)
+        ~attrs:
+          [
+            ("origin", string_of_int m.origin);
+            ("gseq", string_of_int m.gseq);
+            ( "cls",
+              if t.conflict m.body m.body then "conflicting" else "commuting"
+            );
+          ]
+        ();
     List.iter (fun f -> f ~origin:m.origin m.body) (List.rev t.subscribers)
   end
 
@@ -402,6 +414,10 @@ let gbcast t ?(size = 64) body =
     in
     t.next_gseq <- t.next_gseq + 1;
     Process.incr t.proc "gbcast.submitted";
+    if Process.traced t.proc then
+      Process.event t.proc ~component:"gbcast" ~kind:Gc_obs.Event.Send
+        ~msg:(Printf.sprintf "gb:%d.%d" m.origin m.gseq)
+        ();
     Rb.broadcast t.rb ~size ~dests:t.member_list (Gb_fast m)
   end
 

@@ -70,6 +70,12 @@ let every t ?(jitter = 0.0) ~period f =
 
 let cancel_periodic handle = handle.stopped <- true
 
+let traced t = Trace.enabled t.trace
+
+let event t ~component ~kind ?msg ?attrs () =
+  Trace.emit_event t.trace ~time:(now t) ~node:t.id ~component ~kind ?msg
+    ?attrs ()
+
 let emit t ~component ~event ?attrs () =
   Trace.emit t.trace ~time:(now t) ~node:t.id ~component ~event ?attrs ()
 

@@ -57,10 +57,23 @@ val crash : t -> unit
 
 val on_crash : t -> (unit -> unit) -> unit
 
+val traced : t -> bool
+(** Whether tracing is enabled — guard for emissions whose attribute
+    construction is itself costly (e.g. payload rendering). *)
+
+val event :
+  t -> component:string -> kind:Gc_obs.Event.kind -> ?msg:string ->
+  ?attrs:(string * string) list -> unit -> unit
+(** Typed lifecycle event stamped with this node, the current time and
+    the node's Lamport clock; [msg] is the stable message id the event
+    concerns (e.g. ["ab:0.3"]). *)
+
 val emit :
   t -> component:string -> event:string ->
   ?attrs:(string * string) list -> unit -> unit
-(** Trace helper stamped with this node and the current time. *)
+(** String-tagged trace helper; [event] is mapped through
+    {!Gc_obs.Event.kind_of_string}.  Prefer {!event} on protocol
+    lifecycle paths. *)
 
 val incr : ?by:int -> t -> string -> unit
 (** Bump a counter in the node's metrics registry. *)

@@ -59,8 +59,13 @@ let install t v =
       t.change_proposed_at <- None;
       Process.observe t.proc "membership.change_ms" (Process.now t.proc -. since)
   | None -> ());
-  Process.emit t.proc ~component:"membership" ~event:"new_view"
-    ~attrs:[ ("view", Format.asprintf "%a" View.pp v) ]
+  Process.event t.proc ~component:"membership" ~kind:Gc_obs.Event.ViewInstall
+    ~msg:(Printf.sprintf "view:%d" v.View.vid)
+    ~attrs:
+      [
+        ("vid", string_of_int v.View.vid);
+        ("view", Format.asprintf "%a" View.pp v);
+      ]
     ();
   List.iter (fun f -> f v) (List.rev t.view_subscribers);
   if t.joined && not (View.mem v (me t)) then begin

@@ -47,7 +47,7 @@ let propose_exclusion t q reason =
       t.wrongful <- t.wrongful + 1;
       Process.incr t.proc "monitoring.wrongful_exclusions"
     end;
-    Process.emit t.proc ~component:"monitoring" ~event:"exclude"
+    Process.event t.proc ~component:"monitoring" ~kind:Gc_obs.Event.Exclude
       ~attrs:[ ("peer", string_of_int q); ("reason", reason) ]
       ();
     Gm.remove t.membership q

@@ -60,8 +60,8 @@ let crash t node =
   check_node t node "crash";
   if t.alive.(node) then begin
     t.alive.(node) <- false;
-    Trace.emit t.trace ~time:(Engine.now t.engine) ~node ~component:"net"
-      ~event:"crash" ()
+    Trace.emit_event t.trace ~time:(Engine.now t.engine) ~node ~component:"net"
+      ~kind:Gc_obs.Event.Crash ()
   end
 
 let set_link t ~src ~dst ?delay ?drop () =
@@ -124,6 +124,10 @@ let send t ?(size = 64) ~src ~dst payload =
       if now < t.spike_until.(src) then t.spike_extra.(src) else 0.0
     in
     let delay = Delay.sample link.delay t.rng +. spike in
+    (* The datagram happens-after everything the sender did so far: carry
+       the sender's Lamport clock and merge it at the destination before
+       the handler runs, so causality crosses node boundaries. *)
+    let sent_clock = Trace.clock t.trace ~node:src in
     ignore
       (Engine.schedule t.engine ~delay (fun () ->
            if t.alive.(dst) then
@@ -131,14 +135,16 @@ let send t ?(size = 64) ~src ~dst payload =
              | None -> t.dropped <- t.dropped + 1
              | Some h ->
                  t.delivered <- t.delivered + 1;
-                 Trace.emit t.trace ~time:(Engine.now t.engine) ~node:dst
-                   ~component:"net" ~event:"recv"
-                   ~attrs:
-                     [
-                       ("from", string_of_int src);
-                       ("payload", Payload.to_string payload);
-                     ]
-                   ();
+                 Trace.merge_clock t.trace ~node:dst ~clock:sent_clock;
+                 if Trace.enabled t.trace then
+                   Trace.emit_event t.trace ~time:(Engine.now t.engine)
+                     ~node:dst ~component:"net" ~kind:Gc_obs.Event.Recv
+                     ~attrs:
+                       [
+                         ("from", string_of_int src);
+                         ("payload", Payload.to_string payload);
+                       ]
+                     ();
                  h ~src payload
            else t.dropped <- t.dropped + 1))
   end

@@ -1,0 +1,438 @@
+type check = Fifo | Total_order | Conflict_order | Same_view | Agreement
+
+let all_checks = [ Fifo; Total_order; Conflict_order; Same_view; Agreement ]
+
+let check_to_string = function
+  | Fifo -> "fifo"
+  | Total_order -> "total-order"
+  | Conflict_order -> "conflict-order"
+  | Same_view -> "same-view"
+  | Agreement -> "agreement"
+
+let check_of_string = function
+  | "fifo" -> Some Fifo
+  | "total-order" | "total_order" -> Some Total_order
+  | "conflict-order" | "conflict_order" -> Some Conflict_order
+  | "same-view" | "same_view" -> Some Same_view
+  | "agreement" -> Some Agreement
+  | _ -> None
+
+type violation = {
+  check : check;
+  message : string;
+  pair : Event.t * Event.t;
+  chain : Event.t list;
+}
+
+type report = {
+  scanned : int;
+  checks : check list;
+  violations : violation list;
+}
+
+(* A candidate violation before the causal chain is attached: the message,
+   the event pair, and the message ids whose lifecycle forms the chain. *)
+type candidate = { c_message : string; c_pair : Event.t * Event.t; c_msgs : string list }
+
+let int_attr e k = Option.bind (Event.attr e k) int_of_string_opt
+
+(* ---------- per-node delivery sequences ---------- *)
+
+(* Deliver events of [component] (optionally filtered), grouped by node in
+   recorded order.  Returns the nodes in first-appearance order. *)
+let delivery_seqs ?(keep = fun _ -> true) ~component events =
+  let by_node : (int, Event.t list ref) Hashtbl.t = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun (e : Event.t) ->
+      if
+        e.Event.component = component
+        && e.Event.kind = Event.Deliver
+        && e.Event.msg <> None
+        && keep e
+      then
+        match Hashtbl.find_opt by_node e.Event.node with
+        | Some l -> l := e :: !l
+        | None ->
+            Hashtbl.replace by_node e.Event.node (ref [ e ]);
+            order := e.Event.node :: !order)
+    events;
+  List.rev_map
+    (fun n -> (n, Array.of_list (List.rev !(Hashtbl.find by_node n))))
+    !order
+
+let msg_of (e : Event.t) = Option.get e.Event.msg
+
+(* No node delivers the same message twice. *)
+let find_duplicate seqs =
+  List.find_map
+    (fun (n, arr) ->
+      let seen = Hashtbl.create (Array.length arr) in
+      let v = ref None in
+      Array.iter
+        (fun e ->
+          if !v = None then
+            let m = msg_of e in
+            match Hashtbl.find_opt seen m with
+            | Some first ->
+                v :=
+                  Some
+                    {
+                      c_message =
+                        Printf.sprintf "node %d delivered %s twice" n m;
+                      c_pair = (first, e);
+                      c_msgs = [ m ];
+                    }
+            | None -> Hashtbl.replace seen m e)
+        arr;
+      !v)
+    seqs
+
+let index_table arr =
+  let h = Hashtbl.create (Array.length arr) in
+  Array.iteri (fun i e -> Hashtbl.replace h (msg_of e) i) arr;
+  h
+
+(* First inconsistently-ordered pair of common messages between two nodes:
+   each node's sequence restricted to the other's messages must coincide. *)
+let pair_order_mismatch (na, aa, ha) (nb, ab, hb) =
+  let common tbl arr =
+    Array.to_list arr |> List.filter (fun e -> Hashtbl.mem tbl (msg_of e))
+  in
+  let la = common hb aa and lb = common ha ab in
+  let rec walk la lb =
+    match (la, lb) with
+    | ea :: ra, eb :: rb ->
+        if msg_of ea = msg_of eb then walk ra rb
+        else
+          Some
+            {
+              c_message =
+                Printf.sprintf
+                  "nodes %d and %d deliver %s and %s in opposite orders" na nb
+                  (msg_of ea) (msg_of eb);
+              c_pair = (ea, eb);
+              c_msgs = [ msg_of ea; msg_of eb ];
+            }
+    | _ -> None
+  in
+  walk la lb
+
+let rec over_pairs f = function
+  | [] -> None
+  | x :: rest -> (
+      match List.find_map (f x) rest with
+      | Some v -> Some v
+      | None -> over_pairs f rest)
+
+(* ---------- total order ---------- *)
+
+(* The sequenced broadcast surfaces: every pair of messages is ordered. *)
+let total_order_surfaces =
+  [
+    ("abcast", fun _ -> true);
+    ("totem", fun _ -> true);
+    ("traditional", fun e -> Event.attr e "ordered" = Some "true");
+  ]
+
+let check_total_order events =
+  List.find_map
+    (fun (component, keep) ->
+      let seqs = delivery_seqs ~keep ~component events in
+      match find_duplicate seqs with
+      | Some v -> Some v
+      | None ->
+          let indexed =
+            List.map (fun (n, arr) -> (n, arr, index_table arr)) seqs
+          in
+          over_pairs pair_order_mismatch indexed)
+    total_order_surfaces
+
+(* ---------- conflict order (generic broadcast, Section 4.2) ---------- *)
+
+let commuting e = Event.attr e "cls" = Some "commuting"
+
+let check_conflict_order events =
+  let seqs = delivery_seqs ~component:"gbcast" events in
+  match find_duplicate seqs with
+  | Some v -> Some v
+  | None ->
+      let indexed = List.map (fun (n, arr) -> (n, arr, index_table arr)) seqs in
+      let check_pair (na, aa, ha) (nb, ab, hb) =
+        let profile other arr =
+          (* Restricted to the common messages: the conflicting-class
+             subsequence, and for each commuting message the number of
+             common conflicting messages delivered before it. *)
+          let conf = ref [] and counts = Hashtbl.create 32 in
+          let n_conf = ref 0 in
+          Array.iter
+            (fun e ->
+              if Hashtbl.mem other (msg_of e) then
+                if commuting e then
+                  Hashtbl.replace counts (msg_of e) (!n_conf, e)
+                else begin
+                  conf := e :: !conf;
+                  incr n_conf
+                end)
+            arr;
+          (Array.of_list (List.rev !conf), counts)
+        in
+        let conf_a, counts_a = profile hb aa and conf_b, counts_b = profile ha ab in
+        (* Conflicting messages all conflict pairwise: identical order. *)
+        let rec walk i =
+          if i >= Array.length conf_a || i >= Array.length conf_b then None
+          else
+            let ea = conf_a.(i) and eb = conf_b.(i) in
+            if msg_of ea = msg_of eb then walk (i + 1)
+            else
+              Some
+                {
+                  c_message =
+                    Printf.sprintf
+                      "nodes %d and %d deliver conflicting messages %s and %s \
+                       in opposite orders"
+                      na nb (msg_of ea) (msg_of eb);
+                  c_pair = (ea, eb);
+                  c_msgs = [ msg_of ea; msg_of eb ];
+                }
+        in
+        match walk 0 with
+        | Some v -> Some v
+        | None ->
+            (* A commuting message may reorder against other commuting ones,
+               but not across a conflicting message. *)
+            Hashtbl.fold
+              (fun m (ca, ea) acc ->
+                if acc <> None then acc
+                else
+                  match Hashtbl.find_opt counts_b m with
+                  | Some (cb, eb) when ca <> cb ->
+                      let witness = conf_a.(min ca cb) in
+                      Some
+                        {
+                          c_message =
+                            Printf.sprintf
+                              "nodes %d and %d order commuting message %s on \
+                               opposite sides of conflicting message %s"
+                              na nb m (msg_of witness);
+                          c_pair = (ea, eb);
+                          c_msgs = [ m; msg_of witness ];
+                        }
+                  | _ -> acc)
+              counts_a None
+      in
+      over_pairs (fun a b -> check_pair a b) indexed
+
+(* ---------- same-view delivery (Section 4.4) ---------- *)
+
+(* Members list out of the view attribute rendering "v3[0;1;2]". *)
+let parse_members s =
+  match (String.index_opt s '[', String.rindex_opt s ']') with
+  | Some i, Some j when j > i + 1 ->
+      let inner = String.sub s (i + 1) (j - i - 1) in
+      let parts = String.split_on_char ';' inner in
+      let ints = List.filter_map int_of_string_opt parts in
+      if List.length ints = List.length parts then Some ints else None
+  | Some i, Some j when j = i + 1 -> Some []
+  | _ -> None
+
+let check_same_view events =
+  (* node -> (current vid, current members or None when unknown) *)
+  let views : (int, int * int list option) Hashtbl.t = Hashtbl.create 16 in
+  (* msg -> deliveries as (vid, event), newest first *)
+  let delivered : (string, (int * Event.t) list ref) Hashtbl.t =
+    Hashtbl.create 256
+  in
+  let v = ref None in
+  List.iter
+    (fun (e : Event.t) ->
+      if !v = None then
+        if e.Event.component = "membership" && e.Event.kind = Event.ViewInstall
+        then begin
+          let vid = Option.value ~default:0 (int_attr e "vid") in
+          let members = Option.bind (Event.attr e "view") parse_members in
+          Hashtbl.replace views e.Event.node (vid, members)
+        end
+        else if
+          e.Event.component = "gbcast"
+          && e.Event.kind = Event.Deliver
+          && e.Event.msg <> None
+        then begin
+          let vid, members =
+            Option.value ~default:(0, None)
+              (Hashtbl.find_opt views e.Event.node)
+          in
+          (* Deliveries at a process that is no longer a member of its own
+             current view (a straggler applying a cut after its exclusion)
+             are outside the property. *)
+          let is_member =
+            match members with
+            | None -> true
+            | Some ms -> List.mem e.Event.node ms
+          in
+          if is_member then begin
+            let m = msg_of e in
+            match Hashtbl.find_opt delivered m with
+            | Some l -> (
+                l := (vid, e) :: !l;
+                match List.rev !l with
+                | (vid0, e0) :: rest -> (
+                    match List.find_opt (fun (vi, _) -> vi <> vid0) rest with
+                    | Some (vid1, e1) ->
+                        v :=
+                          Some
+                            {
+                              c_message =
+                                Printf.sprintf
+                                  "%s delivered in view %d at node %d but \
+                                   view %d at node %d"
+                                  m vid0 e0.Event.node vid1 e1.Event.node;
+                              c_pair = (e0, e1);
+                              c_msgs = [ m ];
+                            }
+                    | None -> ())
+                | [] -> ())
+            | None -> Hashtbl.replace delivered m (ref [ (vid, e) ])
+          end
+        end)
+    events;
+  !v
+
+(* ---------- consensus agreement ---------- *)
+
+let check_agreement events =
+  let decisions : (string, string * Event.t) Hashtbl.t = Hashtbl.create 64 in
+  let v = ref None in
+  List.iter
+    (fun (e : Event.t) ->
+      if
+        !v = None
+        && e.Event.component = "consensus"
+        && e.Event.kind = Event.Decide
+      then
+        match (Event.attr e "inst", Event.attr e "val") with
+        | Some inst, Some value -> (
+            match Hashtbl.find_opt decisions inst with
+            | Some (value0, e0) when value0 <> value ->
+                v :=
+                  Some
+                    {
+                      c_message =
+                        Printf.sprintf
+                          "consensus instance %s decided %S at node %d but %S \
+                           at node %d"
+                          inst value0 e0.Event.node value e.Event.node;
+                      c_pair = (e0, e);
+                      c_msgs =
+                        (match e.Event.msg with Some m -> [ m ] | None -> []);
+                    }
+            | Some _ -> ()
+            | None -> Hashtbl.replace decisions inst (value, e))
+        | _ -> ())
+    events;
+  !v
+
+(* ---------- per-channel FIFO ---------- *)
+
+let check_fifo events =
+  (* (receiver, sender, generation) -> last delivered seq and event *)
+  let last : (int * int * int, int * Event.t) Hashtbl.t = Hashtbl.create 64 in
+  let v = ref None in
+  List.iter
+    (fun (e : Event.t) ->
+      if
+        !v = None
+        && e.Event.component = "rchannel"
+        && e.Event.kind = Event.Deliver
+      then
+        match (int_attr e "src", int_attr e "gen", int_attr e "seq") with
+        | Some src, Some gen, Some seq -> (
+            let key = (e.Event.node, src, gen) in
+            match Hashtbl.find_opt last key with
+            | Some (prev, pe) when seq <= prev ->
+                v :=
+                  Some
+                    {
+                      c_message =
+                        Printf.sprintf
+                          "channel %d->%d (gen %d) delivered seq %d after \
+                           seq %d"
+                          src e.Event.node gen seq prev;
+                      c_pair = (pe, e);
+                      c_msgs =
+                        List.filter_map
+                          (fun (x : Event.t) -> x.Event.msg)
+                          [ pe; e ];
+                    }
+            | _ -> Hashtbl.replace last key (seq, e))
+        | _ -> ())
+    events;
+  !v
+
+(* ---------- driver ---------- *)
+
+let causal_chain events msgs (pair : Event.t * Event.t) =
+  let wanted = Hashtbl.create 8 in
+  List.iter (fun m -> Hashtbl.replace wanted m ()) msgs;
+  let e1, e2 = pair in
+  let relevant (e : Event.t) =
+    e == e1 || e == e2
+    || match e.Event.msg with Some m -> Hashtbl.mem wanted m | None -> false
+  in
+  List.filter relevant events
+  |> List.stable_sort (fun (a : Event.t) (b : Event.t) ->
+         compare
+           (a.Event.lamport, a.Event.time, a.Event.node)
+           (b.Event.lamport, b.Event.time, b.Event.node))
+
+let run ?(checks = all_checks) events =
+  let run_check c =
+    let candidate =
+      match c with
+      | Fifo -> check_fifo events
+      | Total_order -> check_total_order events
+      | Conflict_order -> check_conflict_order events
+      | Same_view -> check_same_view events
+      | Agreement -> check_agreement events
+    in
+    Option.map
+      (fun { c_message; c_pair; c_msgs } ->
+        {
+          check = c;
+          message = c_message;
+          pair = c_pair;
+          chain = causal_chain events c_msgs c_pair;
+        })
+      candidate
+  in
+  {
+    scanned = List.length events;
+    checks;
+    violations = List.filter_map run_check checks;
+  }
+
+let ok r = r.violations = []
+
+let pp_report ppf r =
+  Format.fprintf ppf "audit: %d events, checks: %s@." r.scanned
+    (String.concat " " (List.map check_to_string r.checks));
+  if ok r then Format.fprintf ppf "no violations@."
+  else
+    List.iter
+      (fun v ->
+        let e1, e2 = v.pair in
+        Format.fprintf ppf "VIOLATION [%s]: %s@." (check_to_string v.check)
+          v.message;
+        Format.fprintf ppf "  first:  %a@." Event.pp e1;
+        Format.fprintf ppf "  second: %a@." Event.pp e2;
+        let chain = v.chain in
+        let total = List.length chain in
+        let shown = if total > 24 then 24 else total in
+        Format.fprintf ppf "  causal chain (%d event%s%s):@." total
+          (if total = 1 then "" else "s")
+          (if total > shown then Printf.sprintf ", first %d shown" shown
+           else "");
+        List.iteri
+          (fun i e -> if i < shown then Format.fprintf ppf "    %a@." Event.pp e)
+          chain)
+      r.violations

@@ -1,0 +1,59 @@
+(** Offline protocol auditor: replays a recorded event history and checks
+    the paper's ordering invariants.
+
+    The auditor consumes {!Event.t} lists — in-memory trace buffers or
+    JSONL dumps loaded with {!Event.load_jsonl} — and verifies:
+
+    - {b fifo}: reliable-channel deliveries are in strictly increasing
+      sequence order per (receiver, sender, generation) stream;
+    - {b total-order}: uniform total order for the sequenced broadcasts
+      (abcast, totem, and the traditional stack's ordered deliveries):
+      no node delivers a message twice, and any two nodes deliver their
+      common messages in the same relative order;
+    - {b conflict-order}: generic broadcast orders only what conflicts
+      (Section 4.2): deliveries of conflicting-class messages must agree
+      everywhere, commuting messages may diverge against each other but
+      not against conflicting ones;
+    - {b same-view}: every generic-broadcast message is delivered in the
+      same membership view at every member that delivers it
+      (Section 4.4);
+    - {b agreement}: all consensus decide events for one instance carry
+      the same decision value.
+
+    Checks are tolerant of truncated histories (a ring buffer dropping
+    the oldest records keeps every check sound except same-view — see
+    {!Gc_sim.Trace.dropped}) and of components that never appear: a
+    check with no relevant events passes vacuously. *)
+
+type check = Fifo | Total_order | Conflict_order | Same_view | Agreement
+
+val all_checks : check list
+
+val check_to_string : check -> string
+(** ["fifo"], ["total-order"], ["conflict-order"], ["same-view"],
+    ["agreement"]. *)
+
+val check_of_string : string -> check option
+
+type violation = {
+  check : check;
+  message : string;  (** one-sentence description of what went wrong *)
+  pair : Event.t * Event.t;  (** the first violating event pair *)
+  chain : Event.t list;
+      (** causal context: every recorded lifecycle event of the messages
+          involved, sorted by Lamport clock *)
+}
+
+type report = {
+  scanned : int;  (** number of events examined *)
+  checks : check list;  (** checks that ran *)
+  violations : violation list;  (** at most one per check *)
+}
+
+val run : ?checks:check list -> Event.t list -> report
+(** Replay [events] (in recorded order) through [checks] (default
+    {!all_checks}).  Each check reports at most its first violation. *)
+
+val ok : report -> bool
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,227 @@
+type kind =
+  | Send
+  | Recv
+  | Propose
+  | Decide
+  | Deliver
+  | ViewInstall
+  | Suspect
+  | Trust
+  | Exclude
+  | Crash
+  | Custom of string
+
+type t = {
+  time : float;
+  node : int;
+  lamport : int;
+  component : string;
+  kind : kind;
+  msg : string option;
+  attrs : (string * string) list;
+}
+
+let kind_to_string = function
+  | Send -> "send"
+  | Recv -> "recv"
+  | Propose -> "propose"
+  | Decide -> "decide"
+  | Deliver -> "deliver"
+  | ViewInstall -> "view_install"
+  | Suspect -> "suspect"
+  | Trust -> "trust"
+  | Exclude -> "exclude"
+  | Crash -> "crash"
+  | Custom s -> s
+
+let kind_of_string = function
+  | "send" -> Send
+  | "recv" -> Recv
+  | "propose" -> Propose
+  | "decide" -> Decide
+  | "deliver" -> Deliver
+  | "view_install" -> ViewInstall
+  | "suspect" -> Suspect
+  | "trust" -> Trust
+  | "exclude" -> Exclude
+  | "crash" -> Crash
+  | s -> Custom s
+
+let attr e key = List.assoc_opt key e.attrs
+
+let detail e =
+  String.concat " " (List.map (fun (k, v) -> k ^ "=" ^ v) e.attrs)
+
+let pp ppf e =
+  Format.fprintf ppf "[%8.2f] n%d L%d %s/%s" e.time e.node e.lamport
+    e.component (kind_to_string e.kind);
+  (match e.msg with None -> () | Some m -> Format.fprintf ppf " %s" m);
+  List.iter (fun (k, v) -> Format.fprintf ppf " %s=%s" k v) e.attrs
+
+(* Field names are one letter: a recorded run easily holds 10^5 lines. *)
+let to_json e =
+  let base =
+    [
+      ("t", Json.Num e.time);
+      ("n", Json.Num (float_of_int e.node));
+      ("l", Json.Num (float_of_int e.lamport));
+      ("c", Json.Str e.component);
+      ("k", Json.Str (kind_to_string e.kind));
+    ]
+  in
+  let m = match e.msg with None -> [] | Some m -> [ ("m", Json.Str m) ] in
+  let a =
+    match e.attrs with
+    | [] -> []
+    | kvs -> [ ("a", Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) kvs)) ]
+  in
+  Json.Obj (base @ m @ a)
+
+let of_json j =
+  let fail what = failwith ("Event.of_json: bad or missing field " ^ what) in
+  let num k =
+    match Option.bind (Json.member k j) Json.to_float with
+    | Some f -> f
+    | None -> fail k
+  in
+  let str k =
+    match Option.bind (Json.member k j) Json.to_str with
+    | Some s -> s
+    | None -> fail k
+  in
+  let msg = Option.bind (Json.member "m" j) Json.to_str in
+  let attrs =
+    match Json.member "a" j with
+    | Some (Json.Obj kvs) ->
+        List.map
+          (fun (k, v) ->
+            match Json.to_str v with Some s -> (k, s) | None -> fail "a")
+          kvs
+    | Some _ -> fail "a"
+    | None -> []
+  in
+  {
+    time = num "t";
+    node = int_of_float (num "n");
+    lamport = int_of_float (num "l");
+    component = str "c";
+    kind = kind_of_string (str "k");
+    msg;
+    attrs;
+  }
+
+let write_jsonl oc events =
+  List.iter
+    (fun e ->
+      output_string oc (Json.to_string (to_json e));
+      output_char oc '\n')
+    events
+
+let read_jsonl ic =
+  let rec loop acc =
+    match input_line ic with
+    | exception End_of_file -> List.rev acc
+    | "" -> loop acc
+    | line -> loop (of_json (Json.of_string line) :: acc)
+  in
+  loop []
+
+let save_jsonl path events =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+      write_jsonl oc events)
+
+let load_jsonl path =
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> read_jsonl ic)
+
+(* Chrome trace_event format: instant events ("ph":"i") on one thread per
+   node, plus flow arrows ("ph":"s"/"f") tying a message's Send to its
+   Delivers.  Timestamps are microseconds; virtual ms * 1000. *)
+let to_chrome events =
+  let us time = Json.Num (time *. 1000.0) in
+  let args e =
+    let kvs = List.map (fun (k, v) -> (k, Json.Str v)) e.attrs in
+    let kvs =
+      match e.msg with None -> kvs | Some m -> ("msg", Json.Str m) :: kvs
+    in
+    ("lamport", Json.Num (float_of_int e.lamport)) :: kvs
+  in
+  let instant e =
+    Json.Obj
+      [
+        ( "name",
+          Json.Str
+            (e.component ^ "/" ^ kind_to_string e.kind
+            ^ match e.msg with None -> "" | Some m -> " " ^ m) );
+        ("cat", Json.Str e.component);
+        ("ph", Json.Str "i");
+        ("s", Json.Str "t");
+        ("ts", us e.time);
+        ("pid", Json.Num 0.0);
+        ("tid", Json.Num (float_of_int e.node));
+        ("args", Json.Obj (args e));
+      ]
+  in
+  let flow e =
+    match (e.msg, e.kind) with
+    | Some m, Send ->
+        [
+          Json.Obj
+            [
+              ("name", Json.Str m);
+              ("cat", Json.Str "flow");
+              ("ph", Json.Str "s");
+              ("id", Json.Str (e.component ^ ":" ^ m));
+              ("ts", us e.time);
+              ("pid", Json.Num 0.0);
+              ("tid", Json.Num (float_of_int e.node));
+            ];
+        ]
+    | Some m, Deliver ->
+        [
+          Json.Obj
+            [
+              ("name", Json.Str m);
+              ("cat", Json.Str "flow");
+              ("ph", Json.Str "f");
+              ("bp", Json.Str "e");
+              ("id", Json.Str (e.component ^ ":" ^ m));
+              ("ts", us e.time);
+              ("pid", Json.Num 0.0);
+              ("tid", Json.Num (float_of_int e.node));
+            ];
+        ]
+    | _ -> []
+  in
+  let names =
+    (* Thread name metadata so chrome://tracing labels rows "node N". *)
+    let nodes =
+      List.sort_uniq compare (List.map (fun e -> e.node) events)
+    in
+    List.map
+      (fun n ->
+        Json.Obj
+          [
+            ("name", Json.Str "thread_name");
+            ("ph", Json.Str "M");
+            ("pid", Json.Num 0.0);
+            ("tid", Json.Num (float_of_int n));
+            ( "args",
+              Json.Obj
+                [
+                  ( "name",
+                    Json.Str
+                      (if n < 0 then "environment"
+                       else "node " ^ string_of_int n) );
+                ] );
+          ])
+      nodes
+  in
+  Json.Obj
+    [
+      ( "traceEvents",
+        Json.Arr (names @ List.concat_map (fun e -> instant e :: flow e) events)
+      );
+      ("displayTimeUnit", Json.Str "ms");
+    ]

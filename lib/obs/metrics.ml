@@ -199,17 +199,26 @@ let hist_to_json h : Json.t =
       ("buckets", Arr buckets);
     ]
 
+(* Zero counters and empty histograms are omitted: [of_json] recreates
+   entries lazily anyway, so an absent entry and a zero entry read back the
+   same, and the dump stays proportional to what the run actually did. *)
 let to_json t : Json.t =
   Obj
-    (List.map
+    (List.filter_map
        (fun name ->
-         let v : Json.t =
-           match Hashtbl.find t.entries name with
-           | Counter r -> Obj [ ("type", Str "counter"); ("value", Num (float_of_int !r)) ]
-           | Gauge r -> Obj [ ("type", Str "gauge"); ("value", num !r) ]
-           | Hist h -> hist_to_json h
-         in
-         (name, v))
+         match Hashtbl.find t.entries name with
+         | Counter { contents = 0 } -> None
+         | Counter r ->
+             Some
+               ( name,
+                 Json.Obj
+                   [
+                     ("type", Str "counter"); ("value", Num (float_of_int !r));
+                   ] )
+         | Gauge r ->
+             Some (name, Json.Obj [ ("type", Str "gauge"); ("value", num !r) ])
+         | Hist h when h.count = 0 -> None
+         | Hist h -> Some (name, hist_to_json h))
        (names t))
 
 let of_json (j : Json.t) =

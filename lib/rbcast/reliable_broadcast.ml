@@ -44,7 +44,13 @@ let handle t = function
             if dst <> me && dst <> origin then
               Rc.send t.rc ~size ~dst (Rb_msg { origin; bid; inner; dests; size }))
           dests;
-        if List.mem me dests || me = origin then deliver t ~origin inner
+        if List.mem me dests || me = origin then begin
+          if Process.traced t.proc then
+            Process.event t.proc ~component:"rbcast" ~kind:Gc_obs.Event.Deliver
+              ~msg:(Printf.sprintf "rb:%d.%d" origin bid)
+              ();
+          deliver t ~origin inner
+        end
       end
   | _ -> ()
 
@@ -67,6 +73,11 @@ let broadcast t ?(size = 64) ~dests inner =
   let origin = Process.id t.proc in
   let bid = t.next_bid in
   t.next_bid <- bid + 1;
+  if Process.traced t.proc then
+    Process.event t.proc ~component:"rbcast" ~kind:Gc_obs.Event.Send
+      ~msg:(Printf.sprintf "rb:%d.%d" origin bid)
+      ~attrs:[ ("dests", string_of_int (List.length dests)) ]
+      ();
   let msg = Rb_msg { origin; bid; inner; dests; size } in
   (* Routing through our own reliable channel (loopback included) funnels the
      message into [handle], which relays and delivers exactly once. *)

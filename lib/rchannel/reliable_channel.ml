@@ -78,7 +78,18 @@ let handle_data t ~src ~gen ~seq ~inner =
     match Hashtbl.find_opt i.buffer i.expected with
     | Some payload ->
         Hashtbl.remove i.buffer i.expected;
-        i.expected <- i.expected + 1;
+        let s = i.expected in
+        i.expected <- s + 1;
+        if Process.traced t.proc then
+          Process.event t.proc ~component:"rchannel" ~kind:Gc_obs.Event.Deliver
+            ~msg:(Printf.sprintf "rc:%d.%d.%d" src i.gen s)
+            ~attrs:
+              [
+                ("src", string_of_int src);
+                ("gen", string_of_int i.gen);
+                ("seq", string_of_int s);
+              ]
+            ();
         deliver t ~src payload;
         flush ()
     | None -> ()
@@ -165,6 +176,11 @@ let send t ?(size = 64) ~dst payload =
       o.next_seq <- seq + 1;
       o.window <-
         o.window @ [ { seq; inner = payload; size; since = Process.now t.proc } ];
+      if Process.traced t.proc then
+        Process.event t.proc ~component:"rchannel" ~kind:Gc_obs.Event.Send
+          ~msg:(Printf.sprintf "rc:%d.%d.%d" (Process.id t.proc) o.gen seq)
+          ~attrs:[ ("dst", string_of_int dst) ]
+          ();
       Process.send t.proc ~size ~dst
         (Rc_data { gen = o.gen; seq; inner = payload; size })
     end

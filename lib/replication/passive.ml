@@ -98,11 +98,12 @@ let handle_update t ~origin u =
            primary's processing is void; the client will retry. *)
         t.n_discarded <- t.n_discarded + 1;
         Gc_kernel.Process.incr (Stack.process t.stack) "passive.discards";
-        Gc_kernel.Process.emit (Stack.process t.stack) ~component:"passive"
-          ~event:"discard"
-          ~attrs:
-            [ ("epoch", string_of_int epoch); ("useq", string_of_int useq) ]
-          ()
+        if Gc_kernel.Process.traced (Stack.process t.stack) then
+          Gc_kernel.Process.event (Stack.process t.stack) ~component:"passive"
+            ~kind:(Gc_obs.Event.Custom "discard")
+            ~attrs:
+              [ ("epoch", string_of_int epoch); ("useq", string_of_int useq) ]
+            ()
       end
   | _ -> ()
 
@@ -117,15 +118,16 @@ let handle_change t e =
     t.change_requested <- false;
     t.n_changes <- t.n_changes + 1;
     Gc_kernel.Process.incr (Stack.process t.stack) "passive.primary_changes";
-    Gc_kernel.Process.emit (Stack.process t.stack) ~component:"passive"
-      ~event:"primary_change"
-      ~attrs:
-        [
-          ("epoch", string_of_int t.epoch);
-          ( "primary",
-            match primary t with Some p -> string_of_int p | None -> "-" );
-        ]
-      ()
+    if Gc_kernel.Process.traced (Stack.process t.stack) then
+      Gc_kernel.Process.event (Stack.process t.stack) ~component:"passive"
+        ~kind:(Gc_obs.Event.Custom "primary_change")
+        ~attrs:
+          [
+            ("epoch", string_of_int t.epoch);
+            ( "primary",
+              match primary t with Some p -> string_of_int p | None -> "-" );
+          ]
+        ()
   end
 
 let handle_request t ~cid ~rid ~cmd =

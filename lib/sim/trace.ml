@@ -1,8 +1,12 @@
-type record = {
+module Event = Gc_obs.Event
+
+type record = Event.t = {
   time : float;
   node : int;
+  lamport : int;
   component : string;
-  event : string;
+  kind : Event.kind;
+  msg : string option;
   attrs : (string * string) list;
 }
 
@@ -10,42 +14,74 @@ type t = {
   mutable on : bool;
   capacity : int;
   buf : record Queue.t;
+  clocks : (int, int) Hashtbl.t;
+  mutable dropped : int;
 }
 
 let create ?(enabled = false) ?(capacity = 100_000) () =
-  { on = enabled; capacity; buf = Queue.create () }
+  {
+    on = enabled;
+    capacity;
+    buf = Queue.create ();
+    clocks = Hashtbl.create 16;
+    dropped = 0;
+  }
 
 let enable t b = t.on <- b
 let enabled t = t.on
 
-let emit t ~time ~node ~component ~event ?(attrs = []) () =
+let clock t ~node =
+  match Hashtbl.find_opt t.clocks node with Some c -> c | None -> 0
+
+let merge_clock t ~node ~clock:remote =
+  if t.on then
+    let local = clock t ~node in
+    if remote >= local then Hashtbl.replace t.clocks node (remote + 1)
+
+let tick t ~node =
+  let c = clock t ~node + 1 in
+  Hashtbl.replace t.clocks node c;
+  c
+
+let emit_event t ~time ~node ~component ~kind ?msg ?(attrs = []) () =
   if t.on then begin
-    if Queue.length t.buf >= t.capacity then ignore (Queue.pop t.buf);
-    Queue.push { time; node; component; event; attrs } t.buf
+    let lamport = tick t ~node in
+    if Queue.length t.buf >= t.capacity then begin
+      ignore (Queue.pop t.buf);
+      t.dropped <- t.dropped + 1
+    end;
+    Queue.push { time; node; lamport; component; kind; msg; attrs } t.buf
   end
 
-let emit_legacy t ~time ~node ~component ~event detail =
-  let attrs = if detail = "" then [] else [ ("detail", detail) ] in
-  emit t ~time ~node ~component ~event ~attrs ()
+let emit t ~time ~node ~component ~event ?attrs () =
+  emit_event t ~time ~node ~component ~kind:(Event.kind_of_string event) ?attrs
+    ()
 
-let detail r =
-  String.concat " " (List.map (fun (k, v) -> k ^ "=" ^ v) r.attrs)
-
-let attr r key = List.assoc_opt key r.attrs
+let detail = Event.detail
+let attr = Event.attr
 
 let records t = List.of_seq (Queue.to_seq t.buf)
 
-let find t ?node ?component ?event ?attr:a () =
+let find t ?node ?component ?event ?kind ?msg ?attr:a () =
   let keep r =
     (match node with None -> true | Some n -> r.node = n)
     && (match component with None -> true | Some c -> r.component = c)
-    && (match event with None -> true | Some e -> r.event = e)
+    && (match event with
+       | None -> true
+       | Some e -> Event.kind_to_string r.kind = e)
+    && (match kind with None -> true | Some k -> r.kind = k)
+    && (match msg with None -> true | Some m -> r.msg = Some m)
     && match a with None -> true | Some (k, v) -> attr r k = Some v
   in
   List.filter keep (records t)
 
-let clear t = Queue.clear t.buf
+let dropped t = t.dropped
 
-let pp_record ppf r =
-  Format.fprintf ppf "[%8.2f] n%d %s/%s" r.time r.node r.component r.event;
-  List.iter (fun (k, v) -> Format.fprintf ppf " %s=%s" k v) r.attrs
+let clear t =
+  Queue.clear t.buf;
+  Hashtbl.reset t.clocks;
+  t.dropped <- 0
+
+let save_jsonl t path = Event.save_jsonl path (records t)
+
+let pp_record = Event.pp

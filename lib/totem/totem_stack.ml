@@ -154,6 +154,11 @@ let rec try_deliver t =
       record_delivery t m;
       if not (Hashtbl.mem t.delivered_rids m.rid) then begin
         Hashtbl.replace t.delivered_rids m.rid ();
+        if Process.traced t.proc then
+          Process.event t.proc ~component:"totem" ~kind:Gc_obs.Event.Deliver
+            ~msg:(Printf.sprintf "tt:%d.%d" (fst m.rid) (snd m.rid))
+            ~attrs:[ ("gseq", string_of_int m.gseq) ]
+            ();
         notify t ~origin:(fst m.rid) m.body
       end;
       try_deliver t
@@ -364,6 +369,11 @@ and apply_install t ~view ~fill ~last_gseq =
       record_delivery t m;
       if not (Hashtbl.mem t.delivered_rids m.rid) then begin
         Hashtbl.replace t.delivered_rids m.rid ();
+        if Process.traced t.proc then
+          Process.event t.proc ~component:"totem" ~kind:Gc_obs.Event.Deliver
+            ~msg:(Printf.sprintf "tt:%d.%d" (fst m.rid) (snd m.rid))
+            ~attrs:[ ("gseq", string_of_int m.gseq) ]
+            ();
         notify t ~origin:(fst m.rid) m.body
       end)
     drain;
@@ -375,8 +385,13 @@ and apply_install t ~view ~fill ~last_gseq =
     List.filter (fun (p, _) -> not (View.mem view p)) t.pending_joins;
   Fd.set_peers t.fd view.View.members;
   Process.incr t.proc "totem.view_changes";
-  Process.emit t.proc ~component:"totem" ~event:"install"
-    ~attrs:[ ("view", Format.asprintf "%a" View.pp view) ]
+  Process.event t.proc ~component:"totem" ~kind:Gc_obs.Event.ViewInstall
+    ~msg:(Printf.sprintf "view:%d" view.View.vid)
+    ~attrs:
+      [
+        ("vid", string_of_int view.View.vid);
+        ("view", Format.asprintf "%a" View.pp view);
+      ]
     ();
   List.iter (fun f -> f view) (List.rev t.view_subscribers);
   replay_stashed_token t
@@ -392,7 +407,9 @@ and handle_install t ~epoch ~view ~fill ~last_gseq =
       t.n_exclusions <- t.n_exclusions + 1;
       t.excluded_since <- Some (Process.now t.proc);
       Process.incr t.proc "totem.exclusions";
-      Process.emit t.proc ~component:"totem" ~event:"excluded" ();
+      Process.event t.proc ~component:"totem" ~kind:Gc_obs.Event.Exclude
+        ~attrs:[ ("peer", string_of_int (me t)) ]
+        ();
       schedule_rejoin t
     end
   end
@@ -432,8 +449,14 @@ let handle_state t ~view ~last_gseq ~app =
     t.excluded_since <- None;
     Fd.set_peers t.fd view.View.members;
     t.n_views <- t.n_views + 1;
-    Process.emit t.proc ~component:"totem" ~event:"joined"
-      ~attrs:[ ("view", Format.asprintf "%a" View.pp view) ]
+    Process.event t.proc ~component:"totem" ~kind:Gc_obs.Event.ViewInstall
+      ~msg:(Printf.sprintf "view:%d" view.View.vid)
+      ~attrs:
+        [
+          ("vid", string_of_int view.View.vid);
+          ("view", Format.asprintf "%a" View.pp view);
+          ("rejoin", "true");
+        ]
       ();
     List.iter (fun f -> f view) (List.rev t.view_subscribers);
     replay_stashed_token t
@@ -514,6 +537,10 @@ let abcast t ?(size = 64) body =
   if t.active || t.killed then begin
     let rid = (me t, t.rid_counter) in
     t.rid_counter <- t.rid_counter + 1;
+    if Process.traced t.proc then
+      Process.event t.proc ~component:"totem" ~kind:Gc_obs.Event.Send
+        ~msg:(Printf.sprintf "tt:%d.%d" (fst rid) (snd rid))
+        ();
     t.out_queue <- (rid, body, size) :: t.out_queue
   end
 

@@ -180,16 +180,28 @@ let rec try_deliver_ordered t =
       Hashtbl.remove t.pending_req rid;
       if not (Hashtbl.mem t.delivered_rids rid) then begin
         Hashtbl.replace t.delivered_rids rid ();
+        if Process.traced t.proc then
+          Process.event t.proc ~component:"traditional"
+            ~kind:Gc_obs.Event.Deliver
+            ~msg:(Printf.sprintf "tr:%d.%d" (fst rid) (snd rid))
+            ~attrs:
+              [ ("ordered", "true"); ("gseq", string_of_int t.last_gseq) ]
+            ();
         notify t ~origin:(fst rid) ~ordered:true body
       end;
       try_deliver_ordered t
 
 (* Drain the buffer across a view change: gaps belong to the dead sequencer
-   and are re-requested by their origins. *)
+   and are re-requested by their origins.  Entries at or below [last_gseq]
+   are stale — their slot was already delivered, jumped over by an earlier
+   drain, or absorbed into a state-transfer snapshot — and delivering them
+   now would reorder this node against everyone who delivered them in
+   place, so they are dropped. *)
 let drain_ordered_after_flush t =
   let entries =
     Hashtbl.fold (fun gseq v acc -> (gseq, v) :: acc) t.ord_buf []
     |> List.sort compare
+    |> List.filter (fun (gseq, _) -> gseq > t.last_gseq)
   in
   Hashtbl.reset t.ord_buf;
   List.iter
@@ -198,6 +210,12 @@ let drain_ordered_after_flush t =
       Hashtbl.remove t.pending_req rid;
       if not (Hashtbl.mem t.delivered_rids rid) then begin
         Hashtbl.replace t.delivered_rids rid ();
+        if Process.traced t.proc then
+          Process.event t.proc ~component:"traditional"
+            ~kind:Gc_obs.Event.Deliver
+            ~msg:(Printf.sprintf "tr:%d.%d" (fst rid) (snd rid))
+            ~attrs:[ ("ordered", "true"); ("gseq", string_of_int gseq) ]
+            ();
         notify t ~origin:(fst rid) ~ordered:true body
       end)
     entries
@@ -225,9 +243,19 @@ let vs_process t m =
     send_members t ~size:24 (Tr_ack { vsid = m.vsid });
     check_stable t m.vsid;
     match m.inner with
-    | Plain { origin; body } -> notify t ~origin ~ordered:false body
+    | Plain { origin; body } ->
+        if Process.traced t.proc then
+          Process.event t.proc ~component:"traditional"
+            ~kind:Gc_obs.Event.Deliver
+            ~msg:(Printf.sprintf "trvs:%d.%d" (fst m.vsid) (snd m.vsid))
+            ~attrs:[ ("ordered", "false") ]
+            ();
+        notify t ~origin ~ordered:false body
     | Ordered { gseq; rid; body } ->
-        if not (Hashtbl.mem t.ord_buf gseq) then
+        (* Slots at or below [last_gseq] are already settled (see
+           [drain_ordered_after_flush]); buffering them again would only
+           resurface them out of order at the next flush. *)
+        if gseq > t.last_gseq && not (Hashtbl.mem t.ord_buf gseq) then
           Hashtbl.replace t.ord_buf gseq (rid, body);
         try_deliver_ordered t
   end
@@ -278,6 +306,10 @@ let sequence_now t rid body =
 let rec abcast t ?(size = 64) body =
   let rid = (me t, t.rid_counter) in
   t.rid_counter <- t.rid_counter + 1;
+  if Process.traced t.proc then
+    Process.event t.proc ~component:"traditional" ~kind:Gc_obs.Event.Send
+      ~msg:(Printf.sprintf "tr:%d.%d" (fst rid) (snd rid))
+      ();
   Hashtbl.replace t.pending_req rid (body, size);
   enqueue_or t (fun () -> abcast_route t rid body size)
 
@@ -479,6 +511,12 @@ and check_flush_complete t =
               ~members:f.f_old_members
               (Tr_vc_proposal
                  { view = new_view; deliver; joiners = f.joiners })
+        | _ when epoch_gt t.cur_epoch f.f_epoch ->
+            (* A concurrent coordinator started a higher-epoch flush while we
+               collected responses: abandon ours instead of installing a
+               rival view with the same vid (and a rival sequencer reusing
+               the same sequence numbers). *)
+            t.my_flush <- None
         | _ ->
         t.my_flush <- None;
         let install = Tr_install { epoch = f.f_epoch; view = new_view; deliver } in
@@ -520,8 +558,13 @@ and apply_install t ~view ~deliver =
   Fd.set_peers t.fd view.View.members;
   end_block t;
   Process.incr t.proc "traditional.view_changes";
-  Process.emit t.proc ~component:"traditional" ~event:"install"
-    ~attrs:[ ("view", Format.asprintf "%a" View.pp view) ]
+  Process.event t.proc ~component:"traditional" ~kind:Gc_obs.Event.ViewInstall
+    ~msg:(Printf.sprintf "view:%d" view.View.vid)
+    ~attrs:
+      [
+        ("vid", string_of_int view.View.vid);
+        ("view", Format.asprintf "%a" View.pp view);
+      ]
     ();
   List.iter (fun f -> f view) (List.rev t.view_subscribers);
   (* Replay messages that arrived tagged with this view before we got here. *)
@@ -542,7 +585,9 @@ and apply_install t ~view ~deliver =
   maybe_coordinate t
 
 and handle_install t ~epoch ~view ~deliver =
-  if t.active then begin
+  (* Installs from an epoch older than one we already adopted lost the race
+     to a concurrent coordinator: applying them would fork the view. *)
+  if t.active && not (epoch_gt t.cur_epoch epoch) then begin
     if epoch_gt epoch t.cur_epoch then t.cur_epoch <- epoch;
     if View.mem view (me t) then apply_install t ~view ~deliver
     else begin
@@ -556,7 +601,9 @@ and handle_install t ~epoch ~view ~deliver =
         t.n_exclusions <- t.n_exclusions + 1;
         t.excluded_since <- Some (Process.now t.proc);
         Process.incr t.proc "traditional.exclusions";
-        Process.emit t.proc ~component:"traditional" ~event:"excluded" ();
+        Process.event t.proc ~component:"traditional" ~kind:Gc_obs.Event.Exclude
+          ~attrs:[ ("peer", string_of_int (me t)) ]
+          ();
         schedule_rejoin t
       end
     end
@@ -615,8 +662,14 @@ let handle_state t ~view ~last_gseq ~app =
     | None -> ());
     Fd.set_peers t.fd view.View.members;
     t.n_views <- t.n_views + 1;
-    Process.emit t.proc ~component:"traditional" ~event:"joined"
-      ~attrs:[ ("view", Format.asprintf "%a" View.pp view) ]
+    Process.event t.proc ~component:"traditional" ~kind:Gc_obs.Event.ViewInstall
+      ~msg:(Printf.sprintf "view:%d" view.View.vid)
+      ~attrs:
+        [
+          ("vid", string_of_int view.View.vid);
+          ("view", Format.asprintf "%a" View.pp view);
+          ("rejoin", "true");
+        ]
       ();
     List.iter (fun f -> f view) (List.rev t.view_subscribers);
     (* Flush operations queued while we were out. *)

@@ -1,0 +1,326 @@
+(* The causal flight recorder and the offline protocol auditor: Lamport
+   clock discipline, JSONL round-trips, clean audits of seeded runs on
+   every stack, and — crucially — that the auditor actually catches
+   histories that break the invariants. *)
+
+open Support
+module Event = Gc_obs.Event
+module Audit = Gc_obs.Audit
+module Stack = Gcs.Gcs_stack
+module Tr = Gc_traditional.Traditional_stack
+module Tt = Gc_totem.Totem_stack
+
+type Gc_net.Payload.t += Probe of int
+
+let () =
+  Gc_net.Payload.register_printer (function
+    | Probe k -> Some (Printf.sprintf "probe#%d" k)
+    | _ -> None)
+
+(* ---------- recorded worlds on each stack ---------- *)
+
+let recorded_run ~make ~send ?(n = 3) ?(casts = 8) ?(seed = 7L)
+    ?(until = 10_000.0) () =
+  let engine = Engine.create ~seed () in
+  let trace = Trace.create ~enabled:true () in
+  let net = Netsim.create engine ~trace ~delay:Delay.lan ~n () in
+  let initial = ids n in
+  let stacks = Array.init n (fun id -> make net ~trace ~id ~initial) in
+  for k = 0 to casts - 1 do
+    ignore
+      (Engine.schedule engine
+         ~delay:(50.0 +. (float_of_int k *. 40.0))
+         (fun () -> send stacks.(k mod n) (Probe k)))
+  done;
+  Engine.run ~until engine;
+  trace
+
+let new_run ?mix () =
+  recorded_run
+    ~make:(fun net ~trace ~id ~initial -> Stack.create net ~trace ~id ~initial ())
+    ~send:(fun s p ->
+      match (mix, p) with
+      | Some (), Probe k when k mod 2 = 0 -> Stack.rbcast s p
+      | _ -> Stack.abcast s p)
+    ()
+
+let trad_run () =
+  recorded_run
+    ~make:(fun net ~trace ~id ~initial -> Tr.create net ~trace ~id ~initial ())
+    ~send:(fun s p -> Tr.abcast s p)
+    ()
+
+let totem_run () =
+  recorded_run
+    ~make:(fun net ~trace ~id ~initial -> Tt.create net ~trace ~id ~initial ())
+    ~send:(fun s p -> Tt.abcast s p)
+    ()
+
+(* ---------- Lamport clocks ---------- *)
+
+let test_lamport_monotonic () =
+  let trace = new_run () in
+  let per_node = Hashtbl.create 8 in
+  List.iter
+    (fun (r : Trace.record) ->
+      (match Hashtbl.find_opt per_node r.Trace.node with
+      | Some prev ->
+          if r.Trace.lamport <= prev then
+            Alcotest.failf "node %d: lamport %d after %d" r.Trace.node
+              r.Trace.lamport prev
+      | None -> ());
+      Hashtbl.replace per_node r.Trace.node r.Trace.lamport)
+    (Trace.records trace);
+  check_bool "some nodes emitted" true (Hashtbl.length per_node >= 3)
+
+let test_lamport_merge () =
+  let t = Trace.create ~enabled:true () in
+  for _ = 1 to 3 do
+    Trace.emit_event t ~time:0.0 ~node:0 ~component:"x" ~kind:Event.Send ()
+  done;
+  check_int "sender clock" 3 (Trace.clock t ~node:0);
+  Trace.merge_clock t ~node:1 ~clock:(Trace.clock t ~node:0);
+  Trace.emit_event t ~time:1.0 ~node:1 ~component:"x" ~kind:Event.Recv ();
+  check_int "receiver jumped past sender" 5 (Trace.clock t ~node:1);
+  (* A stale remote clock must not rewind the receiver. *)
+  Trace.merge_clock t ~node:1 ~clock:2;
+  Trace.emit_event t ~time:2.0 ~node:1 ~component:"x" ~kind:Event.Recv ();
+  check_int "stale merge ignored" 6 (Trace.clock t ~node:1)
+
+let test_send_happens_before_deliver () =
+  let trace = new_run () in
+  let sends = Hashtbl.create 32 in
+  List.iter
+    (fun (r : Trace.record) ->
+      if r.Trace.component = "abcast" && r.Trace.kind = Event.Send then
+        match r.Trace.msg with
+        | Some m -> Hashtbl.replace sends m r.Trace.lamport
+        | None -> ())
+    (Trace.records trace);
+  let checked = ref 0 in
+  List.iter
+    (fun (r : Trace.record) ->
+      if r.Trace.component = "abcast" && r.Trace.kind = Event.Deliver then
+        match Option.bind r.Trace.msg (Hashtbl.find_opt sends) with
+        | Some send_clock ->
+            incr checked;
+            if r.Trace.lamport <= send_clock then
+              Alcotest.failf "deliver of %s at L%d not after send at L%d"
+                (Option.get r.Trace.msg) r.Trace.lamport send_clock
+        | None -> ())
+    (Trace.records trace);
+  check_bool "deliveries checked" true (!checked > 10)
+
+(* ---------- JSONL round-trip ---------- *)
+
+let test_jsonl_roundtrip () =
+  let events =
+    [
+      {
+        Event.time = 12.5;
+        node = 0;
+        lamport = 1;
+        component = "abcast";
+        kind = Event.Send;
+        msg = Some "ab:0.1";
+        attrs = [ ("origin", "0"); ("mseq", "1") ];
+      };
+      {
+        Event.time = 14.25;
+        node = 2;
+        lamport = 7;
+        component = "gbcast";
+        kind = Event.Custom "freeze";
+        msg = None;
+        attrs = [];
+      };
+      {
+        Event.time = 20.0;
+        node = -1;
+        lamport = 3;
+        component = "membership";
+        kind = Event.ViewInstall;
+        msg = Some "view:2";
+        attrs = [ ("view", "v2[0;1;2]") ];
+      };
+    ]
+  in
+  let path = Filename.temp_file "gcs_trace" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Event.save_jsonl path events;
+      let back = Event.load_jsonl path in
+      check_bool "round-trip preserves events" true (events = back))
+
+let test_trace_save_jsonl () =
+  let trace = new_run () in
+  let path = Filename.temp_file "gcs_trace" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Trace.save_jsonl trace path;
+      let back = Event.load_jsonl path in
+      check_int "every record serialised"
+        (List.length (Trace.records trace))
+        (List.length back);
+      check_bool "records survive" true (Trace.records trace = back))
+
+(* ---------- clean audits of seeded runs ---------- *)
+
+let assert_clean name trace =
+  let report = Audit.run (Trace.records trace) in
+  if not (Audit.ok report) then
+    Alcotest.failf "%s audit: %s" name
+      (Format.asprintf "%a" Audit.pp_report report)
+
+let test_audit_new_clean () = assert_clean "new stack" (new_run ())
+let test_audit_gbcast_clean () = assert_clean "gbcast mix" (new_run ~mix:() ())
+let test_audit_trad_clean () = assert_clean "traditional" (trad_run ())
+let test_audit_totem_clean () = assert_clean "totem" (totem_run ())
+
+(* ---------- the auditor must catch bad histories ---------- *)
+
+let violation_checks report =
+  List.map (fun v -> v.Audit.check) report.Audit.violations
+
+(* Swap two abcast deliveries at one node in an otherwise clean recorded
+   run: the total-order check must flag the reordering. *)
+let test_detects_injected_reorder () =
+  let records = Trace.records (new_run ()) in
+  let deliver_at_node1 (r : Trace.record) =
+    r.Trace.node = 1 && r.Trace.component = "abcast"
+    && r.Trace.kind = Event.Deliver
+  in
+  let i1, i2 =
+    let found = ref [] in
+    List.iteri
+      (fun i r ->
+        if deliver_at_node1 r && List.length !found < 2 then
+          match !found with
+          | [ (_, prev) ] when prev.Trace.msg <> r.Trace.msg ->
+              found := !found @ [ (i, r) ]
+          | [] -> found := [ (i, r) ]
+          | _ -> ())
+      records;
+    match !found with
+    | [ (i1, _); (i2, _) ] -> (i1, i2)
+    | _ -> Alcotest.fail "expected at least two abcast deliveries at node 1"
+  in
+  let e1 = List.nth records i1 and e2 = List.nth records i2 in
+  let reordered =
+    List.mapi
+      (fun i r -> if i = i1 then e2 else if i = i2 then e1 else r)
+      records
+  in
+  let clean = Audit.run ~checks:[ Audit.Total_order ] records in
+  check_bool "clean history passes" true (Audit.ok clean);
+  let report = Audit.run reordered in
+  check_bool "reordered history detected" true
+    (List.mem Audit.Total_order (violation_checks report))
+
+(* Synthetic histories for the remaining checks. *)
+
+let ev ?(time = 0.0) ?(lamport = 0) ?msg ?(attrs = []) node component kind =
+  { Event.time; node; lamport; component; kind; msg; attrs }
+
+let test_detects_fifo_gap () =
+  let d seq =
+    ev 1 "rchannel" Event.Deliver
+      ~msg:(Printf.sprintf "rc:0.0.%d" seq)
+      ~attrs:[ ("src", "0"); ("gen", "0"); ("seq", string_of_int seq) ]
+  in
+  let report = Audit.run [ d 1; d 3; d 2 ] in
+  check_bool "fifo regression detected" true
+    (violation_checks report = [ Audit.Fifo ])
+
+let test_detects_conflict_reorder () =
+  let d node m cls =
+    ev node "gbcast" Event.Deliver ~msg:m ~attrs:[ ("cls", cls) ]
+  in
+  (* Conflicting messages in opposite orders at two nodes. *)
+  let bad =
+    [
+      d 0 "gb:0.1" "conflicting";
+      d 0 "gb:1.1" "conflicting";
+      d 1 "gb:1.1" "conflicting";
+      d 1 "gb:0.1" "conflicting";
+    ]
+  in
+  check_bool "conflicting reorder detected" true
+    (violation_checks (Audit.run bad) = [ Audit.Conflict_order ]);
+  (* Commuting messages may reorder against each other... *)
+  let commuting_ok =
+    [
+      d 0 "gb:0.1" "commuting";
+      d 0 "gb:1.1" "commuting";
+      d 1 "gb:1.1" "commuting";
+      d 1 "gb:0.1" "commuting";
+    ]
+  in
+  check_bool "commuting reorder allowed" true (Audit.ok (Audit.run commuting_ok));
+  (* ... but not across a conflicting message. *)
+  let across =
+    [
+      d 0 "gb:0.1" "conflicting";
+      d 0 "gb:1.1" "commuting";
+      d 1 "gb:1.1" "commuting";
+      d 1 "gb:0.1" "conflicting";
+    ]
+  in
+  check_bool "commuting across conflicting detected" true
+    (violation_checks (Audit.run across) = [ Audit.Conflict_order ])
+
+let test_detects_view_mismatch () =
+  let install node vid =
+    ev node "membership" Event.ViewInstall
+      ~msg:(Printf.sprintf "view:%d" vid)
+      ~attrs:
+        [ ("vid", string_of_int vid); ("view", Printf.sprintf "v%d[0;1]" vid) ]
+  in
+  let d node = ev node "gbcast" Event.Deliver ~msg:"gb:0.1" in
+  let bad = [ install 0 1; install 1 1; install 1 2; d 0; d 1 ] in
+  check_bool "view mismatch detected" true
+    (violation_checks (Audit.run bad) = [ Audit.Same_view ]);
+  let good = [ install 0 1; install 1 1; d 0; d 1 ] in
+  check_bool "same view passes" true (Audit.ok (Audit.run good))
+
+let test_detects_split_decision () =
+  let decide node value =
+    ev node "consensus" Event.Decide ~msg:"cs:4"
+      ~attrs:[ ("inst", "4"); ("val", value) ]
+  in
+  let bad = [ decide 0 "a"; decide 1 "b" ] in
+  check_bool "split decision detected" true
+    (violation_checks (Audit.run bad) = [ Audit.Agreement ]);
+  check_bool "agreeing decisions pass" true
+    (Audit.ok (Audit.run [ decide 0 "a"; decide 1 "a" ]))
+
+let suite =
+  [
+    ( "audit",
+      [
+        Alcotest.test_case "lamport monotonic per node" `Quick
+          test_lamport_monotonic;
+        Alcotest.test_case "lamport merge on receive" `Quick test_lamport_merge;
+        Alcotest.test_case "send happens-before deliver" `Quick
+          test_send_happens_before_deliver;
+        Alcotest.test_case "jsonl round-trip" `Quick test_jsonl_roundtrip;
+        Alcotest.test_case "trace save_jsonl" `Quick test_trace_save_jsonl;
+        Alcotest.test_case "clean audit: new stack" `Quick test_audit_new_clean;
+        Alcotest.test_case "clean audit: gbcast mix" `Quick
+          test_audit_gbcast_clean;
+        Alcotest.test_case "clean audit: traditional" `Quick
+          test_audit_trad_clean;
+        Alcotest.test_case "clean audit: totem" `Quick test_audit_totem_clean;
+        Alcotest.test_case "detects injected reorder" `Quick
+          test_detects_injected_reorder;
+        Alcotest.test_case "detects fifo gap" `Quick test_detects_fifo_gap;
+        Alcotest.test_case "detects conflict reorder" `Quick
+          test_detects_conflict_reorder;
+        Alcotest.test_case "detects view mismatch" `Quick
+          test_detects_view_mismatch;
+        Alcotest.test_case "detects split decision" `Quick
+          test_detects_split_decision;
+      ] );
+  ]

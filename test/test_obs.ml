@@ -115,7 +115,7 @@ let test_json_roundtrip () =
     "text round-trip" (Json.to_string j)
     (Json.to_string (Metrics.to_json m''))
 
-(* ---------- trace capacity and deprecated shim ---------- *)
+(* ---------- trace capacity and structured emission ---------- *)
 
 let test_trace_capacity () =
   let t = Trace.create ~enabled:true ~capacity:10 () in
@@ -133,23 +133,27 @@ let test_trace_capacity () =
     "newest record is #24" (Some "24")
     (Trace.attr (List.nth rs 9) "i")
 
-(* The deprecated shim is exercised on purpose. *)
-[@@@alert "-deprecated"]
-
-let test_emit_legacy () =
+let test_structured_emit () =
   let t = Trace.create ~enabled:true () in
-  Trace.emit_legacy t ~time:1.0 ~node:2 ~component:"old" ~event:"ev"
-    "free-form detail";
-  Trace.emit_legacy t ~time:2.0 ~node:2 ~component:"old" ~event:"empty" "";
+  Trace.emit t ~time:1.0 ~node:2 ~component:"layer" ~event:"deliver"
+    ~attrs:[ ("detail", "free-form detail") ]
+    ();
+  Trace.emit t ~time:2.0 ~node:2 ~component:"layer" ~event:"frobnicate" ();
   match Trace.records t with
   | [ r1; r2 ] ->
       Alcotest.(check (option string))
-        "detail becomes an attribute" (Some "free-form detail")
+        "attrs carry the detail" (Some "free-form detail")
         (Trace.attr r1 "detail");
       Alcotest.(check string)
         "detail rendering" "detail=free-form detail" (Trace.detail r1);
+      Alcotest.(check bool)
+        "known tags parse to typed kinds" true
+        (r1.Trace.kind = Gc_obs.Event.Deliver);
+      Alcotest.(check bool)
+        "unknown tags become Custom" true
+        (r2.Trace.kind = Gc_obs.Event.Custom "frobnicate");
       Alcotest.(check (list (pair string string)))
-        "empty detail omitted" [] r2.Trace.attrs
+        "no attrs by default" [] r2.Trace.attrs
   | rs -> Alcotest.failf "expected 2 records, got %d" (List.length rs)
 
 (* ---------- end-to-end: rbcast avoids consensus ---------- *)
@@ -209,7 +213,7 @@ let suite =
         Alcotest.test_case "merge semantics" `Quick test_merge;
         Alcotest.test_case "json round-trip" `Quick test_json_roundtrip;
         Alcotest.test_case "trace capacity eviction" `Quick test_trace_capacity;
-        Alcotest.test_case "deprecated emit shim" `Quick test_emit_legacy;
+        Alcotest.test_case "structured emit" `Quick test_structured_emit;
         Alcotest.test_case "rbcast uses fewer consensus instances" `Quick
           test_rbcast_needs_fewer_instances;
       ] );
