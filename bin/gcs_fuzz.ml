@@ -1,0 +1,236 @@
+(* gcs_fuzz — randomized fault-schedule explorer with auditor oracle and
+   counterexample shrinking.
+
+     dune exec bin/gcs_fuzz.exe -- run --seeds 100 --stack all
+     dune exec bin/gcs_fuzz.exe -- run --seeds 200 --stack abgb --profile aggressive
+     dune exec bin/gcs_fuzz.exe -- replay corpus/abgb-seed42.json
+     dune exec bin/gcs_fuzz.exe -- shrink failures/totem-seed7.json
+
+   [run] sweeps N generated fault scripts per stack, audits every recorded
+   run, and shrinks any unwaived violation to a minimal replayable JSON
+   artifact (plus its trace).  [replay] re-runs an artifact and asserts
+   bit-for-bit determinism against the stored trace.  [shrink] re-minimises
+   an existing artifact (e.g. with a bigger parameter budget). *)
+
+module Audit = Gc_obs.Audit
+module Fault_script = Gc_faultgen.Fault_script
+module Generator = Gc_faultgen.Generator
+module Harness = Gc_fuzz.Harness
+module Campaign = Gc_fuzz.Campaign
+
+let parse_stacks = function
+  | "all" -> Ok Harness.all_stacks
+  | s ->
+      let names = String.split_on_char ',' s in
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | n :: rest -> (
+            match Harness.stack_of_string (String.trim n) with
+            | Some k -> go (k :: acc) rest
+            | None -> Error (Printf.sprintf "unknown stack %S" n))
+      in
+      go [] names
+
+let parse_profile = function
+  | "default" -> Ok Generator.default
+  | "aggressive" -> Ok Generator.aggressive
+  | s -> Error (Printf.sprintf "unknown profile %S (default|aggressive)" s)
+
+(* ---------- run ---------- *)
+
+let run_cmd seeds first_seed stack_s profile_s nodes horizon casts out
+    inject_reorder =
+  match (parse_stacks stack_s, parse_profile profile_s) with
+  | Error msg, _ | _, Error msg ->
+      Printf.eprintf "gcs_fuzz: %s\n" msg;
+      2
+  | Ok stacks, Ok profile ->
+      let seed_list =
+        List.init seeds (fun i -> Int64.add first_seed (Int64.of_int i))
+      in
+      let summary =
+        Campaign.sweep ~profile ~nodes ~horizon ~casts ~inject_reorder
+          ~artifact_dir:out ~log:print_endline ~stacks ~seeds:seed_list ()
+      in
+      Printf.printf
+        "\n%d runs: %d clean, %d waived-only, %d failures\n"
+        summary.Campaign.runs summary.Campaign.clean
+        summary.Campaign.waived_runs
+        (List.length summary.Campaign.found);
+      List.iter
+        (fun (f : Campaign.found) ->
+          Printf.printf "  %s seed=%Ld: %s (%d -> %d events, %d shrink runs)%s\n"
+            (Harness.stack_to_string f.Campaign.failure.Campaign.stack)
+            f.Campaign.original.Fault_script.seed
+            (String.concat ","
+               (List.map Audit.check_to_string
+                  f.Campaign.failure.Campaign.checks))
+            (List.length f.Campaign.original.Fault_script.events)
+            (List.length
+               f.Campaign.failure.Campaign.script.Fault_script.events)
+            f.Campaign.shrink_runs
+            (match f.Campaign.artifact with
+            | Some p -> " -> " ^ p
+            | None -> ""))
+        summary.Campaign.found;
+      if summary.Campaign.found = [] then 0 else 1
+
+(* ---------- replay ---------- *)
+
+let replay_cmd file =
+  match Campaign.replay file with
+  | exception Sys_error msg ->
+      Printf.eprintf "gcs_fuzz: %s\n" msg;
+      2
+  | exception Failure msg ->
+      Printf.eprintf "gcs_fuzz: %s: %s\n" file msg;
+      2
+  | f, o, matches ->
+      Printf.printf "replayed %s: stack=%s seed=%Ld events=%d delivered=%d\n"
+        file
+        (Harness.stack_to_string f.Campaign.stack)
+        f.Campaign.script.Fault_script.seed
+        (List.length o.Harness.events)
+        o.Harness.delivered;
+      Format.printf "%a@?" Audit.pp_report o.Harness.report;
+      let reproduced = not (Audit.ok o.Harness.report) in
+      Printf.printf "violation %s\n"
+        (if reproduced then "reproduced" else "NOT reproduced");
+      (match matches with
+      | Some true -> Printf.printf "trace: identical to stored recording\n"
+      | Some false -> Printf.printf "trace: DIVERGES from stored recording\n"
+      | None -> Printf.printf "trace: no stored recording to compare\n");
+      if reproduced && matches <> Some false then 0 else 1
+
+(* ---------- shrink ---------- *)
+
+let shrink_cmd file max_param_runs =
+  match Campaign.load file with
+  | exception Sys_error msg ->
+      Printf.eprintf "gcs_fuzz: %s\n" msg;
+      2
+  | exception Failure msg ->
+      Printf.eprintf "gcs_fuzz: %s: %s\n" file msg;
+      2
+  | f ->
+      if not (Campaign.reproduces f) then begin
+        Printf.eprintf
+          "gcs_fuzz: %s no longer reproduces its violation — nothing to \
+           shrink\n"
+          file;
+        1
+      end
+      else begin
+        let s = Campaign.shrink ~max_param_runs f in
+        let shrunk = { f with Campaign.script = s.Gc_faultgen.Shrink.result } in
+        let o = Campaign.run_failure shrunk in
+        let dir = Filename.dirname file in
+        let name =
+          Filename.remove_extension (Filename.basename file) ^ "-min"
+        in
+        let path = Campaign.save ~dir ~name shrunk o in
+        Printf.printf "%d -> %d events in %d runs; written to %s\n"
+          (List.length f.Campaign.script.Fault_script.events)
+          (List.length s.Gc_faultgen.Shrink.result.Fault_script.events)
+          s.Gc_faultgen.Shrink.runs path;
+        0
+      end
+
+(* ---------- cmdliner plumbing ---------- *)
+
+open Cmdliner
+
+let file_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"FAILURE" ~doc:"Failure artifact written by $(b,run).")
+
+let run_term =
+  let seeds =
+    Arg.(
+      value & opt int 50
+      & info [ "seeds" ] ~docv:"N" ~doc:"Fault scripts to try per stack.")
+  and first_seed =
+    Arg.(
+      value & opt int64 1L
+      & info [ "first-seed" ] ~docv:"S"
+          ~doc:"First seed; seeds S, S+1, ... S+N-1 are swept.")
+  and stack =
+    Arg.(
+      value & opt string "all"
+      & info [ "stack" ] ~docv:"STACKS"
+          ~doc:
+            "Comma-separated stacks to fuzz: $(b,abgb), $(b,gbcast), \
+             $(b,traditional), $(b,totem), or $(b,all).")
+  and profile =
+    Arg.(
+      value & opt string "default"
+      & info [ "profile" ] ~docv:"P"
+          ~doc:
+            "Generator profile: $(b,default) (liveness-safe windows) or \
+             $(b,aggressive) (longer freezes, more events).")
+  and nodes =
+    Arg.(
+      value & opt int 5
+      & info [ "nodes" ] ~docv:"N" ~doc:"Group size.")
+  and horizon =
+    Arg.(
+      value & opt float 12_000.0
+      & info [ "horizon" ] ~docv:"MS" ~doc:"Virtual run length, ms.")
+  and casts =
+    Arg.(
+      value & opt int 12
+      & info [ "casts" ] ~docv:"K" ~doc:"Broadcasts per run.")
+  and out =
+    Arg.(
+      value & opt string "fuzz-failures"
+      & info [ "o"; "out" ] ~docv:"DIR"
+          ~doc:"Directory for failure artifacts and traces.")
+  and inject_reorder =
+    Arg.(
+      value & flag
+      & info [ "inject-reorder" ]
+          ~doc:
+            "Self-test hook: corrupt each recorded history by swapping two \
+             ordered deliveries, to prove the oracle catches reorders and \
+             shrinking strips fault-independent failures to (almost) \
+             nothing.")
+  in
+  Term.(
+    const run_cmd $ seeds $ first_seed $ stack $ profile $ nodes $ horizon
+    $ casts $ out $ inject_reorder)
+
+let replay_term = Term.(const replay_cmd $ file_arg)
+
+let shrink_term =
+  let max_param_runs =
+    Arg.(
+      value & opt int 200
+      & info [ "max-param-runs" ] ~docv:"N"
+          ~doc:"Simulation budget for the parameter-simplification pass.")
+  in
+  Term.(const shrink_cmd $ file_arg $ max_param_runs)
+
+let cmds =
+  [
+    Cmd.v
+      (Cmd.info "run"
+         ~doc:
+           "Sweep generated fault scripts over the stacks, audit every run, \
+            shrink and save any failure (exit 1 if any was found)")
+      run_term;
+    Cmd.v
+      (Cmd.info "replay"
+         ~doc:
+           "Re-run a failure artifact; exit 0 iff the violation reproduces \
+            and the re-recorded trace matches the stored one bit-for-bit")
+      replay_term;
+    Cmd.v
+      (Cmd.info "shrink" ~doc:"Re-minimise an existing failure artifact")
+      shrink_term;
+  ]
+
+let () =
+  let doc = "randomized fault-schedule explorer for the GCS stacks" in
+  exit (Cmd.eval' (Cmd.group (Cmd.info "gcs_fuzz" ~doc) cmds))

@@ -1,0 +1,390 @@
+module Json = Gc_obs.Json
+
+type event =
+  | Crash of { node : int; at : float; recover_at : float option }
+  | Partition of { at : float; heal_at : float; groups : int list list }
+  | Drop_burst of {
+      at : float;
+      until : float;
+      src : int;
+      dst : int;
+      rate : float;
+    }
+  | Delay_spike of { at : float; until : float; nodes : int list; extra : float }
+  | Duplicate of { at : float; until : float; src : int; dst : int; prob : float }
+  | Fd_flap of { at : float; until : float; node : int; peer : int }
+
+type t = { seed : int64; nodes : int; horizon : float; events : event list }
+
+let time_of = function
+  | Crash { at; _ }
+  | Partition { at; _ }
+  | Drop_burst { at; _ }
+  | Delay_spike { at; _ }
+  | Duplicate { at; _ }
+  | Fd_flap { at; _ } -> at
+
+let sorted t =
+  { t with events = List.stable_sort (fun a b -> compare (time_of a) (time_of b)) t.events }
+
+let event_label = function
+  | Crash _ -> "crash"
+  | Partition _ -> "partition"
+  | Drop_burst _ -> "drop_burst"
+  | Delay_spike _ -> "delay_spike"
+  | Duplicate _ -> "duplicate"
+  | Fd_flap _ -> "fd_flap"
+
+(* ---------- validation ---------- *)
+
+let validate t =
+  let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  let check_node who node =
+    if node < 0 || node >= t.nodes then
+      err "%s: node %d out of range 0..%d" who node (t.nodes - 1)
+    else Ok ()
+  in
+  let check_window who at until =
+    if at < 0.0 then err "%s: negative time %g" who at
+    else if until < at then err "%s: window ends (%g) before it starts (%g)" who until at
+    else Ok ()
+  in
+  let ( let* ) = Result.bind in
+  let check_event e =
+    match e with
+    | Crash { node; at; recover_at } ->
+        let* () = check_node "crash" node in
+        check_window "crash" at (Option.value ~default:at recover_at)
+    | Partition { at; heal_at; groups } ->
+        let* () = check_window "partition" at heal_at in
+        List.fold_left
+          (fun acc g ->
+            let* () = acc in
+            List.fold_left
+              (fun acc n ->
+                let* () = acc in
+                check_node "partition" n)
+              (Ok ()) g)
+          (Ok ()) groups
+    | Drop_burst { at; until; src; dst; rate } ->
+        let* () = check_node "drop_burst" src in
+        let* () = check_node "drop_burst" dst in
+        let* () = check_window "drop_burst" at until in
+        if rate < 0.0 || rate > 1.0 then
+          err "drop_burst: rate %g outside [0,1]" rate
+        else Ok ()
+    | Delay_spike { at; until; nodes; extra } ->
+        let* () = check_window "delay_spike" at until in
+        let* () =
+          List.fold_left
+            (fun acc n ->
+              let* () = acc in
+              check_node "delay_spike" n)
+            (Ok ()) nodes
+        in
+        if extra < 0.0 then err "delay_spike: negative extra %g" extra
+        else Ok ()
+    | Duplicate { at; until; src; dst; prob } ->
+        let* () = check_node "duplicate" src in
+        let* () = check_node "duplicate" dst in
+        let* () = check_window "duplicate" at until in
+        if prob < 0.0 || prob > 1.0 then
+          err "duplicate: prob %g outside [0,1]" prob
+        else Ok ()
+    | Fd_flap { at; until; node; peer } ->
+        let* () = check_node "fd_flap" node in
+        let* () = check_node "fd_flap" peer in
+        let* () = check_window "fd_flap" at until in
+        if node = peer then err "fd_flap: node %d flapping itself" node
+        else Ok ()
+  in
+  if t.nodes < 2 then err "script needs at least 2 nodes, got %d" t.nodes
+  else if t.horizon <= 0.0 then err "non-positive horizon %g" t.horizon
+  else
+    List.fold_left
+      (fun acc e ->
+        let* () = acc in
+        check_event e)
+      (Ok ()) t.events
+
+(* ---------- shrinking candidates ---------- *)
+
+(* Strictly "simpler" variants of one event, for the parameter-shrinking
+   pass after delta debugging: shorter windows, halved magnitudes, rounded
+   times.  Every candidate must stay valid for the same script. *)
+let round10 x =
+  let r = Float.round (x /. 10.0) *. 10.0 in
+  if r < 0.0 then 0.0 else r
+
+let simplify_event e =
+  let shorter at until = at +. ((until -. at) /. 2.0) in
+  let rounded =
+    match e with
+    | Crash { node; at; recover_at } ->
+        Crash { node; at = round10 at; recover_at = Option.map round10 recover_at }
+    | Partition { at; heal_at; groups } ->
+        Partition { at = round10 at; heal_at = round10 (Float.max at heal_at); groups }
+    | Drop_burst b ->
+        Drop_burst { b with at = round10 b.at; until = round10 (Float.max b.at b.until) }
+    | Delay_spike s ->
+        Delay_spike { s with at = round10 s.at; until = round10 (Float.max s.at s.until) }
+    | Duplicate d ->
+        Duplicate { d with at = round10 d.at; until = round10 (Float.max d.at d.until) }
+    | Fd_flap f ->
+        Fd_flap { f with at = round10 f.at; until = round10 (Float.max f.at f.until) }
+  in
+  let halved =
+    match e with
+    | Crash { node; at; recover_at = Some r } when r -. at > 20.0 ->
+        [ Crash { node; at; recover_at = Some (shorter at r) } ]
+    | Crash _ -> []
+    | Partition ({ at; heal_at; _ } as p) when heal_at -. at > 20.0 ->
+        [ Partition { p with heal_at = shorter at heal_at } ]
+    | Partition _ -> []
+    | Drop_burst ({ at; until; rate; _ } as b) ->
+        (if until -. at > 20.0 then
+           [ Drop_burst { b with until = shorter at until } ]
+         else [])
+        @ (if rate < 1.0 then [ Drop_burst { b with rate = 1.0 } ] else [])
+    | Delay_spike ({ at; until; extra; _ } as s) ->
+        (if until -. at > 20.0 then
+           [ Delay_spike { s with until = shorter at until } ]
+         else [])
+        @ (if extra > 50.0 then [ Delay_spike { s with extra = extra /. 2.0 } ]
+           else [])
+    | Duplicate ({ at; until; prob; _ } as d) ->
+        (if until -. at > 20.0 then
+           [ Duplicate { d with until = shorter at until } ]
+         else [])
+        @ (if prob < 1.0 then [ Duplicate { d with prob = 1.0 } ] else [])
+    | Fd_flap ({ at; until; _ } as f) when until -. at > 20.0 ->
+        [ Fd_flap { f with until = shorter at until } ]
+    | Fd_flap _ -> []
+  in
+  (if rounded <> e then [ rounded ] else []) @ halved
+
+(* ---------- JSON ---------- *)
+
+let num x = Json.Num x
+let inum i = Json.Num (float_of_int i)
+let ilist l = Json.Arr (List.map inum l)
+
+let event_to_json e =
+  let tag = Json.Str (event_label e) in
+  match e with
+  | Crash { node; at; recover_at } ->
+      Json.Obj
+        ([ ("type", tag); ("node", inum node); ("at", num at) ]
+        @ match recover_at with
+          | Some r -> [ ("recover_at", num r) ]
+          | None -> [])
+  | Partition { at; heal_at; groups } ->
+      Json.Obj
+        [
+          ("type", tag);
+          ("at", num at);
+          ("heal_at", num heal_at);
+          ("groups", Json.Arr (List.map ilist groups));
+        ]
+  | Drop_burst { at; until; src; dst; rate } ->
+      Json.Obj
+        [
+          ("type", tag);
+          ("at", num at);
+          ("until", num until);
+          ("src", inum src);
+          ("dst", inum dst);
+          ("rate", num rate);
+        ]
+  | Delay_spike { at; until; nodes; extra } ->
+      Json.Obj
+        [
+          ("type", tag);
+          ("at", num at);
+          ("until", num until);
+          ("nodes", ilist nodes);
+          ("extra", num extra);
+        ]
+  | Duplicate { at; until; src; dst; prob } ->
+      Json.Obj
+        [
+          ("type", tag);
+          ("at", num at);
+          ("until", num until);
+          ("src", inum src);
+          ("dst", inum dst);
+          ("prob", num prob);
+        ]
+  | Fd_flap { at; until; node; peer } ->
+      Json.Obj
+        [
+          ("type", tag);
+          ("at", num at);
+          ("until", num until);
+          ("node", inum node);
+          ("peer", inum peer);
+        ]
+
+let to_json t =
+  Json.Obj
+    [
+      ("seed", Json.Str (Int64.to_string t.seed));
+      ("nodes", inum t.nodes);
+      ("horizon", num t.horizon);
+      ("events", Json.Arr (List.map event_to_json t.events));
+    ]
+
+let fail fmt = Printf.ksprintf failwith fmt
+
+let jfloat j k =
+  match Option.bind (Json.member k j) Json.to_float with
+  | Some f -> f
+  | None -> fail "fault script: missing number %S" k
+
+let jint j k = int_of_float (jfloat j k)
+
+let jints j k =
+  match Option.bind (Json.member k j) Json.to_list with
+  | Some l ->
+      List.map
+        (fun x ->
+          match Json.to_float x with
+          | Some f -> int_of_float f
+          | None -> fail "fault script: non-number in %S" k)
+        l
+  | None -> fail "fault script: missing list %S" k
+
+let event_of_json j =
+  match Option.bind (Json.member "type" j) Json.to_str with
+  | Some "crash" ->
+      Crash
+        {
+          node = jint j "node";
+          at = jfloat j "at";
+          recover_at =
+            Option.bind (Json.member "recover_at" j) Json.to_float;
+        }
+  | Some "partition" ->
+      let groups =
+        match Option.bind (Json.member "groups" j) Json.to_list with
+        | Some gs ->
+            List.map
+              (fun g ->
+                match Json.to_list g with
+                | Some l ->
+                    List.map
+                      (fun x ->
+                        match Json.to_float x with
+                        | Some f -> int_of_float f
+                        | None -> fail "fault script: bad group member")
+                      l
+                | None -> fail "fault script: bad group")
+              gs
+        | None -> fail "fault script: missing groups"
+      in
+      Partition { at = jfloat j "at"; heal_at = jfloat j "heal_at"; groups }
+  | Some "drop_burst" ->
+      Drop_burst
+        {
+          at = jfloat j "at";
+          until = jfloat j "until";
+          src = jint j "src";
+          dst = jint j "dst";
+          rate = jfloat j "rate";
+        }
+  | Some "delay_spike" ->
+      Delay_spike
+        {
+          at = jfloat j "at";
+          until = jfloat j "until";
+          nodes = jints j "nodes";
+          extra = jfloat j "extra";
+        }
+  | Some "duplicate" ->
+      Duplicate
+        {
+          at = jfloat j "at";
+          until = jfloat j "until";
+          src = jint j "src";
+          dst = jint j "dst";
+          prob = jfloat j "prob";
+        }
+  | Some "fd_flap" ->
+      Fd_flap
+        {
+          at = jfloat j "at";
+          until = jfloat j "until";
+          node = jint j "node";
+          peer = jint j "peer";
+        }
+  | Some other -> fail "fault script: unknown event type %S" other
+  | None -> fail "fault script: event without type"
+
+let of_json j =
+  let seed =
+    match Option.bind (Json.member "seed" j) Json.to_str with
+    | Some s -> (
+        match Int64.of_string_opt s with
+        | Some i -> i
+        | None -> fail "fault script: bad seed %S" s)
+    | None -> fail "fault script: missing seed"
+  in
+  let events =
+    match Option.bind (Json.member "events" j) Json.to_list with
+    | Some l -> List.map event_of_json l
+    | None -> fail "fault script: missing events"
+  in
+  { seed; nodes = jint j "nodes"; horizon = jfloat j "horizon"; events }
+
+let save path t =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Json.to_string_pretty (to_json t));
+      output_char oc '\n')
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      of_json (Json.of_string s))
+
+(* ---------- printing ---------- *)
+
+let pp_event ppf e =
+  match e with
+  | Crash { node; at; recover_at } ->
+      Format.fprintf ppf "@%.0f crash node %d%s" at node
+        (match recover_at with
+        | Some r -> Printf.sprintf ", recover @%.0f" r
+        | None -> " (permanent)")
+  | Partition { at; heal_at; groups } ->
+      Format.fprintf ppf "@%.0f partition {%s}, heal @%.0f" at
+        (String.concat " | "
+           (List.map
+              (fun g -> String.concat ";" (List.map string_of_int g))
+              groups))
+        heal_at
+  | Drop_burst { at; until; src; dst; rate } ->
+      Format.fprintf ppf "@%.0f..%.0f drop %d->%d at %.0f%%" at until src dst
+        (rate *. 100.0)
+  | Delay_spike { at; until; nodes; extra } ->
+      Format.fprintf ppf "@%.0f..%.0f delay spike +%.0fms on {%s}" at until
+        extra
+        (String.concat ";" (List.map string_of_int nodes))
+  | Duplicate { at; until; src; dst; prob } ->
+      Format.fprintf ppf "@%.0f..%.0f duplicate %d->%d at %.0f%%" at until src
+        dst (prob *. 100.0)
+  | Fd_flap { at; until; node; peer } ->
+      Format.fprintf ppf "@%.0f..%.0f fd flap: %d deaf to %d" at until node
+        peer
+
+let pp ppf t =
+  Format.fprintf ppf "fault script: seed %Ld, %d nodes, horizon %.0fms, %d event%s@."
+    t.seed t.nodes t.horizon (List.length t.events)
+    (if List.length t.events = 1 then "" else "s");
+  List.iter (fun e -> Format.fprintf ppf "  %a@." pp_event e) t.events

@@ -1,0 +1,70 @@
+(** Typed, serializable fault schedules.
+
+    A fault script is a list of timed environment events — crashes (with
+    optional recovery), partitions, per-link drop-rate bursts and
+    duplication bursts, delay spikes, forced failure-detector suspicion
+    flaps — plus the seed and dimensions of the run they apply to.  A
+    script is {e pure data}: generating one ({!Generator}), applying one
+    to a simulated world ({!Injector}) and minimising one
+    ({!Shrink}) are separate concerns, which is what makes failures
+    replayable bit-for-bit and shrinkable offline. *)
+
+type event =
+  | Crash of { node : int; at : float; recover_at : float option }
+      (** Network-level freeze of [node] at virtual time [at]; with
+          [recover_at] the node resumes (state intact), without it the
+          crash is permanent. *)
+  | Partition of { at : float; heal_at : float; groups : int list list }
+      (** Split the network into [groups] (unlisted nodes form an implicit
+          extra group) between [at] and [heal_at]. *)
+  | Drop_burst of {
+      at : float;
+      until : float;
+      src : int;
+      dst : int;
+      rate : float;
+    }  (** Raise the directed link's drop probability to [rate] for the
+          window, then restore the base rate. *)
+  | Delay_spike of { at : float; until : float; nodes : int list; extra : float }
+      (** Add [extra] ms to everything sent by [nodes] during the window
+          (provokes wrong suspicions, paper Section 4.3). *)
+  | Duplicate of { at : float; until : float; src : int; dst : int; prob : float }
+      (** Duplicate messages on the directed link with probability [prob]
+          for the window. *)
+  | Fd_flap of { at : float; until : float; node : int; peer : int }
+      (** Force [node]'s failure detector to ignore [peer]'s heartbeats for
+          the window: a suspicion followed by a retraction. *)
+
+type t = {
+  seed : int64;  (** drives the engine and workload on replay *)
+  nodes : int;  (** group size the script was generated for *)
+  horizon : float;  (** virtual run length, ms *)
+  events : event list;
+}
+
+val time_of : event -> float
+val event_label : event -> string
+val sorted : t -> t
+(** Events in non-decreasing [at] order (stable). *)
+
+val validate : t -> (unit, string) result
+(** Structural sanity: node indices in range, windows non-negative,
+    probabilities in [0,1], at least two nodes. *)
+
+val simplify_event : event -> event list
+(** Strictly simpler variants of one event (rounded times, halved windows
+    and magnitudes, saturated probabilities) — the candidate moves of the
+    parameter-shrinking pass ({!Shrink.script}). *)
+
+(** {1 Serialisation} *)
+
+val to_json : t -> Gc_obs.Json.t
+val of_json : Gc_obs.Json.t -> t
+(** @raise Failure on a value not produced by {!to_json}. *)
+
+val save : string -> t -> unit
+val load : string -> t
+(** @raise Failure / [Sys_error] on malformed or unreadable files. *)
+
+val pp_event : Format.formatter -> event -> unit
+val pp : Format.formatter -> t -> unit

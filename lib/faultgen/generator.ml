@@ -1,0 +1,142 @@
+module Rng = Gc_sim.Rng
+
+type profile = {
+  max_events : int;
+  crash_recover_p : float;
+  window_mean : float;
+  window_max : float;
+  spike_extra_max : float;
+  drop_rate_min : float;
+  dup_prob_max : float;
+}
+
+let default =
+  {
+    max_events = 6;
+    crash_recover_p = 0.75;
+    (* Freeze windows stay well below the default exclusion timeout
+       (5 s): a frozen-then-recovered node is suspected and trusted
+       again, not excluded, so recoveries probe the false-suspicion
+       machinery rather than the (separately generated) permanent-crash
+       exclusion path. *)
+    window_mean = 600.0;
+    window_max = 2_000.0;
+    spike_extra_max = 800.0;
+    drop_rate_min = 0.3;
+    dup_prob_max = 1.0;
+  }
+
+let aggressive =
+  {
+    max_events = 10;
+    crash_recover_p = 0.6;
+    window_mean = 2_000.0;
+    window_max = 8_000.0;
+    spike_extra_max = 3_000.0;
+    drop_rate_min = 0.5;
+    dup_prob_max = 1.0;
+  }
+
+(* Crash intervals must always leave a strict majority of nodes running,
+   otherwise the run measures nothing (no consensus, no deliveries) and
+   every audit passes vacuously. *)
+let overlapping intervals ~at ~until =
+  List.filter (fun (_, s, e) -> s < until && at < e) intervals
+
+let generate ?(profile = default) ~seed ~nodes ~horizon () =
+  let rng = Rng.create (Rng.derive seed "faultgen") in
+  let cap = (nodes - 1) / 2 in
+  let n_events = 1 + Rng.int rng profile.max_events in
+  let window () =
+    Float.min profile.window_max
+      (Float.max 50.0 (Rng.exponential rng ~mean:profile.window_mean))
+  in
+  let start () = Rng.uniform rng ~lo:(0.05 *. horizon) ~hi:(0.6 *. horizon) in
+  let node () = Rng.int rng nodes in
+  let other_node n =
+    let m = Rng.int rng (nodes - 1) in
+    if m >= n then m + 1 else m
+  in
+  (* (node, start, stop) freeze intervals committed so far *)
+  let crashed = ref [] in
+  let sample_crash () =
+    let at = start () in
+    let recover_at =
+      if Rng.bernoulli rng profile.crash_recover_p then Some (at +. window ())
+      else None
+    in
+    let stop = Option.value ~default:horizon recover_at in
+    let c = node () in
+    let clashing = overlapping !crashed ~at ~until:stop in
+    if List.length clashing >= cap || List.exists (fun (n, _, _) -> n = c) clashing
+    then None
+    else begin
+      crashed := (c, at, stop) :: !crashed;
+      Some (Fault_script.Crash { node = c; at; recover_at })
+    end
+  in
+  let sample () =
+    match Rng.int rng 6 with
+    | 0 -> sample_crash ()
+    | 1 ->
+        let at = start () in
+        let size = 1 + Rng.int rng (nodes - 1) in
+        let all = Array.init nodes (fun i -> i) in
+        Rng.shuffle rng all;
+        let group = Array.to_list (Array.sub all 0 size) in
+        Some
+          (Fault_script.Partition
+             { at; heal_at = at +. window (); groups = [ List.sort compare group ] })
+    | 2 ->
+        let at = start () in
+        let src = node () in
+        Some
+          (Fault_script.Drop_burst
+             {
+               at;
+               until = at +. window ();
+               src;
+               dst = other_node src;
+               rate = Rng.uniform rng ~lo:profile.drop_rate_min ~hi:1.0;
+             })
+    | 3 ->
+        let at = start () in
+        let size = 1 + Rng.int rng (max 1 (nodes / 2)) in
+        let all = Array.init nodes (fun i -> i) in
+        Rng.shuffle rng all;
+        Some
+          (Fault_script.Delay_spike
+             {
+               at;
+               until = at +. window ();
+               nodes = List.sort compare (Array.to_list (Array.sub all 0 size));
+               extra = Rng.uniform rng ~lo:100.0 ~hi:profile.spike_extra_max;
+             })
+    | 4 ->
+        let at = start () in
+        let src = node () in
+        Some
+          (Fault_script.Duplicate
+             {
+               at;
+               until = at +. window ();
+               src;
+               dst = other_node src;
+               prob = Rng.uniform rng ~lo:0.2 ~hi:profile.dup_prob_max;
+             })
+    | _ ->
+        let at = start () in
+        let n = node () in
+        Some
+          (Fault_script.Fd_flap
+             { at; until = at +. window (); node = n; peer = other_node n })
+  in
+  let rec collect acc k budget =
+    if k = 0 || budget = 0 then acc
+    else
+      match sample () with
+      | Some e -> collect (e :: acc) (k - 1) (budget - 1)
+      | None -> collect acc k (budget - 1)
+  in
+  let events = collect [] n_events (n_events * 4) in
+  Fault_script.sorted { Fault_script.seed; nodes; horizon; events }

@@ -1,0 +1,37 @@
+(** Seeded sampling of fault scripts.
+
+    The generator draws from its own random stream, derived from the
+    script seed with {!Gc_sim.Rng.derive} — never from the simulation
+    engine's — so the same seed always yields the same script no matter
+    what the simulated world does with it.
+
+    Invariants maintained by construction:
+
+    - concurrent freezes never reach half the group (a strict majority
+      keeps running, so the run makes progress and the audits check
+      something real);
+    - a node is never crashed twice in overlapping windows;
+    - partitions always heal, and every windowed fault ends before or at
+      the horizon scale set by the profile. *)
+
+type profile = {
+  max_events : int;  (** scripts carry 1..max_events events *)
+  crash_recover_p : float;  (** probability a crash gets a recovery *)
+  window_mean : float;  (** mean fault window, ms (exponential) *)
+  window_max : float;  (** clamp on fault windows, ms *)
+  spike_extra_max : float;  (** delay spikes add 100..this many ms *)
+  drop_rate_min : float;  (** drop bursts lose at least this fraction *)
+  dup_prob_max : float;  (** duplication bursts cap *)
+}
+
+val default : profile
+(** Freeze windows stay below the default exclusion timeout: recoveries
+    exercise false suspicions, permanent crashes exercise exclusions. *)
+
+val aggressive : profile
+(** Longer windows (frozen nodes do get excluded and come back stale),
+    more events — for nightly runs hunting waiver-worthy behaviour. *)
+
+val generate :
+  ?profile:profile -> seed:int64 -> nodes:int -> horizon:float -> unit ->
+  Fault_script.t

@@ -1,0 +1,76 @@
+module Engine = Gc_sim.Engine
+module Trace = Gc_sim.Trace
+module Netsim = Gc_net.Netsim
+module Fd = Gc_fd.Failure_detector
+
+let emit trace engine label attrs =
+  match trace with
+  | None -> ()
+  | Some tr ->
+      Trace.emit_event tr ~time:(Engine.now engine) ~node:(-1)
+        ~component:"fault" ~kind:(Gc_obs.Event.Custom label) ~attrs ()
+
+let f = Printf.sprintf "%g"
+let i = string_of_int
+
+let install ?(fd_of = fun _ -> None) ?trace net script =
+  let engine = Netsim.engine net in
+  let at time thunk = ignore (Engine.schedule_at engine ~time thunk) in
+  let apply = function
+    | Fault_script.Crash { node; at = t0; recover_at } -> (
+        at t0 (fun () ->
+            emit trace engine "crash" [ ("node", i node) ];
+            Netsim.crash net node);
+        match recover_at with
+        | Some t1 ->
+            at t1 (fun () ->
+                emit trace engine "recover" [ ("node", i node) ];
+                Netsim.recover net node)
+        | None -> ())
+    | Fault_script.Partition { at = t0; heal_at; groups } ->
+        at t0 (fun () -> Netsim.partition net groups);
+        at heal_at (fun () -> Netsim.heal net)
+    | Fault_script.Drop_burst { at = t0; until; src; dst; rate } ->
+        at t0 (fun () ->
+            let base = Netsim.link_drop net ~src ~dst in
+            emit trace engine "drop_burst"
+              [ ("src", i src); ("dst", i dst); ("rate", f rate) ];
+            Netsim.set_link net ~src ~dst ~drop:rate ();
+            at until (fun () ->
+                emit trace engine "drop_burst_end"
+                  [ ("src", i src); ("dst", i dst) ];
+                Netsim.set_link net ~src ~dst ~drop:base ()))
+    | Fault_script.Delay_spike { at = t0; until; nodes; extra } ->
+        at t0 (fun () ->
+            emit trace engine "delay_spike"
+              [
+                ("nodes", String.concat ";" (List.map i nodes));
+                ("until", f until);
+                ("extra", f extra);
+              ];
+            Netsim.delay_spike net ~nodes ~until ~extra)
+    | Fault_script.Duplicate { at = t0; until; src; dst; prob } ->
+        at t0 (fun () ->
+            let base = Netsim.link_dup net ~src ~dst in
+            emit trace engine "duplicate"
+              [ ("src", i src); ("dst", i dst); ("prob", f prob) ];
+            Netsim.set_link net ~src ~dst ~dup:prob ();
+            at until (fun () ->
+                emit trace engine "duplicate_end"
+                  [ ("src", i src); ("dst", i dst) ];
+                Netsim.set_link net ~src ~dst ~dup:base ()))
+    | Fault_script.Fd_flap { at = t0; until; node; peer } ->
+        at t0 (fun () ->
+            emit trace engine "fd_flap"
+              [ ("node", i node); ("peer", i peer); ("until", f until) ];
+            match fd_of node with
+            | Some fd -> Fd.suppress fd ~peer ~until
+            | None ->
+                (* Stacks that keep their detector private get the network
+                   equivalent: everything [peer] sends inside the window is
+                   delayed past it, so [node] (and everyone else) suspects
+                   [peer] and trusts it again once the backlog lands. *)
+                Netsim.delay_spike net ~nodes:[ peer ] ~until
+                  ~extra:(until -. t0 +. 500.0))
+  in
+  List.iter apply script.Fault_script.events

@@ -1,0 +1,24 @@
+(** Applies a fault script to a simulated world.
+
+    [install net script] schedules every event of [script] on the
+    network's engine; nothing happens until the engine runs.  Install
+    {e before} the first [Engine.run] so scheduling order — and hence the
+    whole run — is deterministic in the script alone.
+
+    [fd_of] maps a node id to its failure detector when the stack under
+    test exposes one ({!Gcs.Gcs_stack.failure_detector}); [Fd_flap] events
+    then use the precise {!Gc_fd.Failure_detector.suppress} hook.  For
+    stacks that keep the detector private the flap degrades to a delay
+    spike on the flapped peer, which provokes the same suspicion through
+    the network.
+
+    [trace] (the run's flight recorder) makes the injector emit one
+    environment event (node [-1], component ["fault"]) per applied fault,
+    so recorded artifacts are self-describing. *)
+
+val install :
+  ?fd_of:(int -> Gc_fd.Failure_detector.t option) ->
+  ?trace:Gc_sim.Trace.t ->
+  Gc_net.Netsim.t ->
+  Fault_script.t ->
+  unit

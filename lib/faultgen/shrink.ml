@@ -1,0 +1,98 @@
+(* Counterexample minimisation: classic ddmin over the event list, then a
+   parameter pass trying each event's simpler variants to a fixpoint. *)
+
+type 'a stats = { result : 'a; runs : int }
+
+let chunks n xs =
+  (* Split xs into n chunks of near-equal length (first chunks longer). *)
+  let len = List.length xs in
+  let base = len / n and extra = len mod n in
+  let rec take k xs =
+    if k = 0 then ([], xs)
+    else
+      match xs with
+      | [] -> ([], [])
+      | x :: rest ->
+          let taken, left = take (k - 1) rest in
+          (x :: taken, left)
+  in
+  let rec go i xs =
+    if i >= n || xs = [] then []
+    else
+      let size = base + if i < extra then 1 else 0 in
+      let chunk, rest = take size xs in
+      if chunk = [] then go (i + 1) rest else chunk :: go (i + 1) rest
+  in
+  go 0 xs
+
+let ddmin ~test xs =
+  let runs = ref 0 in
+  let check ys =
+    incr runs;
+    test ys
+  in
+  let rec go xs n =
+    let len = List.length xs in
+    if len <= 1 then xs
+    else
+      let cs = chunks (min n len) xs in
+      (* Try each complement (the list minus one chunk). *)
+      let rec try_complements before = function
+        | [] -> None
+        | c :: after ->
+            let complement = List.concat (List.rev_append before after) in
+            if complement <> [] && check complement then Some complement
+            else try_complements (c :: before) after
+      in
+      match try_complements [] cs with
+      | Some smaller -> go smaller (max (min n (List.length smaller)) 2)
+      | None -> if n < len then go xs (min len (2 * n)) else xs
+  in
+  let result =
+    if not (check xs) then xs
+    (* Classic ddmin never probes the empty list, but a failure that does
+       not depend on the faults at all should shrink to no events. *)
+    else if xs <> [] && check [] then []
+    else go xs 2
+  in
+  { result; runs = !runs }
+
+let params ~test ~simplify ?(max_runs = 200) xs =
+  let runs = ref 0 in
+  let replace i y = List.mapi (fun j x -> if j = i then y else x) in
+  let rec pass xs improved i =
+    if i >= List.length xs || !runs >= max_runs then (xs, improved)
+    else
+      let e = List.nth xs i in
+      let rec try_candidates = function
+        | [] -> None
+        | c :: rest ->
+            if !runs >= max_runs then None
+            else begin
+              incr runs;
+              let candidate = replace i c xs in
+              if test candidate then Some candidate else try_candidates rest
+            end
+      in
+      match try_candidates (simplify e) with
+      | Some better -> pass better true i (* retry same slot: maybe simpler yet *)
+      | None -> pass xs improved (i + 1)
+  in
+  let rec fixpoint xs =
+    let xs', improved = pass xs false 0 in
+    if improved && !runs < max_runs then fixpoint xs' else xs'
+  in
+  let result = fixpoint xs in
+  { result; runs = !runs }
+
+let script ~test ?(max_param_runs = 200) (s : Fault_script.t) =
+  let wrap events = test { s with Fault_script.events } in
+  let d = ddmin ~test:wrap s.Fault_script.events in
+  let p =
+    params ~test:wrap ~simplify:Fault_script.simplify_event
+      ~max_runs:max_param_runs d.result
+  in
+  {
+    result = { s with Fault_script.events = p.result };
+    runs = d.runs + p.runs;
+  }

@@ -1,0 +1,36 @@
+(** Counterexample shrinking.
+
+    [test] is the reproduction predicate: it returns [true] when the
+    candidate {e still fails} (re-runs the simulation and sees the same
+    class of audit violation).  Shrinking proceeds in two passes:
+
+    + {b delta debugging} (Zeller's ddmin) over the event list, removing
+      chunks of events while the failure reproduces;
+    + {b parameter simplification}: for each surviving event, try the
+      strictly simpler variants from {!Fault_script.simplify_event}
+      (halved windows, rounded times, saturated probabilities) until a
+      fixpoint or the run budget is exhausted.
+
+    Every accepted candidate reproduced the failure, so the final script
+    is a true minimal-ish counterexample, not a guess. *)
+
+type 'a stats = { result : 'a; runs : int  (** test invocations spent *) }
+
+val ddmin : test:('a list -> bool) -> 'a list -> 'a list stats
+(** Generic list minimisation.  If the full list does not fail the test,
+    it is returned unchanged (one run spent). *)
+
+val params :
+  test:('a list -> bool) ->
+  simplify:('a -> 'a list) ->
+  ?max_runs:int ->
+  'a list ->
+  'a list stats
+(** Element-wise simplification to a fixpoint (default budget 200 runs). *)
+
+val script :
+  test:(Fault_script.t -> bool) ->
+  ?max_param_runs:int ->
+  Fault_script.t ->
+  Fault_script.t stats
+(** Both passes over a script's events; seed, nodes and horizon are kept. *)

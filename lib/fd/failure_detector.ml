@@ -40,6 +40,9 @@ type t = {
   mutable peer_list : int list;
   last_hb : (int, float) Hashtbl.t;
   arrivals : (int, arrival_stats) Hashtbl.t;
+  (* peer -> virtual time until which its heartbeats are discarded
+     (fault injection: forces a suspicion flap) *)
+  muted : (int, float) Hashtbl.t;
   mutable monitors : monitor list;
 }
 
@@ -64,6 +67,24 @@ let set_peers t peers =
       Hashtbl.remove t.last_hb q;
       List.iter (fun m -> Hashtbl.remove m.suspected_set q) t.monitors)
     gone
+
+let suppress t ~peer ~until =
+  let now = Process.now t.proc in
+  if until > now then begin
+    Hashtbl.replace t.muted peer until;
+    Process.event t.proc ~component:"fd" ~kind:(Gc_obs.Event.Custom "suppress")
+      ~attrs:
+        [ ("peer", string_of_int peer); ("until", Printf.sprintf "%g" until) ]
+      ()
+  end
+
+let muted t src now =
+  match Hashtbl.find_opt t.muted src with
+  | Some until when now < until -> true
+  | Some _ ->
+      Hashtbl.remove t.muted src;
+      false
+  | None -> false
 
 let note_arrival t src now =
   let gap =
@@ -96,13 +117,16 @@ let create proc ?(hb_period = 20.0) ~peers () =
       peer_list = [];
       last_hb = Hashtbl.create 16;
       arrivals = Hashtbl.create 16;
+      muted = Hashtbl.create 4;
       monitors = [];
     }
   in
   set_peers t peers;
   Process.on_receive proc (fun ~src payload ->
       match payload with
-      | Heartbeat -> note_arrival t src (Process.now proc)
+      | Heartbeat ->
+          let now = Process.now proc in
+          if not (muted t src now) then note_arrival t src now
       | _ -> ());
   ignore
     (Process.every proc ~period:hb_period (fun () ->

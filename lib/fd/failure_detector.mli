@@ -46,6 +46,17 @@ val stop : monitor -> unit
 val suspected : monitor -> int -> bool
 val suspects : monitor -> int list
 
+(** {1 Fault injection} *)
+
+val suppress : t -> peer:int -> until:float -> unit
+(** Force a suspicion flap: heartbeats arriving from [peer] are discarded
+    until virtual time [until], so every monitor suspects [peer] once its
+    timeout elapses and trusts it again shortly after [until].  The
+    heartbeats really are lost (their arrival statistics are not recorded),
+    mirroring a receiver-side scheduling stall.  Used by the fault-schedule
+    explorer ({!Gc_faultgen.Injector}); no-op when [until] is already
+    past. *)
+
 (** {1 Quality accounting (environment-side, for experiments)} *)
 
 val suspicion_count : monitor -> int

@@ -1,0 +1,220 @@
+module Audit = Gc_obs.Audit
+module Json = Gc_obs.Json
+module Event = Gc_obs.Event
+module Fault_script = Gc_faultgen.Fault_script
+module Generator = Gc_faultgen.Generator
+module Shrink = Gc_faultgen.Shrink
+
+type failure = {
+  stack : Harness.stack_kind;
+  checks : Audit.check list;
+  script : Fault_script.t;
+  casts : int;
+  inject_reorder : bool;
+}
+
+let violated_checks (r : Audit.report) =
+  List.sort_uniq compare
+    (List.map (fun (v : Audit.violation) -> v.Audit.check) r.Audit.violations)
+
+let failure_of_outcome ?(casts = 12) ?(inject_reorder = false)
+    (o : Harness.outcome) =
+  {
+    stack = o.Harness.stack;
+    checks = violated_checks o.Harness.report;
+    script = o.Harness.script;
+    casts;
+    inject_reorder;
+  }
+
+let run_failure f =
+  Harness.run ~casts:f.casts ~inject_reorder:f.inject_reorder ~stack:f.stack
+    f.script
+
+let still_fails f script =
+  let o = run_failure { f with script } in
+  let now = violated_checks o.Harness.report in
+  List.exists (fun c -> List.mem c now) f.checks
+
+let reproduces f = still_fails f f.script
+
+let shrink ?max_param_runs f =
+  Shrink.script ~test:(still_fails f) ?max_param_runs f.script
+
+(* {1 Artifacts}
+
+   A failure artifact is a JSON wrapper around the (shrunk) script —
+   enough to re-run the exact world — plus a sibling [.trace.jsonl] with
+   the recorded history of the failing run, so the counterexample is
+   inspectable without re-running anything. *)
+
+let to_json f =
+  Json.Obj
+    [
+      ("stack", Json.Str (Harness.stack_to_string f.stack));
+      ( "checks",
+        Json.Arr
+          (List.map (fun c -> Json.Str (Audit.check_to_string c)) f.checks) );
+      ("casts", Json.Num (float_of_int f.casts));
+      ("inject_reorder", Json.Bool f.inject_reorder);
+      ("script", Fault_script.to_json f.script);
+    ]
+
+let of_json j =
+  let mem k =
+    match Json.member k j with
+    | Some v -> v
+    | None -> failwith (Printf.sprintf "failure artifact: missing %S" k)
+  in
+  let str k =
+    match Json.to_str (mem k) with
+    | Some s -> s
+    | None -> failwith (Printf.sprintf "failure artifact: %S not a string" k)
+  in
+  let stack =
+    match Harness.stack_of_string (str "stack") with
+    | Some s -> s
+    | None ->
+        failwith
+          (Printf.sprintf "failure artifact: unknown stack %S" (str "stack"))
+  in
+  let checks =
+    match Json.to_list (mem "checks") with
+    | Some cs ->
+        List.filter_map
+          (fun c ->
+            match Json.to_str c with
+            | Some s -> Audit.check_of_string s
+            | None -> None)
+          cs
+    | None -> failwith "failure artifact: \"checks\" not an array"
+  in
+  {
+    stack;
+    checks;
+    script = Fault_script.of_json (mem "script");
+    casts =
+      (match Json.to_float (mem "casts") with
+      | Some f -> int_of_float f
+      | None -> failwith "failure artifact: \"casts\" not a number");
+    inject_reorder =
+      (match Json.member "inject_reorder" j with
+      | Some (Json.Bool b) -> b
+      | _ -> false);
+  }
+
+let trace_path artifact =
+  (try Filename.chop_extension artifact with Invalid_argument _ -> artifact)
+  ^ ".trace.jsonl"
+
+let save ~dir ~name f (o : Harness.outcome) =
+  (try Sys.mkdir dir 0o755 with Sys_error _ -> ());
+  let artifact = Filename.concat dir (name ^ ".json") in
+  let oc = open_out artifact in
+  output_string oc (Json.to_string_pretty (to_json f));
+  output_char oc '\n';
+  close_out oc;
+  Event.save_jsonl (trace_path artifact) o.Harness.events;
+  artifact
+
+let load path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  of_json (Json.of_string s)
+
+(* Replay determinism: the re-run's history must equal the stored one
+   record-for-record (times, Lamport clocks, attributes — everything). *)
+let replay path =
+  let f = load path in
+  let o = run_failure f in
+  let tp = trace_path path in
+  let matches =
+    if Sys.file_exists tp then
+      Some (Event.load_jsonl tp = o.Harness.events)
+    else None
+  in
+  (f, o, matches)
+
+(* {1 Seed sweeps} *)
+
+type found = {
+  failure : failure;  (** with the shrunk script *)
+  original : Fault_script.t;  (** as generated, before shrinking *)
+  shrink_runs : int;
+  artifact : string option;
+}
+
+type summary = {
+  runs : int;
+  clean : int;
+  waived_runs : int;  (** runs with waived violations only *)
+  found : found list;
+}
+
+let sweep ?(profile = Generator.default) ?(nodes = 5) ?(horizon = 12_000.0)
+    ?(casts = 12) ?(inject_reorder = false) ?artifact_dir
+    ?(log = fun (_ : string) -> ()) ~stacks ~seeds () =
+  let runs = ref 0 and clean = ref 0 and waived = ref 0 in
+  let found = ref [] in
+  List.iter
+    (fun stack ->
+      List.iter
+        (fun seed ->
+          incr runs;
+          let script = Generator.generate ~profile ~seed ~nodes ~horizon () in
+          let o = Harness.run ~casts ~inject_reorder ~stack script in
+          if Audit.ok o.Harness.report then begin
+            if o.Harness.report.Audit.waived <> [] then incr waived
+            else incr clean;
+            log
+              (Printf.sprintf "ok    %-11s seed=%Ld%s"
+                 (Harness.stack_to_string stack)
+                 seed
+                 (match o.Harness.report.Audit.waived with
+                 | [] -> ""
+                 | w -> Printf.sprintf " (%d waived)" (List.length w)))
+          end
+          else begin
+            let f = failure_of_outcome ~casts ~inject_reorder o in
+            log
+              (Printf.sprintf "FAIL  %-11s seed=%Ld checks=%s — shrinking..."
+                 (Harness.stack_to_string stack)
+                 seed
+                 (String.concat ","
+                    (List.map Audit.check_to_string f.checks)));
+            let s = shrink f in
+            let shrunk = { f with script = s.Shrink.result } in
+            let o' = run_failure shrunk in
+            log
+              (Printf.sprintf
+                 "      shrunk %d -> %d events in %d runs"
+                 (List.length script.Fault_script.events)
+                 (List.length s.Shrink.result.Fault_script.events)
+                 s.Shrink.runs);
+            let artifact =
+              match artifact_dir with
+              | None -> None
+              | Some dir ->
+                  let name =
+                    Printf.sprintf "%s-seed%Ld"
+                      (Harness.stack_to_string stack)
+                      seed
+                  in
+                  let path = save ~dir ~name shrunk o' in
+                  log (Printf.sprintf "      artifact: %s" path);
+                  Some path
+            in
+            found :=
+              {
+                failure = shrunk;
+                original = script;
+                shrink_runs = s.Shrink.runs;
+                artifact;
+              }
+              :: !found
+          end)
+        seeds)
+    stacks;
+  { runs = !runs; clean = !clean; waived_runs = !waived; found = List.rev !found }

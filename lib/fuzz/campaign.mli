@@ -1,0 +1,90 @@
+(** Seed sweeps, failure reproduction, shrinking and artifact handling —
+    the logic behind the [gcs_fuzz] CLI, exposed as a library so tests
+    can run miniature campaigns.
+
+    A {!failure} bundles everything a re-run needs: the stack, the fault
+    script, the workload size and whether the reorder hook was armed.
+    Saved to disk it becomes a replayable JSON artifact with a sibling
+    [.trace.jsonl] holding the failing run's recorded history. *)
+
+type failure = {
+  stack : Harness.stack_kind;
+  checks : Gc_obs.Audit.check list;
+      (** the unwaived checks violated at discovery; reproduction means
+          violating at least one of them again *)
+  script : Gc_faultgen.Fault_script.t;
+  casts : int;
+  inject_reorder : bool;
+}
+
+val violated_checks : Gc_obs.Audit.report -> Gc_obs.Audit.check list
+(** Distinct checks with unwaived violations. *)
+
+val failure_of_outcome :
+  ?casts:int -> ?inject_reorder:bool -> Harness.outcome -> failure
+
+val run_failure : failure -> Harness.outcome
+(** Re-execute the failure's run exactly (same stack/script/casts/hook). *)
+
+val reproduces : failure -> bool
+(** Does re-running still violate one of [failure.checks] (unwaived)? *)
+
+val shrink :
+  ?max_param_runs:int -> failure -> Gc_faultgen.Fault_script.t Gc_faultgen.Shrink.stats
+(** Minimise the failure's script: ddmin over events, then parameter
+    simplification.  Every accepted candidate re-ran the full simulation
+    and reproduced the violation. *)
+
+(** {1 Artifacts} *)
+
+val to_json : failure -> Gc_obs.Json.t
+val of_json : Gc_obs.Json.t -> failure
+(** @raise Failure on a value not produced by {!to_json}. *)
+
+val trace_path : string -> string
+(** [trace_path "x/y.json"] is ["x/y.trace.jsonl"]. *)
+
+val save : dir:string -> name:string -> failure -> Harness.outcome -> string
+(** Write [dir/name.json] (the failure) and [dir/name.trace.jsonl] (the
+    outcome's recorded history); returns the artifact path.  Creates
+    [dir] if missing. *)
+
+val load : string -> failure
+
+val replay : string -> failure * Harness.outcome * bool option
+(** Load an artifact, re-run it, and — when the sibling trace exists —
+    compare histories record-for-record.  [Some true] is the bit-for-bit
+    determinism guarantee; [None] means no stored trace to compare. *)
+
+(** {1 Seed sweeps} *)
+
+type found = {
+  failure : failure;  (** with the shrunk script *)
+  original : Gc_faultgen.Fault_script.t;  (** as generated *)
+  shrink_runs : int;  (** simulations spent shrinking *)
+  artifact : string option;
+}
+
+type summary = {
+  runs : int;
+  clean : int;  (** runs with no violations at all *)
+  waived_runs : int;  (** runs whose only violations were waived *)
+  found : found list;
+}
+
+val sweep :
+  ?profile:Gc_faultgen.Generator.profile ->
+  ?nodes:int ->
+  ?horizon:float ->
+  ?casts:int ->
+  ?inject_reorder:bool ->
+  ?artifact_dir:string ->
+  ?log:(string -> unit) ->
+  stacks:Harness.stack_kind list ->
+  seeds:int64 list ->
+  unit ->
+  summary
+(** For every stack × seed: generate a script, run, audit; on an unwaived
+    violation shrink it and (with [artifact_dir]) save the artifact.
+    Defaults: {!Gc_faultgen.Generator.default} profile, 5 nodes, 12 s
+    horizon, 12 casts. *)

@@ -1,0 +1,52 @@
+(** One fuzzing run: build a full simulated world for a stack, apply a
+    fault script, drive a deterministic broadcast workload, record with
+    the flight recorder and audit the history.
+
+    Everything about a run is a pure function of [(stack, script, casts)]:
+    the engine is seeded with [script.seed] (the generator derives its own
+    stream from the same seed with {!Gc_sim.Rng.derive}, so generation
+    never perturbs the run), the workload is scheduled at fixed virtual
+    times, and the injector schedules every fault up front.  Re-running
+    the same triple reproduces the identical Lamport-clocked event
+    sequence — the property [gcs_fuzz replay] asserts. *)
+
+type stack_kind =
+  | Abgb  (** new architecture, pure abcast workload *)
+  | Gbcast  (** new architecture, mixed rbcast/abcast workload *)
+  | Traditional  (** Isis-style GM-VS baseline *)
+  | Totem  (** single-ring baseline *)
+
+val all_stacks : stack_kind list
+val stack_to_string : stack_kind -> string
+val stack_of_string : string -> stack_kind option
+
+type Gc_net.Payload.t += Fuzz of int  (** workload payload, [k]-th cast *)
+
+type outcome = {
+  stack : stack_kind;
+  script : Gc_faultgen.Fault_script.t;
+  events : Gc_obs.Event.t list;  (** the recorded history, post-hook *)
+  report : Gc_obs.Audit.report;
+  delivered : int;  (** application deliveries observed at node 0 *)
+  trace_dropped : int;  (** ring-buffer evictions (0 = complete history) *)
+}
+
+val waivers_for : stack_kind -> Gc_obs.Audit.waiver list
+(** The AB-GB stacks get none — any violation is a bug.  The
+    kill-and-rejoin baselines get the documented-limitation waivers
+    ({!Gc_obs.Audit.excluded_rejoin}, {!Gc_obs.Audit.recovered_freeze}). *)
+
+val ordered_component : stack_kind -> string
+(** Trace component carrying the stack's total-order deliveries. *)
+
+val run :
+  ?casts:int -> ?inject_reorder:bool -> stack:stack_kind ->
+  Gc_faultgen.Fault_script.t -> outcome
+(** Execute one run.  [casts] (default 12) broadcasts are spread over the
+    first 65% of the horizon round-robin across senders.
+
+    [inject_reorder] is the self-test hook: after the run it swaps two
+    distinct ordered deliveries at one node in the {e recorded} history
+    (the simulation itself is untouched), which the auditor must flag —
+    and, because the failure does not depend on the faults, shrinking
+    must strip the script to (nearly) nothing. *)

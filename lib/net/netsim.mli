@@ -6,9 +6,13 @@
 
     - each message is delayed by a draw from the link's delay distribution,
       so messages can be reordered;
-    - each message is dropped with the link's drop probability;
-    - crashed nodes neither send nor receive (crash-stop model, as in the
-      paper's primary-partition setting);
+    - each message is dropped with the link's drop probability, and
+      {e duplicated} with the link's duplication probability (a second,
+      independently delayed copy — real UDP duplicates packets);
+    - crashed nodes neither send nor receive; {!recover} models a machine
+      freeze ending: the node rejoins delivery with its state intact (the
+      crash-stop view of the {e process} is the kernel layer's business —
+      a {!crash}/{!recover} pair here is a network-level freeze);
     - the node set can be partitioned; messages across partition boundaries
       are dropped at send time;
     - transient delay spikes can be injected per node, to provoke wrong
@@ -22,14 +26,20 @@ type t
 val create :
   Gc_sim.Engine.t ->
   ?trace:Gc_sim.Trace.t ->
+  ?metrics:Gc_obs.Metrics.t ->
   ?delay:Delay.t ->
   ?drop:float ->
+  ?dup:float ->
   n:int ->
   unit ->
   t
 (** [create engine ~n ()] builds a network of nodes [0 .. n-1].  [delay]
-    (default {!Delay.lan}) and [drop] (default [0.]) apply to every link
-    unless overridden with {!set_link}. *)
+    (default {!Delay.lan}), [drop] (default [0.]) and [dup] (default [0.])
+    apply to every link unless overridden with {!set_link}.  When [metrics]
+    is given, the traffic counters are mirrored into it as [net.*] counters
+    ({!messages_dropped_policy} → ["net.dropped_policy"],
+    {!messages_dropped_gone} → ["net.dropped_gone"],
+    {!messages_duplicated} → ["net.duplicated"]). *)
 
 val engine : t -> Gc_sim.Engine.t
 val size : t -> int
@@ -45,14 +55,35 @@ val send : t -> ?size:int -> src:int -> dst:int -> Payload.t -> unit
     across a partition boundary are silently dropped. *)
 
 val crash : t -> int -> unit
-(** Crash-stop [node]: all future sends and deliveries involving it are
-    suppressed (in-flight messages to it are dropped on arrival). *)
+(** Crash [node]: all future sends and deliveries involving it are
+    suppressed (in-flight messages to it are dropped on arrival).  Emits a
+    [Crash] flight-recorder event. *)
+
+val recover : t -> int -> unit
+(** Undo {!crash}: [node] resumes sending and receiving (messages sent to
+    it while crashed stay lost).  Emits a [Custom "recover"] flight-recorder
+    event.  No-op on a live node. *)
 
 val alive : t -> int -> bool
 
-val set_link : t -> src:int -> dst:int -> ?delay:Delay.t -> ?drop:float -> unit -> unit
-(** Override delay and/or drop probability of the directed link
-    [src -> dst]. *)
+val set_link :
+  t ->
+  src:int ->
+  dst:int ->
+  ?delay:Delay.t ->
+  ?drop:float ->
+  ?dup:float ->
+  unit ->
+  unit
+(** Override delay, drop and/or duplication probability of the directed
+    link [src -> dst]. *)
+
+val link_drop : t -> src:int -> dst:int -> float
+(** Current drop probability of the directed link (lets fault injectors
+    save and restore the base rate around a burst). *)
+
+val link_dup : t -> src:int -> dst:int -> float
+(** Current duplication probability of the directed link. *)
 
 val partition : t -> int list list -> unit
 (** Split the nodes into the given groups; nodes absent from every group form
@@ -70,7 +101,22 @@ val delay_spike : t -> nodes:int list -> until:float -> extra:float -> unit
 
 val messages_sent : t -> int
 val messages_delivered : t -> int
+
 val messages_dropped : t -> int
+(** All drops: {!messages_dropped_policy} + {!messages_dropped_gone}. *)
+
+val messages_dropped_policy : t -> int
+(** Drops the network chose to make: lossy-link coin tosses and partition
+    boundaries. *)
+
+val messages_dropped_gone : t -> int
+(** Drops because an endpoint was gone: dead sender or receiver at send
+    time, receiver dead (or handler never registered) when the message
+    arrived. *)
+
+val messages_duplicated : t -> int
+(** Extra copies injected by link duplication. *)
+
 val bytes_sent : t -> int
 
 val reset_counters : t -> unit

@@ -24,10 +24,18 @@ type violation = {
   chain : Event.t list;
 }
 
+type waiver = {
+  name : string;
+  check : check;
+  reason : string;
+  applies : Event.t list -> violation -> bool;
+}
+
 type report = {
   scanned : int;
   checks : check list;
   violations : violation list;
+  waived : (violation * waiver) list;
 }
 
 (* A candidate violation before the causal chain is attached: the message,
@@ -385,7 +393,7 @@ let causal_chain events msgs (pair : Event.t * Event.t) =
            (a.Event.lamport, a.Event.time, a.Event.node)
            (b.Event.lamport, b.Event.time, b.Event.node))
 
-let run ?(checks = all_checks) events =
+let run ?(checks = all_checks) ?(waivers = []) events =
   let run_check c =
     let candidate =
       match c with
@@ -405,17 +413,70 @@ let run ?(checks = all_checks) events =
         })
       candidate
   in
-  {
-    scanned = List.length events;
-    checks;
-    violations = List.filter_map run_check checks;
-  }
+  let found = List.filter_map run_check checks in
+  let waived, violations =
+    List.partition_map
+      (fun (v : violation) ->
+        match
+          List.find_opt
+            (fun (w : waiver) -> w.check = v.check && w.applies events v)
+            waivers
+        with
+        | Some w -> Left (v, w)
+        | None -> Right v)
+      found
+  in
+  { scanned = List.length events; checks; violations; waived }
 
 let ok r = r.violations = []
+
+(* ---------- stock waivers ---------- *)
+
+let waiver ~name ~check ~reason applies = { name; check; reason; applies }
+
+let pair_nodes v =
+  let e1, e2 = v.pair in
+  List.sort_uniq compare [ e1.Event.node; e2.Event.node ]
+
+let excluded_rejoin ~check =
+  waiver ~name:"excluded-rejoin" ~check
+    ~reason:
+      "a kill-and-rejoin stack excluded this node; deliveries straddling \
+       the exclusion are outside the per-incarnation guarantee (paper \
+       Section 4.3)"
+    (fun events v ->
+      let nodes = pair_nodes v in
+      List.exists
+        (fun (e : Event.t) ->
+          e.Event.kind = Event.Exclude
+          &&
+          match Option.bind (Event.attr e "peer") int_of_string_opt with
+          | Some p -> List.mem p nodes
+          | None -> List.mem e.Event.node nodes)
+        events)
+
+let recovered_freeze ~check =
+  waiver ~name:"recovered-freeze" ~check
+    ~reason:
+      "this node went through a network-level crash/recover freeze; \
+       kill-and-rejoin stacks resume it with pre-freeze ordering state"
+    (fun events v ->
+      let nodes = pair_nodes v in
+      List.exists
+        (fun (e : Event.t) ->
+          e.Event.component = "net"
+          && e.Event.kind = Event.Custom "recover"
+          && List.mem e.Event.node nodes)
+        events)
 
 let pp_report ppf r =
   Format.fprintf ppf "audit: %d events, checks: %s@." r.scanned
     (String.concat " " (List.map check_to_string r.checks));
+  List.iter
+    (fun ((v : violation), (w : waiver)) ->
+      Format.fprintf ppf "waived [%s] by %s: %s@.  (%s)@."
+        (check_to_string v.check) w.name v.message w.reason)
+    r.waived;
   if ok r then Format.fprintf ppf "no violations@."
   else
     List.iter

@@ -19,6 +19,16 @@ let split t =
 
 let copy t = { state = t.state }
 
+let derive seed label =
+  (* Fold the label into the seed character by character through the same
+     mixer the generator uses, so distinct labels give unrelated streams. *)
+  let z = ref (mix64 seed) in
+  String.iter
+    (fun c ->
+      z := mix64 (Int64.add (Int64.of_int (Char.code c)) (Int64.add !z golden_gamma)))
+    label;
+  !z
+
 let int t bound =
   if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
   (* Rejection sampling to avoid modulo bias. *)

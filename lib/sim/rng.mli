@@ -22,6 +22,13 @@ val copy : t -> t
 (** [copy t] duplicates the current state; both generators then produce the
     same stream. *)
 
+val derive : int64 -> string -> int64
+(** [derive seed label] is a sub-seed deterministically derived from
+    [seed] and [label]; distinct labels give unrelated streams.  Lets one
+    recorded seed (e.g. a fault script's) drive several independent
+    concerns — the simulation engine, the fault generator, the workload —
+    without their draws perturbing each other. *)
+
 val int64 : t -> int64
 (** Next raw 64-bit output. *)
 

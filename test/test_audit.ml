@@ -182,7 +182,7 @@ let test_audit_totem_clean () = assert_clean "totem" (totem_run ())
 (* ---------- the auditor must catch bad histories ---------- *)
 
 let violation_checks report =
-  List.map (fun v -> v.Audit.check) report.Audit.violations
+  List.map (fun (v : Audit.violation) -> v.Audit.check) report.Audit.violations
 
 (* Swap two abcast deliveries at one node in an otherwise clean recorded
    run: the total-order check must flag the reordering. *)

@@ -1,0 +1,245 @@
+(* Tests for the fault-schedule subsystem: script serialisation, seeded
+   generation, injection and the shrinking machinery. *)
+
+module Engine = Gc_sim.Engine
+module Trace = Gc_sim.Trace
+module Delay = Gc_net.Delay
+module Netsim = Gc_net.Netsim
+module Payload = Gc_net.Payload
+module Fault_script = Gc_faultgen.Fault_script
+module Generator = Gc_faultgen.Generator
+module Injector = Gc_faultgen.Injector
+module Shrink = Gc_faultgen.Shrink
+open Support
+
+(* A script exercising every event constructor. *)
+let full_script =
+  {
+    Fault_script.seed = 123456789L;
+    nodes = 5;
+    horizon = 10_000.0;
+    events =
+      [
+        Fault_script.Crash { node = 1; at = 500.0; recover_at = Some 1_200.0 };
+        Fault_script.Crash { node = 4; at = 2_000.0; recover_at = None };
+        Fault_script.Partition
+          { at = 1_000.0; heal_at = 1_800.0; groups = [ [ 0; 1 ]; [ 2; 3; 4 ] ] };
+        Fault_script.Drop_burst
+          { at = 3_000.0; until = 3_500.0; src = 0; dst = 2; rate = 0.8 };
+        Fault_script.Delay_spike
+          { at = 4_000.0; until = 4_600.0; nodes = [ 2; 3 ]; extra = 250.0 };
+        Fault_script.Duplicate
+          { at = 5_000.0; until = 5_400.0; src = 1; dst = 3; prob = 0.5 };
+        Fault_script.Fd_flap
+          { at = 6_000.0; until = 6_300.0; node = 0; peer = 2 };
+      ];
+  }
+
+let test_json_roundtrip () =
+  let j = Fault_script.to_json full_script in
+  let back = Fault_script.of_json j in
+  check_bool "structural round-trip" true (back = full_script);
+  (* And through the printed form, as saved files go. *)
+  let s = Gc_obs.Json.to_string_pretty j in
+  let back2 = Fault_script.of_json (Gc_obs.Json.of_string s) in
+  check_bool "textual round-trip" true (back2 = full_script)
+
+let test_file_roundtrip () =
+  let path = Filename.temp_file "fault_script" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Fault_script.save path full_script;
+      check_bool "file round-trip" true (Fault_script.load path = full_script))
+
+let test_validate () =
+  check_bool "full script valid" true
+    (Result.is_ok (Fault_script.validate full_script));
+  let bad node =
+    {
+      full_script with
+      Fault_script.events =
+        [ Fault_script.Crash { node; at = 1.0; recover_at = None } ];
+    }
+  in
+  check_bool "out-of-range node rejected" true
+    (Result.is_error (Fault_script.validate (bad 5)));
+  check_bool "negative node rejected" true
+    (Result.is_error (Fault_script.validate (bad (-1))))
+
+let test_generator_deterministic () =
+  let g seed = Generator.generate ~seed ~nodes:5 ~horizon:12_000.0 () in
+  check_bool "same seed, same script" true (g 7L = g 7L);
+  check_bool "different seed, different script" true (g 7L <> g 8L)
+
+let test_generator_invariants () =
+  for_seeds ~count:50 (fun seed ->
+      let s = Generator.generate ~seed ~nodes:5 ~horizon:12_000.0 () in
+      (match Fault_script.validate s with
+      | Ok () -> ()
+      | Error msg -> Alcotest.failf "seed %Ld: invalid script: %s" seed msg);
+      check_bool "at least one event" true (s.Fault_script.events <> []);
+      check_bool "within profile cap" true
+        (List.length s.Fault_script.events <= Generator.default.Generator.max_events);
+      (* Freezes never reach half the group: at any crash start, fewer
+         than n/2 crash windows are open. *)
+      let crashes =
+        List.filter_map
+          (function
+            | Fault_script.Crash { node; at; recover_at } ->
+                Some (node, at, Option.value recover_at ~default:infinity)
+            | _ -> None)
+          s.Fault_script.events
+      in
+      List.iter
+        (fun (_, at, _) ->
+          let open_now =
+            List.length
+              (List.filter (fun (_, a, r) -> a <= at && at < r) crashes)
+          in
+          check_bool "minority frozen" true
+            (open_now <= (s.Fault_script.nodes - 1) / 2))
+        crashes)
+
+let test_generator_stream_independent () =
+  (* The generator derives its own stream: drawing from an engine RNG
+     before generating must not change the script. *)
+  let s1 = Generator.generate ~seed:5L ~nodes:4 ~horizon:8_000.0 () in
+  let rng = Gc_sim.Rng.create 5L in
+  ignore (Gc_sim.Rng.float rng 1.0);
+  let s2 = Generator.generate ~seed:5L ~nodes:4 ~horizon:8_000.0 () in
+  check_bool "independent of other streams" true (s1 = s2)
+
+(* ---------- injector ---------- *)
+
+type Payload.t += Probe of int
+
+let test_injector_crash_window () =
+  let engine = Engine.create ~seed:1L () in
+  let net = Netsim.create engine ~delay:(Delay.Constant 1.0) ~n:3 () in
+  let log = ref [] in
+  Netsim.register net ~node:1 (fun ~src:_ p ->
+      match p with Probe k -> log := k :: !log | _ -> ());
+  let script =
+    {
+      Fault_script.seed = 1L;
+      nodes = 3;
+      horizon = 1_000.0;
+      events =
+        [ Fault_script.Crash { node = 1; at = 100.0; recover_at = Some 300.0 } ];
+    }
+  in
+  Injector.install net script;
+  let probe time k =
+    ignore
+      (Engine.schedule_at engine ~time (fun () ->
+           Netsim.send net ~src:0 ~dst:1 (Probe k)))
+  in
+  probe 50.0 1;
+  (* before the freeze: delivered *)
+  probe 200.0 2;
+  (* during: lost *)
+  probe 400.0 3;
+  (* after recovery: delivered *)
+  Engine.run ~until:1_000.0 engine;
+  check_list_int "freeze window honoured" [ 1; 3 ] (List.rev !log)
+
+let test_injector_drop_burst_restores_base_rate () =
+  let engine = Engine.create ~seed:1L () in
+  let net = Netsim.create engine ~delay:(Delay.Constant 1.0) ~n:2 () in
+  let script =
+    {
+      Fault_script.seed = 1L;
+      nodes = 2;
+      horizon = 1_000.0;
+      events =
+        [
+          Fault_script.Drop_burst
+            { at = 100.0; until = 200.0; src = 0; dst = 1; rate = 1.0 };
+        ];
+    }
+  in
+  Injector.install net script;
+  Engine.run ~until:150.0 engine;
+  Alcotest.(check (float 1e-9)) "burst rate" 1.0 (Netsim.link_drop net ~src:0 ~dst:1);
+  Engine.run ~until:250.0 engine;
+  Alcotest.(check (float 1e-9)) "base rate restored" 0.0
+    (Netsim.link_drop net ~src:0 ~dst:1)
+
+(* ---------- shrinking ---------- *)
+
+let test_ddmin_single_culprit () =
+  let s = Shrink.ddmin ~test:(fun l -> List.mem 7 l) [ 1; 2; 7; 4; 5; 6 ] in
+  check_list_int "isolates the culprit" [ 7 ] s.Shrink.result
+
+let test_ddmin_pair_preserves_order () =
+  let s =
+    Shrink.ddmin
+      ~test:(fun l -> List.mem 3 l && List.mem 9 l)
+      [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10 ]
+  in
+  check_list_int "both culprits, in order" [ 3; 9 ] s.Shrink.result
+
+let test_ddmin_fault_independent_failure () =
+  (* A test that always fails shrinks to the empty list. *)
+  let s = Shrink.ddmin ~test:(fun _ -> true) [ 1; 2; 3; 4 ] in
+  check_list_int "empty" [] s.Shrink.result
+
+let test_ddmin_non_failing_input_unchanged () =
+  let s = Shrink.ddmin ~test:(fun _ -> false) [ 1; 2; 3 ] in
+  check_list_int "unchanged" [ 1; 2; 3 ] s.Shrink.result
+
+let test_params_halves_to_fixpoint () =
+  let simplify x = if x > 1 then [ x / 2 ] else [] in
+  let s =
+    Shrink.params ~test:(fun l -> List.for_all (fun x -> x >= 4) l) ~simplify
+      [ 32; 17 ]
+  in
+  check_list_int "halved while still failing" [ 4; 4 ] s.Shrink.result
+
+let test_shrink_script_end_to_end () =
+  (* Failure depends only on the presence of some crash: everything else
+     is stripped and the crash parameters simplified. *)
+  let has_crash (s : Fault_script.t) =
+    List.exists
+      (function Fault_script.Crash _ -> true | _ -> false)
+      s.Fault_script.events
+  in
+  let s = Shrink.script ~test:has_crash full_script in
+  let events = s.Shrink.result.Fault_script.events in
+  check_int "single event left" 1 (List.length events);
+  check_bool "it is a crash" true
+    (match events with [ Fault_script.Crash _ ] -> true | _ -> false);
+  check_bool "seed preserved" true
+    (s.Shrink.result.Fault_script.seed = full_script.Fault_script.seed)
+
+let suite =
+  [
+    ( "faultgen",
+      [
+        Alcotest.test_case "json round-trip" `Quick test_json_roundtrip;
+        Alcotest.test_case "file round-trip" `Quick test_file_roundtrip;
+        Alcotest.test_case "validate" `Quick test_validate;
+        Alcotest.test_case "generator deterministic" `Quick
+          test_generator_deterministic;
+        Alcotest.test_case "generator invariants" `Quick
+          test_generator_invariants;
+        Alcotest.test_case "generator stream-independent" `Quick
+          test_generator_stream_independent;
+        Alcotest.test_case "injector crash window" `Quick
+          test_injector_crash_window;
+        Alcotest.test_case "injector restores burst rate" `Quick
+          test_injector_drop_burst_restores_base_rate;
+        Alcotest.test_case "ddmin single culprit" `Quick
+          test_ddmin_single_culprit;
+        Alcotest.test_case "ddmin ordered pair" `Quick
+          test_ddmin_pair_preserves_order;
+        Alcotest.test_case "ddmin fault-independent" `Quick
+          test_ddmin_fault_independent_failure;
+        Alcotest.test_case "ddmin non-failing unchanged" `Quick
+          test_ddmin_non_failing_input_unchanged;
+        Alcotest.test_case "params fixpoint" `Quick test_params_halves_to_fixpoint;
+        Alcotest.test_case "shrink script end-to-end" `Quick
+          test_shrink_script_end_to_end;
+      ] );
+  ]

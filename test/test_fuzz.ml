@@ -1,0 +1,172 @@
+(* Tests for the fuzzing harness and campaign layer: the oracle catches
+   injected reorders and shrinks them away, failures replay bit-for-bit,
+   and the two traditional-stack bugs the PR 2 auditor caught are pinned
+   as explicit fault scripts. *)
+
+module Audit = Gc_obs.Audit
+module Fault_script = Gc_faultgen.Fault_script
+module Generator = Gc_faultgen.Generator
+module Shrink = Gc_faultgen.Shrink
+module Harness = Gc_fuzz.Harness
+module Campaign = Gc_fuzz.Campaign
+open Support
+
+let faultless ?(seed = 1L) ?(nodes = 5) ?(horizon = 12_000.0) events =
+  { Fault_script.seed; nodes; horizon; events }
+
+(* ---------- PR 2 regression scripts ----------
+
+   The flight-recorder auditor caught two real bugs in the traditional
+   stack (see CHANGES.md, PR 2): stale low-gseq messages resurrected by
+   the post-flush drain, and a stale-epoch coordinator installing a rival
+   view.  Both surfaced under a crashed sequencer / wrongly suspected
+   coordinator.  These scripts replay those trigger shapes through the
+   fault-injection API; an unwaived ordering violation here means one of
+   the fixes regressed. *)
+
+let test_regression_sequencer_crash_flush () =
+  (* Kill the sequencer (view head, node 0) mid-stream: the flush must
+     not resurrect already-delivered low-gseq messages under the new
+     sequencer.  Broken drain_ordered_after_flush => total-order
+     violation between survivors, which no waiver covers. *)
+  for_seeds ~count:5 (fun seed ->
+      let script =
+        faultless ~seed
+          [ Fault_script.Crash { node = 0; at = 2_500.0; recover_at = None } ]
+      in
+      let o = Harness.run ~stack:Harness.Traditional script in
+      check_bool
+        (Printf.sprintf "seed %Ld: no unwaived violation" seed)
+        true
+        (Audit.ok o.Harness.report);
+      check_bool "survivors kept delivering" true (o.Harness.delivered > 0))
+
+let test_regression_stale_epoch_rival_view () =
+  (* Spike the coordinator's outgoing traffic past the fused detection
+     timeout: the others exclude it and change views; when the spike ends
+     the stale coordinator's leftover install must lose to the newer
+     epoch.  Broken epoch guard => rival views and cross-node order
+     divergence. *)
+  for_seeds ~count:5 (fun seed ->
+      let script =
+        faultless ~seed ~horizon:15_000.0
+          [
+            Fault_script.Delay_spike
+              { at = 1_500.0; until = 4_000.0; nodes = [ 0 ]; extra = 2_000.0 };
+          ]
+      in
+      let o = Harness.run ~stack:Harness.Traditional script in
+      check_bool
+        (Printf.sprintf "seed %Ld: no unwaived violation" seed)
+        true
+        (Audit.ok o.Harness.report))
+
+(* ---------- oracle + shrinking ---------- *)
+
+let test_injected_reorder_is_caught () =
+  let script = Generator.generate ~seed:1L ~nodes:5 ~horizon:12_000.0 () in
+  let o = Harness.run ~inject_reorder:true ~stack:Harness.Abgb script in
+  check_bool "oracle flags the reorder" false (Audit.ok o.Harness.report);
+  check_bool "as a total-order violation" true
+    (List.mem Audit.Total_order (Campaign.violated_checks o.Harness.report))
+
+let test_injected_reorder_shrinks_to_nothing () =
+  (* The corruption does not depend on the fault schedule, so shrinking
+     must strip the script to at most 3 events (in practice: zero). *)
+  let script = Generator.generate ~seed:1L ~nodes:5 ~horizon:12_000.0 () in
+  let o = Harness.run ~inject_reorder:true ~stack:Harness.Abgb script in
+  let f = Campaign.failure_of_outcome ~inject_reorder:true o in
+  check_bool "original script non-trivial" true
+    (List.length script.Fault_script.events >= 1);
+  let s = Campaign.shrink f in
+  check_bool
+    (Printf.sprintf "shrunk to <= 3 events (got %d)"
+       (List.length s.Shrink.result.Fault_script.events))
+    true
+    (List.length s.Shrink.result.Fault_script.events <= 3);
+  (* The shrunk script still reproduces. *)
+  check_bool "still reproduces" true
+    (Campaign.reproduces { f with Campaign.script = s.Shrink.result })
+
+(* ---------- replay determinism ---------- *)
+
+let test_replay_bit_for_bit () =
+  (* The harness is a pure function of (stack, script, casts): two runs
+     yield the identical Lamport-clocked event sequence. *)
+  List.iter
+    (fun stack ->
+      let script = Generator.generate ~seed:3L ~nodes:5 ~horizon:8_000.0 () in
+      let a = Harness.run ~stack script and b = Harness.run ~stack script in
+      check_bool
+        (Harness.stack_to_string stack ^ " identical traces")
+        true
+        (a.Harness.events = b.Harness.events);
+      check_int
+        (Harness.stack_to_string stack ^ " same deliveries")
+        a.Harness.delivered b.Harness.delivered)
+    Harness.all_stacks
+
+let test_artifact_roundtrip_and_replay () =
+  let script = Generator.generate ~seed:2L ~nodes:4 ~horizon:6_000.0 () in
+  let o = Harness.run ~inject_reorder:true ~stack:Harness.Abgb script in
+  let f = Campaign.failure_of_outcome ~inject_reorder:true o in
+  check_bool "json round-trip" true (Campaign.of_json (Campaign.to_json f) = f);
+  let dir = Filename.temp_file "fuzz_artifacts" "" in
+  Sys.remove dir;
+  let path = Campaign.save ~dir ~name:"case" f o in
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.remove path;
+      Sys.remove (Campaign.trace_path path);
+      Sys.rmdir dir)
+    (fun () ->
+      let f', o', matches = Campaign.replay path in
+      check_bool "loaded failure equals saved" true (f' = f);
+      check_bool "violation reproduces" false (Audit.ok o'.Harness.report);
+      check_bool "trace matches stored recording" true (matches = Some true))
+
+(* ---------- campaign sweep ---------- *)
+
+let test_sweep_clean_stacks () =
+  let summary =
+    Campaign.sweep ~nodes:4 ~horizon:8_000.0
+      ~stacks:[ Harness.Abgb; Harness.Gbcast ]
+      ~seeds:[ 11L; 12L ] ()
+  in
+  check_int "all runs executed" 4 summary.Campaign.runs;
+  check_int "no failures" 0 (List.length summary.Campaign.found)
+
+let test_sweep_finds_and_shrinks_injected_failure () =
+  let summary =
+    Campaign.sweep ~nodes:4 ~horizon:6_000.0 ~inject_reorder:true
+      ~stacks:[ Harness.Abgb ] ~seeds:[ 21L ] ()
+  in
+  match summary.Campaign.found with
+  | [ found ] ->
+      check_bool "shrunk below original" true
+        (List.length found.Campaign.failure.Campaign.script.Fault_script.events
+        <= List.length found.Campaign.original.Fault_script.events);
+      check_bool "shrunk result reproduces" true
+        (Campaign.reproduces found.Campaign.failure)
+  | l -> Alcotest.failf "expected 1 failure, got %d" (List.length l)
+
+let suite =
+  [
+    ( "fuzz",
+      [
+        Alcotest.test_case "regression: sequencer crash + flush" `Slow
+          test_regression_sequencer_crash_flush;
+        Alcotest.test_case "regression: stale-epoch rival view" `Slow
+          test_regression_stale_epoch_rival_view;
+        Alcotest.test_case "injected reorder caught" `Quick
+          test_injected_reorder_is_caught;
+        Alcotest.test_case "injected reorder shrinks away" `Slow
+          test_injected_reorder_shrinks_to_nothing;
+        Alcotest.test_case "replay is bit-for-bit" `Slow test_replay_bit_for_bit;
+        Alcotest.test_case "artifact round-trip + replay" `Quick
+          test_artifact_roundtrip_and_replay;
+        Alcotest.test_case "sweep: clean stacks" `Slow test_sweep_clean_stacks;
+        Alcotest.test_case "sweep: finds and shrinks" `Slow
+          test_sweep_finds_and_shrinks_injected_failure;
+      ] );
+  ]

@@ -152,6 +152,78 @@ let test_two_thirds_quorum_sizes () =
   done;
   check_bool "fast" true (Gb.fast_delivered_count gbs.(0) >= 1)
 
+(* ---------- conflict-relation properties (random mixes) ----------
+
+   The paper's claim for generic broadcast (Section 4.2): replicas agree
+   on everything that conflicts, and consensus is spent only when the
+   workload actually conflicts.  We drive random commuting/ordered mixes
+   and check both sides. *)
+
+(* Replica state that is sensitive to exactly the conflict relation:
+   ordered deliveries fold into an order-dependent hash, commuting ones
+   are kept as a multiset tagged with the ordered-prefix hash at their
+   delivery (commuting messages may interleave among themselves, but not
+   move across an ordered message). *)
+let replica_state deliveries =
+  let strict_hash = ref 0 and commuting = ref [] in
+  List.iter
+    (fun p ->
+      match p with
+      | Strict k -> strict_hash := (!strict_hash * 31) + k + 1
+      | Commute k -> commuting := (k, !strict_hash) :: !commuting
+      | _ -> ())
+    deliveries;
+  (!strict_hash, List.sort compare !commuting)
+
+let run_mix seed mix =
+  let n = 3 in
+  let w = make_world ~seed ~n () in
+  let gbs, logs = build w in
+  List.iteri
+    (fun k strict ->
+      let payload = if strict then Strict k else Commute k in
+      ignore
+        (Engine.schedule w.engine ~delay:(float_of_int (k * 5)) (fun () ->
+             Gb.gbcast gbs.(k mod n) payload)))
+    mix;
+  run_until w 60_000.0;
+  (gbs, Array.init n (fun i -> List.rev logs.(i)))
+
+let prop_conflict_relation_state =
+  QCheck.Test.make
+    ~name:"random mixes: identical replica state on every node" ~count:12
+    QCheck.(pair small_nat (list_of_size Gen.(2 -- 10) bool))
+    (fun (s, mix) ->
+      QCheck.assume (mix <> []);
+      let seed = Int64.of_int (7000 + s) in
+      let _, deliveries = run_mix seed mix in
+      let total = List.length mix in
+      Array.for_all (fun l -> List.length l = total) deliveries
+      && Array.for_all
+           (fun l -> replica_state l = replica_state deliveries.(0))
+           deliveries)
+
+let prop_consensus_only_for_conflicts =
+  QCheck.Test.make
+    ~name:"random mixes: consensus spent only on conflicting traffic"
+    ~count:12
+    QCheck.(pair small_nat (list_of_size Gen.(2 -- 10) bool))
+    (fun (s, mix) ->
+      QCheck.assume (mix <> []);
+      let seed = Int64.of_int (8000 + s) in
+      let gbs, deliveries = run_mix seed mix in
+      let stricts = List.length (List.filter Fun.id mix) in
+      let total = List.length mix in
+      List.length deliveries.(0) = total
+      &&
+      if stricts = 0 then
+        (* Pure commuting workload: everything fast, zero cuts. *)
+        Gb.stage gbs.(0) = 0 && Gb.fast_delivered_count gbs.(0) = total
+      else
+        (* Cuts happen, but never more than the conflicting messages
+           could require (each cut carries >= 1 ordered message). *)
+        Gb.stage gbs.(0) >= 1 && Gb.stage gbs.(0) <= stricts)
+
 let suite =
   [
     ( "gbcast-modes",
@@ -168,5 +240,7 @@ let suite =
           test_generic_order_all_members_mixed;
         Alcotest.test_case "two-thirds: quorum at n=4 minus one" `Quick
           test_two_thirds_quorum_sizes;
+        QCheck_alcotest.to_alcotest prop_conflict_relation_state;
+        QCheck_alcotest.to_alcotest prop_consensus_only_for_conflicts;
       ] );
   ]

@@ -153,6 +153,99 @@ let test_determinism () =
   let c = run 10L in
   Support.check_bool "different seed differs" true (a <> c)
 
+let test_recover_rejoins_delivery () =
+  let engine = Engine.create ~seed:1L () in
+  let trace = Trace.create ~enabled:true () in
+  let net = Netsim.create engine ~trace ~delay:(Delay.Constant 1.0) ~n:2 () in
+  let log = ref [] in
+  collect net 1 log;
+  Netsim.crash net 1;
+  Netsim.send net ~src:0 ~dst:1 (Ping 1);
+  Engine.run engine;
+  Support.check_int "lost while frozen" 0 (List.length !log);
+  Support.check_int "counted as gone drop" 1 (Netsim.messages_dropped_gone net);
+  Netsim.recover net 1;
+  Support.check_bool "alive again" true (Netsim.alive net 1);
+  Netsim.send net ~src:0 ~dst:1 (Ping 2);
+  Engine.run engine;
+  Alcotest.(check (list (pair int int))) "post-recover delivery" [ (0, 2) ] !log;
+  (* Both lifecycle transitions are on the flight recorder. *)
+  Support.check_int "crash recorded" 1
+    (List.length (Trace.find trace ~node:1 ~component:"net" ~event:"crash" ()));
+  Support.check_int "recover recorded" 1
+    (List.length (Trace.find trace ~node:1 ~component:"net" ~event:"recover" ()))
+
+let test_recover_live_node_noop () =
+  let engine, net = make 2 in
+  Netsim.recover net 1;
+  Support.check_bool "still alive" true (Netsim.alive net 1);
+  ignore engine
+
+let test_drop_counter_split () =
+  let engine, net = make ~drop:1.0 3 in
+  let log = ref [] in
+  collect net 1 log;
+  (* Lossy link: the network chose to drop — policy. *)
+  Netsim.send net ~src:0 ~dst:1 (Ping 1);
+  Engine.run engine;
+  Support.check_int "policy drop" 1 (Netsim.messages_dropped_policy net);
+  Support.check_int "no gone drop yet" 0 (Netsim.messages_dropped_gone net);
+  (* Partition boundary: also the network's choice — policy. *)
+  Netsim.set_link net ~src:0 ~dst:2 ~drop:0.0 ();
+  Netsim.partition net [ [ 0; 1 ]; [ 2 ] ];
+  Netsim.send net ~src:0 ~dst:2 (Ping 2);
+  Engine.run engine;
+  Support.check_int "partition drop is policy" 2
+    (Netsim.messages_dropped_policy net);
+  Netsim.heal net;
+  (* Dead endpoint: not a network decision — gone. *)
+  Netsim.crash net 2;
+  Netsim.send net ~src:0 ~dst:2 (Ping 3);
+  Netsim.send net ~src:2 ~dst:1 (Ping 4);
+  Engine.run engine;
+  Support.check_int "dead endpoints are gone drops" 2
+    (Netsim.messages_dropped_gone net);
+  Support.check_int "total is the sum" 4 (Netsim.messages_dropped net)
+
+let test_duplication_and_metrics_mirror () =
+  let engine = Engine.create ~seed:3L () in
+  let metrics = Gc_obs.Metrics.create () in
+  let net =
+    Netsim.create engine ~metrics ~delay:(Delay.Constant 1.0) ~dup:1.0 ~n:2 ()
+  in
+  let log = ref [] in
+  collect net 1 log;
+  Netsim.send net ~src:0 ~dst:1 (Ping 1);
+  Engine.run engine;
+  Support.check_int "original + duplicate delivered" 2 (List.length !log);
+  Support.check_int "duplication counted" 1 (Netsim.messages_duplicated net);
+  Support.check_int "mirrored to metrics" 1
+    (Gc_obs.Metrics.counter metrics "net.duplicated");
+  (* The split drop counters are mirrored too. *)
+  Netsim.crash net 1;
+  Netsim.send net ~src:0 ~dst:1 (Ping 2);
+  Engine.run engine;
+  Support.check_int "gone mirrored" 1
+    (Gc_obs.Metrics.counter metrics "net.dropped_gone");
+  Support.check_int "policy mirrored" 0
+    (Gc_obs.Metrics.counter metrics "net.dropped_policy")
+
+let test_dup_zero_does_not_perturb_rng () =
+  (* dup = 0.0 must not consume random draws: a lossy run with and without
+     the duplication feature configured off is bit-identical. *)
+  let run ~dup =
+    let engine = Engine.create ~seed:11L () in
+    let net = Netsim.create engine ~delay:Delay.lan ~drop:0.3 ~dup ~n:2 () in
+    let log = ref [] in
+    collect net 1 log;
+    for k = 1 to 100 do
+      Netsim.send net ~src:0 ~dst:1 (Ping k)
+    done;
+    Engine.run engine;
+    (!log, Engine.now engine)
+  in
+  Support.check_bool "identical" true (run ~dup:0.0 = run ~dup:0.0)
+
 let test_delay_mean_sanity () =
   (* The sampled mean of each distribution should match its analytic mean. *)
   let rng = Gc_sim.Rng.create 2L in
@@ -192,6 +285,15 @@ let suite =
         Alcotest.test_case "delay spike" `Quick test_delay_spike;
         Alcotest.test_case "set_link override" `Quick test_set_link_override;
         Alcotest.test_case "determinism" `Quick test_determinism;
+        Alcotest.test_case "recover rejoins delivery" `Quick
+          test_recover_rejoins_delivery;
+        Alcotest.test_case "recover live node is a no-op" `Quick
+          test_recover_live_node_noop;
+        Alcotest.test_case "drop counter split" `Quick test_drop_counter_split;
+        Alcotest.test_case "duplication + metrics mirror" `Quick
+          test_duplication_and_metrics_mirror;
+        Alcotest.test_case "dup=0 leaves rng untouched" `Quick
+          test_dup_zero_does_not_perturb_rng;
         Alcotest.test_case "delay distribution means" `Quick test_delay_mean_sanity;
       ] );
   ]
