@@ -1,0 +1,63 @@
+(* gcs_lint — determinism-and-layering static analysis for the GCS repo.
+
+     gcs_lint check [--root DIR]          lint lib/**, exit 1 on findings
+     gcs_lint graph [--root DIR] [--dot FILE]   dump the architecture DAG
+
+   Rules and the architecture spec live in lib/lint (Gc_lint.Catalog);
+   DESIGN.md section 11 documents them. *)
+
+open Cmdliner
+
+let root_arg =
+  let doc = "Repository root (the directory containing lib/)." in
+  Arg.(value & opt string "." & info [ "root" ] ~docv:"DIR" ~doc)
+
+let rules_flag =
+  let doc = "Print the rule catalog and exit." in
+  Arg.(value & flag & info [ "rules" ] ~doc)
+
+let check_cmd =
+  let run root rules =
+    if rules then begin
+      List.iter
+        (fun r -> Printf.printf "%-3s %s\n" r (Gc_lint.Catalog.rule_summary r))
+        Gc_lint.Catalog.rule_ids;
+      0
+    end
+    else begin
+      let r = Gc_lint.Lint.run ~root in
+      Format.printf "%a@?" Gc_lint.Lint.pp_report r;
+      if r.Gc_lint.Lint.findings = [] then 0 else 1
+    end
+  in
+  let doc = "Lint lib/** for determinism, event-discipline and layering." in
+  Cmd.v
+    (Cmd.info "check" ~doc)
+    Term.(const run $ root_arg $ rules_flag)
+
+let graph_cmd =
+  let run root dot =
+    let r = Gc_lint.Lint.run ~root in
+    let emit ppf = Gc_lint.Arch.to_dot ppf r.Gc_lint.Lint.libs in
+    (match dot with
+    | None -> emit Format.std_formatter
+    | Some file ->
+        let oc = open_out file in
+        let ppf = Format.formatter_of_out_channel oc in
+        emit ppf;
+        Format.pp_print_flush ppf ();
+        close_out oc;
+        Printf.printf "wrote %s\n" file);
+    0
+  in
+  let dot_arg =
+    let doc = "Write the graphviz dot output to $(docv) instead of stdout." in
+    Arg.(value & opt (some string) None & info [ "dot" ] ~docv:"FILE" ~doc)
+  in
+  let doc = "Dump the library dependency DAG (graphviz dot)." in
+  Cmd.v (Cmd.info "graph" ~doc) Term.(const run $ root_arg $ dot_arg)
+
+let () =
+  let doc = "static analysis: determinism, event discipline, layering" in
+  let info = Cmd.info "gcs_lint" ~version:"%%VERSION%%" ~doc in
+  exit (Cmd.eval' (Cmd.group info [ check_cmd; graph_cmd ]))

@@ -2,6 +2,7 @@ module Process = Gc_kernel.Process
 module Rc = Gc_rchannel.Reliable_channel
 module Rb = Gc_rbcast.Reliable_broadcast
 module Consensus = Gc_consensus.Consensus
+module Sorted = Gc_sim.Sorted
 
 type msg = {
   origin : int;
@@ -62,7 +63,7 @@ let member t = List.mem (Process.id t.proc) t.member_list
 (* Current proposal: pending, minus delivered, in deterministic order. *)
 let current_batch t =
   let l =
-    Hashtbl.fold
+    Sorted.fold
       (fun id m acc -> if Hashtbl.mem t.delivered id then acc else m :: acc)
       t.pending []
   in
@@ -203,5 +204,5 @@ let bootstrap t ~next_instance ~members ~delivered =
 
 let delivered_count t = t.n_delivered
 let next_instance t = t.next_to_apply
-let delivered_ids t = Hashtbl.fold (fun id () acc -> id :: acc) t.delivered []
+let delivered_ids t = Sorted.keys t.delivered
 let rounds_used t ~inst = Consensus.rounds_used (consensus_of t) ~inst

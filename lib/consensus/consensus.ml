@@ -2,6 +2,7 @@ module Process = Gc_kernel.Process
 module Rc = Gc_rchannel.Reliable_channel
 module Rb = Gc_rbcast.Reliable_broadcast
 module Fd = Gc_fd.Failure_detector
+module Sorted = Gc_sim.Sorted
 
 type Gc_net.Payload.t +=
   | Cs_start of { inst : int }
@@ -69,7 +70,7 @@ let tbl_of tbl key =
    lowest sender id — deterministic across replays. *)
 let select_estimate t ests =
   let best = ref None in
-  Hashtbl.iter
+  Sorted.iter
     (fun sender (est, ts) ->
       let better =
         match !best with
@@ -251,8 +252,7 @@ let handle_message t inst src payload =
 let on_suspicion t _q =
   (* A coordinator we were waiting on may now be suspected. *)
   let active =
-    Hashtbl.fold (fun inst st acc -> if st.decided then acc else (inst, st) :: acc)
-      t.states []
+    List.filter (fun (_, st) -> not st.decided) (Sorted.bindings t.states)
   in
   List.iter (fun (inst, st) -> check_phase3 t inst st) active
 

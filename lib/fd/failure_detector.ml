@@ -1,5 +1,6 @@
 module Process = Gc_kernel.Process
 module Netsim = Gc_net.Netsim
+module Sorted = Gc_sim.Sorted
 
 type Gc_net.Payload.t += Heartbeat
 
@@ -58,9 +59,7 @@ let set_peers t peers =
     peers;
   (* Forget peers that left, and clear their suspicions. *)
   let gone =
-    Hashtbl.fold
-      (fun q _ acc -> if List.mem q peers then acc else q :: acc)
-      t.last_hb []
+    List.filter (fun q -> not (List.mem q peers)) (Sorted.keys t.last_hb)
   in
   List.iter
     (fun q ->
@@ -233,6 +232,6 @@ let stop m =
   match m.checker with Some c -> Process.cancel_periodic c | None -> ()
 
 let suspected m q = Hashtbl.mem m.suspected_set q
-let suspects m = List.sort compare (Hashtbl.fold (fun q _ acc -> q :: acc) m.suspected_set [])
+let suspects m = Sorted.keys ~cmp:Int.compare m.suspected_set
 let suspicion_count m = m.suspicions
 let wrong_suspicion_count m = m.wrong

@@ -2,6 +2,7 @@ module Process = Gc_kernel.Process
 module Rc = Gc_rchannel.Reliable_channel
 module Rb = Gc_rbcast.Reliable_broadcast
 module Ab = Gc_abcast.Atomic_broadcast
+module Sorted = Gc_sim.Sorted
 
 type msg = {
   origin : int;
@@ -215,7 +216,7 @@ and force_cut t =
       let threshold = max 1 (ack_quorum t + c - n) in
       let tally : (int * int, int) Hashtbl.t = Hashtbl.create 16 in
       let mentioned : (int * int, msg) Hashtbl.t = Hashtbl.create 16 in
-      Hashtbl.iter
+      Sorted.iter
         (fun _src (acked, pending) ->
           List.iter
             (fun m ->
@@ -258,6 +259,10 @@ let rec examine t m =
     && not (Hashtbl.mem t.stage_history id)
   then begin
     let against tbl acc =
+      (* gcs-lint: allow D3 — commutative OR-accumulation over the whole
+         table; the result is independent of visit order, and this sits on
+         the per-message fast path where key-sorting every probe would cost
+         O(n log n) per examine. *)
       Hashtbl.fold
         (fun id' m' acc -> acc || (id' <> id && t.conflict m.body m'.body))
         tbl acc
@@ -428,7 +433,7 @@ let delivered_count t = t.n_delivered
 let fast_delivered_count t = t.n_fast
 let stage t = t.stage
 
-let delivered_ids t = Hashtbl.fold (fun id () acc -> id :: acc) t.delivered []
+let delivered_ids t = Sorted.keys t.delivered
 
 let bootstrap t ~stage ~delivered =
   t.stage <- stage;

@@ -1,0 +1,160 @@
+(* The central conformance catalog: every machine-checked convention lives
+   here, in one place, instead of being scattered across reviews.
+
+   - which lib/ subdirectories hold *protocol* code (determinism rules
+     D2-D4 and event discipline E1 apply there; D1 applies everywhere),
+   - the registered trace components and their msg-id prefixes (rule E1),
+   - the declared architecture DAG the dune files must match (rules L1-L2).
+
+   The DAG encodes the paper's section 4.1 layering: ordering is solved
+   once, in the AB-GB column rchannel -> rbcast -> consensus -> abcast ->
+   gbcast, with membership and monitoring above it; the competing
+   traditional and totem stacks are siblings that the AB-GB column must
+   never reach; everything touches the network only through gc_kernel /
+   gc_net; gc_obs is pure observability and depends on nothing. *)
+
+let rule_ids = [ "D1"; "D2"; "D3"; "D4"; "E1"; "L1"; "L2"; "W1"; "P0" ]
+
+let rule_summary = function
+  | "D1" -> "ambient nondeterminism (Random/Unix/Sys.time) outside lib/sim/rng.ml"
+  | "D2" -> "physical equality (==/!=) in protocol code"
+  | "D3" -> "unordered Hashtbl.iter/fold feeding protocol state"
+  | "D4" -> "bare polymorphic compare/(=) passed at a call site"
+  | "E1" -> "Process.event outside the registered component/prefix catalog"
+  | "L1" -> "dune dependency outside the declared architecture DAG"
+  | "L2" -> "module reference outside the declared architecture DAG"
+  | "W1" -> "malformed gcs-lint waiver annotation"
+  | "P0" -> "source file does not parse"
+  | r -> "unknown rule " ^ r
+
+(* lib/ subdirectories whose modules are protocol code. *)
+let protocol_dirs =
+  [
+    "rchannel"; "rbcast"; "consensus"; "abcast"; "gbcast"; "membership";
+    "monitoring"; "fd"; "totem"; "traditional"; "replication"; "core";
+    "kernel";
+  ]
+
+let is_protocol_dir d = List.mem d protocol_dirs
+
+(* "lib/totem/totem_stack.ml" -> Some "totem" (any path containing /lib/). *)
+let dir_of_path path =
+  let parts = String.split_on_char '/' path in
+  let rec go = function
+    | "lib" :: d :: _ :: _ -> Some d
+    | _ :: rest -> go rest
+    | [] -> None
+  in
+  go parts
+
+(* The one module allowed to own a randomness source. *)
+let rng_exempt path =
+  match String.split_on_char '/' path with
+  | [] -> false
+  | parts -> (
+      match List.rev parts with
+      | file :: dir :: _ -> dir = "sim" && file = "rng.ml"
+      | _ -> false)
+
+(* Registered trace components -> allowed msg-id prefixes.  A component
+   with an empty prefix list may emit events but never a ~msg id. *)
+let components =
+  [
+    ("rchannel", [ "rc:" ]);
+    ("rbcast", [ "rb:" ]);
+    ("consensus", [ "cs:" ]);
+    ("abcast", [ "ab:" ]);
+    ("gbcast", [ "gb:" ]);
+    ("membership", [ "view:" ]);
+    ("monitoring", []);
+    ("fd", []);
+    ("net", []);
+    ("fault", []);
+    ("passive", []);
+    ("totem", [ "tt:"; "view:" ]);
+    ("traditional", [ "tr:"; "trvs:"; "view:" ]);
+  ]
+
+let component_prefixes c = List.assoc_opt c components
+
+(* ---------- declared architecture DAG ---------- *)
+
+type layer = {
+  lib : string;       (* dune library name *)
+  dir : string;       (* lib/ subdirectory *)
+  rank : int;         (* altitude, for layering and dot layout *)
+  deps : string list; (* allowed *internal* direct dependencies *)
+  ext : string list;  (* allowed external dependencies *)
+}
+
+let base = [ "gc_obs"; "gc_sim"; "gc_net"; "gc_kernel" ]
+let abgb_stack = base @ [ "gc_fd" ]
+
+let layer ?(ext = [ "fmt" ]) lib dir rank deps = { lib; dir; rank; deps; ext }
+
+let arch =
+  [
+    layer "gc_obs" "obs" 0 [];
+    layer "gc_sim" "sim" 1 [ "gc_obs" ];
+    layer "gc_net" "net" 2 [ "gc_sim"; "gc_obs" ];
+    layer "gc_kernel" "kernel" 3 [ "gc_sim"; "gc_net"; "gc_obs" ];
+    layer "gc_fd" "fd" 4 base;
+    (* AB-GB column: each layer sees only the layers strictly below it. *)
+    layer "gc_rchannel" "rchannel" 5 base;
+    layer "gc_rbcast" "rbcast" 6 (base @ [ "gc_rchannel" ]);
+    layer "gc_consensus" "consensus" 7
+      (abgb_stack @ [ "gc_rchannel"; "gc_rbcast" ]);
+    layer "gc_abcast" "abcast" 8
+      (abgb_stack @ [ "gc_rchannel"; "gc_rbcast"; "gc_consensus" ]);
+    layer "gc_gbcast" "gbcast" 9
+      (abgb_stack @ [ "gc_rchannel"; "gc_rbcast"; "gc_consensus"; "gc_abcast" ]);
+    layer "gc_membership" "membership" 10 (abgb_stack @ [ "gc_rchannel" ]);
+    layer "gc_monitoring" "monitoring" 11
+      (abgb_stack @ [ "gc_rchannel"; "gc_membership" ]);
+    layer "gcs" "core" 12
+      (abgb_stack
+      @ [
+          "gc_rchannel"; "gc_rbcast"; "gc_consensus"; "gc_abcast"; "gc_gbcast";
+          "gc_membership"; "gc_monitoring";
+        ]);
+    (* Competing stacks: siblings of the AB-GB column, never below it. *)
+    layer "gc_totem" "totem" 12 (abgb_stack @ [ "gc_rchannel"; "gc_membership" ]);
+    layer "gc_traditional" "traditional" 12
+      (abgb_stack
+      @ [ "gc_rchannel"; "gc_rbcast"; "gc_consensus"; "gc_membership" ]);
+    (* Applications and harnesses above every stack. *)
+    layer "gc_replication" "replication" 13
+      (abgb_stack
+      @ [
+          "gc_rchannel"; "gc_gbcast"; "gc_membership"; "gcs"; "gc_traditional";
+        ]);
+    layer "gc_faultgen" "faultgen" 13 [ "gc_sim"; "gc_net"; "gc_obs"; "gc_fd" ];
+    layer "gc_fuzz" "fuzz" 14
+      [
+        "gc_sim"; "gc_net"; "gc_obs"; "gc_fd"; "gc_faultgen"; "gcs";
+        "gc_traditional"; "gc_totem";
+      ];
+    layer ~ext:[ "fmt"; "compiler-libs.common" ] "gc_lint" "lint" 15 [];
+  ]
+
+let find_layer lib = List.find_opt (fun l -> l.lib = lib) arch
+let layer_of_dir dir = List.find_opt (fun l -> l.dir = dir) arch
+let internal_lib lib = find_layer lib <> None
+
+(* Wrapped library name -> top-level module name: gc_sim -> Gc_sim. *)
+let module_of_lib lib = String.capitalize_ascii lib
+
+let lib_of_module m =
+  List.find_map
+    (fun l -> if module_of_lib l.lib = m then Some l.lib else None)
+    arch
+
+(* The AB-GB column plus its facade, which must never reach the competing
+   stacks (paper section 4.1: ordering is solved once, below membership). *)
+let abgb_libs =
+  [
+    "gc_rchannel"; "gc_rbcast"; "gc_consensus"; "gc_abcast"; "gc_gbcast";
+    "gc_membership"; "gc_monitoring"; "gcs";
+  ]
+
+let legacy_libs = [ "gc_traditional"; "gc_totem" ]

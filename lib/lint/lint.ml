@@ -1,0 +1,121 @@
+(* Driver: walk lib/**, lint every .ml against the AST rules, every dune
+   file against the architecture spec, apply waivers, and report. *)
+
+module D = Diagnostic
+
+type result = {
+  findings : D.t list;  (* unwaived — these fail the build *)
+  waived : (D.t * Waiver.t) list;
+  waivers : Waiver.t list;
+  libs : Arch.dune_lib list;
+  files_seen : int;
+}
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let list_dir path =
+  if Sys.file_exists path && Sys.is_directory path then
+    List.sort String.compare (Array.to_list (Sys.readdir path))
+  else []
+
+(* Lint one source string under a (possibly virtual) path: returns
+   (unwaived, waived, waivers).  This is the unit the fixture tests use. *)
+let lint_file_source ~path source =
+  let ast_findings, _roots = Rules.lint_source ~path source in
+  let waivers, w1s = Waiver.scan ~file:path source in
+  let unwaived, waived =
+    List.partition_map
+      (fun d ->
+        match List.find_opt (fun w -> Waiver.covers w d) waivers with
+        | Some w -> Right (d, w)
+        | None -> Left d)
+      (ast_findings @ w1s)
+  in
+  (List.sort D.order unwaived, waived, waivers)
+
+(* Full repo run, rooted at [root] (the directory containing lib/). *)
+let run ~root =
+  let lib_root = Filename.concat root "lib" in
+  let findings = ref [] in
+  let waived = ref [] in
+  let waivers = ref [] in
+  let libs = ref [] in
+  let files_seen = ref 0 in
+  (* per-library: roots referenced across all its files, with one source
+     file to blame per root *)
+  List.iter
+    (fun dir ->
+      let dir_path = Filename.concat lib_root dir in
+      if Sys.is_directory dir_path then begin
+        let entries = list_dir dir_path in
+        let dune_path = Filename.concat dir_path "dune" in
+        let dune_libs =
+          if Sys.file_exists dune_path then
+            Arch.parse_dune
+              ~dune_file:(Printf.sprintf "lib/%s/dune" dir)
+              (read_file dune_path)
+          else []
+        in
+        libs := !libs @ dune_libs;
+        List.iter
+          (fun l -> findings := Arch.check_declared l @ !findings)
+          dune_libs;
+        List.iter
+          (fun entry ->
+            if Filename.check_suffix entry ".ml" then begin
+              incr files_seen;
+              let path = Printf.sprintf "lib/%s/%s" dir entry in
+              let source = read_file (Filename.concat dir_path entry) in
+              let ast_findings, roots = Rules.lint_source ~path source in
+              let ws, w1s = Waiver.scan ~file:path source in
+              waivers := !waivers @ ws;
+              let l2s =
+                List.concat_map
+                  (fun l -> Arch.check_usage ~lib:l ~file:path ~roots)
+                  dune_libs
+              in
+              let unwaived, here_waived =
+                List.partition_map
+                  (fun d ->
+                    match List.find_opt (fun w -> Waiver.covers w d) ws with
+                    | Some w -> Right (d, w)
+                    | None -> Left d)
+                  (ast_findings @ w1s @ l2s)
+              in
+              findings := unwaived @ !findings;
+              waived := here_waived @ !waived
+            end)
+          entries
+      end)
+    (list_dir lib_root);
+  {
+    findings = List.sort D.order !findings;
+    waived =
+      List.sort (fun (a, _) (b, _) -> D.order a b) !waived;
+    waivers = !waivers;
+    libs = !libs;
+    files_seen = !files_seen;
+  }
+
+let pp_report ppf r =
+  if r.findings <> [] then begin
+    Format.fprintf ppf "%a" D.pp_list r.findings;
+    Format.fprintf ppf "@.%d finding(s) in %d file(s).@."
+      (List.length r.findings) r.files_seen
+  end
+  else
+    Format.fprintf ppf "gcs_lint: clean — %d file(s), %d librar%s checked.@."
+      r.files_seen (List.length r.libs)
+      (if List.length r.libs = 1 then "y" else "ies");
+  if r.waived <> [] then begin
+    Format.fprintf ppf "%d waived finding(s):@." (List.length r.waived);
+    List.iter
+      (fun (d, w) ->
+        Format.fprintf ppf "  %s:%d [%s] — waived: %s@." d.D.file d.D.line
+          d.D.rule w.Waiver.reason)
+      r.waived
+  end

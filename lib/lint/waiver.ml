@@ -1,0 +1,131 @@
+(* Waiver annotations, modeled on the fuzzer's audit-waiver policy: a
+   finding can be silenced only by an in-source comment that names the rule
+   and gives a written reason,
+
+     (* gcs-lint: allow D3 — commutative fold, order cannot matter *)
+
+   The dash may be an em dash or "--".  A waiver covers findings located on
+   the comment's lines or on the first line after the comment ends.
+   Malformed waivers (unknown rule id, missing reason) are themselves
+   findings (rule W1) so they cannot silently rot. *)
+
+type t = {
+  file : string;
+  start_line : int;  (* first line of the comment *)
+  end_line : int;    (* last line of the comment *)
+  rules : string list;
+  reason : string;
+}
+
+let marker = "gcs-lint:"
+
+let find_sub hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i =
+    if i + nn > nh then None
+    else if String.sub hay i nn = needle then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let is_space c = c = ' ' || c = '\t' || c = '\n' || c = '\r'
+
+let split_words s =
+  String.split_on_char ' '
+    (String.map (fun c -> if is_space c then ' ' else c) s)
+  |> List.filter (fun w -> w <> "")
+
+(* Split "D3, D4 — reason" at the first em dash or "--". *)
+let split_reason s =
+  let n = String.length s in
+  let rec go i =
+    if i >= n then None
+    else if i + 1 < n && s.[i] = '-' && s.[i + 1] = '-' then
+      Some (String.sub s 0 i, String.sub s (i + 2) (n - i - 2))
+    else if
+      i + 2 < n && s.[i] = '\xe2' && s.[i + 1] = '\x80' && s.[i + 2] = '\x94'
+    then Some (String.sub s 0 i, String.sub s (i + 3) (n - i - 3))
+    else go (i + 1)
+  in
+  go 0
+
+(* Parse one comment body; [None] when it is not a waiver at all. *)
+let parse ~file ~start_line ~end_line text :
+    (t option, Diagnostic.t) result =
+  match find_sub text marker with
+  | None -> Ok None
+  | Some i -> (
+      let bad msg =
+        Error
+          (Diagnostic.v ~file ~line:start_line ~rule:"W1"
+             ~suggestion:
+               "write: (* gcs-lint: allow <RULE>[, <RULE>] — <reason> *)"
+             msg)
+      in
+      let rest =
+        String.trim
+          (String.sub text (i + String.length marker)
+             (String.length text - i - String.length marker))
+      in
+      match split_words rest with
+      | "allow" :: _ -> (
+          let after_allow =
+            String.trim (String.sub rest 5 (String.length rest - 5))
+          in
+          match split_reason after_allow with
+          | None -> bad "waiver has no reason (expected an em dash or -- before it)"
+          | Some (rules_part, reason) ->
+              (* collapse the comment's line breaks / indentation *)
+              let reason = String.concat " " (split_words reason) in
+              let rules =
+                split_words
+                  (String.map (fun c -> if c = ',' then ' ' else c) rules_part)
+              in
+              if reason = "" then bad "waiver has an empty reason"
+              else if rules = [] then bad "waiver names no rule id"
+              else (
+                match
+                  List.find_opt
+                    (fun r -> not (List.mem r Catalog.rule_ids))
+                    rules
+                with
+                | Some r -> bad (Printf.sprintf "waiver names unknown rule %S" r)
+                | None ->
+                    Ok (Some { file; start_line; end_line; rules; reason })))
+      | _ -> bad "gcs-lint comment is not of the form 'gcs-lint: allow ...'")
+
+(* All comments of a source file, via the real OCaml lexer (so comment
+   extents are exact, not line-guessed). *)
+let comments ~file source =
+  let lexbuf = Lexing.from_string source in
+  Location.init lexbuf file;
+  Lexer.init ();
+  (try
+     let rec go () = match Lexer.token lexbuf with Parser.EOF -> () | _ -> go ()
+     in
+     go ()
+   with _ -> ());
+  Lexer.comments ()
+
+(* Scan a file: its waivers plus W1 findings for malformed ones. *)
+let scan ~file source : t list * Diagnostic.t list =
+  List.fold_left
+    (fun (ws, ds) (text, (loc : Location.t)) ->
+      let start_line = loc.loc_start.pos_lnum
+      and end_line = loc.loc_end.pos_lnum in
+      match parse ~file ~start_line ~end_line text with
+      | Ok None -> (ws, ds)
+      | Ok (Some w) -> (w :: ws, ds)
+      | Error d -> (ws, d :: ds))
+    ([], [])
+    (comments ~file source)
+
+let covers w (d : Diagnostic.t) =
+  d.Diagnostic.file = w.file
+  && d.Diagnostic.line >= w.start_line
+  && d.Diagnostic.line <= w.end_line + 1
+  && List.mem d.Diagnostic.rule w.rules
+
+let pp ppf w =
+  Format.fprintf ppf "%s:%d: waives %s — %s" w.file w.start_line
+    (String.concat "," w.rules) w.reason

@@ -3,6 +3,7 @@ module Fd = Gc_fd.Failure_detector
 module Rc = Gc_rchannel.Reliable_channel
 module Gm = Gc_membership.Group_membership
 module Netsim = Gc_net.Netsim
+module Sorted = Gc_sim.Sorted
 
 type policy =
   | Immediate
@@ -57,7 +58,7 @@ let propose_exclusion t q reason =
 let threshold_met t k q =
   let v = Gm.view t.membership in
   let votes =
-    Hashtbl.fold
+    Sorted.fold
       (fun m () acc -> if Gc_membership.View.mem v m then acc + 1 else acc)
       (suspector_set t q) 0
   in
@@ -136,18 +137,18 @@ let create proc ~fd ~rc ~membership ?(exclusion_timeout = 5000.0) ~policy () =
   (* Excluded members' gossip no longer counts; forget their channel
      buffers. *)
   Gm.on_view membership (fun v ->
-      Hashtbl.iter
+      Sorted.iter
         (fun _q set ->
-          Hashtbl.iter
-            (fun m () ->
+          List.iter
+            (fun m ->
               if not (Gc_membership.View.mem v m) then Hashtbl.remove set m)
-            (Hashtbl.copy set))
+            (Sorted.keys set))
         t.suspectors;
       List.iter
         (fun q -> Hashtbl.remove t.suspectors q)
-        (Hashtbl.fold
-           (fun q _ acc -> if Gc_membership.View.mem v q then acc else q :: acc)
-           t.suspectors []));
+        (List.filter
+           (fun q -> not (Gc_membership.View.mem v q))
+           (Sorted.keys t.suspectors)));
   t
 
 let stop t =

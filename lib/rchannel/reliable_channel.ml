@@ -1,5 +1,6 @@
 module Process = Gc_kernel.Process
 module Engine = Gc_sim.Engine
+module Sorted = Gc_sim.Sorted
 
 (* [gen] is the connection generation: [forget] starts a new generation, so
    that the receiver does not wait forever for sequence numbers whose
@@ -111,7 +112,9 @@ let handle_ack t ~src ~gen ~cum =
 
 let retransmit t =
   let now = Process.now t.proc in
-  Hashtbl.iter
+  (* Key-sorted so retransmissions hit the network in the same dst order on
+     every replay. *)
+  Sorted.iter
     (fun dst (o : outgoing) ->
       List.iter
         (fun p ->

@@ -38,7 +38,7 @@ let create net ~trace ~id ~initial ?config ~classify ~make_sm () =
     Ag_state
       {
         app = sm.State_machine.snapshot ();
-        completed = Hashtbl.fold (fun k v acc -> (k, v) :: acc) completed [];
+        completed = Gc_sim.Sorted.bindings completed;
       }
   in
   let installer = function

@@ -158,7 +158,7 @@ let create net ~trace ~id ~initial ?config ?(primary_suspect_timeout = 250.0)
         Pa_state
           {
             app = sm.State_machine.snapshot ();
-            completed = Hashtbl.fold (fun k v acc -> (k, v) :: acc) completed [];
+            completed = Gc_sim.Sorted.bindings completed;
             rlist = t.rlist;
             epoch = t.epoch;
             expected = t.expected;

@@ -67,7 +67,7 @@ let create net ~trace ~id ~initial ?config ~make_sm () =
     Pv_state
       {
         app = sm.State_machine.snapshot ();
-        completed = Hashtbl.fold (fun k v acc -> (k, v) :: acc) completed [];
+        completed = Gc_sim.Sorted.bindings completed;
       }
   in
   let installer = function

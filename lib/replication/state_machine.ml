@@ -42,8 +42,7 @@ module Bank = struct
       | _ -> invalid_arg "Bank.apply: unknown command"
     in
     let snapshot () =
-      Bank_state
-        (List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) accounts []))
+      Bank_state (Gc_sim.Sorted.bindings ~cmp:Int.compare accounts)
     in
     let restore = function
       | Bank_state l ->
@@ -85,8 +84,7 @@ module Kv = struct
       | _ -> invalid_arg "Kv.apply: unknown command"
     in
     let snapshot () =
-      Kv_state
-        (List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) store []))
+      Kv_state (Gc_sim.Sorted.bindings ~cmp:String.compare store)
     in
     let restore = function
       | Kv_state l ->

@@ -1,0 +1,33 @@
+(* Deterministic, key-sorted Hashtbl traversal.
+
+   [Hashtbl.iter] and [Hashtbl.fold] visit buckets in an order that depends
+   on the table's insertion and resize history, so any protocol state that
+   flows through them can diverge between a run and its replay even under
+   identical seeds.  Every traversal here first sorts the keys, which makes
+   the visit order a pure function of the table's *contents* — the property
+   the replay/audit machinery needs.  The lint pass (rule D3) rejects bare
+   [Hashtbl.iter]/[Hashtbl.fold] in protocol layers unless the result is
+   piped straight into a sort; these helpers are the sanctioned alternative.
+
+   The default comparator is the polymorphic [compare]: keys in this
+   codebase are ints, strings and int pairs, for which it is total and
+   deterministic.  Pass [~cmp] for anything richer. *)
+
+(* Only the visible binding of each key is traversed: bindings shadowed by
+   [Hashtbl.add] are skipped (protocol tables only ever use [replace]). *)
+let sorted_keys ?(cmp = compare) h =
+  List.sort_uniq cmp (Hashtbl.fold (fun k _ acc -> k :: acc) h [])
+
+let keys = sorted_keys
+
+(* All bindings as [(key, value)] pairs in ascending key order. *)
+let bindings ?cmp h =
+  List.map (fun k -> (k, Hashtbl.find h k)) (sorted_keys ?cmp h)
+
+(* Values in ascending *key* order. *)
+let values ?cmp h = List.map (fun k -> Hashtbl.find h k) (sorted_keys ?cmp h)
+
+let iter ?cmp f h = List.iter (fun k -> f k (Hashtbl.find h k)) (sorted_keys ?cmp h)
+
+let fold ?cmp f h init =
+  List.fold_left (fun acc k -> f k (Hashtbl.find h k) acc) init (sorted_keys ?cmp h)

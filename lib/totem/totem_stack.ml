@@ -1,6 +1,7 @@
 module Process = Gc_kernel.Process
 module Fd = Gc_fd.Failure_detector
 module Rc = Gc_rchannel.Reliable_channel
+module Sorted = Gc_sim.Sorted
 module View = Gc_membership.View
 
 type config = {
@@ -222,15 +223,17 @@ let replay_stashed_token t =
 
 let epoch_gt a b = compare a b > 0
 
-let undelivered_list t =
-  Hashtbl.fold (fun _ m acc -> m :: acc) t.ord_buf []
-  |> List.sort (fun a b -> compare a.gseq b.gseq)
+let by_gseq a b = Int.compare a.gseq b.gseq
+
+(* [ord_buf] and [delivered_log] are keyed by gseq, so key-sorted traversal
+   is already delivery order. *)
+let undelivered_list t = Sorted.values t.ord_buf
 
 (* What a recovery response carries: everything still buffered plus the
    recent delivered log (the coordinator prunes to what is needed). *)
 let recovery_payload t =
-  let log = Hashtbl.fold (fun _ m acc -> m :: acc) t.delivered_log [] in
-  (undelivered_list t @ log) |> List.sort (fun a b -> compare a.gseq b.gseq)
+  let log = Sorted.values t.delivered_log in
+  (undelivered_list t @ log) |> List.sort by_gseq
 
 let rec maybe_coordinate t =
   if t.active && Process.alive t.proc then begin
@@ -315,17 +318,14 @@ and check_recovery_complete t =
            highest delivered sequence. *)
         let fill = Hashtbl.create 32 in
         let max_last = ref 0 and min_last = ref max_int in
-        Hashtbl.iter
+        Sorted.iter
           (fun _src (l, msgs) ->
             max_last := max !max_last l;
             min_last := min !min_last l;
             List.iter (fun m -> Hashtbl.replace fill m.gseq m) msgs)
           r.responses;
         let fill_list =
-          Hashtbl.fold
-            (fun g m acc -> if g > !min_last then m :: acc else acc)
-            fill []
-          |> List.sort (fun a b -> compare a.gseq b.gseq)
+          Sorted.values fill |> List.filter (fun m -> m.gseq > !min_last)
         in
         let last_gseq =
           List.fold_left (fun acc m -> max acc m.gseq) !max_last fill_list
@@ -338,7 +338,7 @@ and check_recovery_complete t =
           Tt_install { epoch = r.r_epoch; view = new_view; fill = fill_list;
                        last_gseq }
         in
-        let audience = List.sort_uniq compare (r.r_old @ r.r_proposal) in
+        let audience = List.sort_uniq Int.compare (r.r_old @ r.r_proposal) in
         List.iter
           (fun q -> if q <> me t then Rc.send t.rc ~dst:q install)
           audience;
@@ -359,9 +359,7 @@ and check_recovery_complete t =
 and apply_install t ~view ~fill ~last_gseq =
   List.iter (fun m -> accept_data t m) fill;
   (* Remaining gaps belong to messages nobody received: skip them for good. *)
-  let drain =
-    Hashtbl.fold (fun g m acc -> (g, m) :: acc) t.ord_buf [] |> List.sort compare
-  in
+  let drain = Sorted.bindings t.ord_buf in
   Hashtbl.reset t.ord_buf;
   List.iter
     (fun (_, m) ->

@@ -3,6 +3,7 @@ module Fd = Gc_fd.Failure_detector
 module Rc = Gc_rchannel.Reliable_channel
 module Rb = Gc_rbcast.Reliable_broadcast
 module Consensus = Gc_consensus.Consensus
+module Sorted = Gc_sim.Sorted
 module View = Gc_membership.View
 
 (* How a view change is agreed (Section 2.1 of the paper):
@@ -199,8 +200,7 @@ let rec try_deliver_ordered t =
    place, so they are dropped. *)
 let drain_ordered_after_flush t =
   let entries =
-    Hashtbl.fold (fun gseq v acc -> (gseq, v) :: acc) t.ord_buf []
-    |> List.sort compare
+    Sorted.bindings t.ord_buf
     |> List.filter (fun (gseq, _) -> gseq > t.last_gseq)
   in
   Hashtbl.reset t.ord_buf;
@@ -342,9 +342,8 @@ let rec handle_seqreq t ~rid ~body ~size =
 
 (* ---------- flush protocol (membership + view synchrony) ---------- *)
 
-let unstable_list t =
-  Hashtbl.fold (fun _ (m, _) acc -> m :: acc) t.unstable []
-  |> List.sort (fun a b -> compare a.vsid b.vsid)
+(* [unstable] is keyed by vsid, so key order is vsid order. *)
+let unstable_list t = List.map fst (Sorted.values t.unstable)
 
 let start_block t =
   if t.blocked_since = None then t.blocked_since <- Some (Process.now t.proc)
@@ -492,14 +491,11 @@ and check_flush_complete t =
         (* Merge unstable messages across responders: the view-synchrony
            cut. *)
         let merged = Hashtbl.create 32 in
-        Hashtbl.iter
+        Sorted.iter
           (fun _src l ->
             List.iter (fun m -> Hashtbl.replace merged m.vsid m) l)
           f.responses;
-        let deliver =
-          Hashtbl.fold (fun _ m acc -> m :: acc) merged []
-          |> List.sort (fun a b -> compare a.vsid b.vsid)
-        in
+        let deliver = Sorted.values merged in
         let new_view =
           { View.vid = t.view.View.vid + 1; members = f.f_proposal }
         in
@@ -523,7 +519,7 @@ and check_flush_complete t =
         (* Everyone learns: survivors install, the excluded learn their fate,
            joiners wait for the state snapshot sent below. *)
         let audience =
-          List.sort_uniq compare (f.f_old_members @ f.f_proposal)
+          List.sort_uniq Int.compare (f.f_old_members @ f.f_proposal)
         in
         List.iter
           (fun q -> if q <> me t then Rc.send t.rc ~dst:q install)
@@ -572,12 +568,11 @@ and apply_install t ~view ~deliver =
   t.future <- [];
   List.iter (fun m -> vs_receive t m) future;
   (* Re-route unordered requests to the (possibly new) sequencer. *)
-  let reqs = Hashtbl.fold (fun rid v acc -> (rid, v) :: acc) t.pending_req [] in
   List.iter
     (fun (rid, (body, size)) ->
       if not (Hashtbl.mem t.delivered_rids rid) then
         abcast_route t rid body size)
-    (List.sort compare reqs);
+    (Sorted.bindings t.pending_req);
   (* Unblock queued application operations. *)
   let q = List.rev t.out_queue in
   t.out_queue <- [];

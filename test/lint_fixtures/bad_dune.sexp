@@ -1,0 +1,11 @@
+; Deliberately non-conforming dune stanza for the L1 test: the AB-GB
+; consensus layer reaching down into the competing totem stack, pulling an
+; undeclared external, and a library the spec has never heard of.
+; (Named .sexp so dune itself never reads it.)
+(library
+ (name gc_consensus)
+ (libraries gc_sim gc_net gc_kernel gc_totem lwt fmt))
+
+(library
+ (name gc_mystery)
+ (libraries gc_sim))

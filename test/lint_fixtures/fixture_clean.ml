@@ -1,0 +1,10 @@
+(* Negative fixture: protocol-style code with zero findings. *)
+
+type msg = { id : int; gseq : int }
+
+let by_gseq a b = Int.compare a.gseq b.gseq
+
+let deliverable (h : (int, msg) Hashtbl.t) =
+  List.sort by_gseq (Gc_sim.Sorted.values h)
+
+let member (m : msg) (ids : int list) = List.mem m.id ids

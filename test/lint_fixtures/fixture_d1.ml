@@ -1,0 +1,8 @@
+(* D1 fixture: ambient nondeterminism.  Expected findings:
+   line 6 (Random.int), line 7 (Sys.time), line 8 (Unix.gettimeofday). *)
+
+let _unused_placeholder = ()
+
+let roll () = Random.int 6
+let now () = Sys.time ()
+let wall () = Unix.gettimeofday ()

@@ -1,0 +1,8 @@
+(* D2 fixture: physical equality in protocol code.  Expected findings:
+   line 6 (==), line 7 (!=). *)
+
+type msg = { id : int; body : string }
+
+let same (a : msg) (b : msg) = a == b
+let distinct (a : msg) (b : msg) = a != b
+let ok (a : msg) (b : msg) = a.id = b.id

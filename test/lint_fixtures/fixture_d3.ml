@@ -1,0 +1,24 @@
+(* D3 fixture: unordered Hashtbl traversal.  Expected findings:
+   line 8 (Hashtbl.iter), line 11 (Hashtbl.fold).  Lines 14, 17 and 22 are
+   sanctioned (fold piped straight into a sort) and line 24 goes through
+   Gc_sim.Sorted, so none of those may fire. *)
+
+let h : (int, string) Hashtbl.t = Hashtbl.create 8
+
+let bad_iter f = Hashtbl.iter f h
+
+let bad_fold () =
+  Hashtbl.fold (fun k _ acc -> k :: acc) h []
+
+let ok_direct () =
+  List.sort Int.compare (Hashtbl.fold (fun k _ acc -> k :: acc) h [])
+
+let ok_pipe () =
+  Hashtbl.fold (fun k _ acc -> k :: acc) h []
+  |> List.sort Int.compare
+
+let ok_at () =
+  List.sort Int.compare
+  @@ Hashtbl.fold (fun k _ acc -> k :: acc) h []
+
+let ok_sorted () = Gc_sim.Sorted.keys h

@@ -1,0 +1,11 @@
+(* D4 fixture: bare polymorphic compare at call sites.  Expected findings:
+   line 5 (List.sort compare), line 7 (List.sort_uniq Stdlib.compare),
+   line 9 (compare as a function argument).  Line 11 is typed and clean. *)
+
+let a (l : int list) = List.sort compare l
+
+let b (l : int list) = List.sort_uniq Stdlib.compare l
+
+let c (l : int list list) = List.map (List.sort compare) l
+
+let ok (l : int list) = List.sort Int.compare l

@@ -1,0 +1,18 @@
+(* E1 fixture: event discipline.  Expected findings: line 9 (unregistered
+   component), line 12 (msg id with a foreign prefix), line 15 (msg not
+   statically checkable).  Line 18 is clean. *)
+
+let event ~component:_ ~kind:_ ?msg:_ ?attrs:_ () = ()
+module Process = struct let event = event end
+
+let bad_component t =
+  ignore t; Process.event ~component:"flux" ~kind:"send" ()
+
+let bad_prefix seq =
+  Process.event ~component:"rchannel" ~kind:"send" ~msg:(Printf.sprintf "xx:%d" seq) ()
+
+let opaque_msg s =
+  Process.event ~component:"rchannel" ~kind:"send" ~msg:s ()
+
+let ok seq =
+  Process.event ~component:"rchannel" ~kind:"send" ~msg:(Printf.sprintf "rc:%d" seq) ()

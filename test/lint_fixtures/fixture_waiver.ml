@@ -1,0 +1,18 @@
+(* Waiver fixture.  The D3 at line 9 is waived with a reason; the waiver
+   above line 12 names the wrong rule so that D3 stays live; the waiver at
+   line 14 has no reason, so line 15's D3 and a W1 both surface; the D2 at
+   line 18 is not covered by anything. *)
+
+let h : (int, int) Hashtbl.t = Hashtbl.create 8
+
+(* gcs-lint: allow D3 -- commutative sum, order cannot matter *)
+let total () = Hashtbl.fold (fun _ v acc -> v + acc) h 0
+
+(* gcs-lint: allow D4 -- reason names the wrong rule on purpose *)
+let keys () = Hashtbl.fold (fun k _ acc -> k :: acc) h []
+
+(* gcs-lint: allow D3 *)
+let count () = Hashtbl.fold (fun _ _ acc -> acc + 1) h 0
+
+type m = { id : int }
+let same (a : m) (b : m) = a == b

@@ -1,0 +1,174 @@
+(* The lint pass itself, exercised against known-bad fixtures: every rule
+   must fire at exactly its planted lines, the sanctioned/clean shapes must
+   stay silent, waivers must silence only what they name (and malformed
+   waivers must surface as W1), and the architecture checker must reject a
+   deliberately non-conforming dune stanza.  Finally, the real repo must
+   lint clean — the zero-findings baseline is a regression test. *)
+
+module Lint = Gc_lint.Lint
+module Arch = Gc_lint.Arch
+module Waiver = Gc_lint.Waiver
+module D = Gc_lint.Diagnostic
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Fixtures are linted under a virtual lib/rchannel/ path so the
+   protocol-only rules (D2-D4, E1) apply. *)
+let lint_fixture name =
+  let source = read_file (Filename.concat "lint_fixtures" name) in
+  Lint.lint_file_source ~path:("lib/rchannel/" ^ name) source
+
+let rule_lines (ds : D.t list) =
+  List.map (fun d -> (d.D.rule, d.D.line)) ds
+
+let pairs = Alcotest.(list (pair string int))
+
+let check_findings name expected =
+  let unwaived, _, _ = lint_fixture name in
+  Alcotest.check pairs name expected (rule_lines unwaived)
+
+let test_d1 () =
+  check_findings "fixture_d1.ml" [ ("D1", 6); ("D1", 7); ("D1", 8) ]
+
+let test_d2 () = check_findings "fixture_d2.ml" [ ("D2", 6); ("D2", 7) ]
+let test_d3 () = check_findings "fixture_d3.ml" [ ("D3", 8); ("D3", 11) ]
+
+let test_d4 () =
+  check_findings "fixture_d4.ml" [ ("D4", 5); ("D4", 7); ("D4", 9) ]
+
+let test_e1 () =
+  check_findings "fixture_e1.ml" [ ("E1", 9); ("E1", 12); ("E1", 15) ]
+
+let test_clean () = check_findings "fixture_clean.ml" []
+
+(* Outside a protocol directory the protocol-only rules stay quiet, but D1
+   still applies everywhere. *)
+let test_non_protocol () =
+  let d2 = read_file "lint_fixtures/fixture_d2.ml" in
+  let unwaived, _, _ = Lint.lint_file_source ~path:"lib/obs/fixture.ml" d2 in
+  Alcotest.check pairs "D2 is protocol-only" [] (rule_lines unwaived);
+  let d1 = read_file "lint_fixtures/fixture_d1.ml" in
+  let unwaived, _, _ = Lint.lint_file_source ~path:"lib/obs/fixture.ml" d1 in
+  Alcotest.check pairs "D1 applies everywhere"
+    [ ("D1", 6); ("D1", 7); ("D1", 8) ]
+    (rule_lines unwaived);
+  (* ... except in the one module allowed to own randomness. *)
+  let unwaived, _, _ = Lint.lint_file_source ~path:"lib/sim/rng.ml" d1 in
+  Alcotest.check pairs "lib/sim/rng.ml is D1-exempt" [] (rule_lines unwaived)
+
+let test_waivers () =
+  let unwaived, waived, waivers = lint_fixture "fixture_waiver.ml" in
+  Alcotest.check pairs "unwaived"
+    [ ("D3", 12); ("W1", 14); ("D3", 15); ("D2", 18) ]
+    (rule_lines unwaived);
+  Alcotest.check pairs "waived"
+    [ ("D3", 9) ]
+    (rule_lines (List.map fst waived));
+  Alcotest.(check int) "waiver count (valid ones)" 2 (List.length waivers);
+  match List.find_opt (fun w -> List.mem "D3" w.Waiver.rules) waivers with
+  | Some w ->
+      Alcotest.(check string)
+        "reason survives" "commutative sum, order cannot matter"
+        w.Waiver.reason
+  | None -> Alcotest.fail "D3 waiver not parsed"
+
+let test_waiver_parse () =
+  let parse text = Waiver.parse ~file:"f.ml" ~start_line:1 ~end_line:1 text in
+  (match parse " gcs-lint: allow D3, D4 \xe2\x80\x94 because reasons " with
+  | Ok (Some w) ->
+      Alcotest.(check (list string)) "rules" [ "D3"; "D4" ] w.Waiver.rules;
+      Alcotest.(check string) "reason" "because reasons" w.Waiver.reason
+  | _ -> Alcotest.fail "em-dash waiver should parse");
+  (match parse "gcs-lint: allow D9 -- no such rule" with
+  | Error d -> Alcotest.(check string) "W1" "W1" d.D.rule
+  | _ -> Alcotest.fail "unknown rule must be W1");
+  (match parse "gcs-lint: allow D3" with
+  | Error d -> Alcotest.(check string) "W1" "W1" d.D.rule
+  | _ -> Alcotest.fail "missing reason must be W1");
+  match parse "an ordinary comment" with
+  | Ok None -> ()
+  | _ -> Alcotest.fail "ordinary comments are not waivers"
+
+let test_arch_bad_dune () =
+  let source = read_file "lint_fixtures/bad_dune.sexp" in
+  let libs = Arch.parse_dune ~dune_file:"lib/consensus/dune" source in
+  Alcotest.(check int) "two stanzas parsed" 2 (List.length libs);
+  let findings = List.concat_map Arch.check_declared libs in
+  let rules = List.map (fun d -> d.D.rule) findings in
+  Alcotest.(check (list string)) "all L1" [ "L1"; "L1"; "L1" ] rules;
+  let messages = String.concat "\n" (List.map (fun d -> d.D.message) findings) in
+  let has needle =
+    let n = String.length needle in
+    let rec go i =
+      i + n <= String.length messages
+      && (String.sub messages i n = needle || go (i + 1))
+    in
+    go 0
+  in
+  Alcotest.(check bool) "legacy edge called out" true
+    (has "competing stack gc_totem");
+  Alcotest.(check bool) "foreign external rejected" true (has "lwt");
+  Alcotest.(check bool) "unknown library rejected" true (has "gc_mystery")
+
+let test_arch_usage () =
+  let lib =
+    {
+      Arch.name = "gc_rbcast";
+      name_line = 2;
+      libraries =
+        [ ("gc_obs", 3); ("gc_sim", 3); ("gc_net", 3); ("gc_kernel", 3);
+          ("gc_rchannel", 3); ("fmt", 3) ];
+      dune_file = "lib/rbcast/dune";
+    }
+  in
+  let check roots = Arch.check_usage ~lib ~file:"lib/rbcast/x.ml" ~roots in
+  Alcotest.(check int) "declared+allowed is silent" 0
+    (List.length (check [ "Gc_rchannel"; "Gc_obs"; "Fmt"; "Queue" ]));
+  (match check [ "Gc_consensus" ] with
+  | [ d ] -> Alcotest.(check string) "L2" "L2" d.D.rule
+  | ds -> Alcotest.failf "expected 1 L2, got %d" (List.length ds));
+  match check [ "Gc_totem" ] with
+  | [ d ] ->
+      Alcotest.(check bool) "legacy message" true
+        (d.D.message = "AB-GB module references competing stack Gc_totem \
+                        (gc_totem)")
+  | ds -> Alcotest.failf "expected 1 legacy L2, got %d" (List.length ds)
+
+(* The shipped repo lints clean: the zero-findings baseline is itself a
+   regression test.  (The test binary runs in _build/default/test, so the
+   repo root — with lib/ under it — is one level up.) *)
+let test_repo_clean () =
+  if Sys.file_exists "../lib" && Sys.is_directory "../lib" then begin
+    let r = Lint.run ~root:".." in
+    Alcotest.(check bool) "files linted > 40" true (r.Lint.files_seen > 40);
+    Alcotest.check pairs "repo is finding-free" []
+      (rule_lines r.Lint.findings);
+    List.iter
+      (fun (_, w) ->
+        Alcotest.(check bool) "every waiver has a reason" true
+          (String.length w.Waiver.reason > 0))
+      r.Lint.waived
+  end
+
+let suite =
+  [
+    ( "lint",
+      [
+        Alcotest.test_case "D1 ambient nondeterminism" `Quick test_d1;
+        Alcotest.test_case "D2 physical equality" `Quick test_d2;
+        Alcotest.test_case "D3 unordered traversal" `Quick test_d3;
+        Alcotest.test_case "D4 bare polymorphic compare" `Quick test_d4;
+        Alcotest.test_case "E1 event discipline" `Quick test_e1;
+        Alcotest.test_case "clean fixture stays clean" `Quick test_clean;
+        Alcotest.test_case "protocol scoping" `Quick test_non_protocol;
+        Alcotest.test_case "waivers cover what they name" `Quick test_waivers;
+        Alcotest.test_case "waiver grammar" `Quick test_waiver_parse;
+        Alcotest.test_case "L1 bad dune stanza" `Quick test_arch_bad_dune;
+        Alcotest.test_case "L2 module usage" `Quick test_arch_usage;
+        Alcotest.test_case "repo lints clean" `Quick test_repo_clean;
+      ] );
+  ]
