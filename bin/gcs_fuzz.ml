@@ -136,6 +136,34 @@ let shrink_cmd file max_param_runs =
         0
       end
 
+(* ---------- rerecord ---------- *)
+
+let rerecord_cmd file =
+  match Campaign.load file with
+  | exception Sys_error msg ->
+      Printf.eprintf "gcs_fuzz: %s\n" msg;
+      2
+  | exception Failure msg ->
+      Printf.eprintf "gcs_fuzz: %s: %s\n" file msg;
+      2
+  | f ->
+      let o = Campaign.run_failure f in
+      let now = Campaign.violated_checks o.Harness.report in
+      if not (List.exists (fun c -> List.mem c now) f.Campaign.checks) then begin
+        Printf.eprintf
+          "gcs_fuzz: %s no longer reproduces its violation — refusing to \
+           re-record (the artifact itself is stale, not just the trace)\n"
+          file;
+        1
+      end
+      else begin
+        let tp = Campaign.trace_path file in
+        Gc_obs.Event.save_jsonl tp o.Harness.events;
+        Printf.printf "re-recorded %s (%d events)\n" tp
+          (List.length o.Harness.events);
+        0
+      end
+
 (* ---------- cmdliner plumbing ---------- *)
 
 open Cmdliner
@@ -229,6 +257,15 @@ let cmds =
     Cmd.v
       (Cmd.info "shrink" ~doc:"Re-minimise an existing failure artifact")
       shrink_term;
+    Cmd.v
+      (Cmd.info "rerecord"
+         ~doc:
+           "Re-run a failure artifact and overwrite its sibling trace with \
+            the fresh recording.  For intentional behaviour changes that \
+            shift event timings: the violation must still reproduce, only \
+            the stored history is refreshed.  Review the trace diff before \
+            committing.")
+      Term.(const rerecord_cmd $ file_arg);
   ]
 
 let () =

@@ -13,7 +13,17 @@ type msg = {
 }
 
 let msg_id m = (m.origin, m.mseq)
-let compare_msg a b = compare (msg_id a) (msg_id b)
+
+(* The not-yet-delivered set, kept sorted by id so a proposal batch is read
+   off in one O(p) pass instead of the fold-plus-sort the flat table
+   needed on every proposal. *)
+module Pending = Map.Make (struct
+  type t = int * int
+
+  let compare (a : int * int) (b : int * int) = Stdlib.compare a b
+end)
+
+module Delivered = Delivered_set
 
 type Gc_net.Payload.t +=
   | Ab_data of msg
@@ -44,9 +54,10 @@ type t = {
   mutable member_list : int list;
   mutable next_mseq : int;
   mutable next_to_apply : int; (* next consensus instance to apply *)
-  pending : (int * int, msg) Hashtbl.t; (* rdelivered, not yet adelivered *)
-  delivered : (int * int, unit) Hashtbl.t;
-  proposed : (int, unit) Hashtbl.t;
+  mutable pending : msg Pending.t; (* rdelivered, not yet adelivered *)
+  mutable pending_n : int; (* cardinal of [pending], kept incrementally *)
+  delivered : Delivered.t;
+  proposed : (int, unit) Hashtbl.t; (* pruned below next_to_apply *)
   decided_batches : (int, msg list) Hashtbl.t; (* out-of-order decisions *)
   mutable max_solicited : int;
   mutable subscribers : (origin:int -> Gc_net.Payload.t -> unit) list;
@@ -60,14 +71,24 @@ let consensus_of t =
 
 let member t = List.mem (Process.id t.proc) t.member_list
 
-(* Current proposal: pending, minus delivered, in deterministic order. *)
+(* Current proposal: the pending set, already sorted and disjoint from the
+   delivered set (delivery and bootstrap both purge it), read off in one
+   pass. *)
 let current_batch t =
-  let l =
-    Sorted.fold
-      (fun id m acc -> if Hashtbl.mem t.delivered id then acc else m :: acc)
-      t.pending []
-  in
-  List.sort compare_msg l
+  List.rev (Pending.fold (fun _ m acc -> m :: acc) t.pending [])
+
+let note_pending t =
+  Process.set_gauge t.proc "abcast.pending_size" (float_of_int t.pending_n)
+
+let pending_add t id m =
+  t.pending <- Pending.add id m t.pending;
+  t.pending_n <- t.pending_n + 1
+
+let pending_remove t id =
+  if Pending.mem id t.pending then begin
+    t.pending <- Pending.remove id t.pending;
+    t.pending_n <- t.pending_n - 1
+  end
 
 let try_start t =
   if member t && not (Hashtbl.mem t.proposed t.next_to_apply) then begin
@@ -88,13 +109,15 @@ let apply_decisions t =
     | None -> ()
     | Some batch ->
         Hashtbl.remove t.decided_batches t.next_to_apply;
+        (* The instance is being applied: nothing consults its proposal
+           marker again, so the table stays O(in-flight instances). *)
+        Hashtbl.remove t.proposed t.next_to_apply;
         t.next_to_apply <- t.next_to_apply + 1;
         List.iter
           (fun m ->
             let id = msg_id m in
-            if not (Hashtbl.mem t.delivered id) then begin
-              Hashtbl.replace t.delivered id ();
-              Hashtbl.remove t.pending id;
+            if Delivered.add t.delivered id then begin
+              pending_remove t id;
               t.n_delivered <- t.n_delivered + 1;
               Process.incr t.proc "abcast.delivered";
               Process.observe t.proc "abcast.latency_ms"
@@ -116,6 +139,7 @@ let apply_decisions t =
         loop ()
   in
   loop ();
+  note_pending t;
   try_start t
 
 let on_decide t ~inst v =
@@ -141,8 +165,9 @@ let create proc ~rc ~rb ~fd ?(suspect_timeout = 200.0) ?(adaptive = false)
       member_list = members;
       next_mseq = 0;
       next_to_apply = 0;
-      pending = Hashtbl.create 64;
-      delivered = Hashtbl.create 256;
+      pending = Pending.empty;
+      pending_n = 0;
+      delivered = Delivered.create ();
       proposed = Hashtbl.create 64;
       decided_batches = Hashtbl.create 16;
       max_solicited = -1;
@@ -163,8 +188,10 @@ let create proc ~rc ~rb ~fd ?(suspect_timeout = 200.0) ?(adaptive = false)
       match payload with
       | Ab_data m ->
           let id = msg_id m in
-          if not (Hashtbl.mem t.delivered id || Hashtbl.mem t.pending id) then begin
-            Hashtbl.replace t.pending id m;
+          if not (Delivered.mem t.delivered id || Pending.mem id t.pending)
+          then begin
+            pending_add t id m;
+            note_pending t;
             try_start t
           end
       | _ -> ());
@@ -197,12 +224,26 @@ let members t = t.member_list
 let bootstrap t ~next_instance ~members ~delivered =
   t.member_list <- members;
   t.next_to_apply <- next_instance;
-  List.iter (fun id -> Hashtbl.replace t.delivered id ()) delivered;
+  (* Proposal markers for instances below the transferred starting point can
+     never be consulted again. *)
+  List.iter
+    (fun inst -> if inst < next_instance then Hashtbl.remove t.proposed inst)
+    (Sorted.keys t.proposed);
+  List.iter
+    (fun id ->
+      ignore (Delivered.add t.delivered id);
+      (* Stragglers rdelivered before the transfer completed are already
+         delivered at the snapshot source: purge them, or every future
+         proposal would re-propose them forever. *)
+      pending_remove t id)
+    delivered;
+  note_pending t;
   (* Decisions that raced ahead of the state transfer may already be waiting;
      apply them from the new starting point. *)
   apply_decisions t
 
 let delivered_count t = t.n_delivered
 let next_instance t = t.next_to_apply
-let delivered_ids t = Sorted.keys t.delivered
+let delivered_ids t = Delivered.ids t.delivered
+let pending_count t = t.pending_n
 let rounds_used t ~inst = Consensus.rounds_used (consensus_of t) ~inst

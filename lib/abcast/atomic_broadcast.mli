@@ -67,5 +67,8 @@ val bootstrap :
 val delivered_count : t -> int
 val next_instance : t -> int
 val delivered_ids : t -> (int * int) list
+
+(** Messages rdelivered but not yet adelivered (the proposal backlog). *)
+val pending_count : t -> int
 val rounds_used : t -> inst:int -> int
 (** Rounds the local consensus reached in instance [inst]. *)

@@ -1,0 +1,80 @@
+module Sorted = Gc_sim.Sorted
+
+(* Per-origin compaction of delivered ids: [watermark] holds the length of
+   the contiguous delivered prefix, [overflow] the sparse ids above it.
+   The overflow tables are only ever probed by exact key (add/mem/drain),
+   never traversed on a protocol path, so determinism does not depend on
+   their bucket order; the one full traversal ([ids]) goes through the
+   key-sorted helpers. *)
+
+type t = {
+  watermark : (int, int) Hashtbl.t; (* origin -> w: all mseq < w present *)
+  overflow : (int, (int, unit) Hashtbl.t) Hashtbl.t; (* origin -> mseq set *)
+  mutable count : int;
+}
+
+let create () =
+  { watermark = Hashtbl.create 16; overflow = Hashtbl.create 16; count = 0 }
+
+let wm t origin = Option.value ~default:0 (Hashtbl.find_opt t.watermark origin)
+
+let mem t (origin, mseq) =
+  mseq < wm t origin
+  ||
+  match Hashtbl.find_opt t.overflow origin with
+  | Some ov -> Hashtbl.mem ov mseq
+  | None -> false
+
+let add t (origin, mseq) =
+  if mem t (origin, mseq) then false
+  else begin
+    t.count <- t.count + 1;
+    let w = wm t origin in
+    if mseq = w then begin
+      (* Advance the watermark, absorbing any overflowed successors that
+         are now contiguous with the prefix. *)
+      let ov = Hashtbl.find_opt t.overflow origin in
+      let rec absorb w =
+        match ov with
+        | Some ov when Hashtbl.mem ov w ->
+            Hashtbl.remove ov w;
+            absorb (w + 1)
+        | _ -> w
+      in
+      Hashtbl.replace t.watermark origin (absorb (w + 1))
+    end
+    else begin
+      let ov =
+        match Hashtbl.find_opt t.overflow origin with
+        | Some ov -> ov
+        | None ->
+            let ov = Hashtbl.create 8 in
+            Hashtbl.replace t.overflow origin ov;
+            ov
+      in
+      Hashtbl.replace ov mseq ()
+    end;
+    true
+  end
+
+let cardinal t = t.count
+let watermark t ~origin = wm t origin
+
+let overflow_size t =
+  Sorted.fold (fun _ ov acc -> acc + Hashtbl.length ov) t.overflow 0
+
+let ids t =
+  let origins =
+    List.sort_uniq Int.compare
+      (Sorted.keys t.watermark @ Sorted.keys t.overflow)
+  in
+  List.concat_map
+    (fun origin ->
+      let prefix = List.init (wm t origin) (fun mseq -> (origin, mseq)) in
+      let above =
+        match Hashtbl.find_opt t.overflow origin with
+        | Some ov -> List.map (fun mseq -> (origin, mseq)) (Sorted.keys ov)
+        | None -> []
+      in
+      prefix @ above)
+    origins

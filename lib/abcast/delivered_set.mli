@@ -1,0 +1,35 @@
+(** Watermark-compacted set of delivered message ids [(origin, mseq)].
+
+    Message ids from one origin are consecutive, so after a long run the
+    delivered set of each origin is a huge contiguous prefix plus (at most)
+    a few stragglers decided out of order.  This structure stores exactly
+    that: a per-origin watermark [w] ("every mseq < w is in the set") and a
+    sparse overflow for ids above it.  Membership and insertion are O(1)
+    amortised, and total memory stays proportional to the number of
+    origins plus the *live* out-of-order ids — not to the delivered
+    history, which the flat hash table it replaces grew with forever. *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> int * int -> bool
+(** Insert an id.  Returns [false] when it was already present.  Inserting
+    the id at an origin's watermark advances the watermark past any
+    previously-overflowed contiguous successors. *)
+
+val mem : t -> int * int -> bool
+
+val cardinal : t -> int
+(** Number of ids in the set. *)
+
+val watermark : t -> origin:int -> int
+(** Every [mseq] below this is delivered for [origin] (0 when the origin is
+    unknown). *)
+
+val overflow_size : t -> int
+(** Ids held sparsely above their origin's watermark — the live
+    out-of-order residue (introspection and gauges). *)
+
+val ids : t -> (int * int) list
+(** Every id, sorted — O(cardinal); for state snapshots and tests. *)

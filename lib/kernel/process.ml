@@ -81,6 +81,7 @@ let emit t ~component ~event ?attrs () =
 
 let incr ?by t name = Gc_obs.Metrics.incr ?by t.metrics name
 let observe t name value = Gc_obs.Metrics.observe t.metrics name value
+let set_gauge t name value = Gc_obs.Metrics.set_gauge t.metrics name value
 
 let crash t =
   if t.alive then begin

@@ -80,3 +80,6 @@ val incr : ?by:int -> t -> string -> unit
 
 val observe : t -> string -> float -> unit
 (** Record a histogram sample in the node's metrics registry. *)
+
+val set_gauge : t -> string -> float -> unit
+(** Set a gauge in the node's metrics registry to its latest reading. *)

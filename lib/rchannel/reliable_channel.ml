@@ -19,12 +19,17 @@ let () =
     | Rc_ack { gen; cum } -> Some (Printf.sprintf "rc.ack#%d<=%d" gen cum)
     | _ -> None)
 
-type pending = { seq : int; inner : Gc_net.Payload.t; size : int; since : float }
+type pending = {
+  inner : Gc_net.Payload.t;
+  size : int;
+  since : float; (* first transmission time *)
+  mutable last_tx : float; (* most recent (re)transmission *)
+  mutable tries : int; (* retransmissions so far: the backoff exponent *)
+}
 
 type outgoing = {
   mutable gen : int;
-  mutable next_seq : int;
-  mutable window : pending list; (* oldest first, all unacked *)
+  window : pending Window.t; (* unacked, seq-indexed; seqs assigned by push *)
   mutable stuck_reported : bool;
 }
 
@@ -38,6 +43,7 @@ type t = {
   proc : Process.t;
   rto : float;
   stuck_after : float;
+  max_burst : int; (* retransmissions per destination per tick *)
   out : (int, outgoing) Hashtbl.t;
   inc : (int, incoming) Hashtbl.t;
   mutable subscribers : (src:int -> Gc_net.Payload.t -> unit) list;
@@ -45,11 +51,24 @@ type t = {
   mutable accepted : int;
 }
 
+(* Retransmission intervals back off per packet: rto, 2*rto, 4*rto, then
+   capped at 8*rto, so a destination that stays silent costs a bounded,
+   decaying stream instead of a full-window storm every tick. *)
+let backoff_cap = 3
+
+let retx_interval t p = t.rto *. float_of_int (1 lsl min p.tries backoff_cap)
+
+let note_window t (o : outgoing) =
+  let len = float_of_int (Window.length o.window) in
+  Process.set_gauge t.proc "rchannel.window_occupancy" len;
+  if len > Gc_obs.Metrics.gauge (Process.metrics t.proc) "rchannel.window_peak"
+  then Process.set_gauge t.proc "rchannel.window_peak" len
+
 let outgoing_for t dst =
   match Hashtbl.find_opt t.out dst with
   | Some o -> o
   | None ->
-      let o = { gen = 0; next_seq = 0; window = []; stuck_reported = false } in
+      let o = { gen = 0; window = Window.create (); stuck_reported = false } in
       Hashtbl.replace t.out dst o;
       o
 
@@ -72,42 +91,51 @@ let handle_data t ~src ~gen ~seq ~inner =
     i.expected <- 0;
     Hashtbl.reset i.buffer
   end;
-  if gen = i.gen && seq >= i.expected && not (Hashtbl.mem i.buffer seq) then
-    Hashtbl.replace i.buffer seq inner;
-  (* Flush the in-order prefix. *)
-  let rec flush () =
-    match Hashtbl.find_opt i.buffer i.expected with
-    | Some payload ->
-        Hashtbl.remove i.buffer i.expected;
-        let s = i.expected in
-        i.expected <- s + 1;
-        if Process.traced t.proc then
-          Process.event t.proc ~component:"rchannel" ~kind:Gc_obs.Event.Deliver
-            ~msg:(Printf.sprintf "rc:%d.%d.%d" src i.gen s)
-            ~attrs:
-              [
-                ("src", string_of_int src);
-                ("gen", string_of_int i.gen);
-                ("seq", string_of_int s);
-              ]
-            ();
-        deliver t ~src payload;
-        flush ()
-    | None -> ()
-  in
-  flush ();
-  (* Cumulative ack: everything below [expected] has been delivered. *)
-  Process.send t.proc ~size:16 ~dst:src
-    (Rc_ack { gen = i.gen; cum = i.expected - 1 })
+  if gen < i.gen then
+    (* Stale-generation retransmission.  Acking it with the *current* gen
+       would manufacture acknowledgements for sequence numbers of the new
+       stream the old-gen copy says nothing about; drop it silently. *)
+    Process.incr t.proc "rchannel.stale_gen_ignored"
+  else begin
+    if seq >= i.expected && not (Hashtbl.mem i.buffer seq) then
+      Hashtbl.replace i.buffer seq inner;
+    (* Flush the in-order prefix. *)
+    let rec flush () =
+      match Hashtbl.find_opt i.buffer i.expected with
+      | Some payload ->
+          Hashtbl.remove i.buffer i.expected;
+          let s = i.expected in
+          i.expected <- s + 1;
+          if Process.traced t.proc then
+            Process.event t.proc ~component:"rchannel" ~kind:Gc_obs.Event.Deliver
+              ~msg:(Printf.sprintf "rc:%d.%d.%d" src i.gen s)
+              ~attrs:
+                [
+                  ("src", string_of_int src);
+                  ("gen", string_of_int i.gen);
+                  ("seq", string_of_int s);
+                ]
+              ();
+          deliver t ~src payload;
+          flush ()
+      | None -> ()
+    in
+    flush ();
+    (* Cumulative ack: everything below [expected] has been delivered. *)
+    Process.send t.proc ~size:16 ~dst:src
+      (Rc_ack { gen = i.gen; cum = i.expected - 1 })
+  end
 
 let handle_ack t ~src ~gen ~cum =
   match Hashtbl.find_opt t.out src with
   | None -> ()
   | Some o ->
       if gen = o.gen then begin
-        let before = List.length o.window in
-        o.window <- List.filter (fun p -> p.seq > cum) o.window;
-        if List.length o.window < before then o.stuck_reported <- false
+        let released = Window.advance_to o.window cum in
+        if released > 0 then begin
+          o.stuck_reported <- false;
+          note_window t o
+        end
       end
 
 let retransmit t =
@@ -116,14 +144,27 @@ let retransmit t =
      every replay. *)
   Sorted.iter
     (fun dst (o : outgoing) ->
-      List.iter
-        (fun p ->
-          Process.incr t.proc "rchannel.retransmissions";
-          Process.send t.proc ~size:p.size ~dst
-            (Rc_data { gen = o.gen; seq = p.seq; inner = p.inner; size = p.size }))
-        o.window;
-      match (o.window, t.on_stuck) with
-      | oldest :: _, Some f when not o.stuck_reported ->
+      (* Resend only packets whose per-packet backoff interval has elapsed
+         since their last transmission, at most [max_burst] per tick; the
+         scan still walks the ineligible tail but sends nothing for it. *)
+      let sent = ref 0 in
+      Window.iter_while o.window (fun seq p ->
+          if !sent >= t.max_burst then false
+          else begin
+            if now -. p.last_tx >= retx_interval t p then begin
+              p.last_tx <- now;
+              p.tries <- p.tries + 1;
+              incr sent;
+              Process.incr t.proc "rchannel.retransmissions";
+              Process.send t.proc ~size:p.size ~dst
+                (Rc_data { gen = o.gen; seq; inner = p.inner; size = p.size })
+            end;
+            true
+          end);
+      if !sent > 0 then
+        Process.observe t.proc "rchannel.retransmit_burst" (float_of_int !sent);
+      match (Window.peek_oldest o.window, t.on_stuck) with
+      | Some oldest, Some f when not o.stuck_reported ->
           let age = now -. oldest.since in
           if age > t.stuck_after then begin
             o.stuck_reported <- true;
@@ -137,12 +178,13 @@ let retransmit t =
       | _ -> ())
     t.out
 
-let create proc ?(rto = 50.0) ?(stuck_after = 10_000.0) () =
+let create proc ?(rto = 50.0) ?(stuck_after = 10_000.0) ?(max_burst = 64) () =
   let t =
     {
       proc;
       rto;
       stuck_after;
+      max_burst;
       out = Hashtbl.create 16;
       inc = Hashtbl.create 16;
       subscribers = [];
@@ -175,10 +217,12 @@ let send t ?(size = 64) ~dst payload =
              deliver t ~src:dst payload))
     else begin
       let o = outgoing_for t dst in
-      let seq = o.next_seq in
-      o.next_seq <- seq + 1;
-      o.window <-
-        o.window @ [ { seq; inner = payload; size; since = Process.now t.proc } ];
+      let now = Process.now t.proc in
+      let seq =
+        Window.push o.window
+          { inner = payload; size; since = now; last_tx = now; tries = 0 }
+      in
+      note_window t o;
       if Process.traced t.proc then
         Process.event t.proc ~component:"rchannel" ~kind:Gc_obs.Event.Send
           ~msg:(Printf.sprintf "rc:%d.%d.%d" (Process.id t.proc) o.gen seq)
@@ -199,14 +243,13 @@ let forget t dst =
       (* Drop the buffered output and reset the stream: the next message to
          [dst] starts a fresh generation, so the receiver does not block on
          the sequence numbers we just discarded. *)
-      o.window <- [];
+      Window.reset o.window;
       o.stuck_reported <- false;
-      o.gen <- o.gen + 1;
-      o.next_seq <- 0
+      o.gen <- o.gen + 1
 
 let unacked t ~dst =
   match Hashtbl.find_opt t.out dst with
   | None -> 0
-  | Some o -> List.length o.window
+  | Some o -> Window.length o.window
 
 let sent_count t = t.accepted

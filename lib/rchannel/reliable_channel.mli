@@ -21,12 +21,20 @@ val create :
   Gc_kernel.Process.t ->
   ?rto:float ->
   ?stuck_after:float ->
+  ?max_burst:int ->
   unit ->
   t
 (** [rto] is the retransmission period (default 50 ms); [stuck_after] the
     output-buffer age that triggers the stuck callback (default 10_000 ms —
     "long timeout values", as the paper prescribes for output-triggered
-    suspicion). *)
+    suspicion).
+
+    Retransmission is per packet: a packet is resent only once it has been
+    unacknowledged for a full [rto] since its last transmission, with
+    per-packet exponential backoff (rto, 2rto, 4rto, capped at 8rto), and at
+    most [max_burst] packets (default 64) are resent per destination per
+    tick — a large backlog decays instead of storming the network every
+    [rto]. *)
 
 val send : t -> ?size:int -> dst:int -> Gc_net.Payload.t -> unit
 (** Enqueue [payload] for reliable FIFO delivery at [dst].  Sending to

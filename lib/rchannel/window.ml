@@ -1,0 +1,79 @@
+(* Seq-indexed ring buffer backing the retransmission window.  The live
+   range [base, next) is contiguous (cumulative acks release prefixes
+   only), so the representation is just an array indexed seq-mod-capacity
+   plus the two endpoints.  Slots outside the live range keep [None] so
+   released entries do not pin payloads against the GC. *)
+
+type 'a t = {
+  mutable slots : 'a option array; (* capacity is a power of two *)
+  mutable base : int;
+  mutable next : int;
+}
+
+let rec pow2_at_least c n = if c >= n then c else pow2_at_least (c * 2) n
+
+let create ?(initial_capacity = 16) () =
+  let cap = pow2_at_least 1 (max 1 initial_capacity) in
+  { slots = Array.make cap None; base = 0; next = 0 }
+
+let base w = w.base
+let next w = w.next
+let length w = w.next - w.base
+let is_empty w = w.next = w.base
+let index w seq = seq land (Array.length w.slots - 1)
+
+let grow w =
+  let cap = Array.length w.slots in
+  let slots = Array.make (cap * 2) None in
+  for seq = w.base to w.next - 1 do
+    slots.(seq land ((cap * 2) - 1)) <- w.slots.(index w seq)
+  done;
+  w.slots <- slots
+
+let push w v =
+  if length w = Array.length w.slots then grow w;
+  let seq = w.next in
+  w.slots.(index w seq) <- Some v;
+  w.next <- seq + 1;
+  seq
+
+let get w seq = if seq >= w.base && seq < w.next then w.slots.(index w seq) else None
+let peek_oldest w = get w w.base
+
+let advance_to w cum =
+  let upto = min cum (w.next - 1) in
+  let released = upto - w.base + 1 in
+  if released <= 0 then 0
+  else begin
+    for seq = w.base to upto do
+      w.slots.(index w seq) <- None
+    done;
+    w.base <- upto + 1;
+    released
+  end
+
+let reset w =
+  for seq = w.base to w.next - 1 do
+    w.slots.(index w seq) <- None
+  done;
+  w.base <- 0;
+  w.next <- 0
+
+let iter_while w f =
+  let rec go seq =
+    if seq < w.next then
+      match w.slots.(index w seq) with
+      | Some v -> if f seq v then go (seq + 1)
+      | None -> ()
+  in
+  go w.base
+
+let to_list w =
+  let rec go seq acc =
+    if seq < w.base then acc
+    else
+      match w.slots.(index w seq) with
+      | Some v -> go (seq - 1) ((seq, v) :: acc)
+      | None -> acc
+  in
+  go (w.next - 1) []

@@ -1,0 +1,58 @@
+(** Sequence-indexed ring buffer: the reliable channel's retransmission
+    window.
+
+    The window holds the contiguous range of unacknowledged entries
+    [\[base, next)].  Entries are assigned consecutive sequence numbers by
+    {!push}; a cumulative acknowledgement releases a prefix with
+    {!advance_to}.  All operations are O(1) (amortised over the occasional
+    capacity doubling), replacing the O(length) list append the channel
+    used to pay per send.
+
+    The buffer is a plain array indexed by [seq mod capacity] (capacity is
+    kept a power of two), so long-lived connections wrap around the array
+    indefinitely without re-allocation as long as the in-flight window
+    fits. *)
+
+type 'a t
+
+val create : ?initial_capacity:int -> unit -> 'a t
+(** A fresh window with [base = next = 0].  [initial_capacity] (default 16)
+    is rounded up to a power of two. *)
+
+val push : 'a t -> 'a -> int
+(** Append an entry at the tail and return its assigned sequence number
+    ([next] before the call).  Doubles the backing array when full. *)
+
+val base : 'a t -> int
+(** Lowest live (unacknowledged) sequence number. *)
+
+val next : 'a t -> int
+(** The sequence number the next {!push} will assign. *)
+
+val length : 'a t -> int
+(** Number of live entries, [next - base]. *)
+
+val is_empty : 'a t -> bool
+
+val get : 'a t -> int -> 'a option
+(** Entry with the given sequence number; [None] outside [\[base, next)]. *)
+
+val peek_oldest : 'a t -> 'a option
+(** The entry at [base], if any. *)
+
+val advance_to : 'a t -> int -> int
+(** [advance_to w cum] releases every entry with [seq <= cum] (a cumulative
+    acknowledgement) and returns how many were released.  Acks below [base]
+    or an empty window are no-ops returning 0. *)
+
+val reset : 'a t -> unit
+(** Drop every entry and restart numbering at [base = next = 0] — the
+    channel's generation reset ({!Reliable_channel.forget}).  Keeps the
+    backing array. *)
+
+val iter_while : 'a t -> (int -> 'a -> bool) -> unit
+(** Visit live entries oldest-first, stopping early when the callback
+    returns [false]. *)
+
+val to_list : 'a t -> (int * 'a) list
+(** Live [(seq, entry)] pairs, oldest first (tests and introspection). *)

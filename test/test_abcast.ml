@@ -185,6 +185,47 @@ let test_latency_failure_free () =
     true
     (!delivered_at -. 100.0 < 30.0)
 
+let test_bootstrap_purges_pending () =
+  (* Regression (state transfer): ids transferred as already-delivered must
+     also be purged from the joiner's pending set, or every subsequent
+     proposal re-proposes them forever. *)
+  let w = make_world ~n:3 () in
+  let abs, logs = build w in
+  let links = [ (0, 2); (1, 2); (2, 0); (2, 1) ] in
+  let set_drop d =
+    List.iter (fun (src, dst) -> Netsim.set_link w.net ~src ~dst ~drop:d ()) links
+  in
+  Ab.abcast abs.(0) (App 1);
+  (* Cut node 2 off after it has rdelivered the payload (~1.5 ms) but
+     before the instance-0 decision reaches it (several round trips). *)
+  ignore (Engine.schedule w.engine ~delay:3.0 (fun () -> set_drop 1.0));
+  run_until w 10_000.0;
+  check_int "survivors delivered" 1 (List.length (seq logs 0));
+  check_int "node 2 missed the decision" 0 (List.length (seq logs 2));
+  check_int "straggler parked in node 2's pending" 1 (Ab.pending_count abs.(2));
+  (* State transfer from node 0, then heal the partition. *)
+  Ab.bootstrap abs.(2)
+    ~next_instance:(Ab.next_instance abs.(0))
+    ~members:(Ab.members abs.(0))
+    ~delivered:(Ab.delivered_ids abs.(0));
+  check_int "transferred ids purged from pending" 0 (Ab.pending_count abs.(2));
+  set_drop 0.0;
+  Ab.abcast abs.(1) (App 2);
+  run_until w 40_000.0;
+  (* The transferred id must not resurface: not in pending, not delivered
+     twice anywhere, and the joiner delivers only the post-transfer
+     message. *)
+  check_int "pending still clean" 0 (Ab.pending_count abs.(2));
+  assert_same_sequences logs [ 0; 1 ];
+  Alcotest.(check (list (pair int int)))
+    "node 0 delivered each exactly once"
+    [ (0, 1); (1, 2) ]
+    (seq logs 0);
+  Alcotest.(check (list (pair int int)))
+    "joiner delivered only the post-transfer message"
+    [ (1, 2) ]
+    (seq logs 2)
+
 let prop_total_order_random =
   QCheck.Test.make ~name:"abcast total order across random schedules" ~count:10
     QCheck.(pair small_nat (float_bound_inclusive 0.15))
@@ -220,6 +261,8 @@ let suite =
         Alcotest.test_case "member change applies" `Quick test_member_change_applies;
         Alcotest.test_case "failure-free latency envelope" `Quick
           test_latency_failure_free;
+        Alcotest.test_case "bootstrap purges pending (state transfer)" `Quick
+          test_bootstrap_purges_pending;
         QCheck_alcotest.to_alcotest prop_total_order_random;
       ] );
   ]

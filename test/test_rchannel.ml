@@ -127,6 +127,56 @@ let test_stale_generation_ignored () =
   | [ 1; 2 ] -> () (* old copy slipped in before the reset copy: fine *)
   | l -> Alcotest.failf "unexpected deliveries (%d)" (List.length l))
 
+let counter w i name =
+  Gc_obs.Metrics.counter (Process.metrics w.nodes.(i).proc) name
+
+let test_no_retransmissions_on_lossless_link () =
+  (* Regression: retransmission must consult packet age.  Packets are sent
+     just before each RTO tick, so a policy that resends everything still in
+     the window would resend fresh, already-in-flight packets. *)
+  let w = make_world ~n:2 () in
+  let log = ref [] in
+  Rc.on_deliver w.nodes.(1).rc (nums log);
+  for k = 1 to 20 do
+    ignore
+      (Engine.schedule w.engine
+         ~delay:((float_of_int k *. 50.0) -. 2.0)
+         (fun () -> Rc.send w.nodes.(0).rc ~dst:1 (Num k)))
+  done;
+  run_until w 5_000.0;
+  check_list_int "all delivered" (List.init 20 (fun i -> i + 1)) (List.rev !log);
+  check_int "no retransmissions on a lossless link" 0
+    (counter w 0 "rchannel.retransmissions")
+
+let test_stale_generation_not_acked () =
+  (* Regression: a late copy from a pre-forget generation must be dropped
+     without acknowledgement — acking it with the *current* gen would
+     manufacture acks the new-generation sender never earned.  With the huge
+     delay variance, roughly half the schedules land the gen-0 copy of #1
+     after the gen-1 copy of #2 has bumped the receiver's generation; scan a
+     fixed seed range until one does. *)
+  let exercised = ref false in
+  let seed = ref 1 in
+  while (not !exercised) && !seed <= 40 do
+    let w =
+      make_world ~seed:(Int64.of_int !seed)
+        ~delay:(Gc_net.Delay.Uniform { lo = 1.0; hi = 200.0 })
+        ~n:2 ()
+    in
+    let log = ref [] in
+    Rc.on_deliver w.nodes.(1).rc (nums log);
+    Rc.send w.nodes.(0).rc ~dst:1 (Num 1);
+    Rc.forget w.nodes.(0).rc 1;
+    Rc.send w.nodes.(0).rc ~dst:1 (Num 2);
+    run_until w 5_000.0;
+    if counter w 1 "rchannel.stale_gen_ignored" >= 1 then begin
+      exercised := true;
+      check_list_int "only the new generation delivered" [ 2 ] (List.rev !log)
+    end;
+    incr seed
+  done;
+  check_bool "some schedule landed the stale copy late" true !exercised
+
 let prop_reliable_fifo_random_loss =
   QCheck.Test.make ~name:"reliable FIFO for random seeds and loss rates"
     ~count:15
@@ -161,6 +211,10 @@ let suite =
           test_forget_resets_stream_generation;
         Alcotest.test_case "stale generation ignored" `Quick
           test_stale_generation_ignored;
+        Alcotest.test_case "no retransmissions on lossless link" `Quick
+          test_no_retransmissions_on_lossless_link;
+        Alcotest.test_case "stale generation not acked" `Quick
+          test_stale_generation_not_acked;
         QCheck_alcotest.to_alcotest prop_reliable_fifo_random_loss;
       ] );
   ]
