@@ -52,7 +52,7 @@ let new_world ?delay ?record ?(config = Stack.default_config) ~seed ~n () =
   let deliveries = Array.init n (fun _ -> ref []) in
   let stacks =
     Array.init n (fun id ->
-        let s = Stack.create net ~trace ~id ~initial ~config () in
+        let s = Stack.create (Gc_kernel.Runtime.of_netsim net ~trace) ~id ~initial ~config () in
         Stack.on_deliver s (fun ~origin:_ ~ordered:_ payload ->
             match payload with
             | Load { k; sent_at } ->
@@ -71,7 +71,7 @@ let trad_world ?delay ?record ?(config = Tr.default_config) ~seed ~n () =
   let deliveries = Array.init n (fun _ -> ref []) in
   let stacks =
     Array.init n (fun id ->
-        let s = Tr.create net ~trace ~id ~initial ~config () in
+        let s = Tr.create (Gc_kernel.Runtime.of_netsim net ~trace) ~id ~initial ~config () in
         Tr.on_deliver s (fun ~origin:_ ~ordered:_ payload ->
             match payload with
             | Load { k; sent_at } ->
@@ -90,7 +90,7 @@ let totem_world ?delay ?record ?(config = Tt.default_config) ~seed ~n () =
   let deliveries = Array.init n (fun _ -> ref []) in
   let stacks =
     Array.init n (fun id ->
-        let s = Tt.create net ~trace ~id ~initial ~config () in
+        let s = Tt.create (Gc_kernel.Runtime.of_netsim net ~trace) ~id ~initial ~config () in
         Tt.on_deliver s (fun ~origin:_ payload ->
             match payload with
             | Load { k; sent_at } ->

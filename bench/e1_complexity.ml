@@ -132,7 +132,7 @@ let messages_per_view_change () =
     in
     let new_diff =
       measure ~idle_then_change:(fun () ->
-          let config = Stack.Config.make ~hb_period:250.0 () in
+          let config = Stack.Config.make ~runtime:Stack.Config.Sim ~hb_period:250.0 () in
           let w = new_world ~config ~seed:103L ~n () in
           Engine.run ~until:1_000.0 w.engine;
           Netsim.reset_counters w.net;

@@ -30,18 +30,18 @@ let run_cell ~use_generic ~commuting_pct ~seed =
       List.map
         (fun id ->
           Active_gb.stack
-            (Active_gb.create net ~trace ~id ~initial:replicas
+            (Active_gb.create (Gc_kernel.Runtime.of_netsim net ~trace) ~id ~initial:replicas
                ~classify:Sm.Bank.classify ~make_sm:Sm.Bank.make ()))
         replicas
     else
       List.map
         (fun id ->
           Active.stack
-            (Active.create net ~trace ~id ~initial:replicas
+            (Active.create (Gc_kernel.Runtime.of_netsim net ~trace) ~id ~initial:replicas
                ~make_sm:Sm.Bank.make ()))
         replicas
   in
-  let client = Client.create net ~trace ~id:n_replicas ~replicas () in
+  let client = Client.create (Gc_kernel.Runtime.of_netsim net ~trace) ~id:n_replicas ~replicas () in
   let rng = Engine.split_rng engine in
   let lat = Stats.sample () in
   Engine.run ~until:300.0 engine;

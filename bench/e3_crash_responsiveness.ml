@@ -25,7 +25,7 @@ let spike_width = 250.0
 
 let run_new ?(adaptive = false) ~timeout ~seed () =
   let config =
-    Stack.Config.make ~consensus_timeout:timeout ~consensus_adaptive:adaptive
+    Stack.Config.make ~runtime:Stack.Config.Sim ~consensus_timeout:timeout ~consensus_adaptive:adaptive
       ~exclusion_timeout:3_000.0 (* conservative, independent of [timeout] *) ()
   in
   let w = new_world ~config ~seed ~n () in

@@ -19,7 +19,7 @@ let load_count = int_of_float ((horizon -. 2_000.0) /. load_period)
 
 let run_new ~rate ~seed =
   let config =
-    Stack.Config.make ~consensus_timeout:timeout ~exclusion_timeout:4_000.0 ()
+    Stack.Config.make ~runtime:Stack.Config.Sim ~consensus_timeout:timeout ~exclusion_timeout:4_000.0 ()
   in
   let w = new_world ~config ~seed ~n () in
   drive_load w

@@ -20,7 +20,7 @@ let load_count = int_of_float ((horizon -. 2_000.0) /. load_period)
 
 let run_new ~churn_period ~seed =
   let config =
-    Stack.Config.make ~state_transfer_delay:20.0 ()
+    Stack.Config.make ~runtime:Stack.Config.Sim ~state_transfer_delay:20.0 ()
   in
   let w = new_world ~config ~seed ~n () in
   drive_load w

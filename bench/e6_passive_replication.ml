@@ -27,11 +27,11 @@ let fig8_race () =
     let servers =
       List.map
         (fun id ->
-          Passive.create net ~trace ~id ~initial:replicas
+          Passive.create (Gc_kernel.Runtime.of_netsim net ~trace) ~id ~initial:replicas
             ~primary_suspect_timeout:120.0 ~make_sm:Sm.Bank.make ())
         replicas
     in
-    let client = Client.create net ~trace ~id:3 ~replicas ~timeout:300.0 () in
+    let client = Client.create (Gc_kernel.Runtime.of_netsim net ~trace) ~id:3 ~replicas ~timeout:300.0 () in
     let latency = ref nan in
     let request_at = 440.0 +. (float_of_int (seed mod 8) *. 25.0) in
     ignore
@@ -90,16 +90,16 @@ let failover () =
     let engine, trace, net = base_net ~seed ~n:5 () in
     let replicas = [ 0; 1; 2; 3 ] in
     let config =
-      Stack.Config.make ~gb_ack_mode:Gc_gbcast.Generic_broadcast.Two_thirds ()
+      Stack.Config.make ~runtime:Stack.Config.Sim ~gb_ack_mode:Gc_gbcast.Generic_broadcast.Two_thirds ()
     in
     let servers =
       List.map
         (fun id ->
-          Passive.create net ~trace ~id ~initial:replicas ~config
+          Passive.create (Gc_kernel.Runtime.of_netsim net ~trace) ~id ~initial:replicas ~config
             ~primary_suspect_timeout:150.0 ~make_sm:Sm.Bank.make ())
         replicas
     in
-    let client = Client.create net ~trace ~id:4 ~replicas ~timeout:250.0 () in
+    let client = Client.create (Gc_kernel.Runtime.of_netsim net ~trace) ~id:4 ~replicas ~timeout:250.0 () in
     let latency = ref nan in
     ignore
       (Engine.schedule engine ~delay:crash_at (fun () ->
@@ -128,11 +128,11 @@ let failover () =
     let servers =
       List.map
         (fun id ->
-          Passive_vs.create net ~trace ~id ~initial:replicas ~config
+          Passive_vs.create (Gc_kernel.Runtime.of_netsim net ~trace) ~id ~initial:replicas ~config
             ~make_sm:Sm.Bank.make ())
         replicas
     in
-    let client = Client.create net ~trace ~id:4 ~replicas ~timeout:250.0 () in
+    let client = Client.create (Gc_kernel.Runtime.of_netsim net ~trace) ~id:4 ~replicas ~timeout:250.0 () in
     let latency = ref nan in
     ignore
       (Engine.schedule engine ~delay:crash_at (fun () ->

@@ -21,7 +21,7 @@ let policy_name = function
 
 let run_policy ~policy ~seed =
   let config =
-    Stack.Config.make ~policy ~exclusion_timeout:600.0 ~stuck_after:1_500.0 ()
+    Stack.Config.make ~runtime:Stack.Config.Sim ~policy ~exclusion_timeout:600.0 ~stuck_after:1_500.0 ()
   in
   let w = new_world ~config ~seed ~n () in
   (* Load keeps the reliable channels busy so output-triggered suspicion has

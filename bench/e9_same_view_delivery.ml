@@ -18,7 +18,7 @@ let churner = n - 1
 
 let run_variant ~same_view_delivery ~seed =
   let config =
-    Stack.Config.make ~same_view_delivery ~state_transfer_delay:10.0 ()
+    Stack.Config.make ~runtime:Stack.Config.Sim ~same_view_delivery ~state_transfer_delay:10.0 ()
   in
   let engine, trace, net = base_net ~seed ~n () in
   let initial = List.init n (fun i -> i) in
@@ -26,7 +26,7 @@ let run_variant ~same_view_delivery ~seed =
   let tags : (int, int) Hashtbl.t array = Array.init n (fun _ -> Hashtbl.create 512) in
   let stacks =
     Array.init n (fun id ->
-        let s = Stack.create net ~trace ~id ~initial ~config () in
+        let s = Stack.create (Gc_kernel.Runtime.of_netsim net ~trace) ~id ~initial ~config () in
         Stack.on_deliver s (fun ~origin:_ ~ordered:_ payload ->
             match payload with
             | Load { k; _ } ->

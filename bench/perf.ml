@@ -106,7 +106,7 @@ let substrate ~seed ~n =
    echoes: 2*count reliable deliveries end to end. *)
 let rchannel_echo ~seed ~n ~count =
   let engine, trace, net = substrate ~seed ~n in
-  let procs = Array.init n (fun id -> Process.create net ~trace ~id) in
+  let procs = Array.init n (fun id -> Process.create (Gc_kernel.Runtime.of_netsim net ~trace) ~id) in
   let rcs = Array.map (fun p -> Rc.create p ()) procs in
   let echoes = ref 0 in
   for i = 1 to n - 1 do
@@ -133,7 +133,7 @@ let abcast_saturation ~seed ~n ~count =
   let members = List.init n (fun i -> i) in
   let abs =
     Array.init n (fun id ->
-        let proc = Process.create net ~trace ~id in
+        let proc = Process.create (Gc_kernel.Runtime.of_netsim net ~trace) ~id in
         let fd = Fd.create proc ~hb_period:20.0 ~peers:members () in
         let rc = Rc.create proc () in
         let rb = Rb.create proc rc in

@@ -1,0 +1,138 @@
+(* gcs_client — thin synchronous client for gcs_server.
+
+     dune exec bin/gcs_client.exe -- put  --server 8001 key value
+     dune exec bin/gcs_client.exe -- incr --server 8001 hits 3
+     dune exec bin/gcs_client.exe -- get  --server 8001 key
+     dune exec bin/gcs_client.exe -- dump --server 8001
+     dune exec bin/gcs_client.exe -- load --server 8001 --ops 100 --conflicting 25
+
+   Prints the reply body on stdout; exits non-zero on refusal/timeout. *)
+
+module C = Gc_server.Sync_client
+open Cmdliner
+
+let parse_server spec =
+  match String.rindex_opt spec ':' with
+  | None -> (
+      match int_of_string_opt spec with
+      | Some port -> Ok (Unix.ADDR_INET (Unix.inet_addr_loopback, port))
+      | None -> Error (Printf.sprintf "bad server %S" spec))
+  | Some i -> (
+      let host = String.sub spec 0 i in
+      let port = String.sub spec (i + 1) (String.length spec - i - 1) in
+      match (Unix.inet_addr_of_string host, int_of_string_opt port) with
+      | addr, Some port -> Ok (Unix.ADDR_INET (addr, port))
+      | exception Failure _ -> Error (Printf.sprintf "bad server host %S" spec)
+      | _, None -> Error (Printf.sprintf "bad server port %S" spec))
+
+let with_client spec timeout f =
+  if not Sys.win32 then Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  match parse_server spec with
+  | Error msg ->
+      prerr_endline msg;
+      exit 2
+  | Ok addr -> (
+      match C.connect addr with
+      | Error msg ->
+          Printf.eprintf "connect: %s\n" msg;
+          exit 1
+      | Ok client ->
+          let outcome = f client ~timeout in
+          C.close client;
+          (match outcome with
+          | Ok body -> print_endline body
+          | Error e ->
+              Printf.eprintf "error: %s\n" (C.error_to_string e);
+              exit 1))
+
+let server_t =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "s"; "server" ] ~docv:"HOST:PORT" ~doc:"Server client port (PORT alone means loopback).")
+
+let timeout_t =
+  Arg.(
+    value
+    & opt float 10_000.0
+    & info [ "timeout" ] ~docv:"MS" ~doc:"Per-request timeout, ms.")
+
+let pos n docv = Arg.(required & pos n (some string) None & info [] ~docv)
+
+let put_cmd =
+  Cmd.v (Cmd.info "put" ~doc:"Totally-ordered write (conflicting)")
+    Term.(
+      const (fun spec timeout key value ->
+          with_client spec timeout (fun c ~timeout ->
+              C.put c ~timeout ~key ~value ()))
+      $ server_t $ timeout_t $ pos 0 "KEY" $ pos 1 "VALUE")
+
+let incr_cmd =
+  Cmd.v (Cmd.info "incr" ~doc:"Commuting increment (fast path)")
+    Term.(
+      const (fun spec timeout key delta ->
+          match int_of_string_opt delta with
+          | None ->
+              prerr_endline "DELTA must be an integer";
+              Stdlib.exit 2
+          | Some delta ->
+              with_client spec timeout (fun c ~timeout ->
+                  C.incr c ~timeout ~key ~delta ()))
+      $ server_t $ timeout_t $ pos 0 "KEY" $ pos 1 "DELTA")
+
+let get_cmd =
+  Cmd.v (Cmd.info "get" ~doc:"Read a key from the serving replica")
+    Term.(
+      const (fun spec timeout key ->
+          with_client spec timeout (fun c ~timeout -> C.get c ~timeout ~key ()))
+      $ server_t $ timeout_t $ pos 0 "KEY")
+
+let dump_cmd =
+  Cmd.v (Cmd.info "dump" ~doc:"Replica digest line (order/state digests, counters)")
+    Term.(
+      const (fun spec timeout ->
+          with_client spec timeout (fun c ~timeout -> C.dump c ~timeout ()))
+      $ server_t $ timeout_t)
+
+let load_cmd =
+  let ops_t =
+    Arg.(value & opt int 100 & info [ "ops" ] ~docv:"N" ~doc:"Total operations.")
+  in
+  let conflicting_t =
+    Arg.(
+      value
+      & opt int 25
+      & info [ "conflicting" ] ~docv:"PCT"
+          ~doc:"Percentage of ops that are conflicting puts (rest are commuting increments).")
+  in
+  Cmd.v (Cmd.info "load" ~doc:"Closed-loop load generator against one server")
+    Term.(
+      const (fun spec timeout ops conflicting ->
+          with_client spec timeout (fun c ~timeout ->
+              let t0 = Unix.gettimeofday () in
+              let rec go i =
+                if i >= ops then Ok ()
+                else
+                  let r =
+                    if i * 100 < conflicting * ops then
+                      C.put c ~timeout ~key:(Printf.sprintf "reg%d" (i mod 8))
+                        ~value:(string_of_int i) ()
+                    else C.incr c ~timeout ~key:"hits" ~delta:1 ()
+                  in
+                  match r with Ok _ -> go (i + 1) | Error e -> Error e
+              in
+              match go 0 with
+              | Error e -> Error e
+              | Ok () ->
+                  let dt = Unix.gettimeofday () -. t0 in
+                  Ok
+                    (Printf.sprintf "%d ops in %.3fs (%.0f op/s)" ops dt
+                       (float_of_int ops /. dt))))
+      $ server_t $ timeout_t $ ops_t $ conflicting_t)
+
+let cmd =
+  Cmd.group
+    (Cmd.info "gcs_client" ~doc:"Client for gcs_server")
+    [ put_cmd; incr_cmd; get_cmd; dump_cmd; load_cmd ]
+
+let () = exit (Cmd.eval cmd)

@@ -50,7 +50,7 @@ let run_cmd arch nodes casts period crash_node seed show_trace show_metrics
     match arch with
     | `New ->
         let stacks =
-          Array.init nodes (fun id -> Stack.create net ~trace ~id ~initial ())
+          Array.init nodes (fun id -> Stack.create (Gc_kernel.Runtime.of_netsim net ~trace) ~id ~initial ())
         in
         Array.iter
           (fun s ->
@@ -70,7 +70,7 @@ let run_cmd arch nodes casts period crash_node seed show_trace show_metrics
           fun () -> Array.to_list stacks |> List.map Stack.metrics )
     | `Traditional ->
         let stacks =
-          Array.init nodes (fun id -> Tr.create net ~trace ~id ~initial ())
+          Array.init nodes (fun id -> Tr.create (Gc_kernel.Runtime.of_netsim net ~trace) ~id ~initial ())
         in
         Array.iter
           (fun s ->
@@ -91,7 +91,7 @@ let run_cmd arch nodes casts period crash_node seed show_trace show_metrics
             |> List.map (fun s -> Process.metrics (Tr.process s)) )
     | `Totem ->
         let stacks =
-          Array.init nodes (fun id -> Tt.create net ~trace ~id ~initial ())
+          Array.init nodes (fun id -> Tt.create (Gc_kernel.Runtime.of_netsim net ~trace) ~id ~initial ())
         in
         Array.iter
           (fun s ->
@@ -165,11 +165,11 @@ let bank_cmd requests commuting seed record =
   let servers =
     List.map
       (fun id ->
-        Active_gb.create net ~trace ~id ~initial:replicas
+        Active_gb.create (Gc_kernel.Runtime.of_netsim net ~trace) ~id ~initial:replicas
           ~classify:Sm.Bank.classify ~make_sm:Sm.Bank.make ())
       replicas
   in
-  let client = Client.create net ~trace ~id:n_replicas ~replicas () in
+  let client = Client.create (Gc_kernel.Runtime.of_netsim net ~trace) ~id:n_replicas ~replicas () in
   let rng = Engine.split_rng engine in
   let lat = Stats.sample () in
   for k = 0 to requests - 1 do

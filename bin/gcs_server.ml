@@ -1,0 +1,123 @@
+(* gcs_server — a group communication daemon over real TCP.
+
+     dune exec bin/gcs_server.exe -- --id 0 --peers 7001,7002,7003 \
+       --client-port 8001
+
+   Each entry of --peers is "port" (loopback) or "host:port", listed in
+   node-id order; the daemon binds the entry at index --id for its peer
+   mesh and --client-port for client connections.  All listed nodes form
+   the founding view unless --join-via is given, in which case the daemon
+   boots outside the group and asks that sponsor to add it. *)
+
+module Evloop = Gc_runtime_unix.Evloop
+module Server = Gc_server.Server
+module Stack = Gcs.Gcs_stack
+open Cmdliner
+
+let log_line fmt =
+  Printf.ksprintf
+    (fun msg ->
+      Printf.eprintf "[%.3f] %s\n%!" (Unix.gettimeofday ()) msg)
+    fmt
+
+let parse_peer entry =
+  match String.rindex_opt entry ':' with
+  | None -> (
+      match int_of_string_opt entry with
+      | Some port -> Ok (Unix.inet_addr_loopback, port)
+      | None -> Error (Printf.sprintf "bad peer entry %S" entry))
+  | Some i -> (
+      let host = String.sub entry 0 i in
+      let port = String.sub entry (i + 1) (String.length entry - i - 1) in
+      match
+        (Unix.inet_addr_of_string host, int_of_string_opt port)
+      with
+      | addr, Some port -> Ok (addr, port)
+      | exception Failure _ ->
+          Error (Printf.sprintf "bad peer host in %S" entry)
+      | _, None -> Error (Printf.sprintf "bad peer port in %S" entry))
+
+let parse_peers spec =
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | e :: rest -> (
+        match parse_peer (String.trim e) with
+        | Ok p -> go (p :: acc) rest
+        | Error _ as err -> err)
+  in
+  go [] (String.split_on_char ',' spec)
+
+let run id peers_spec client_port join_via hb_period =
+  if not Sys.win32 then Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  match parse_peers peers_spec with
+  | Error msg ->
+      prerr_endline msg;
+      exit 2
+  | Ok peers ->
+      let n = List.length peers in
+      if id < 0 || id >= n then begin
+        Printf.eprintf "--id %d out of range for %d peers\n" id n;
+        exit 2
+      end;
+      let loop = Evloop.create () in
+      let my_addr, my_port = List.nth peers id in
+      let initial =
+        match join_via with
+        | Some _ -> List.filteri (fun i _ -> i <> id) (List.init n Fun.id)
+        | None -> List.init n Fun.id
+      in
+      let config =
+        Stack.Config.make ~runtime:Stack.Config.Unix ?hb_period ()
+      in
+      let server =
+        Server.create ~loop ~id ~initial ~config
+          ~log:(fun msg -> log_line "node %d: %s" id msg)
+          ?join_via
+          ~peer_listen:(Unix.ADDR_INET (my_addr, my_port))
+          ~client_listen:(Unix.ADDR_INET (Unix.inet_addr_loopback, client_port))
+          ()
+      in
+      Server.set_peers server
+        (List.mapi (fun i (addr, port) -> (i, Unix.ADDR_INET (addr, port))) peers);
+      log_line "node %d: peer mesh on %d, clients on %d%s" id my_port
+        (Server.client_port server)
+        (match join_via with
+        | Some via -> Printf.sprintf ", joining via %d" via
+        | None -> " (founding member)");
+      Evloop.run loop
+
+let id_t =
+  Arg.(required & opt (some int) None & info [ "id" ] ~docv:"ID" ~doc:"Node id (index into $(b,--peers)).")
+
+let peers_t =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "peers" ] ~docv:"SPEC"
+        ~doc:"Comma-separated peer endpoints in id order; each is PORT (loopback) or HOST:PORT.")
+
+let client_port_t =
+  Arg.(
+    required
+    & opt (some int) None
+    & info [ "client-port" ] ~docv:"PORT" ~doc:"Loopback port for client connections.")
+
+let join_via_t =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "join-via" ] ~docv:"ID"
+        ~doc:"Boot outside the group and join through this sponsor node.")
+
+let hb_t =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "hb-period" ] ~docv:"MS" ~doc:"Heartbeat period override, ms.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "gcs_server" ~doc:"Group communication daemon (AB-GB stack over TCP)")
+    Term.(const run $ id_t $ peers_t $ client_port_t $ join_via_t $ hb_t)
+
+let () = exit (Cmd.eval cmd)

@@ -45,20 +45,20 @@ let run_scheme name ~use_generic =
       List.map
         (fun id ->
           Active_gb.stack
-            (Active_gb.create net ~trace ~id ~initial:replicas
+            (Active_gb.create (Gc_kernel.Runtime.of_netsim net ~trace) ~id ~initial:replicas
                ~classify:Sm.Bank.classify ~make_sm:Sm.Bank.make ()))
         replicas
     else
       List.map
         (fun id ->
           Active.stack
-            (Active.create net ~trace ~id ~initial:replicas ~make_sm:Sm.Bank.make
+            (Active.create (Gc_kernel.Runtime.of_netsim net ~trace) ~id ~initial:replicas ~make_sm:Sm.Bank.make
                ()))
         replicas
   in
   let clients =
     List.init n_clients (fun i ->
-        Client.create net ~trace ~id:(n_replicas + i) ~replicas ())
+        Client.create (Gc_kernel.Runtime.of_netsim net ~trace) ~id:(n_replicas + i) ~replicas ())
   in
   let rng = Engine.split_rng engine in
   Netsim.reset_counters net;

@@ -30,7 +30,7 @@ let () =
   let stores = Array.init n (fun _ -> Sm.Kv.make ()) in
   let gbs =
     Array.init n (fun id ->
-        let proc = Process.create net ~trace ~id in
+        let proc = Process.create (Gc_kernel.Runtime.of_netsim net ~trace) ~id in
         let fd = Fd.create proc ~peers:members () in
         let rc = Rc.create proc () in
         let rb = Rb.create proc rc in

@@ -30,7 +30,7 @@ let () =
   let delivered = Array.make n 0 in
   let stacks =
     Array.init n (fun id ->
-        let s = Stack.create net ~trace ~id ~initial ~config () in
+        let s = Stack.create (Gc_kernel.Runtime.of_netsim net ~trace) ~id ~initial ~config () in
         Stack.on_deliver s (fun ~origin:_ ~ordered:_ _ ->
             delivered.(id) <- delivered.(id) + 1);
         s)

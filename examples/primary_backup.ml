@@ -26,11 +26,11 @@ let scenario seed =
   let servers =
     List.map
       (fun id ->
-        Passive.create net ~trace ~id ~initial:replicas
+        Passive.create (Gc_kernel.Runtime.of_netsim net ~trace) ~id ~initial:replicas
           ~primary_suspect_timeout:120.0 ~make_sm:Sm.Bank.make ())
       replicas
   in
-  let client = Client.create net ~trace ~id:3 ~replicas ~timeout:300.0 () in
+  let client = Client.create (Gc_kernel.Runtime.of_netsim net ~trace) ~id:3 ~replicas ~timeout:300.0 () in
   let done_at = ref nan in
   (* The spike that provokes the suspicion starts at t=500; the request's
      offset relative to it varies with the seed, so across seeds the update

@@ -27,7 +27,7 @@ let () =
     Stack.Config.make ~exclusion_timeout:1500.0 ()
   in
   let stacks =
-    Array.init n (fun id -> Stack.create net ~trace ~id ~initial ~config ())
+    Array.init n (fun id -> Stack.create (Gc_kernel.Runtime.of_netsim net ~trace) ~id ~initial ~config ())
   in
   (* Every process prints what it delivers and each view it installs. *)
   Array.iter

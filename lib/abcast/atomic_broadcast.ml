@@ -47,6 +47,41 @@ let () =
                    l)))
     | _ -> None)
 
+let () =
+  let module W = Gc_net.Wire in
+  let write_msg enc w m =
+    W.varint w m.origin;
+    W.varint w m.mseq;
+    W.varint w m.size;
+    W.f64 w m.sent_at;
+    enc w m.body
+  in
+  let read_msg dec r =
+    let origin = W.read_varint r in
+    let mseq = W.read_varint r in
+    let size = W.read_varint r in
+    let sent_at = W.read_f64 r in
+    let body = dec r in
+    { origin; mseq; size; sent_at; body }
+  in
+  Gc_net.Payload.register_codec ~tag:"ab"
+    ~encode:(fun enc w p ->
+      match p with
+      | Ab_data m ->
+          W.u8 w 0;
+          write_msg enc w m;
+          true
+      | Ab_batch l ->
+          W.u8 w 1;
+          W.list w (write_msg enc) l;
+          true
+      | _ -> false)
+    ~decode:(fun dec r ->
+      match W.read_u8 r with
+      | 0 -> Ab_data (read_msg dec r)
+      | 1 -> Ab_batch (W.read_list r (read_msg dec))
+      | k -> Gc_net.Payload.malformed (Printf.sprintf "ab constructor %d" k))
+
 type t = {
   proc : Process.t;
   rb : Rb.t;

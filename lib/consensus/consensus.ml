@@ -20,6 +20,63 @@ let () =
     | Cs_decide { inst; _ } -> Some (Printf.sprintf "cs.decide[%d]" inst)
     | _ -> None)
 
+let () =
+  let module W = Gc_net.Wire in
+  Gc_net.Payload.register_codec ~tag:"cs"
+    ~encode:(fun enc w p ->
+      match p with
+      | Cs_start { inst } ->
+          W.u8 w 0;
+          W.varint w inst;
+          true
+      | Cs_estimate { inst; round; est; ts } ->
+          W.u8 w 1;
+          W.varint w inst;
+          W.varint w round;
+          W.varint w ts;
+          enc w est;
+          true
+      | Cs_propose { inst; round; v } ->
+          W.u8 w 2;
+          W.varint w inst;
+          W.varint w round;
+          enc w v;
+          true
+      | Cs_ack { inst; round } ->
+          W.u8 w 3;
+          W.varint w inst;
+          W.varint w round;
+          true
+      | Cs_decide { inst; v } ->
+          W.u8 w 4;
+          W.varint w inst;
+          enc w v;
+          true
+      | _ -> false)
+    ~decode:(fun dec r ->
+      match W.read_u8 r with
+      | 0 -> Cs_start { inst = W.read_varint r }
+      | 1 ->
+          let inst = W.read_varint r in
+          let round = W.read_varint r in
+          let ts = W.read_varint r in
+          let est = dec r in
+          Cs_estimate { inst; round; est; ts }
+      | 2 ->
+          let inst = W.read_varint r in
+          let round = W.read_varint r in
+          let v = dec r in
+          Cs_propose { inst; round; v }
+      | 3 ->
+          let inst = W.read_varint r in
+          let round = W.read_varint r in
+          Cs_ack { inst; round }
+      | 4 ->
+          let inst = W.read_varint r in
+          let v = dec r in
+          Cs_decide { inst; v }
+      | k -> Gc_net.Payload.malformed (Printf.sprintf "cs constructor %d" k))
+
 type inst_state = {
   members : int array;
   majority : int;

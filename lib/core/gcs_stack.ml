@@ -38,29 +38,42 @@ let default_config =
 
 module Config = struct
   type t = config
+  type runtime = Sim | Unix
 
   let default = default_config
 
-  let make ?(hb_period = default_config.hb_period)
-      ?(consensus_timeout = default_config.consensus_timeout)
-      ?(consensus_adaptive = default_config.consensus_adaptive)
-      ?(exclusion_timeout = default_config.exclusion_timeout)
-      ?(rto = default_config.rto) ?(stuck_after = default_config.stuck_after)
-      ?(policy = default_config.policy)
-      ?(state_transfer_delay = default_config.state_transfer_delay)
-      ?(gb_ack_mode = default_config.gb_ack_mode)
-      ?(same_view_delivery = default_config.same_view_delivery) () =
+  (* Wall-clock timing for the real-network backend: heartbeats and
+     timeouts that are comfortable in simulated milliseconds would flap
+     under OS scheduling jitter and TCP round-trips. *)
+  let unix_default =
     {
-      hb_period;
-      consensus_timeout;
-      consensus_adaptive;
-      exclusion_timeout;
-      rto;
-      stuck_after;
-      policy;
-      state_transfer_delay;
-      gb_ack_mode;
-      same_view_delivery;
+      default_config with
+      hb_period = 100.0;
+      consensus_timeout = 1_000.0;
+      exclusion_timeout = 8_000.0;
+      rto = 150.0;
+      stuck_after = 30_000.0;
+    }
+
+  let make ?(runtime = Sim) ?hb_period ?consensus_timeout ?consensus_adaptive
+      ?exclusion_timeout ?rto ?stuck_after ?policy ?state_transfer_delay
+      ?gb_ack_mode ?same_view_delivery () =
+    let base = match runtime with Sim -> default_config | Unix -> unix_default in
+    let dfl field = function Some v -> v | None -> field base in
+    {
+      hb_period = dfl (fun c -> c.hb_period) hb_period;
+      consensus_timeout = dfl (fun c -> c.consensus_timeout) consensus_timeout;
+      consensus_adaptive =
+        dfl (fun c -> c.consensus_adaptive) consensus_adaptive;
+      exclusion_timeout = dfl (fun c -> c.exclusion_timeout) exclusion_timeout;
+      rto = dfl (fun c -> c.rto) rto;
+      stuck_after = dfl (fun c -> c.stuck_after) stuck_after;
+      policy = dfl (fun c -> c.policy) policy;
+      state_transfer_delay =
+        dfl (fun c -> c.state_transfer_delay) state_transfer_delay;
+      gb_ack_mode = dfl (fun c -> c.gb_ack_mode) gb_ack_mode;
+      same_view_delivery =
+        dfl (fun c -> c.same_view_delivery) same_view_delivery;
     }
 end
 
@@ -85,6 +98,49 @@ let () =
         Some (Printf.sprintf "gcs.snapshot(inst=%d,stage=%d)" next_instance gb_stage)
     | _ -> None)
 
+let () =
+  let module W = Gc_net.Wire in
+  let write_id w (a, b) = W.pair w W.varint W.varint (a, b) in
+  let read_id r = W.read_pair r W.read_varint W.read_varint in
+  Gc_net.Payload.register_codec ~tag:"gcs"
+    ~encode:(fun enc w p ->
+      match p with
+      | Gcs_app { klass; body } ->
+          W.u8 w 0;
+          W.u8 w (match klass with Conflict.Commuting -> 0 | Conflict.Ordered -> 1);
+          enc w body;
+          true
+      | Gcs_snapshot { next_instance; ab_delivered; gb_stage; gb_delivered; app }
+        ->
+          W.u8 w 1;
+          W.varint w next_instance;
+          W.list w write_id ab_delivered;
+          W.varint w gb_stage;
+          W.list w write_id gb_delivered;
+          W.option w enc app;
+          true
+      | _ -> false)
+    ~decode:(fun dec r ->
+      match W.read_u8 r with
+      | 0 ->
+          let klass =
+            match W.read_u8 r with
+            | 0 -> Conflict.Commuting
+            | 1 -> Conflict.Ordered
+            | k ->
+                Gc_net.Payload.malformed (Printf.sprintf "gcs klass %d" k)
+          in
+          let body = dec r in
+          Gcs_app { klass; body }
+      | 1 ->
+          let next_instance = W.read_varint r in
+          let ab_delivered = W.read_list r read_id in
+          let gb_stage = W.read_varint r in
+          let gb_delivered = W.read_list r read_id in
+          let app = W.read_option r dec in
+          Gcs_snapshot { next_instance; ab_delivered; gb_stage; gb_delivered; app }
+      | k -> Gc_net.Payload.malformed (Printf.sprintf "gcs constructor %d" k))
+
 (* The conflict relation of Section 3.3: rbcast-class application messages
    commute with each other; everything else (abcast-class application
    messages, membership changes) is ordered against everything. *)
@@ -108,9 +164,9 @@ type t = {
     (origin:int -> ordered:bool -> Gc_net.Payload.t -> unit) list;
 }
 
-let create net ~trace ?metrics ~id ~initial ?(config = default_config)
+let create runtime ?metrics ~id ~initial ?(config = default_config)
     ?app_state_provider ?app_state_installer () =
-  let proc = Process.create ?metrics net ~trace ~id in
+  let proc = Process.create ?metrics runtime ~id in
   let fd = Fd.create proc ~hb_period:config.hb_period ~peers:initial () in
   let rc = Rc.create proc ~rto:config.rto ~stuck_after:config.stuck_after () in
   let rb = Rb.create proc rc in

@@ -68,10 +68,21 @@ val default_config : config
 module Config : sig
   type t = config
 
+  type runtime = Sim | Unix
+      (** Which backend the configuration is tuned for.  [Sim] keeps the
+          historical defaults (simulated milliseconds); [Unix] rebases the
+          timing defaults for wall-clock TCP deployments ([hb_period] 100ms,
+          [consensus_timeout] 1s, [exclusion_timeout] 8s, [rto] 150ms,
+          [stuck_after] 30s).  Explicit arguments always win. *)
+
   val default : t
   (** Same value as {!default_config}. *)
 
+  val unix_default : t
+  (** The [Unix] timing baseline, i.e. [make ~runtime:Unix ()]. *)
+
   val make :
+    ?runtime:runtime ->
     ?hb_period:float ->
     ?consensus_timeout:float ->
     ?consensus_adaptive:bool ->
@@ -84,14 +95,15 @@ module Config : sig
     ?same_view_delivery:bool ->
     unit ->
     t
-  (** Every omitted argument takes its {!default} value. *)
+  (** Every omitted argument takes its value from the [runtime] baseline
+      ({!default} for [Sim], {!unix_default} for [Unix]); the historical
+      arity [make ()] is unchanged and means [make ~runtime:Sim ()]. *)
 end
 
 type t
 
 val create :
-  Gc_net.Netsim.t ->
-  trace:Gc_sim.Trace.t ->
+  Gc_kernel.Runtime.t ->
   ?metrics:Gc_obs.Metrics.t ->
   id:int ->
   initial:int list ->

@@ -1,8 +1,12 @@
 module Process = Gc_kernel.Process
-module Netsim = Gc_net.Netsim
 module Sorted = Gc_sim.Sorted
 
 type Gc_net.Payload.t += Heartbeat
+
+let () =
+  Gc_net.Payload.register_codec ~tag:"fd"
+    ~encode:(fun _enc _w p -> match p with Heartbeat -> true | _ -> false)
+    ~decode:(fun _dec _r -> Heartbeat)
 
 let () =
   Gc_net.Payload.register_printer (function
@@ -168,7 +172,7 @@ let check t m () =
             Hashtbl.replace m.suspected_set q now;
             m.suspicions <- m.suspicions + 1;
             Process.incr t.proc "fd.suspicions";
-            if Netsim.alive (Process.net t.proc) q then begin
+            if Process.oracle_alive t.proc q then begin
               m.wrong <- m.wrong + 1;
               Process.incr t.proc "fd.wrong_suspicions"
             end;

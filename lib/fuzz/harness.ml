@@ -114,7 +114,7 @@ let run ?(casts = 12) ?(inject_reorder = false) ~stack script =
     match stack with
     | Abgb | Gbcast ->
         let stacks =
-          Array.init nodes (fun id -> Stack.create net ~trace ~id ~initial ())
+          Array.init nodes (fun id -> Stack.create (Gc_kernel.Runtime.of_netsim net ~trace) ~id ~initial ())
         in
         Array.iter
           (fun s ->
@@ -129,7 +129,7 @@ let run ?(casts = 12) ?(inject_reorder = false) ~stack script =
             else None )
     | Traditional ->
         let stacks =
-          Array.init nodes (fun id -> Tr.create net ~trace ~id ~initial ())
+          Array.init nodes (fun id -> Tr.create (Gc_kernel.Runtime.of_netsim net ~trace) ~id ~initial ())
         in
         Array.iter
           (fun s ->
@@ -138,7 +138,7 @@ let run ?(casts = 12) ?(inject_reorder = false) ~stack script =
         ((fun i k -> Tr.abcast stacks.(i) (Fuzz k)), fun _ -> None)
     | Totem ->
         let stacks =
-          Array.init nodes (fun id -> Tt.create net ~trace ~id ~initial ())
+          Array.init nodes (fun id -> Tt.create (Gc_kernel.Runtime.of_netsim net ~trace) ~id ~initial ())
         in
         Array.iter
           (fun s ->

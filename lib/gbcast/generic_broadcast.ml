@@ -33,6 +33,69 @@ let () =
              (List.length rest))
     | _ -> None)
 
+let () =
+  let module W = Gc_net.Wire in
+  let write_msg enc w m =
+    W.varint w m.origin;
+    W.varint w m.gseq;
+    W.varint w m.size;
+    W.f64 w m.sent_at;
+    enc w m.body
+  in
+  let read_msg dec r =
+    let origin = W.read_varint r in
+    let gseq = W.read_varint r in
+    let size = W.read_varint r in
+    let sent_at = W.read_f64 r in
+    let body = dec r in
+    { origin; gseq; size; sent_at; body }
+  in
+  Gc_net.Payload.register_codec ~tag:"gb"
+    ~encode:(fun enc w p ->
+      match p with
+      | Gb_fast m ->
+          W.u8 w 0;
+          write_msg enc w m;
+          true
+      | Gb_ack { id = o, s; stage } ->
+          W.u8 w 1;
+          W.varint w o;
+          W.varint w s;
+          W.varint w stage;
+          true
+      | Gb_state { stage; acked; pending } ->
+          W.u8 w 2;
+          W.varint w stage;
+          W.list w (write_msg enc) acked;
+          W.list w (write_msg enc) pending;
+          true
+      | Gb_cut { stage; first; rest } ->
+          W.u8 w 3;
+          W.varint w stage;
+          W.list w (write_msg enc) first;
+          W.list w (write_msg enc) rest;
+          true
+      | _ -> false)
+    ~decode:(fun dec r ->
+      match W.read_u8 r with
+      | 0 -> Gb_fast (read_msg dec r)
+      | 1 ->
+          let o = W.read_varint r in
+          let s = W.read_varint r in
+          let stage = W.read_varint r in
+          Gb_ack { id = (o, s); stage }
+      | 2 ->
+          let stage = W.read_varint r in
+          let acked = W.read_list r (read_msg dec) in
+          let pending = W.read_list r (read_msg dec) in
+          Gb_state { stage; acked; pending }
+      | 3 ->
+          let stage = W.read_varint r in
+          let first = W.read_list r (read_msg dec) in
+          let rest = W.read_list r (read_msg dec) in
+          Gb_cut { stage; first; rest }
+      | k -> Gc_net.Payload.malformed (Printf.sprintf "gb constructor %d" k))
+
 type ack_mode = Two_thirds | All_members
 
 type t = {

@@ -1,35 +1,31 @@
-module Engine = Gc_sim.Engine
 module Trace = Gc_sim.Trace
-module Netsim = Gc_net.Netsim
 
 type t = {
   id : int;
-  net : Netsim.t;
-  trace : Trace.t;
+  runtime : Runtime.t;
   metrics : Gc_obs.Metrics.t;
-  rng : Gc_sim.Rng.t;
+  rng : Runtime.rng;
   mutable alive : bool;
   mutable subscribers : (src:int -> Gc_net.Payload.t -> unit) list;
   mutable crash_hooks : (unit -> unit) list;
 }
 
-let create ?metrics net ~trace ~id =
+let create ?metrics runtime ~id =
   let metrics =
     match metrics with Some m -> m | None -> Gc_obs.Metrics.create ()
   in
   let t =
     {
       id;
-      net;
-      trace;
+      runtime;
       metrics;
-      rng = Engine.split_rng (Netsim.engine net);
+      rng = runtime.Runtime.split_rng ();
       alive = true;
       subscribers = [];
       crash_hooks = [];
     }
   in
-  Netsim.register net ~node:id (fun ~src payload ->
+  runtime.Runtime.register ~node:id (fun ~src payload ->
       if t.alive then
         (* Subscribers are kept newest-first; dispatch oldest-first so layers
            receive messages in the order they were stacked. *)
@@ -38,28 +34,29 @@ let create ?metrics net ~trace ~id =
 
 let id t = t.id
 let metrics t = t.metrics
-let engine t = Netsim.engine t.net
-let net t = t.net
-let rng t = t.rng
-let now t = Engine.now (engine t)
+let now t = t.runtime.Runtime.now ()
 let alive t = t.alive
+let backend t = t.runtime.Runtime.backend
+let oracle_alive t q = t.runtime.Runtime.oracle_alive q
+let rand_float t bound = t.rng.Runtime.rand_float bound
+let rand_int t bound = t.rng.Runtime.rand_int bound
 
 let send t ?size ~dst payload =
-  if t.alive then Netsim.send t.net ?size ~src:t.id ~dst payload
+  if t.alive then t.runtime.Runtime.send ?size ~src:t.id ~dst payload
 
 let on_receive t f = t.subscribers <- f :: t.subscribers
 
 let timer t ~delay f =
-  Engine.schedule (engine t) ~delay (fun () -> if t.alive then f ())
+  t.runtime.Runtime.schedule ~delay (fun () -> if t.alive then f ())
 
 type periodic = { mutable stopped : bool }
 
 let every t ?(jitter = 0.0) ~period f =
   let handle = { stopped = false } in
   let rec arm () =
-    let extra = if jitter > 0.0 then Gc_sim.Rng.float t.rng jitter else 0.0 in
+    let extra = if jitter > 0.0 then rand_float t jitter else 0.0 in
     ignore
-      (Engine.schedule (engine t) ~delay:(period +. extra) (fun () ->
+      (t.runtime.Runtime.schedule ~delay:(period +. extra) (fun () ->
            if t.alive && not handle.stopped then begin
              f ();
              arm ()
@@ -70,14 +67,15 @@ let every t ?(jitter = 0.0) ~period f =
 
 let cancel_periodic handle = handle.stopped <- true
 
-let traced t = Trace.enabled t.trace
+let trace t = t.runtime.Runtime.trace
+let traced t = Trace.enabled (trace t)
 
 let event t ~component ~kind ?msg ?attrs () =
-  Trace.emit_event t.trace ~time:(now t) ~node:t.id ~component ~kind ?msg
+  Trace.emit_event (trace t) ~time:(now t) ~node:t.id ~component ~kind ?msg
     ?attrs ()
 
 let emit t ~component ~event ?attrs () =
-  Trace.emit t.trace ~time:(now t) ~node:t.id ~component ~event ?attrs ()
+  Trace.emit (trace t) ~time:(now t) ~node:t.id ~component ~event ?attrs ()
 
 let incr ?by t name = Gc_obs.Metrics.incr ?by t.metrics name
 let observe t name value = Gc_obs.Metrics.observe t.metrics name value
@@ -86,7 +84,7 @@ let set_gauge t name value = Gc_obs.Metrics.set_gauge t.metrics name value
 let crash t =
   if t.alive then begin
     t.alive <- false;
-    Netsim.crash t.net t.id;
+    t.runtime.Runtime.detach t.id;
     List.iter (fun f -> f ()) (List.rev t.crash_hooks)
   end
 

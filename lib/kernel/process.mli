@@ -1,7 +1,6 @@
 (** Per-node process context: the glue every protocol component is built on.
 
-    A [Process.t] owns one node of the simulated network and gives its
-    components:
+    A [Process.t] owns one node of the group and gives its components:
 
     - message fan-out: components subscribe with {!on_receive}; each incoming
       payload is offered to every subscriber, which pattern-matches on its
@@ -11,26 +10,40 @@
       periodic timers silently stop firing, so no protocol code runs at a
       dead process (crash-stop);
     - a private random stream, tracing tagged with the node id, and a
-      per-node {!Gc_obs.Metrics} registry every layer records into. *)
+      per-node {!Gc_obs.Metrics} registry every layer records into.
+
+    Every capability is routed through the {!Runtime} seam, so the same
+    protocol code runs unchanged on the deterministic simulator and on the
+    real-network unix backend; no protocol module can name a backend type. *)
 
 type t
 
-val create :
-  ?metrics:Gc_obs.Metrics.t ->
-  Gc_net.Netsim.t -> trace:Gc_sim.Trace.t -> id:int -> t
-(** Create the process for node [id] and hook it into the network.
-    [metrics] defaults to a fresh registry. *)
+val create : ?metrics:Gc_obs.Metrics.t -> Runtime.t -> id:int -> t
+(** Create the process for node [id] on the given runtime and hook it into
+    the transport.  [metrics] defaults to a fresh registry. *)
 
 val id : t -> int
 
 val metrics : t -> Gc_obs.Metrics.t
 (** The node's metrics registry (shared by every layer on this node). *)
 
-val engine : t -> Gc_sim.Engine.t
-val net : t -> Gc_net.Netsim.t
-val rng : t -> Gc_sim.Rng.t
 val now : t -> float
 val alive : t -> bool
+
+val backend : t -> string
+(** The runtime backend's name (["sim"], ["unix"]) — for logs only. *)
+
+val oracle_alive : t -> int -> bool
+(** Whether the {e environment} knows peer [q] to be alive — the sim's
+    omniscient oracle behind the [fd.wrong_suspicions] and
+    [monitoring.wrongful_exclusions] counters.  Always [false] on real
+    networks, where ground truth is unknowable. *)
+
+val rand_float : t -> float -> float
+(** Uniform draw in [\[0, bound)] from the process's private stream. *)
+
+val rand_int : t -> int -> int
+(** Uniform draw in [\[0, bound)] (positive [bound]). *)
 
 val send : t -> ?size:int -> dst:int -> Gc_net.Payload.t -> unit
 (** Unreliable datagram send ([u-send] in Figure 9 of the paper).  No-op if
@@ -39,7 +52,7 @@ val send : t -> ?size:int -> dst:int -> Gc_net.Payload.t -> unit
 val on_receive : t -> (src:int -> Gc_net.Payload.t -> unit) -> unit
 (** Subscribe a component to incoming payloads ([u-receive]). *)
 
-val timer : t -> delay:float -> (unit -> unit) -> Gc_sim.Engine.timer
+val timer : t -> delay:float -> (unit -> unit) -> Runtime.timer
 (** One-shot timer; the callback is skipped if the process has died. *)
 
 type periodic
@@ -52,7 +65,7 @@ val every : t -> ?jitter:float -> period:float -> (unit -> unit) -> periodic
 val cancel_periodic : periodic -> unit
 
 val crash : t -> unit
-(** Crash-stop: mark dead, stop the network endpoint, run the registered
+(** Crash-stop: mark dead, stop the transport endpoint, run the registered
     {!on_crash} hooks (environment-side bookkeeping, not protocol code). *)
 
 val on_crash : t -> (unit -> unit) -> unit

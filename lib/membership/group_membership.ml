@@ -22,6 +22,43 @@ let () =
         Some (Format.asprintf "mb.state(%a)" View.pp view)
     | _ -> None)
 
+let () =
+  let module W = Gc_net.Wire in
+  Gc_net.Payload.register_codec ~tag:"mb"
+    ~encode:(fun enc w p ->
+      match p with
+      | Mb_join_req { p } ->
+          W.u8 w 0;
+          W.varint w p;
+          true
+      | Mb_change { adds; removes; sponsor } ->
+          W.u8 w 1;
+          W.list w W.varint adds;
+          W.list w W.varint removes;
+          W.varint w sponsor;
+          true
+      | Mb_state { view; snapshot } ->
+          W.u8 w 2;
+          W.varint w view.View.vid;
+          W.list w W.varint view.View.members;
+          W.option w enc snapshot;
+          true
+      | _ -> false)
+    ~decode:(fun dec r ->
+      match W.read_u8 r with
+      | 0 -> Mb_join_req { p = W.read_varint r }
+      | 1 ->
+          let adds = W.read_list r W.read_varint in
+          let removes = W.read_list r W.read_varint in
+          let sponsor = W.read_varint r in
+          Mb_change { adds; removes; sponsor }
+      | 2 ->
+          let vid = W.read_varint r in
+          let members = W.read_list r W.read_varint in
+          let snapshot = W.read_option r dec in
+          Mb_state { view = { View.vid; members }; snapshot }
+      | k -> Gc_net.Payload.malformed (Printf.sprintf "mb constructor %d" k))
+
 type t = {
   proc : Process.t;
   rc : Rc.t;

@@ -2,7 +2,6 @@ module Process = Gc_kernel.Process
 module Fd = Gc_fd.Failure_detector
 module Rc = Gc_rchannel.Reliable_channel
 module Gm = Gc_membership.Group_membership
-module Netsim = Gc_net.Netsim
 module Sorted = Gc_sim.Sorted
 
 type policy =
@@ -18,6 +17,26 @@ let () =
     | Mo_suspect { q } -> Some (Printf.sprintf "mon.suspect(%d)" q)
     | Mo_retract { q } -> Some (Printf.sprintf "mon.retract(%d)" q)
     | _ -> None)
+
+let () =
+  let module W = Gc_net.Wire in
+  Gc_net.Payload.register_codec ~tag:"mon"
+    ~encode:(fun _enc w p ->
+      match p with
+      | Mo_suspect { q } ->
+          W.u8 w 0;
+          W.varint w q;
+          true
+      | Mo_retract { q } ->
+          W.u8 w 1;
+          W.varint w q;
+          true
+      | _ -> false)
+    ~decode:(fun _dec r ->
+      match W.read_u8 r with
+      | 0 -> Mo_suspect { q = W.read_varint r }
+      | 1 -> Mo_retract { q = W.read_varint r }
+      | k -> Gc_net.Payload.malformed (Printf.sprintf "mon constructor %d" k))
 
 type t = {
   proc : Process.t;
@@ -44,7 +63,7 @@ let propose_exclusion t q reason =
   if (not t.stopped) && Gc_membership.View.mem (Gm.view t.membership) q then begin
     t.proposed <- t.proposed + 1;
     Process.incr t.proc "monitoring.exclusions_proposed";
-    if Netsim.alive (Process.net t.proc) q then begin
+    if Process.oracle_alive t.proc q then begin
       t.wrongful <- t.wrongful + 1;
       Process.incr t.proc "monitoring.wrongful_exclusions"
     end;

@@ -14,3 +14,48 @@ val register_printer : (t -> string option) -> unit
 
 val to_string : t -> string
 (** Best-effort rendering through the registered printers. *)
+
+(** {1 Binary codec registry}
+
+    Extensible variants do not survive [Marshal] across processes (the
+    extension-constructor slot is compared physically), so the real-network
+    runtime serializes payloads through a registry mirroring
+    {!register_printer}: each layer registers a tagged codec for its own
+    constructors at module-initialisation time.  Nested payloads (a reliable
+    channel packet carrying a broadcast carrying consensus traffic) recurse
+    through the callback handed to each codec. *)
+
+type codec_error =
+  | Unknown_tag of string  (** no decoder registered for the wire tag *)
+  | Unencodable of string  (** no encoder claims the value (printed form) *)
+  | Truncated  (** input ended inside a field *)
+  | Trailing of int  (** well-formed value followed by this many junk bytes *)
+  | Malformed of string  (** a decoder rejected the bytes *)
+
+val codec_error_to_string : codec_error -> string
+
+val register_codec :
+  tag:string ->
+  encode:((Wire.writer -> t -> unit) -> Wire.writer -> t -> bool) ->
+  decode:((Wire.reader -> t) -> Wire.reader -> t) ->
+  unit
+(** [register_codec ~tag ~encode ~decode] installs a codec family.
+    [encode recurse w p] writes the body of [p] and returns [true] when [p]
+    is one of the family's constructors ([false] leaves [w] untouched by the
+    registry); [recurse] encodes a nested payload, raising internally if it
+    is unencodable.  [decode recurse r] parses a body back; it may raise
+    {!Wire.Short} or call {!malformed}.  Tags must be unique. *)
+
+val malformed : string -> 'a
+(** For decoders: reject the input with a {!Malformed} error. *)
+
+val encode : t -> (string, codec_error) result
+(** Self-describing binary encoding (tag + body), usable as a {!Frame}
+    body.  Total: never raises. *)
+
+val decode : string -> (t, codec_error) result
+(** Inverse of {!encode}; rejects truncated input, trailing bytes, unknown
+    tags and malformed bodies with a typed error instead of raising. *)
+
+val encodable : t -> bool
+(** Whether some registered codec claims the value. *)

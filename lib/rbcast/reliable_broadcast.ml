@@ -18,6 +18,27 @@ let () =
              (Gc_net.Payload.to_string inner))
     | _ -> None)
 
+let () =
+  let module W = Gc_net.Wire in
+  Gc_net.Payload.register_codec ~tag:"rb"
+    ~encode:(fun enc w p ->
+      match p with
+      | Rb_msg { origin; bid; inner; dests; size } ->
+          W.varint w origin;
+          W.varint w bid;
+          W.varint w size;
+          W.list w W.varint dests;
+          enc w inner;
+          true
+      | _ -> false)
+    ~decode:(fun dec r ->
+      let origin = W.read_varint r in
+      let bid = W.read_varint r in
+      let size = W.read_varint r in
+      let dests = W.read_list r W.read_varint in
+      let inner = dec r in
+      Rb_msg { origin; bid; inner; dests; size })
+
 type t = {
   proc : Process.t;
   rc : Rc.t;

@@ -19,6 +19,38 @@ let () =
     | Rc_ack { gen; cum } -> Some (Printf.sprintf "rc.ack#%d<=%d" gen cum)
     | _ -> None)
 
+let () =
+  let module W = Gc_net.Wire in
+  Gc_net.Payload.register_codec ~tag:"rc"
+    ~encode:(fun enc w p ->
+      match p with
+      | Rc_data { gen; seq; inner; size } ->
+          W.u8 w 0;
+          W.varint w gen;
+          W.varint w seq;
+          W.varint w size;
+          enc w inner;
+          true
+      | Rc_ack { gen; cum } ->
+          W.u8 w 1;
+          W.varint w gen;
+          W.varint w cum;
+          true
+      | _ -> false)
+    ~decode:(fun dec r ->
+      match W.read_u8 r with
+      | 0 ->
+          let gen = W.read_varint r in
+          let seq = W.read_varint r in
+          let size = W.read_varint r in
+          let inner = dec r in
+          Rc_data { gen; seq; inner; size }
+      | 1 ->
+          let gen = W.read_varint r in
+          let cum = W.read_varint r in
+          Rc_ack { gen; cum }
+      | k -> Gc_net.Payload.malformed (Printf.sprintf "rc constructor %d" k))
+
 type pending = {
   inner : Gc_net.Payload.t;
   size : int;

@@ -28,7 +28,7 @@ let crash t = Stack.crash t.stack
 let reply t ~cid ~rid result =
   Rc.send (Stack.reliable_channel t.stack) ~dst:cid (Rpc.Rep { rid; result })
 
-let create net ~trace ~id ~initial ?config ~make_sm () =
+let create runtime ~id ~initial ?config ~make_sm () =
   let sm = make_sm () in
   let completed = Hashtbl.create 64 in
   let provider () =
@@ -45,7 +45,7 @@ let create net ~trace ~id ~initial ?config ~make_sm () =
     | _ -> ()
   in
   let stack =
-    Stack.create net ~trace ~id ~initial ?config ~app_state_provider:provider
+    Stack.create runtime ~id ~initial ?config ~app_state_provider:provider
       ~app_state_installer:installer ()
   in
   let t = { stack; sm; completed; applied = 0 } in

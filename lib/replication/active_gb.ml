@@ -31,7 +31,7 @@ let snapshot t = t.sm.State_machine.snapshot ()
 let reply t ~cid ~rid result =
   Rc.send (Stack.reliable_channel t.stack) ~dst:cid (Rpc.Rep { rid; result })
 
-let create net ~trace ~id ~initial ?config ~classify ~make_sm () =
+let create runtime ~id ~initial ?config ~classify ~make_sm () =
   let sm = make_sm () in
   let completed = Hashtbl.create 64 in
   let provider () =
@@ -48,7 +48,7 @@ let create net ~trace ~id ~initial ?config ~classify ~make_sm () =
     | _ -> ()
   in
   let stack =
-    Stack.create net ~trace ~id ~initial ?config ~app_state_provider:provider
+    Stack.create runtime ~id ~initial ?config ~app_state_provider:provider
       ~app_state_installer:installer ()
   in
   let t = { stack; sm; classify; completed; applied = 0 } in

@@ -11,8 +11,7 @@
 type t
 
 val create :
-  Gc_net.Netsim.t ->
-  trace:Gc_sim.Trace.t ->
+  Gc_kernel.Runtime.t ->
   id:int ->
   initial:int list ->
   ?config:Gcs.Gcs_stack.config ->

@@ -48,8 +48,8 @@ let retarget t primary =
   let rec find i = if i >= n then t.target else if t.replicas.(i) = primary then i else find (i + 1) in
   t.target <- find 0
 
-let create net ~trace ~id ~replicas ?(timeout = 500.0) () =
-  let proc = Process.create net ~trace ~id in
+let create runtime ~id ~replicas ?(timeout = 500.0) () =
+  let proc = Process.create runtime ~id in
   let rc = Rc.create proc () in
   let t =
     {

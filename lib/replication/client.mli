@@ -11,8 +11,7 @@
 type t
 
 val create :
-  Gc_net.Netsim.t ->
-  trace:Gc_sim.Trace.t ->
+  Gc_kernel.Runtime.t ->
   id:int ->
   replicas:int list ->
   ?timeout:float ->

@@ -147,7 +147,7 @@ let handle_request t ~cid ~rid ~cmd =
             (Rpc.Redirect { rid; primary = p })
       | None -> ())
 
-let create net ~trace ~id ~initial ?config ?(primary_suspect_timeout = 250.0)
+let create runtime ~id ~initial ?config ?(primary_suspect_timeout = 250.0)
     ~make_sm () =
   let sm = make_sm () in
   let completed = Hashtbl.create 64 in
@@ -177,7 +177,7 @@ let create net ~trace ~id ~initial ?config ?(primary_suspect_timeout = 250.0)
     | _ -> ()
   in
   let stack =
-    Stack.create net ~trace ~id ~initial ?config ~app_state_provider:provider
+    Stack.create runtime ~id ~initial ?config ~app_state_provider:provider
       ~app_state_installer:installer ()
   in
   let t =

@@ -60,7 +60,7 @@ let handle_update t ~cid ~rid ~cmd ~mine =
   in
   if mine then reply t ~cid ~rid result
 
-let create net ~trace ~id ~initial ?config ~make_sm () =
+let create runtime ~id ~initial ?config ~make_sm () =
   let sm = make_sm () in
   let completed = Hashtbl.create 64 in
   let provider () =
@@ -77,7 +77,7 @@ let create net ~trace ~id ~initial ?config ~make_sm () =
     | _ -> ()
   in
   let stack =
-    Tr.create net ~trace ~id ~initial ?config ~app_state_provider:provider
+    Tr.create runtime ~id ~initial ?config ~app_state_provider:provider
       ~app_state_installer:installer ()
   in
   let t = { stack; sm; id; completed; in_flight = Hashtbl.create 16; n_applied = 0 } in

@@ -14,8 +14,7 @@
 type t
 
 val create :
-  Gc_net.Netsim.t ->
-  trace:Gc_sim.Trace.t ->
+  Gc_kernel.Runtime.t ->
   id:int ->
   initial:int list ->
   ?config:Gc_traditional.Traditional_stack.config ->

@@ -1,0 +1,162 @@
+module Heap = Gc_sim.Heap
+
+type timer_cell = {
+  deadline : float;
+  seq : int; (* FIFO tie-break for equal deadlines *)
+  cell_f : unit -> unit;
+  mutable cancelled : bool;
+}
+
+type watcher = {
+  mutable on_read : (unit -> unit) option;
+  mutable on_write : (unit -> unit) option;
+}
+
+type t = {
+  start : float;
+  timers : timer_cell Heap.t;
+  mutable timer_seq : int;
+  watchers : (Unix.file_descr, watcher) Hashtbl.t;
+  mutable running : bool;
+}
+
+let wall_ms () = Unix.gettimeofday () *. 1000.0
+
+(* A peer resetting its connection must surface as EPIPE from write, not a
+   process-killing signal; done once, on first loop creation. *)
+let ignore_sigpipe =
+  lazy
+    (if not Sys.win32 then
+       try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+       with Invalid_argument _ | Sys_error _ -> ())
+
+let create () =
+  Lazy.force ignore_sigpipe;
+  {
+    start = wall_ms ();
+    timers =
+      Heap.create
+        ~cmp:(fun a b ->
+          match Float.compare a.deadline b.deadline with
+          | 0 -> Int.compare a.seq b.seq
+          | c -> c)
+        ();
+    timer_seq = 0;
+    watchers = Hashtbl.create 32;
+    running = false;
+  }
+
+let now t = wall_ms () -. t.start
+
+let schedule t ~delay f =
+  let cell =
+    {
+      deadline = now t +. Float.max delay 0.0;
+      seq = t.timer_seq;
+      cell_f = f;
+      cancelled = false;
+    }
+  in
+  t.timer_seq <- t.timer_seq + 1;
+  Heap.push t.timers cell;
+  { Gc_kernel.Runtime.cancel = (fun () -> cell.cancelled <- true) }
+
+let watcher t fd =
+  match Hashtbl.find_opt t.watchers fd with
+  | Some w -> w
+  | None ->
+      let w = { on_read = None; on_write = None } in
+      Hashtbl.replace t.watchers fd w;
+      w
+
+let prune t fd w =
+  if w.on_read = None && w.on_write = None then Hashtbl.remove t.watchers fd
+
+let set_read t fd cb =
+  let w = watcher t fd in
+  w.on_read <- cb;
+  prune t fd w
+
+let set_write t fd cb =
+  let w = watcher t fd in
+  w.on_write <- cb;
+  prune t fd w
+
+let forget t fd = Hashtbl.remove t.watchers fd
+
+let fire_due t =
+  let rec go () =
+    match Heap.peek t.timers with
+    | Some cell when cell.cancelled ->
+        ignore (Heap.pop t.timers);
+        go ()
+    | Some cell when cell.deadline <= now t ->
+        ignore (Heap.pop t.timers);
+        cell.cell_f ();
+        go ()
+    | _ -> ()
+  in
+  go ()
+
+let next_deadline t =
+  let rec go () =
+    match Heap.peek t.timers with
+    | Some cell when cell.cancelled ->
+        ignore (Heap.pop t.timers);
+        go ()
+    | Some cell -> Some cell.deadline
+    | None -> None
+  in
+  go ()
+
+let run_once t ~max_wait =
+  let wait =
+    match next_deadline t with
+    | Some d -> Float.min max_wait (Float.max 0.0 (d -. now t))
+    | None -> max_wait
+  in
+  let reads, writes =
+    Hashtbl.fold
+      (fun fd w (r, wr) ->
+        ( (if w.on_read <> None then fd :: r else r),
+          if w.on_write <> None then fd :: wr else wr ))
+      t.watchers ([], [])
+  in
+  let ready_r, ready_w, _ =
+    if reads = [] && writes = [] then begin
+      if wait > 0.0 then Unix.sleepf (wait /. 1000.0);
+      ([], [], [])
+    end
+    else
+      try Unix.select reads writes [] (wait /. 1000.0)
+      with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+  in
+  (* Look each callback up at dispatch time: an earlier callback in the
+     batch may close a sibling's descriptor and unregister it. *)
+  List.iter
+    (fun fd ->
+      match Hashtbl.find_opt t.watchers fd with
+      | Some { on_read = Some cb; _ } -> cb ()
+      | _ -> ())
+    ready_r;
+  List.iter
+    (fun fd ->
+      match Hashtbl.find_opt t.watchers fd with
+      | Some { on_write = Some cb; _ } -> cb ()
+      | _ -> ())
+    ready_w;
+  fire_due t
+
+let run_for t ms =
+  let until = now t +. ms in
+  while now t < until do
+    run_once t ~max_wait:(Float.min 50.0 (until -. now t))
+  done
+
+let stop t = t.running <- false
+
+let run t =
+  t.running <- true;
+  while t.running do
+    run_once t ~max_wait:250.0
+  done

@@ -1,0 +1,42 @@
+(** Single-threaded [Unix.select] event loop: the real-time counterpart of
+    the discrete-event {!Gc_sim.Engine}.
+
+    Owns a wall-clock timer heap and a registry of watched file
+    descriptors.  One loop drives everything in a process — every
+    {!Runtime_unix} node, every framed client connection — so protocol
+    code keeps the single-threaded execution model it has under the
+    simulator.  Times are milliseconds since {!create}. *)
+
+type t
+
+val create : unit -> t
+
+val now : t -> float
+(** Milliseconds of wall-clock time since the loop was created. *)
+
+val schedule : t -> delay:float -> (unit -> unit) -> Gc_kernel.Runtime.timer
+(** Run the callback [delay] ms from now (never before). *)
+
+val set_read : t -> Unix.file_descr -> (unit -> unit) option -> unit
+(** Install ([Some]) or remove ([None]) the readable-callback for a
+    descriptor. *)
+
+val set_write : t -> Unix.file_descr -> (unit -> unit) option -> unit
+(** Install or remove the writable-callback. *)
+
+val forget : t -> Unix.file_descr -> unit
+(** Drop both callbacks (before closing the descriptor). *)
+
+val run_once : t -> max_wait:float -> unit
+(** One iteration: wait up to [max_wait] ms (bounded by the next timer
+    deadline) for descriptor activity, dispatch ready callbacks, fire due
+    timers. *)
+
+val run_for : t -> float -> unit
+(** Iterate for the given number of milliseconds (tests, demos). *)
+
+val stop : t -> unit
+(** Make {!run} return after the current iteration. *)
+
+val run : t -> unit
+(** Iterate until {!stop}. *)

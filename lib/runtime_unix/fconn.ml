@@ -1,0 +1,139 @@
+module Frame = Gc_net.Frame
+
+let out_cap = 256 * 1024
+
+type t = {
+  loop : Evloop.t;
+  sock : Unix.file_descr;
+  decoder : Frame.Decoder.t;
+  out : Buffer.t;
+  mutable out_pos : int; (* flushed prefix of [out] *)
+  mutable connecting : bool;
+  mutable is_closed : bool;
+  on_payload : t -> Gc_net.Payload.t -> unit;
+  on_close : t -> unit;
+  scratch : Bytes.t;
+}
+
+let fd t = t.sock
+let closed t = t.is_closed
+
+let close t =
+  if not t.is_closed then begin
+    t.is_closed <- true;
+    Evloop.forget t.loop t.sock;
+    (try Unix.close t.sock with Unix.Unix_error _ -> ());
+    t.on_close t
+  end
+
+let pending_out t = Buffer.length t.out - t.out_pos
+
+let rec flush t =
+  if (not t.is_closed) && not t.connecting then begin
+    let n = pending_out t in
+    if n = 0 then begin
+      (* Drained: compact and stop watching for writability. *)
+      Buffer.clear t.out;
+      t.out_pos <- 0;
+      Evloop.set_write t.loop t.sock None
+    end
+    else begin
+      let chunk = Bytes.unsafe_of_string (Buffer.contents t.out) in
+      match Unix.write t.sock chunk t.out_pos n with
+      | written ->
+          t.out_pos <- t.out_pos + written;
+          if written = n then flush t
+          else Evloop.set_write t.loop t.sock (Some (fun () -> flush t))
+      | exception Unix.Unix_error ((Unix.EWOULDBLOCK | Unix.EAGAIN), _, _) ->
+          Evloop.set_write t.loop t.sock (Some (fun () -> flush t))
+      | exception Unix.Unix_error _ -> close t
+    end
+  end
+
+let send t payload =
+  if not t.is_closed then
+    match Frame.encode payload with
+    | Error _ -> () (* unencodable: dropped, datagram semantics *)
+    | Ok frame ->
+        if pending_out t + String.length frame <= out_cap then begin
+          Buffer.add_string t.out frame;
+          if not t.connecting then flush t
+        end
+
+let rec drain_frames t =
+  if not t.is_closed then
+    match Frame.Decoder.next t.decoder with
+    | `Payload p ->
+        t.on_payload t p;
+        drain_frames t
+    | `Await -> ()
+    | `Corrupt _ ->
+        (* Body-level rejects are already counted by the decoder; only a
+           framing-level corruption is unrecoverable. *)
+        if Frame.Decoder.dead t.decoder then close t else drain_frames t
+
+let on_readable t () =
+  if not t.is_closed then
+    match Unix.read t.sock t.scratch 0 (Bytes.length t.scratch) with
+    | 0 -> close t
+    | n ->
+        Frame.Decoder.feed t.decoder t.scratch ~off:0 ~len:n;
+        drain_frames t
+    | exception Unix.Unix_error ((Unix.EWOULDBLOCK | Unix.EAGAIN), _, _) -> ()
+    | exception Unix.Unix_error _ -> close t
+
+let finish_connect t () =
+  if t.connecting && not t.is_closed then begin
+    match Unix.getsockopt_error t.sock with
+    | Some _ -> close t
+    | None ->
+        t.connecting <- false;
+        Evloop.set_write t.loop t.sock None;
+        flush t
+  end
+
+let attach ~loop ?metrics ?frame_limit ?(connecting = false) sock ~on_payload
+    ~on_close =
+  Unix.set_nonblock sock;
+  (try Unix.setsockopt sock Unix.TCP_NODELAY true
+   with Unix.Unix_error _ -> ());
+  let t =
+    {
+      loop;
+      sock;
+      decoder = Frame.Decoder.create ?limit:frame_limit ?metrics ();
+      out = Buffer.create 4096;
+      out_pos = 0;
+      connecting;
+      is_closed = false;
+      on_payload;
+      on_close;
+      scratch = Bytes.create 65_536;
+    }
+  in
+  Evloop.set_read loop sock (Some (on_readable t));
+  if connecting then Evloop.set_write loop sock (Some (finish_connect t));
+  t
+
+let listen ~loop ?(backlog = 64) addr ~on_accept =
+  let sock = Unix.socket (Unix.domain_of_sockaddr addr) Unix.SOCK_STREAM 0 in
+  Unix.setsockopt sock Unix.SO_REUSEADDR true;
+  Unix.bind sock addr;
+  Unix.listen sock backlog;
+  Unix.set_nonblock sock;
+  let rec accept_ready () =
+    match Unix.accept sock with
+    | client, peer_addr ->
+        Unix.set_nonblock client;
+        on_accept client peer_addr;
+        accept_ready ()
+    | exception Unix.Unix_error ((Unix.EWOULDBLOCK | Unix.EAGAIN), _, _) -> ()
+    | exception Unix.Unix_error _ -> ()
+  in
+  Evloop.set_read loop sock (Some accept_ready);
+  sock
+
+let bound_port sock =
+  match Unix.getsockname sock with
+  | Unix.ADDR_INET (_, port) -> port
+  | Unix.ADDR_UNIX _ -> 0

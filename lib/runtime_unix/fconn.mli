@@ -1,0 +1,48 @@
+(** A non-blocking TCP connection carrying {!Gc_net.Frame}-framed
+    payloads, driven by an {!Evloop}.
+
+    Used for both halves of the real runtime: the peer mesh between
+    [gcs_server] daemons and the client connections a server accepts.
+    Reads are decoded incrementally; writes are buffered and flushed on
+    writability.  Rejected frames are counted ([net.frame_reject]) and
+    skipped; a framing-level corruption or peer hangup closes the
+    connection and fires [on_close] exactly once. *)
+
+type t
+
+val attach :
+  loop:Evloop.t ->
+  ?metrics:Gc_obs.Metrics.t ->
+  ?frame_limit:int ->
+  ?connecting:bool ->
+  Unix.file_descr ->
+  on_payload:(t -> Gc_net.Payload.t -> unit) ->
+  on_close:(t -> unit) ->
+  t
+(** Take ownership of a socket (sets it non-blocking).  [connecting] marks
+    an in-progress [Unix.connect]: sends are buffered until the socket
+    reports writable and [SO_ERROR] is clean. *)
+
+val send : t -> Gc_net.Payload.t -> unit
+(** Frame and enqueue one payload.  Unencodable payloads and writes past
+    the buffer cap (256 KiB) are dropped — datagram semantics; the
+    reliable-channel layer above retransmits. *)
+
+val close : t -> unit
+(** Idempotent; fires [on_close]. *)
+
+val closed : t -> bool
+
+val fd : t -> Unix.file_descr
+
+val listen :
+  loop:Evloop.t ->
+  ?backlog:int ->
+  Unix.sockaddr ->
+  on_accept:(Unix.file_descr -> Unix.sockaddr -> unit) ->
+  Unix.file_descr
+(** Bind + listen + watch: every inbound connection is handed to
+    [on_accept] (the socket is already non-blocking). *)
+
+val bound_port : Unix.file_descr -> int
+(** The actual port of a bound socket (for [port 0] binds in tests). *)

@@ -1,0 +1,51 @@
+type t = {
+  table : (string, string) Hashtbl.t;
+  order_log : Buffer.t;
+  mutable ordered : int;
+  mutable commuting : int;
+}
+
+let create () =
+  {
+    table = Hashtbl.create 64;
+    order_log = Buffer.create 256;
+    ordered = 0;
+    commuting = 0;
+  }
+
+let get t key = Hashtbl.find_opt t.table key
+
+let apply t ~origin ~opid ~ordered op =
+  if ordered then begin
+    t.ordered <- t.ordered + 1;
+    Buffer.add_string t.order_log
+      (Printf.sprintf "%d.%d:%s;" origin opid (Proto.op_to_string op))
+  end
+  else t.commuting <- t.commuting + 1;
+  match op with
+  | Proto.Put { key; value } ->
+      Hashtbl.replace t.table key value;
+      value
+  | Proto.Incr { key; delta } ->
+      let current =
+        match Hashtbl.find_opt t.table key with
+        | Some v -> ( match int_of_string_opt v with Some n -> n | None -> 0)
+        | None -> 0
+      in
+      let value = string_of_int (current + delta) in
+      Hashtbl.replace t.table key value;
+      value
+
+let ordered_count t = t.ordered
+let commuting_count t = t.commuting
+let order_digest t = Digest.to_hex (Digest.string (Buffer.contents t.order_log))
+
+let state_digest t =
+  let entries =
+    Hashtbl.fold (fun k v acc -> (k ^ "=" ^ v) :: acc) t.table []
+  in
+  Digest.to_hex (Digest.string (String.concat ";" (List.sort compare entries)))
+
+let dump t =
+  Printf.sprintf "order=%s state=%s ordered=%d commuting=%d" (order_digest t)
+    (state_digest t) t.ordered t.commuting

@@ -1,0 +1,32 @@
+(** The replicated application every [gcs_server] runs: a string key/value
+    table whose [Put]s are totally ordered and whose [Incr]s commute.
+
+    Besides the table it keeps the evidence the CI smoke test compares
+    across replicas: an append-only log of ordered deliveries (identical
+    on every replica iff the stack delivered the same total order) and
+    counters of applied operations. *)
+
+type t
+
+val create : unit -> t
+
+val apply : t -> origin:int -> opid:int -> ordered:bool -> Proto.op -> string
+(** Apply one delivered operation; returns a rendering of the new value
+    (the body of the originating client's reply). *)
+
+val get : t -> string -> string option
+
+val ordered_count : t -> int
+val commuting_count : t -> int
+
+val order_digest : t -> string
+(** MD5 (hex) over the sequence of ordered deliveries
+    [(origin, opid, op)...], in delivery order. *)
+
+val state_digest : t -> string
+(** MD5 (hex) over the sorted key/value table — equal across replicas
+    once traffic has quiesced, even though commuting deliveries may have
+    interleaved differently. *)
+
+val dump : t -> string
+(** One-line summary: both digests and both counters. *)

@@ -1,0 +1,29 @@
+(** The [gcs_server] wire protocol: client requests, server replies, and
+    the replicated operation envelope, all as {!Gc_net.Payload.t}
+    extensions registered with the binary codec (tag ["cl"]) so they
+    cross both the client TCP connection and the server peer mesh.
+
+    Clients pick the ordering primitive by op: [Cl_put] conflicts (it
+    overwrites) and rides atomic broadcast; [Cl_incr] commutes with other
+    increments and rides the generic-broadcast fast path; [Cl_get] and
+    [Cl_dump] are answered locally by the serving replica. *)
+
+type op =
+  | Put of { key : string; value : string }  (** conflicting: abcast *)
+  | Incr of { key : string; delta : int }  (** commuting: rbcast *)
+
+val op_commutes : op -> bool
+val op_to_string : op -> string
+
+type Gc_net.Payload.t +=
+  | Cl_put of { rid : int; key : string; value : string }
+  | Cl_incr of { rid : int; key : string; delta : int }
+  | Cl_get of { rid : int; key : string }
+  | Cl_dump of { rid : int }
+  | Cl_reply of { rid : int; ok : bool; body : string }
+      (** Every request is answered by exactly one [Cl_reply] echoing its
+          [rid]. *)
+  | Sv_op of { origin : int; opid : int; op : op }
+      (** The replicated envelope servers broadcast through the stack;
+          [origin]'s server answers the submitting client when its own
+          stack delivers the envelope. *)

@@ -1,0 +1,136 @@
+module Runtime_unix = Gc_runtime_unix.Runtime_unix
+module Evloop = Gc_runtime_unix.Evloop
+module Fconn = Gc_runtime_unix.Fconn
+module Stack = Gcs.Gcs_stack
+module View = Gc_membership.View
+
+type t = {
+  id : int;
+  endpoint : Runtime_unix.t;
+  stack : Stack.t;
+  kv : Kv.t;
+  metrics : Gc_obs.Metrics.t;
+  log : string -> unit;
+  mutable next_opid : int;
+  pending : (int, Fconn.t * int) Hashtbl.t; (* opid -> submitting conn, rid *)
+  mutable clients : Fconn.t list;
+  mutable client_listener : Unix.file_descr option;
+  loop : Evloop.t;
+}
+
+let id t = t.id
+let stack t = t.stack
+let kv t = t.kv
+let metrics t = t.metrics
+let peer_port t = Runtime_unix.port t.endpoint
+
+let client_port t =
+  match t.client_listener with Some s -> Fconn.bound_port s | None -> 0
+
+let set_peers t peers = Runtime_unix.set_peers t.endpoint peers
+
+let reply conn ~rid ~ok body =
+  if not (Fconn.closed conn) then
+    Fconn.send conn (Proto.Cl_reply { rid; ok; body })
+
+let submit t conn ~rid op =
+  let opid = t.next_opid in
+  t.next_opid <- opid + 1;
+  Hashtbl.replace t.pending opid (conn, rid);
+  let envelope = Proto.Sv_op { origin = t.id; opid; op } in
+  if Proto.op_commutes op then Stack.rbcast t.stack envelope
+  else Stack.abcast t.stack envelope
+
+let on_client_payload t conn payload =
+  match payload with
+  | Proto.Cl_put { rid; key; value } ->
+      submit t conn ~rid (Proto.Put { key; value })
+  | Proto.Cl_incr { rid; key; delta } ->
+      submit t conn ~rid (Proto.Incr { key; delta })
+  | Proto.Cl_get { rid; key } -> (
+      match Kv.get t.kv key with
+      | Some value -> reply conn ~rid ~ok:true value
+      | None -> reply conn ~rid ~ok:false "not found")
+  | Proto.Cl_dump { rid } -> reply conn ~rid ~ok:true (Kv.dump t.kv)
+  | _ -> Gc_obs.Metrics.incr t.metrics "server.bad_request"
+
+let on_delivery t ~origin:_ ~ordered payload =
+  match payload with
+  | Proto.Sv_op { origin; opid; op } -> (
+      let result = Kv.apply t.kv ~origin ~opid ~ordered op in
+      Gc_obs.Metrics.incr t.metrics "server.applied";
+      if origin = t.id then
+        match Hashtbl.find_opt t.pending opid with
+        | Some (conn, rid) ->
+            Hashtbl.remove t.pending opid;
+            reply conn ~rid ~ok:true result
+        | None -> ())
+  | _ -> Gc_obs.Metrics.incr t.metrics "server.bad_delivery"
+
+let accept_client t sock _addr =
+  Gc_obs.Metrics.incr t.metrics "server.client_accepts";
+  t.log "client connected";
+  let conn =
+    Fconn.attach ~loop:t.loop ~metrics:t.metrics sock
+      ~on_payload:(fun conn p -> on_client_payload t conn p)
+      ~on_close:(fun conn ->
+        t.clients <- List.filter (fun c -> c != conn) t.clients;
+        t.log "client disconnected")
+  in
+  t.clients <- conn :: t.clients
+
+let create ~loop ~id ~initial ?config ?metrics ?(log = ignore) ?join_via
+    ~peer_listen ~client_listen () =
+  let metrics =
+    match metrics with Some m -> m | None -> Gc_obs.Metrics.create ()
+  in
+  let endpoint = Runtime_unix.create ~loop ~me:id ~metrics ~listen:peer_listen () in
+  let config =
+    match config with
+    | Some c -> c
+    | None -> Stack.Config.make ~runtime:Stack.Config.Unix ()
+  in
+  let stack =
+    Stack.create (Runtime_unix.runtime endpoint) ~metrics ~id ~initial ~config ()
+  in
+  let t =
+    {
+      id;
+      endpoint;
+      stack;
+      kv = Kv.create ();
+      metrics;
+      log;
+      next_opid = 0;
+      pending = Hashtbl.create 64;
+      clients = [];
+      client_listener = None;
+      loop;
+    }
+  in
+  t.client_listener <-
+    Some
+      (Fconn.listen ~loop client_listen ~on_accept:(fun fd addr ->
+           accept_client t fd addr));
+  Stack.on_deliver stack (fun ~origin ~ordered payload ->
+      on_delivery t ~origin ~ordered payload);
+  Stack.on_view stack (fun view ->
+      log
+        (Printf.sprintf "view %d: {%s}" view.View.vid
+           (String.concat "," (List.map string_of_int view.View.members))));
+  (match join_via with
+  | Some via -> Stack.join stack ~via
+  | None -> ());
+  t
+
+let shutdown t =
+  (match t.client_listener with
+  | Some sock ->
+      Evloop.forget t.loop sock;
+      (try Unix.close sock with Unix.Unix_error _ -> ());
+      t.client_listener <- None
+  | None -> ());
+  List.iter Fconn.close t.clients;
+  t.clients <- [];
+  Stack.crash t.stack;
+  Runtime_unix.shutdown t.endpoint

@@ -1,0 +1,38 @@
+(** One [gcs_server] daemon: a {!Gcs_stack} over the real-network runtime,
+    plus a client-facing TCP listener speaking {!Proto} frames.
+
+    Requests enter on a client connection, are wrapped in
+    {!Proto.Sv_op} and broadcast through the stack ([Cl_put] via abcast,
+    [Cl_incr] via rbcast); when the daemon's own stack delivers an
+    envelope it originated, the submitting client gets its
+    {!Proto.Cl_reply}.  Reads ([Cl_get], [Cl_dump]) are answered from
+    the local {!Kv} replica immediately. *)
+
+type t
+
+val create :
+  loop:Gc_runtime_unix.Evloop.t ->
+  id:int ->
+  initial:int list ->
+  ?config:Gcs.Gcs_stack.config ->
+  ?metrics:Gc_obs.Metrics.t ->
+  ?log:(string -> unit) ->
+  ?join_via:int ->
+  peer_listen:Unix.sockaddr ->
+  client_listen:Unix.sockaddr ->
+  unit ->
+  t
+(** Boot the daemon: bind both listeners, assemble the stack.  A founding
+    member lists itself in [initial]; a later joiner passes the current
+    membership and [join_via] (its sponsor).  Port 0 binds are supported;
+    read the real ports back with {!peer_port} / {!client_port}, then
+    declare the mesh with {!set_peers}. *)
+
+val set_peers : t -> (int * Unix.sockaddr) list -> unit
+val peer_port : t -> int
+val client_port : t -> int
+val id : t -> int
+val stack : t -> Gcs.Gcs_stack.t
+val kv : t -> Kv.t
+val metrics : t -> Gc_obs.Metrics.t
+val shutdown : t -> unit

@@ -1,0 +1,30 @@
+(** A thin synchronous client for [gcs_server]: one blocking TCP
+    connection, one in-flight request at a time.  Used by [gcs_client],
+    the loopback load generator, and the CI smoke test. *)
+
+type t
+
+type error =
+  | Timeout
+  | Closed  (** the server hung up *)
+  | Refused of string  (** a [Cl_reply] with [ok = false] *)
+  | Protocol of string  (** malformed frame or mismatched reply *)
+
+val error_to_string : error -> string
+
+val connect : Unix.sockaddr -> (t, string) result
+val close : t -> unit
+
+val put :
+  t -> ?timeout:float -> key:string -> value:string -> unit ->
+  (string, error) result
+(** Conflicting write (total order); returns the applied value. *)
+
+val incr :
+  t -> ?timeout:float -> key:string -> delta:int -> unit ->
+  (string, error) result
+(** Commuting write (fast path); returns the applied value. *)
+
+val get : t -> ?timeout:float -> key:string -> unit -> (string, error) result
+val dump : t -> ?timeout:float -> unit -> (string, error) result
+(** The replica's {!Kv.dump} line (order/state digests + counters). *)

@@ -460,9 +460,9 @@ let handle_state t ~view ~last_gseq ~app =
     replay_stashed_token t
   end
 
-let create net ~trace ~id ~initial ?(config = default_config)
+let create runtime ~id ~initial ?(config = default_config)
     ?app_state_provider ?app_state_installer () =
-  let proc = Process.create net ~trace ~id in
+  let proc = Process.create runtime ~id in
   Process.incr ~by:0 proc "totem.recoveries";
   Process.incr ~by:0 proc "totem.view_changes";
   Process.incr ~by:0 proc "totem.exclusions";

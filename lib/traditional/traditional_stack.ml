@@ -673,9 +673,9 @@ let handle_state t ~view ~last_gseq ~app =
     List.iter (fun f -> f ()) q
   end
 
-let create net ~trace ~id ~initial ?(config = default_config)
+let create runtime ~id ~initial ?(config = default_config)
     ?app_state_provider ?app_state_installer () =
-  let proc = Process.create net ~trace ~id in
+  let proc = Process.create runtime ~id in
   Process.incr ~by:0 proc "traditional.flushes";
   Process.incr ~by:0 proc "traditional.view_changes";
   Process.incr ~by:0 proc "traditional.exclusions";

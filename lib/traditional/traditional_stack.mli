@@ -57,8 +57,7 @@ val default_config : config
 type t
 
 val create :
-  Gc_net.Netsim.t ->
-  trace:Gc_sim.Trace.t ->
+  Gc_kernel.Runtime.t ->
   id:int ->
   initial:int list ->
   ?config:config ->

@@ -37,7 +37,7 @@ let make_world ?(seed = 42L) ?(delay = Delay.lan) ?(drop = 0.0)
   let peer_ids = ids n in
   let nodes =
     Array.init n (fun i ->
-        let proc = Process.create net ~trace ~id:i in
+        let proc = Process.create (Gc_kernel.Runtime.of_netsim net ~trace) ~id:i in
         let fd = Fd.create proc ~hb_period ~peers:peer_ids () in
         let rc = Rc.create proc ~rto ~stuck_after () in
         let rb = Rb.create proc rc in

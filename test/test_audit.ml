@@ -37,7 +37,7 @@ let recorded_run ~make ~send ?(n = 3) ?(casts = 8) ?(seed = 7L)
 
 let new_run ?mix () =
   recorded_run
-    ~make:(fun net ~trace ~id ~initial -> Stack.create net ~trace ~id ~initial ())
+    ~make:(fun net ~trace ~id ~initial -> Stack.create (Gc_kernel.Runtime.of_netsim net ~trace) ~id ~initial ())
     ~send:(fun s p ->
       match (mix, p) with
       | Some (), Probe k when k mod 2 = 0 -> Stack.rbcast s p
@@ -46,13 +46,13 @@ let new_run ?mix () =
 
 let trad_run () =
   recorded_run
-    ~make:(fun net ~trace ~id ~initial -> Tr.create net ~trace ~id ~initial ())
+    ~make:(fun net ~trace ~id ~initial -> Tr.create (Gc_kernel.Runtime.of_netsim net ~trace) ~id ~initial ())
     ~send:(fun s p -> Tr.abcast s p)
     ()
 
 let totem_run () =
   recorded_run
-    ~make:(fun net ~trace ~id ~initial -> Tt.create net ~trace ~id ~initial ())
+    ~make:(fun net ~trace ~id ~initial -> Tt.create (Gc_kernel.Runtime.of_netsim net ~trace) ~id ~initial ())
     ~send:(fun s p -> Tt.abcast s p)
     ()
 

@@ -15,7 +15,7 @@ type Gc_net.Payload.t += Echo of int
 (* A scriptable fake replica: a process + reliable channel whose behaviour
    per request is injected by the test. *)
 let fake_replica net trace id behave =
-  let proc = Process.create net ~trace ~id in
+  let proc = Process.create (Gc_kernel.Runtime.of_netsim net ~trace) ~id in
   let rc = Rc.create proc () in
   Rc.on_deliver rc (fun ~src payload ->
       match payload with
@@ -40,7 +40,7 @@ let test_simple_reply_and_latency () =
         | Echo k -> Rc.send rc ~dst:cid (Rpc.Rep { rid; result = Echo (k * 2) })
         | _ -> ())
   in
-  let client = Client.create net ~trace ~id:1 ~replicas:[ 0 ] () in
+  let client = Client.create (Gc_kernel.Runtime.of_netsim net ~trace) ~id:1 ~replicas:[ 0 ] () in
   let got = ref None in
   Client.request client ~cmd:(Echo 21) ~on_reply:(fun r ~latency ->
       got := Some (r, latency));
@@ -64,7 +64,7 @@ let test_retry_rotates_to_next_replica () =
         | _ -> ())
   in
   let client =
-    Client.create net ~trace ~id:2 ~replicas:[ 0; 1 ] ~timeout:100.0 ()
+    Client.create (Gc_kernel.Runtime.of_netsim net ~trace) ~id:2 ~replicas:[ 0; 1 ] ~timeout:100.0 ()
   in
   let got = ref None in
   Client.request client ~cmd:(Echo 9) ~on_reply:(fun r ~latency ->
@@ -90,7 +90,7 @@ let test_redirect_retargets () =
         Rc.send rc ~dst:cid (Rpc.Rep { rid; result = cmd }))
   in
   let client =
-    Client.create net ~trace ~id:2 ~replicas:[ 0; 1 ] ~timeout:1_000.0 ()
+    Client.create (Gc_kernel.Runtime.of_netsim net ~trace) ~id:2 ~replicas:[ 0; 1 ] ~timeout:1_000.0 ()
   in
   let got = ref 0 in
   Client.request client ~cmd:(Echo 1) ~on_reply:(fun _ ~latency ->
@@ -109,7 +109,7 @@ let test_duplicate_replies_ignored () =
         Rc.send rc ~dst:cid (Rpc.Rep { rid; result = cmd });
         Rc.send rc ~dst:cid (Rpc.Rep { rid; result = cmd }))
   in
-  let client = Client.create net ~trace ~id:1 ~replicas:[ 0 ] () in
+  let client = Client.create (Gc_kernel.Runtime.of_netsim net ~trace) ~id:1 ~replicas:[ 0 ] () in
   let got = ref 0 in
   Client.request client ~cmd:(Echo 1) ~on_reply:(fun _ ~latency:_ -> incr got);
   Engine.run ~until:5_000.0 engine;
@@ -137,7 +137,7 @@ let test_concurrent_requests_matched_by_rid () =
     (proc, rc)
   in
   let client =
-    Client.create net ~trace ~id:1 ~replicas:[ 0 ] ~timeout:1_000.0 ()
+    Client.create (Gc_kernel.Runtime.of_netsim net ~trace) ~id:1 ~replicas:[ 0 ] ~timeout:1_000.0 ()
   in
   let replies = ref [] in
   for k = 0 to 5 do

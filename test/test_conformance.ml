@@ -1,0 +1,219 @@
+(* Backend conformance: the same scripted scenario runs against both
+   Runtime implementations through one functor.
+
+   The scenario: three founding members each submit a schedule of
+   conflicting (abcast) and commuting (rbcast) operations; every node
+   records what its stack delivers.  Obligations checked on every
+   backend: agreement (one identical total order of conflicting ops on
+   all nodes) and completeness (each class delivered exactly once,
+   everywhere).  The sim backend additionally pins determinism — two
+   runs from the same seed must produce byte-identical logs — while the
+   unix backend (real TCP over loopback, one in-process select loop) is
+   only required to be order-isomorphic: the *same* total order on all
+   its nodes, not necessarily the sim's. *)
+
+module Stack = Gcs.Gcs_stack
+module Engine = Gc_sim.Engine
+module Netsim = Gc_net.Netsim
+module Trace = Gc_sim.Trace
+module Evloop = Gc_runtime_unix.Evloop
+module Ru = Gc_runtime_unix.Runtime_unix
+open Support
+
+type Gc_net.Payload.t += Cop of { origin : int; k : int }
+
+let () =
+  Gc_net.Payload.register_codec ~tag:"test.cop"
+    ~encode:(fun _enc w p ->
+      match p with
+      | Cop { origin; k } ->
+          Gc_net.Wire.varint w origin;
+          Gc_net.Wire.varint w k;
+          true
+      | _ -> false)
+    ~decode:(fun _dec r ->
+      let origin = Gc_net.Wire.read_varint r in
+      let k = Gc_net.Wire.read_varint r in
+      Cop { origin; k })
+
+let nodes = 3
+let per_node = 6
+
+(* One delivery log entry: (origin, k, ordered). *)
+type log = (int * int * bool) list
+
+module type Backend = sig
+  val name : string
+  val deterministic : bool
+
+  val run_scenario : unit -> log array
+  (** Build a [nodes]-member cluster, let node [i] submit operations
+      [Cop {origin = i; k}] for [k < per_node] (even [k] conflicting via
+      abcast, odd [k] commuting via rbcast), and return each node's
+      delivery log once everything has been delivered everywhere. *)
+end
+
+let submit stacks i k =
+  let p = Cop { origin = i; k } in
+  if k mod 2 = 0 then Stack.abcast stacks.(i) p else Stack.rbcast stacks.(i) p
+
+let record logs id ~ordered payload =
+  match payload with
+  | Cop { origin; k } -> logs.(id) <- (origin, k, ordered) :: logs.(id)
+  | _ -> ()
+
+let finished logs =
+  Array.for_all (fun l -> List.length l = nodes * per_node) logs
+
+let harvest logs = Array.map List.rev logs
+
+(* ---------- backends ---------- *)
+
+module Sim_backend = struct
+  let name = "sim"
+  let deterministic = true
+
+  let run_scenario () =
+    let engine = Engine.create ~seed:4242L () in
+    let trace = Trace.create ~enabled:false () in
+    let net = Netsim.create engine ~trace ~delay:Gc_net.Delay.lan ~n:nodes () in
+    let initial = List.init nodes Fun.id in
+    let logs = Array.make nodes [] in
+    let stacks =
+      Array.init nodes (fun id ->
+          let s =
+            Stack.create (Gc_kernel.Runtime.of_netsim net ~trace) ~id ~initial ()
+          in
+          Stack.on_deliver s (fun ~origin:_ ~ordered payload ->
+              record logs id ~ordered payload);
+          s)
+    in
+    for i = 0 to nodes - 1 do
+      for k = 0 to per_node - 1 do
+        ignore
+          (Engine.schedule_at engine
+             ~time:(100.0 +. (float_of_int ((i * per_node) + k) *. 15.0))
+             (fun () -> submit stacks i k))
+      done
+    done;
+    Engine.run ~until:60_000.0 engine;
+    harvest logs
+end
+
+module Unix_backend = struct
+  let name = "unix"
+  let deterministic = false
+
+  let run_scenario () =
+    let loop = Evloop.create () in
+    let lo = Unix.inet_addr_loopback in
+    let initial = List.init nodes Fun.id in
+    let logs = Array.make nodes [] in
+    let endpoints =
+      Array.init nodes (fun me ->
+          Ru.create ~loop ~me ~listen:(Unix.ADDR_INET (lo, 0)) ())
+    in
+    let peers =
+      Array.to_list
+        (Array.mapi
+           (fun id ep -> (id, Unix.ADDR_INET (lo, Ru.port ep)))
+           endpoints)
+    in
+    Array.iter (fun ep -> Ru.set_peers ep peers) endpoints;
+    let config =
+      Stack.Config.make ~runtime:Stack.Config.Unix ~hb_period:25.0
+        ~consensus_timeout:400.0 ()
+    in
+    let stacks =
+      Array.init nodes (fun id ->
+          let s =
+            Stack.create (Ru.runtime endpoints.(id)) ~id ~initial ~config ()
+          in
+          Stack.on_deliver s (fun ~origin:_ ~ordered payload ->
+              record logs id ~ordered payload);
+          s)
+    in
+    for i = 0 to nodes - 1 do
+      for k = 0 to per_node - 1 do
+        ignore
+          (Evloop.schedule loop
+             ~delay:(50.0 +. (float_of_int ((i * per_node) + k) *. 5.0))
+             (fun () -> submit stacks i k))
+      done
+    done;
+    let deadline = Evloop.now loop +. 30_000.0 in
+    while (not (finished logs)) && Evloop.now loop < deadline do
+      Evloop.run_once loop ~max_wait:20.0
+    done;
+    Array.iter Ru.shutdown endpoints;
+    harvest logs
+end
+
+(* ---------- the conformance obligations ---------- *)
+
+let pp_entry (o, k, ordered) =
+  Printf.sprintf "%d.%d%s" o k (if ordered then "!" else "")
+
+let pp_log l = String.concat " " (List.map pp_entry l)
+
+module Conformance (B : Backend) = struct
+  let scripted =
+    List.concat_map
+      (fun i -> List.init per_node (fun k -> (i, k)))
+      (List.init nodes Fun.id)
+
+  let check_logs logs =
+    Alcotest.(check int) "every node present" nodes (Array.length logs);
+    Array.iteri
+      (fun id l ->
+        Alcotest.(check int)
+          (Printf.sprintf "node %d delivered everything" id)
+          (nodes * per_node) (List.length l);
+        Alcotest.(check (list (pair int int)))
+          (Printf.sprintf "node %d delivered exactly the script" id)
+          (List.sort compare scripted)
+          (List.sort compare (List.map (fun (o, k, _) -> (o, k)) l)))
+      logs;
+    (* Agreement: the subsequence of ordered (conflicting) deliveries is
+       identical on every node — one total order. *)
+    let ordered_of l = List.filter (fun (_, _, ordered) -> ordered) l in
+    let reference = ordered_of logs.(0) in
+    Alcotest.(check bool) "conflicting ops exist" true (reference <> []);
+    Array.iteri
+      (fun id l ->
+        if ordered_of l <> reference then
+          Alcotest.failf "node %d total order diverges:\n  %s\nvs node 0:\n  %s"
+            id (pp_log (ordered_of l)) (pp_log reference))
+      logs
+
+  let test_agreement () = check_logs (B.run_scenario ())
+
+  let test_determinism () =
+    if B.deterministic then begin
+      let a = B.run_scenario () in
+      let b = B.run_scenario () in
+      Array.iteri
+        (fun id l ->
+          if l <> b.(id) then
+            Alcotest.failf "node %d logs differ across identical runs" id)
+        a
+    end
+
+  let cases =
+    Alcotest.test_case
+      (Printf.sprintf "%s: one total order, complete delivery" B.name)
+      `Quick test_agreement
+    ::
+    (if B.deterministic then
+       [
+         Alcotest.test_case
+           (Printf.sprintf "%s: bit-identical replay" B.name)
+           `Quick test_determinism;
+       ]
+     else [])
+end
+
+module Sim_conf = Conformance (Sim_backend)
+module Unix_conf = Conformance (Unix_backend)
+
+let suite = [ ("conformance", Sim_conf.cases @ Unix_conf.cases) ]

@@ -29,7 +29,7 @@ let make_stacks ?(config = Stack.default_config) ?(n_founders = None) ~n ~seed
           | _ -> ()
         in
         let s =
-          Stack.create net ~trace ~id ~initial ~config ~app_state_provider
+          Stack.create (Gc_kernel.Runtime.of_netsim net ~trace) ~id ~initial ~config ~app_state_provider
             ~app_state_installer ()
         in
         Stack.on_deliver s (fun ~origin:_ ~ordered:_ payload ->

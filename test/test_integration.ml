@@ -33,7 +33,7 @@ let scenario ~seed ~n ~ops ~crash ~leave =
   let histories = Array.make n [] in
   let stacks =
     Array.init n (fun id ->
-        let s = Stack.create net ~trace ~id ~initial ~config () in
+        let s = Stack.create (Gc_kernel.Runtime.of_netsim net ~trace) ~id ~initial ~config () in
         Stack.on_deliver s (fun ~origin:_ ~ordered payload ->
             match payload with
             | Op { k; _ } -> histories.(id) <- (k, ordered) :: histories.(id)
@@ -170,7 +170,7 @@ let test_rejoin_after_exclusion_full_stack () =
   let histories = Array.make 4 [] in
   let stacks =
     Array.init 4 (fun id ->
-        let s = Stack.create net ~trace ~id ~initial ~config () in
+        let s = Stack.create (Gc_kernel.Runtime.of_netsim net ~trace) ~id ~initial ~config () in
         Stack.on_deliver s (fun ~origin:_ ~ordered:_ payload ->
             match payload with
             | Op { k; _ } -> histories.(id) <- k :: histories.(id)

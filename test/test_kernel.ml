@@ -12,7 +12,7 @@ let make n =
   let engine = Engine.create ~seed:3L () in
   let trace = Trace.create () in
   let net = Netsim.create engine ~delay:(Delay.Constant 1.0) ~n () in
-  let procs = Array.init n (fun id -> Process.create net ~trace ~id) in
+  let procs = Array.init n (fun id -> Process.create (Gc_kernel.Runtime.of_netsim net ~trace) ~id) in
   (engine, net, procs)
 
 let test_fanout_dispatch () =

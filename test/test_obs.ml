@@ -167,7 +167,7 @@ let run_workload ~ordered =
   let delivered = ref 0 in
   let stacks =
     Array.init n (fun id ->
-        let s = Stack.create net ~trace ~id ~initial () in
+        let s = Stack.create (Gc_kernel.Runtime.of_netsim net ~trace) ~id ~initial () in
         Stack.on_deliver s (fun ~origin:_ ~ordered:_ _ ->
             if id = 0 then incr delivered);
         s)

@@ -88,10 +88,10 @@ let test_active_basic () =
   let servers =
     List.map
       (fun id ->
-        Active.create net ~trace ~id ~initial:replicas ~make_sm:Sm.Bank.make ())
+        Active.create (Gc_kernel.Runtime.of_netsim net ~trace) ~id ~initial:replicas ~make_sm:Sm.Bank.make ())
       replicas
   in
-  let client = Client.create net ~trace ~id:3 ~replicas () in
+  let client = Client.create (Gc_kernel.Runtime.of_netsim net ~trace) ~id:3 ~replicas () in
   let replies = ref [] in
   for k = 1 to 5 do
     Client.request client ~cmd:(deposit 0 k) ~on_reply:(fun r ~latency ->
@@ -115,10 +115,10 @@ let test_active_contact_crash_exactly_once () =
       let servers =
         List.map
           (fun id ->
-            Active.create net ~trace ~id ~initial:replicas ~make_sm:Sm.Bank.make ())
+            Active.create (Gc_kernel.Runtime.of_netsim net ~trace) ~id ~initial:replicas ~make_sm:Sm.Bank.make ())
           replicas
       in
-      let client = Client.create net ~trace ~id:3 ~replicas ~timeout:400.0 () in
+      let client = Client.create (Gc_kernel.Runtime.of_netsim net ~trace) ~id:3 ~replicas ~timeout:400.0 () in
       let got = ref 0 in
       Client.request client ~cmd:(deposit 0 100) ~on_reply:(fun _ ~latency:_ ->
           incr got);
@@ -150,7 +150,7 @@ let make_passive ?(config = Gcs.Gcs_stack.default_config)
   let servers =
     List.map
       (fun id ->
-        Passive.create net ~trace ~id ~initial:replicas ~config
+        Passive.create (Gc_kernel.Runtime.of_netsim net ~trace) ~id ~initial:replicas ~config
           ~primary_suspect_timeout ~make_sm:Sm.Bank.make ())
       replicas
   in
@@ -160,7 +160,7 @@ let test_passive_basic () =
   let engine, trace, net, replicas, servers =
     make_passive ~n_replicas:3 ~n_clients:1 ~seed:2L ()
   in
-  let client = Client.create net ~trace ~id:3 ~replicas () in
+  let client = Client.create (Gc_kernel.Runtime.of_netsim net ~trace) ~id:3 ~replicas () in
   let replies = ref 0 in
   for k = 1 to 6 do
     Client.request client ~cmd:(deposit 0 k) ~on_reply:(fun _ ~latency:_ ->
@@ -186,7 +186,7 @@ let test_passive_primary_crash_failover () =
       let engine, trace, net, replicas, servers =
         make_passive ~n_replicas:4 ~n_clients:1 ~seed ()
       in
-      let client = Client.create net ~trace ~id:4 ~replicas ~timeout:400.0 () in
+      let client = Client.create (Gc_kernel.Runtime.of_netsim net ~trace) ~id:4 ~replicas ~timeout:400.0 () in
       let replies = ref [] in
       Client.request client ~cmd:(deposit 0 10) ~on_reply:(fun r ~latency:_ ->
           replies := r :: !replies);
@@ -241,7 +241,7 @@ let test_passive_fig8_consistency () =
       let engine, trace, net, replicas, servers =
         make_passive ~n_replicas:3 ~n_clients:1 ~seed ()
       in
-      let client = Client.create net ~trace ~id:3 ~replicas ~timeout:300.0 () in
+      let client = Client.create (Gc_kernel.Runtime.of_netsim net ~trace) ~id:3 ~replicas ~timeout:300.0 () in
       let replies = ref 0 in
       ignore
         (Engine.schedule engine ~delay:500.0 (fun () ->
@@ -270,10 +270,10 @@ let test_passive_vs_basic () =
   let servers =
     List.map
       (fun id ->
-        Passive_vs.create net ~trace ~id ~initial:replicas ~make_sm:Sm.Bank.make ())
+        Passive_vs.create (Gc_kernel.Runtime.of_netsim net ~trace) ~id ~initial:replicas ~make_sm:Sm.Bank.make ())
       replicas
   in
-  let client = Client.create net ~trace ~id:3 ~replicas () in
+  let client = Client.create (Gc_kernel.Runtime.of_netsim net ~trace) ~id:3 ~replicas () in
   let replies = ref 0 in
   for k = 1 to 4 do
     Client.request client ~cmd:(deposit 0 k) ~on_reply:(fun _ ~latency:_ ->
@@ -295,11 +295,11 @@ let test_passive_vs_primary_crash_excludes () =
       let servers =
         List.map
           (fun id ->
-            Passive_vs.create net ~trace ~id ~initial:replicas ~config
+            Passive_vs.create (Gc_kernel.Runtime.of_netsim net ~trace) ~id ~initial:replicas ~config
               ~make_sm:Sm.Bank.make ())
           replicas
       in
-      let client = Client.create net ~trace ~id:3 ~replicas ~timeout:400.0 () in
+      let client = Client.create (Gc_kernel.Runtime.of_netsim net ~trace) ~id:3 ~replicas ~timeout:400.0 () in
       let replies = ref 0 in
       Client.request client ~cmd:(deposit 0 3) ~on_reply:(fun _ ~latency:_ ->
           incr replies);
@@ -332,8 +332,8 @@ let test_passive_withdraw_never_overdraws () =
       let engine, trace, net, replicas, servers =
         make_passive ~n_replicas:3 ~n_clients:2 ~seed ()
       in
-      let c1 = Client.create net ~trace ~id:3 ~replicas () in
-      let c2 = Client.create net ~trace ~id:4 ~replicas () in
+      let c1 = Client.create (Gc_kernel.Runtime.of_netsim net ~trace) ~id:3 ~replicas () in
+      let c2 = Client.create (Gc_kernel.Runtime.of_netsim net ~trace) ~id:4 ~replicas () in
       let nok = ref 0 and insufficient = ref 0 in
       let tally r ~latency:_ =
         match r with
@@ -368,7 +368,7 @@ let test_passive_redirect_to_primary () =
   (* Force the client's first target to be a backup by listing replicas in a
      rotated order. *)
   let client =
-    Client.create net ~trace ~id:3 ~replicas:[ 1; 2; 0 ] ~timeout:1_000.0 ()
+    Client.create (Gc_kernel.Runtime.of_netsim net ~trace) ~id:3 ~replicas:[ 1; 2; 0 ] ~timeout:1_000.0 ()
   in
   let served = ref 0 in
   Client.request client ~cmd:(deposit 0 5) ~on_reply:(fun _ ~latency:_ ->
@@ -387,7 +387,7 @@ let test_balance_query_through_replication () =
   let engine, trace, net, replicas, _servers =
     make_passive ~n_replicas:3 ~n_clients:1 ~seed:42L ()
   in
-  let client = Client.create net ~trace ~id:3 ~replicas () in
+  let client = Client.create (Gc_kernel.Runtime.of_netsim net ~trace) ~id:3 ~replicas () in
   let log = ref [] in
   Client.request client ~cmd:(deposit 0 30) ~on_reply:(fun r ~latency:_ ->
       log := r :: !log);

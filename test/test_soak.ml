@@ -32,7 +32,7 @@ let scenario ~seed =
   let histories = Array.make n [] in
   let stacks =
     Array.init n (fun id ->
-        let s = Stack.create net ~trace ~id ~initial ~config () in
+        let s = Stack.create (Gc_kernel.Runtime.of_netsim net ~trace) ~id ~initial ~config () in
         Stack.on_deliver s (fun ~origin:_ ~ordered payload ->
             match payload with
             | Op { k; _ } -> histories.(id) <- (k, ordered) :: histories.(id)

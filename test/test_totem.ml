@@ -27,7 +27,7 @@ let make ?(config = Tt.default_config) ?(n_founders = None) ~n ~seed () =
           | _ -> ()
         in
         let s =
-          Tt.create net ~trace ~id ~initial ~config ~app_state_provider:provider
+          Tt.create (Gc_kernel.Runtime.of_netsim net ~trace) ~id ~initial ~config ~app_state_provider:provider
             ~app_state_installer:installer ()
         in
         Tt.on_deliver s (fun ~origin:_ payload ->

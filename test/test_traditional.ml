@@ -27,7 +27,7 @@ let make ?(config = Tr.default_config) ?(n_founders = None) ~n ~seed () =
           | _ -> ()
         in
         let s =
-          Tr.create net ~trace ~id ~initial ~config ~app_state_provider:provider
+          Tr.create (Gc_kernel.Runtime.of_netsim net ~trace) ~id ~initial ~config ~app_state_provider:provider
             ~app_state_installer:installer ()
         in
         Tr.on_deliver s (fun ~origin:_ ~ordered payload ->

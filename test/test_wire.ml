@@ -1,0 +1,201 @@
+(* The binary wire layer: primitive round-trips, the extensible-payload
+   codec registry with its typed errors, and length-prefixed framing with
+   the incremental stream decoder (reject counting, resynchronisation,
+   terminal length corruption). *)
+
+module Wire = Gc_net.Wire
+module Payload = Gc_net.Payload
+module Frame = Gc_net.Frame
+module Metrics = Gc_obs.Metrics
+module Proto = Gc_server.Proto
+module Ru = Gc_runtime_unix.Runtime_unix
+open Support
+
+type Gc_net.Payload.t += Unregistered of int
+
+let check_str = Alcotest.(check string)
+
+(* ---------- wire primitives ---------- *)
+
+let test_wire_roundtrip () =
+  let w = Buffer.create 64 in
+  Wire.u8 w 200;
+  List.iter (Wire.varint w)
+    [ 0; 1; -1; 63; -64; 1 lsl 40; -(1 lsl 40); max_int; min_int ];
+  Wire.f64 w 3.25;
+  Wire.f64 w Float.neg_infinity;
+  Wire.str w "";
+  Wire.str w "hello \x00 wire";
+  Wire.list w Wire.varint [ 5; 6; 7 ];
+  Wire.option w Wire.str None;
+  Wire.option w Wire.str (Some "x");
+  Wire.pair w Wire.varint Wire.str (9, "y");
+  let r = Wire.reader (Buffer.contents w) in
+  check_int "u8" 200 (Wire.read_u8 r);
+  List.iter
+    (fun v -> check_int "varint" v (Wire.read_varint r))
+    [ 0; 1; -1; 63; -64; 1 lsl 40; -(1 lsl 40); max_int; min_int ];
+  Alcotest.(check (float 0.0)) "f64" 3.25 (Wire.read_f64 r);
+  Alcotest.(check bool) "f64 -inf" true
+    (Wire.read_f64 r = Float.neg_infinity);
+  check_str "empty str" "" (Wire.read_str r);
+  check_str "str" "hello \x00 wire" (Wire.read_str r);
+  check_list_int "list" [ 5; 6; 7 ] (Wire.read_list r Wire.read_varint);
+  Alcotest.(check (option string)) "none" None (Wire.read_option r Wire.read_str);
+  Alcotest.(check (option string)) "some" (Some "x")
+    (Wire.read_option r Wire.read_str);
+  let a, b = Wire.read_pair r Wire.read_varint Wire.read_str in
+  check_int "pair fst" 9 a;
+  check_str "pair snd" "y" b;
+  check_int "fully consumed" 0 (Wire.remaining r)
+
+let test_wire_short () =
+  let r = Wire.reader "\x05" in
+  Alcotest.check_raises "short read" Wire.Short (fun () ->
+      ignore (Wire.read_str r))
+
+(* ---------- payload codec ---------- *)
+
+let roundtrip p =
+  match Payload.encode p with
+  | Error e -> Alcotest.failf "encode: %s" (Payload.codec_error_to_string e)
+  | Ok bytes -> (
+      match Payload.decode bytes with
+      | Error e ->
+          Alcotest.failf "decode: %s" (Payload.codec_error_to_string e)
+      | Ok p' -> p')
+
+let test_codec_roundtrip () =
+  (match roundtrip (Proto.Cl_put { rid = 7; key = "k"; value = "v" }) with
+  | Proto.Cl_put { rid = 7; key = "k"; value = "v" } -> ()
+  | p -> Alcotest.failf "wrong payload back: %s" (Payload.to_string p));
+  (* Nested extension constructors recurse through the registry. *)
+  match
+    roundtrip
+      (Ru.Datagram
+         { src = 3; inner = Proto.Sv_op { origin = 1; opid = 42;
+             op = Proto.Incr { key = "hits"; delta = -5 } } })
+  with
+  | Ru.Datagram
+      { src = 3; inner = Proto.Sv_op { origin = 1; opid = 42;
+          op = Proto.Incr { key = "hits"; delta = -5 } } } -> ()
+  | p -> Alcotest.failf "wrong nested payload: %s" (Payload.to_string p)
+
+let test_codec_errors () =
+  (match Payload.encode (Unregistered 3) with
+  | Error (Payload.Unencodable _) -> ()
+  | Ok _ | Error _ -> Alcotest.fail "unregistered payload must not encode");
+  Alcotest.(check bool) "encodable" false (Payload.encodable (Unregistered 3));
+  let unknown_tag_bytes =
+    let b = Buffer.create 16 in
+    Wire.str b "nosuchtag";
+    Buffer.contents b
+  in
+  (match Payload.decode unknown_tag_bytes with
+  | Error (Payload.Unknown_tag _) -> ()
+  | _ -> Alcotest.fail "unknown tag must be typed");
+  let ok =
+    match Payload.encode (Proto.Cl_dump { rid = 1 }) with
+    | Ok b -> b
+    | Error _ -> Alcotest.fail "encode"
+  in
+  (match Payload.decode (String.sub ok 0 (String.length ok - 1)) with
+  | Error (Payload.Truncated | Payload.Malformed _) -> ()
+  | _ -> Alcotest.fail "truncated body must be typed");
+  match Payload.decode (ok ^ "x") with
+  | Error (Payload.Trailing 1) -> ()
+  | _ -> Alcotest.fail "trailing bytes must be typed"
+
+(* ---------- framing ---------- *)
+
+let frame_of p =
+  match Frame.encode p with
+  | Ok f -> f
+  | Error e -> Alcotest.failf "frame encode: %s" (Frame.error_to_string e)
+
+let test_frame_roundtrip () =
+  let f = frame_of (Proto.Cl_get { rid = 9; key = "k" }) in
+  match Frame.decode_exact f with
+  | Ok (Proto.Cl_get { rid = 9; key = "k" }) -> ()
+  | Ok p -> Alcotest.failf "wrong payload: %s" (Payload.to_string p)
+  | Error e -> Alcotest.failf "decode_exact: %s" (Frame.error_to_string e)
+
+let test_frame_oversized () =
+  let big = String.make 64 'x' in
+  (match Frame.encode ~limit:8 (Proto.Cl_put { rid = 0; key = big; value = big }) with
+  | Error (Frame.Oversized _) -> ()
+  | _ -> Alcotest.fail "oversized encode must be typed");
+  let f = frame_of (Proto.Cl_put { rid = 0; key = big; value = big }) in
+  match Frame.decode_exact ~limit:8 f with
+  | Error (Frame.Oversized _) -> ()
+  | _ -> Alcotest.fail "oversized decode must be typed"
+
+let test_decoder_stream_and_resync () =
+  let m = Metrics.create () in
+  let d = Frame.Decoder.create ~metrics:m () in
+  let f1 = frame_of (Proto.Cl_dump { rid = 1 }) in
+  let f2 = frame_of (Proto.Cl_dump { rid = 2 }) in
+  (* A frame with a valid length but an undecodable body. *)
+  let junk_body =
+    let b = Buffer.create 16 in
+    Wire.str b "nosuchtag";
+    Buffer.contents b
+  in
+  let junk =
+    let b = Buffer.create 16 in
+    Buffer.add_uint8 b 0;
+    Buffer.add_uint8 b 0;
+    Buffer.add_uint8 b 0;
+    Buffer.add_uint8 b (String.length junk_body);
+    Buffer.add_string b junk_body;
+    Buffer.contents b
+  in
+  let stream = f1 ^ junk ^ f2 in
+  (* Feed byte by byte: every prefix must simply await. *)
+  String.iter (fun c -> Frame.Decoder.feed_string d (String.make 1 c)) stream;
+  (match Frame.Decoder.next d with
+  | `Payload (Proto.Cl_dump { rid = 1 }) -> ()
+  | _ -> Alcotest.fail "first frame");
+  (match Frame.Decoder.next d with
+  | `Corrupt (Frame.Codec (Payload.Unknown_tag _)) -> ()
+  | _ -> Alcotest.fail "junk frame must surface as typed corrupt");
+  Alcotest.(check bool) "body corruption is not fatal" false
+    (Frame.Decoder.dead d);
+  (match Frame.Decoder.next d with
+  | `Payload (Proto.Cl_dump { rid = 2 }) -> ()
+  | _ -> Alcotest.fail "stream must resynchronise after a bad body");
+  (match Frame.Decoder.next d with `Await -> () | _ -> Alcotest.fail "drained");
+  check_int "one reject" 1 (Frame.Decoder.rejected d);
+  check_int "net.frame_reject counted" 1 (Metrics.counter m "net.frame_reject")
+
+let test_decoder_dead_on_bad_length () =
+  let m = Metrics.create () in
+  let d = Frame.Decoder.create ~limit:1024 ~metrics:m () in
+  Frame.Decoder.feed_string d "\xff\xff\xff\xff";
+  (match Frame.Decoder.next d with
+  | `Corrupt (Frame.Bad_length _ | Frame.Oversized _) -> ()
+  | _ -> Alcotest.fail "length corruption must surface");
+  Alcotest.(check bool) "decoder dead" true (Frame.Decoder.dead d);
+  (match Frame.Decoder.next d with
+  | `Corrupt _ -> ()
+  | _ -> Alcotest.fail "dead decoder stays corrupt");
+  check_int "reject counted" 1 (Metrics.counter m "net.frame_reject")
+
+let suite =
+  [
+    ( "wire",
+      [
+        Alcotest.test_case "primitive round-trip" `Quick test_wire_roundtrip;
+        Alcotest.test_case "short read raises Short" `Quick test_wire_short;
+        Alcotest.test_case "codec round-trip (incl. nesting)" `Quick
+          test_codec_roundtrip;
+        Alcotest.test_case "codec typed errors" `Quick test_codec_errors;
+        Alcotest.test_case "frame round-trip" `Quick test_frame_roundtrip;
+        Alcotest.test_case "frame oversized both ways" `Quick
+          test_frame_oversized;
+        Alcotest.test_case "decoder streams, rejects, resyncs" `Quick
+          test_decoder_stream_and_resync;
+        Alcotest.test_case "decoder dies on length corruption" `Quick
+          test_decoder_dead_on_bad_length;
+      ] );
+  ]
