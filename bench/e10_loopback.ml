@@ -39,7 +39,8 @@ let run () =
   Bench_util.section "E10: loopback load generator (real TCP runtime)"
     "the same protocol stack serves a live TCP cluster; all replicas \
      deliver one total order";
-  let loop = Evloop.create () in
+  let lm = Metrics.create () in
+  let loop = Evloop.create ~metrics:lm () in
   let lo = Unix.inet_addr_loopback in
   let metrics = Array.init n (fun _ -> Metrics.create ()) in
   let servers =
@@ -136,6 +137,17 @@ let run () =
   else
     Bench_util.conclude
       "identical total order on every replica over real TCP loopback";
+  (* Client-observed percentiles as explicit gauges, so the perf report
+     reads them without re-deriving quantiles from bucket arrays. *)
+  List.iter
+    (fun (name, q) ->
+      Metrics.set_gauge cm name (Metrics.quantile cm "client.latency" q))
+    [
+      ("client.latency_p50", 0.50);
+      ("client.latency_p90", 0.90);
+      ("client.latency_p99", 0.99);
+    ];
+  Metrics.set_gauge cm "client.latency_max" (Metrics.hist_max cm "client.latency");
   Bench_util.note_metrics ~experiment:"e10" ~cell:"loopback"
-    (Metrics.merged (cm :: Array.to_list metrics));
+    (Metrics.merged (cm :: lm :: Array.to_list metrics));
   Array.iter Server.shutdown servers

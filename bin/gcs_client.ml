@@ -94,6 +94,32 @@ let dump_cmd =
           with_client spec timeout (fun c ~timeout -> C.dump c ~timeout ()))
       $ server_t $ timeout_t)
 
+let stats_cmd =
+  let prom_t =
+    Arg.(
+      value & flag
+      & info [ "prom" ]
+          ~doc:"Prometheus text exposition instead of compact JSON.")
+  in
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Full telemetry snapshot of the serving replica")
+    Term.(
+      const (fun spec timeout prom ->
+          let format =
+            if prom then Gc_server.Proto.Stats_prometheus
+            else Gc_server.Proto.Stats_json
+          in
+          with_client spec timeout (fun c ~timeout ->
+              C.stats c ~timeout ~format ()))
+      $ server_t $ timeout_t $ prom_t)
+
+let health_cmd =
+  Cmd.v (Cmd.info "health" ~doc:"One-line liveness summary")
+    Term.(
+      const (fun spec timeout ->
+          with_client spec timeout (fun c ~timeout -> C.health c ~timeout ()))
+      $ server_t $ timeout_t)
+
 let load_cmd =
   let ops_t =
     Arg.(value & opt int 100 & info [ "ops" ] ~docv:"N" ~doc:"Total operations.")
@@ -133,6 +159,6 @@ let load_cmd =
 let cmd =
   Cmd.group
     (Cmd.info "gcs_client" ~doc:"Client for gcs_server")
-    [ put_cmd; incr_cmd; get_cmd; dump_cmd; load_cmd ]
+    [ put_cmd; incr_cmd; get_cmd; dump_cmd; stats_cmd; health_cmd; load_cmd ]
 
 let () = exit (Cmd.eval cmd)

@@ -47,7 +47,8 @@ let parse_peers spec =
   in
   go [] (String.split_on_char ',' spec)
 
-let run id peers_spec client_port join_via hb_period =
+let run id peers_spec client_port join_via hb_period telemetry_interval
+    telemetry_file =
   if not Sys.win32 then Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   match parse_peers peers_spec with
   | Error msg ->
@@ -59,7 +60,8 @@ let run id peers_spec client_port join_via hb_period =
         Printf.eprintf "--id %d out of range for %d peers\n" id n;
         exit 2
       end;
-      let loop = Evloop.create () in
+      let metrics = Gc_obs.Metrics.create () in
+      let loop = Evloop.create ~metrics () in
       let my_addr, my_port = List.nth peers id in
       let initial =
         match join_via with
@@ -70,7 +72,7 @@ let run id peers_spec client_port join_via hb_period =
         Stack.Config.make ~runtime:Stack.Config.Unix ?hb_period ()
       in
       let server =
-        Server.create ~loop ~id ~initial ~config
+        Server.create ~loop ~id ~initial ~config ~metrics
           ~log:(fun msg -> log_line "node %d: %s" id msg)
           ?join_via
           ~peer_listen:(Unix.ADDR_INET (my_addr, my_port))
@@ -79,6 +81,17 @@ let run id peers_spec client_port join_via hb_period =
       in
       Server.set_peers server
         (List.mapi (fun i (addr, port) -> (i, Unix.ADDR_INET (addr, port))) peers);
+      (match telemetry_interval with
+      | Some interval_ms when interval_ms > 0.0 ->
+          let path =
+            match telemetry_file with
+            | Some p -> p
+            | None -> Printf.sprintf "gcs-telemetry-%d.jsonl" id
+          in
+          ignore
+            (Gc_server.Telemetry.start ~loop ~server ~interval_ms ~path);
+          log_line "node %d: telemetry every %.0f ms -> %s" id interval_ms path
+      | _ -> ());
       log_line "node %d: peer mesh on %d, clients on %d%s" id my_port
         (Server.client_port server)
         (match join_via with
@@ -115,9 +128,29 @@ let hb_t =
     & opt (some float) None
     & info [ "hb-period" ] ~docv:"MS" ~doc:"Heartbeat period override, ms.")
 
+let telemetry_interval_t =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "telemetry-interval" ] ~docv:"MS"
+        ~doc:
+          "Append a full stats snapshot to the telemetry JSONL file every \
+           $(docv) milliseconds.")
+
+let telemetry_file_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "telemetry-file" ] ~docv:"PATH"
+        ~doc:
+          "Telemetry time-series destination (default \
+           gcs-telemetry-ID.jsonl in the working directory).")
+
 let cmd =
   Cmd.v
     (Cmd.info "gcs_server" ~doc:"Group communication daemon (AB-GB stack over TCP)")
-    Term.(const run $ id_t $ peers_t $ client_port_t $ join_via_t $ hb_t)
+    Term.(
+      const run $ id_t $ peers_t $ client_port_t $ join_via_t $ hb_t
+      $ telemetry_interval_t $ telemetry_file_t)
 
 let () = exit (Cmd.eval cmd)

@@ -145,6 +145,65 @@ let names t =
   Hashtbl.fold (fun k _ acc -> k :: acc) t.entries []
   |> List.sort String.compare
 
+(* ---------- frozen views ---------- *)
+
+type hist_view = {
+  hv_count : int;
+  hv_sum : float;
+  hv_min : float;
+  hv_max : float;
+  hv_buckets : (int * int) list;
+}
+
+type view = V_counter of int | V_gauge of float | V_hist of hist_view
+
+let sparse_buckets counts =
+  let acc = ref [] in
+  for i = n_buckets - 1 downto 0 do
+    if counts.(i) > 0 then acc := (i, counts.(i)) :: !acc
+  done;
+  !acc
+
+let view_of_entry = function
+  | Counter r -> V_counter !r
+  | Gauge r -> V_gauge !r
+  | Hist h ->
+      V_hist
+        {
+          hv_count = h.count;
+          hv_sum = h.sum;
+          hv_min = h.min;
+          hv_max = h.max;
+          hv_buckets = sparse_buckets h.counts;
+        }
+
+let view t name =
+  Option.map view_of_entry (Hashtbl.find_opt t.entries name)
+
+let views t =
+  List.map (fun name -> (name, view_of_entry (Hashtbl.find t.entries name)))
+    (names t)
+
+let of_views vs =
+  let t = create () in
+  List.iter
+    (fun (name, v) ->
+      match v with
+      | V_counter n -> incr ~by:n t name
+      | V_gauge g -> set_gauge t name g
+      | V_hist hv ->
+          let h = hist t name in
+          List.iter
+            (fun (i, c) ->
+              if i >= 0 && i < n_buckets then h.counts.(i) <- h.counts.(i) + c)
+            hv.hv_buckets;
+          h.count <- hv.hv_count;
+          h.sum <- hv.hv_sum;
+          h.min <- hv.hv_min;
+          h.max <- hv.hv_max)
+    vs;
+  t
+
 (* ---------- merge ---------- *)
 
 (* Counters and histograms add; gauges keep the max (the interesting
@@ -194,20 +253,24 @@ let hist_to_json h : Json.t =
       ("min", num (if h.count = 0 then Float.nan else h.min));
       ("max", num (if h.count = 0 then Float.nan else h.max));
       ("p50", num (quantile_of_hist h 0.50));
+      ("p90", num (quantile_of_hist h 0.90));
       ("p95", num (quantile_of_hist h 0.95));
       ("p99", num (quantile_of_hist h 0.99));
       ("buckets", Arr buckets);
     ]
 
-(* Zero counters and empty histograms are omitted: [of_json] recreates
-   entries lazily anyway, so an absent entry and a zero entry read back the
-   same, and the dump stays proportional to what the run actually did. *)
-let to_json t : Json.t =
+(* Zero counters and empty histograms are omitted by default: [of_json]
+   recreates entries lazily anyway, so an absent entry and a zero entry
+   read back the same, and the dump stays proportional to what the run
+   actually did.  [include_zeros] keeps them, for diffing registries
+   across runs or replicas where a structurally absent metric and a
+   metric that never fired must stay distinguishable. *)
+let to_json ?(include_zeros = false) t : Json.t =
   Obj
     (List.filter_map
        (fun name ->
          match Hashtbl.find t.entries name with
-         | Counter { contents = 0 } -> None
+         | Counter { contents = 0 } when not include_zeros -> None
          | Counter r ->
              Some
                ( name,
@@ -217,7 +280,7 @@ let to_json t : Json.t =
                    ] )
          | Gauge r ->
              Some (name, Json.Obj [ ("type", Str "gauge"); ("value", num !r) ])
-         | Hist h when h.count = 0 -> None
+         | Hist h when h.count = 0 && not include_zeros -> None
          | Hist h -> Some (name, hist_to_json h))
        (names t))
 
@@ -268,10 +331,12 @@ let pp ppf t =
         if h.count = 0 then Fmt.pf ppf "  %-42s (no samples)@." name
         else
           Fmt.pf ppf
-            "  %-42s n=%-6d p50=%-8.3f p95=%-8.3f p99=%-8.3f max=%-8.3f@."
+            "  %-42s n=%-6d mean=%-8.3f p50=%-8.3f p90=%-8.3f p99=%-8.3f \
+             max=%-8.3f@."
             name h.count
+            (h.sum /. float_of_int h.count)
             (quantile_of_hist h 0.50)
-            (quantile_of_hist h 0.95)
+            (quantile_of_hist h 0.90)
             (quantile_of_hist h 0.99)
             h.max
   in

@@ -51,6 +51,39 @@ val hist_mean : t -> string -> float
 val names : t -> string list
 (** All registered metric names, sorted. *)
 
+(** {1 Frozen views}
+
+    An immutable copy of one entry, cheap to capture and safe to hold
+    across further recording.  {!Snapshot} builds its whole API on these;
+    they are exposed here because only this module sees the registry's
+    internals. *)
+
+type hist_view = {
+  hv_count : int;
+  hv_sum : float;
+  hv_min : float;  (** [infinity] when empty *)
+  hv_max : float;  (** [neg_infinity] when empty *)
+  hv_buckets : (int * int) list;
+      (** sparse [(bucket index, count)], ascending, non-empty buckets
+          only *)
+}
+
+type view = V_counter of int | V_gauge of float | V_hist of hist_view
+
+val view : t -> string -> view option
+val views : t -> (string * view) list
+(** All entries as frozen views, sorted by name. *)
+
+val of_views : (string * view) list -> t
+(** Rebuild a registry from frozen views (inverse of {!views}). *)
+
+val n_buckets : int
+(** Number of histogram buckets (shared by every histogram). *)
+
+val bucket_upper : int -> float
+(** Upper edge of bucket [i] — the representative value quantile
+    estimation reports for samples in that bucket. *)
+
 (** {1 Merging}
 
     Cross-node aggregation: counters and histogram buckets add, gauges
@@ -62,10 +95,14 @@ val merged : t list -> t
 
 (** {1 Serialisation} *)
 
-val to_json : t -> Json.t
+val to_json : ?include_zeros:bool -> t -> Json.t
 (** Self-describing object: each entry carries its ["type"], counters and
     gauges their ["value"], histograms count/sum/min/max, derived
-    p50/p95/p99, and sparse non-empty buckets. *)
+    p50/p90/p95/p99, and sparse non-empty buckets.  Zero counters and
+    empty histograms are omitted unless [include_zeros] (default false)
+    — pass [true] when diffing dumps across runs or replicas, where a
+    metric that never fired must stay distinguishable from one that was
+    never registered. *)
 
 val of_json : Json.t -> t
 (** Inverse of {!to_json} (derived quantiles are recomputed from buckets).

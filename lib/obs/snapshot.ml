@@ -1,0 +1,204 @@
+(* Immutable captures of a Metrics registry, the unit of the live
+   telemetry plane: a daemon answers a Stats request with one snapshot,
+   gcs_top subtracts consecutive snapshots to get per-window rates and
+   latency distributions, and the JSONL time-series file is one snapshot
+   per line.
+
+   A snapshot is a sorted association list of frozen Metrics views, so
+   capturing one never blocks or perturbs further recording. *)
+
+module M = Metrics
+
+type t = (string * M.view) list
+
+let of_metrics m = M.views m
+let to_metrics s = M.of_views s
+
+let names s = List.map fst s
+let find s name = List.assoc_opt name s
+
+let counter s name =
+  match find s name with Some (M.V_counter n) -> n | _ -> 0
+
+let gauge s name =
+  match find s name with Some (M.V_gauge g) -> g | _ -> 0.0
+
+let hist s name =
+  match find s name with Some (M.V_hist h) -> Some h | _ -> None
+
+let hist_count s name =
+  match hist s name with Some h -> h.M.hv_count | None -> 0
+
+(* Quantile over sparse buckets: same estimator as the live registry
+   (rank walk, representative value = bucket upper edge, clamped to the
+   recorded extremes when those are finite). *)
+let quantile_of_view (h : M.hist_view) q =
+  if h.M.hv_count = 0 then Float.nan
+  else begin
+    let rank =
+      let r = int_of_float (Float.of_int h.M.hv_count *. q +. 0.5) in
+      if r < 1 then 1 else if r > h.M.hv_count then h.M.hv_count else r
+    in
+    let rec walk acc = function
+      | [] -> h.M.hv_max
+      | (i, c) :: rest ->
+          if acc + c >= rank then M.bucket_upper i else walk (acc + c) rest
+    in
+    let est = walk 0 h.M.hv_buckets in
+    if Float.is_finite h.M.hv_max && est > h.M.hv_max then h.M.hv_max
+    else if Float.is_finite h.M.hv_min && est < h.M.hv_min then h.M.hv_min
+    else est
+  end
+
+let quantile s name q =
+  match hist s name with Some h -> quantile_of_view h q | None -> Float.nan
+
+let hist_max s name =
+  match hist s name with
+  | Some h when h.M.hv_count > 0 -> h.M.hv_max
+  | _ -> Float.nan
+
+let hist_mean s name =
+  match hist s name with
+  | Some h when h.M.hv_count > 0 -> h.M.hv_sum /. float_of_int h.M.hv_count
+  | _ -> Float.nan
+
+(* ---------- delta ---------- *)
+
+(* A histogram window's exact min/max are unknowable from two cumulative
+   captures; bound them by the edges of the window's occupied buckets. *)
+let bucket_bounds buckets =
+  match buckets with
+  | [] -> (infinity, neg_infinity)
+  | (first, _) :: _ ->
+      let last, _ = List.nth buckets (List.length buckets - 1) in
+      ((if first = 0 then 0.0 else M.bucket_upper (first - 1)),
+       M.bucket_upper last)
+
+let hist_delta ~(before : M.hist_view) ~(after : M.hist_view) =
+  let sub =
+    List.filter_map
+      (fun (i, c) ->
+        let c' =
+          match List.assoc_opt i before.M.hv_buckets with
+          | Some b -> c - b
+          | None -> c
+        in
+        if c' > 0 then Some (i, c') else if c' < 0 then raise Exit else None)
+      after.M.hv_buckets
+  in
+  let count = after.M.hv_count - before.M.hv_count in
+  if count < 0 then raise Exit;
+  let mn, mx = bucket_bounds sub in
+  {
+    M.hv_count = count;
+    hv_sum = after.M.hv_sum -. before.M.hv_sum;
+    hv_min = mn;
+    hv_max = mx;
+    hv_buckets = sub;
+  }
+
+(* Counters and histogram buckets subtract; a decrease means the source
+   restarted between captures, in which case [after] stands alone (the
+   Prometheus counter-reset convention).  Gauges keep the latest reading.
+   Entries present only in [after] are new since [before] and kept;
+   entries that vanished are dropped. *)
+let delta ~before ~after =
+  List.map
+    (fun (name, v) ->
+      match (v, List.assoc_opt name before) with
+      | M.V_counter a, Some (M.V_counter b) ->
+          (name, M.V_counter (if a >= b then a - b else a))
+      | M.V_hist a, Some (M.V_hist b) ->
+          (name, try M.V_hist (hist_delta ~before:b ~after:a)
+                 with Exit -> M.V_hist a)
+      | _ -> (name, v))
+    after
+
+(* ---------- JSON ---------- *)
+
+(* The JSON shape is exactly the registry's, so snapshots, BENCH_metrics
+   cells and Stats replies all parse with one reader. *)
+let to_json ?include_zeros s = M.to_json ?include_zeros (to_metrics s)
+let of_json j = of_metrics (M.of_json j)
+
+(* ---------- Prometheus exposition ---------- *)
+
+(* Metric names: [a-zA-Z_:][a-zA-Z0-9_:]*; our dotted names map '.' (and
+   anything else illegal) to '_'. *)
+let prom_name name =
+  String.mapi
+    (fun i c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '_' | ':' -> c
+      | '0' .. '9' when i > 0 -> c
+      | _ -> '_')
+    name
+
+(* Label values escape backslash, double quote and newline. *)
+let prom_escape v =
+  let buf = Buffer.create (String.length v) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    v;
+  buf
+
+let prom_num x =
+  if Float.is_nan x then "NaN"
+  else if x = infinity then "+Inf"
+  else if x = neg_infinity then "-Inf"
+  else if Float.is_integer x && Float.abs x < 1e15 then
+    Printf.sprintf "%.0f" x
+  else Printf.sprintf "%.9g" x
+
+let render_labels labels extra =
+  match labels @ extra with
+  | [] -> ""
+  | kvs ->
+      "{"
+      ^ String.concat ","
+          (List.map
+             (fun (k, v) ->
+               Printf.sprintf "%s=\"%s\"" (prom_name k)
+                 (Buffer.contents (prom_escape v)))
+             kvs)
+      ^ "}"
+
+let to_prometheus ?(namespace = "gcs") ?(labels = []) s =
+  let buf = Buffer.create 4096 in
+  let line fmt = Printf.ksprintf (fun l -> Buffer.add_string buf (l ^ "\n")) fmt in
+  let full name = prom_name (namespace ^ "_" ^ name) in
+  List.iter
+    (fun (name, v) ->
+      let n = full name in
+      match v with
+      | M.V_counter c ->
+          line "# TYPE %s counter" n;
+          line "%s%s %d" n (render_labels labels []) c
+      | M.V_gauge g ->
+          line "# TYPE %s gauge" n;
+          line "%s%s %s" n (render_labels labels []) (prom_num g)
+      | M.V_hist h ->
+          line "# TYPE %s histogram" n;
+          let cum = ref 0 in
+          List.iter
+            (fun (i, c) ->
+              cum := !cum + c;
+              line "%s_bucket%s %d" n
+                (render_labels labels [ ("le", prom_num (M.bucket_upper i)) ])
+                !cum)
+            h.M.hv_buckets;
+          line "%s_bucket%s %d" n
+            (render_labels labels [ ("le", "+Inf") ])
+            h.M.hv_count;
+          line "%s_sum%s %s" n (render_labels labels []) (prom_num h.M.hv_sum);
+          line "%s_count%s %d" n (render_labels labels []) h.M.hv_count)
+    s;
+  Buffer.contents buf
+
+let pp ppf s = M.pp ppf (to_metrics s)

@@ -18,7 +18,12 @@ type t = {
   mutable timer_seq : int;
   watchers : (Unix.file_descr, watcher) Hashtbl.t;
   mutable running : bool;
+  metrics : Gc_obs.Metrics.t option;
 }
+
+(* A timer firing this late counts as overdue: the loop is falling behind
+   its own schedule (a long callback, or select starvation). *)
+let overdue_ms = 5.0
 
 let wall_ms () = Unix.gettimeofday () *. 1000.0
 
@@ -30,7 +35,7 @@ let ignore_sigpipe =
        try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
        with Invalid_argument _ | Sys_error _ -> ())
 
-let create () =
+let create ?metrics () =
   Lazy.force ignore_sigpipe;
   {
     start = wall_ms ();
@@ -44,6 +49,7 @@ let create () =
     timer_seq = 0;
     watchers = Hashtbl.create 32;
     running = false;
+    metrics;
   }
 
 let now t = wall_ms () -. t.start
@@ -92,6 +98,13 @@ let fire_due t =
         go ()
     | Some cell when cell.deadline <= now t ->
         ignore (Heap.pop t.timers);
+        (match t.metrics with
+        | Some m ->
+            let lag = now t -. cell.deadline in
+            Gc_obs.Metrics.observe m "evloop.timer_lag_ms" lag;
+            if lag > overdue_ms then
+              Gc_obs.Metrics.incr m "evloop.timer_overdue"
+        | None -> ());
         cell.cell_f ();
         go ()
     | _ -> ()
@@ -110,9 +123,10 @@ let next_deadline t =
   go ()
 
 let run_once t ~max_wait =
+  let t0 = now t in
   let wait =
     match next_deadline t with
-    | Some d -> Float.min max_wait (Float.max 0.0 (d -. now t))
+    | Some d -> Float.min max_wait (Float.max 0.0 (d -. t0))
     | None -> max_wait
   in
   let reads, writes =
@@ -131,6 +145,7 @@ let run_once t ~max_wait =
       try Unix.select reads writes [] (wait /. 1000.0)
       with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
   in
+  let t_woke = now t in
   (* Look each callback up at dispatch time: an earlier callback in the
      batch may close a sibling's descriptor and unregister it. *)
   List.iter
@@ -145,7 +160,17 @@ let run_once t ~max_wait =
       | Some { on_write = Some cb; _ } -> cb ()
       | _ -> ())
     ready_w;
-  fire_due t
+  fire_due t;
+  match t.metrics with
+  | None -> ()
+  | Some m ->
+      let t_done = now t in
+      Gc_obs.Metrics.incr m "evloop.ticks";
+      Gc_obs.Metrics.observe m "evloop.select_wait_ms" (t_woke -. t0);
+      Gc_obs.Metrics.observe m "evloop.callback_ms" (t_done -. t_woke);
+      Gc_obs.Metrics.observe m "evloop.tick_ms" (t_done -. t0);
+      Gc_obs.Metrics.set_gauge m "evloop.open_fds"
+        (float_of_int (Hashtbl.length t.watchers))
 
 let run_for t ms =
   let until = now t +. ms in

@@ -9,7 +9,15 @@
 
 type t
 
-val create : unit -> t
+val create : ?metrics:Gc_obs.Metrics.t -> unit -> t
+(** With [metrics], the loop profiles itself into the registry: per-tick
+    histograms [evloop.tick_ms] (whole iteration),
+    [evloop.select_wait_ms] (blocked in [select]) and
+    [evloop.callback_ms] (dispatching descriptor callbacks and timers);
+    per-timer [evloop.timer_lag_ms] (firing time minus deadline) with
+    counter [evloop.timer_overdue] for lags over 5 ms; counter
+    [evloop.ticks] and gauge [evloop.open_fds] (watched descriptors).
+    Without it the loop records nothing. *)
 
 val now : t -> float
 (** Milliseconds of wall-clock time since the loop was created. *)

@@ -2,14 +2,26 @@ module Frame = Gc_net.Frame
 
 let out_cap = 256 * 1024
 
+type stats = {
+  bytes_in : int;
+  bytes_out : int;
+  frames_in : int;
+  frames_out : int;
+}
+
 type t = {
   loop : Evloop.t;
   sock : Unix.file_descr;
+  metrics : Gc_obs.Metrics.t option;
   decoder : Frame.Decoder.t;
   out : Buffer.t;
   mutable out_pos : int; (* flushed prefix of [out] *)
   mutable connecting : bool;
   mutable is_closed : bool;
+  mutable bytes_in : int;
+  mutable bytes_out : int;
+  mutable frames_in : int;
+  mutable frames_out : int;
   on_payload : t -> Gc_net.Payload.t -> unit;
   on_close : t -> unit;
   scratch : Bytes.t;
@@ -17,6 +29,19 @@ type t = {
 
 let fd t = t.sock
 let closed t = t.is_closed
+
+let stats t =
+  {
+    bytes_in = t.bytes_in;
+    bytes_out = t.bytes_out;
+    frames_in = t.frames_in;
+    frames_out = t.frames_out;
+  }
+
+let count t name by =
+  match t.metrics with
+  | Some m -> Gc_obs.Metrics.incr ~by m name
+  | None -> ()
 
 let close t =
   if not t.is_closed then begin
@@ -42,6 +67,8 @@ let rec flush t =
       match Unix.write t.sock chunk t.out_pos n with
       | written ->
           t.out_pos <- t.out_pos + written;
+          t.bytes_out <- t.bytes_out + written;
+          count t "net.bytes_out" written;
           if written = n then flush t
           else Evloop.set_write t.loop t.sock (Some (fun () -> flush t))
       | exception Unix.Unix_error ((Unix.EWOULDBLOCK | Unix.EAGAIN), _, _) ->
@@ -57,6 +84,8 @@ let send t payload =
     | Ok frame ->
         if pending_out t + String.length frame <= out_cap then begin
           Buffer.add_string t.out frame;
+          t.frames_out <- t.frames_out + 1;
+          count t "net.frames_out" 1;
           if not t.connecting then flush t
         end
 
@@ -64,6 +93,8 @@ let rec drain_frames t =
   if not t.is_closed then
     match Frame.Decoder.next t.decoder with
     | `Payload p ->
+        t.frames_in <- t.frames_in + 1;
+        count t "net.frames_in" 1;
         t.on_payload t p;
         drain_frames t
     | `Await -> ()
@@ -77,6 +108,8 @@ let on_readable t () =
     match Unix.read t.sock t.scratch 0 (Bytes.length t.scratch) with
     | 0 -> close t
     | n ->
+        t.bytes_in <- t.bytes_in + n;
+        count t "net.bytes_in" n;
         Frame.Decoder.feed t.decoder t.scratch ~off:0 ~len:n;
         drain_frames t
     | exception Unix.Unix_error ((Unix.EWOULDBLOCK | Unix.EAGAIN), _, _) -> ()
@@ -101,11 +134,16 @@ let attach ~loop ?metrics ?frame_limit ?(connecting = false) sock ~on_payload
     {
       loop;
       sock;
+      metrics;
       decoder = Frame.Decoder.create ?limit:frame_limit ?metrics ();
       out = Buffer.create 4096;
       out_pos = 0;
       connecting;
       is_closed = false;
+      bytes_in = 0;
+      bytes_out = 0;
+      frames_in = 0;
+      frames_out = 0;
       on_payload;
       on_close;
       scratch = Bytes.create 65_536;

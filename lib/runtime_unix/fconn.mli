@@ -35,6 +35,20 @@ val closed : t -> bool
 
 val fd : t -> Unix.file_descr
 
+type stats = {
+  bytes_in : int;  (** bytes read off the socket *)
+  bytes_out : int;  (** bytes actually written (not merely buffered) *)
+  frames_in : int;  (** complete frames decoded *)
+  frames_out : int;  (** frames enqueued for sending *)
+}
+
+val stats : t -> stats
+(** This connection's lifetime I/O counters — the per-connection load
+    the server's [Stats] endpoint reports.  When [attach] was given
+    [?metrics], the same quantities also accumulate into the shared
+    registry as [net.bytes_in]/[net.bytes_out]/[net.frames_in]/
+    [net.frames_out]. *)
+
 val listen :
   loop:Evloop.t ->
   ?backlog:int ->

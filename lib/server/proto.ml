@@ -11,6 +11,8 @@ let op_to_string = function
   | Put { key; value } -> Printf.sprintf "put %s=%s" key value
   | Incr { key; delta } -> Printf.sprintf "incr %s%+d" key delta
 
+type stats_format = Stats_json | Stats_prometheus
+
 type Payload.t +=
   | Cl_put of { rid : int; key : string; value : string }
   | Cl_incr of { rid : int; key : string; delta : int }
@@ -18,6 +20,8 @@ type Payload.t +=
   | Cl_dump of { rid : int }
   | Cl_reply of { rid : int; ok : bool; body : string }
   | Sv_op of { origin : int; opid : int; op : op }
+  | Cl_stats of { rid : int; format : stats_format }
+  | Cl_health of { rid : int }
 
 let () =
   Payload.register_printer (function
@@ -31,6 +35,13 @@ let () =
         Some (Printf.sprintf "cl_reply#%d(%s:%s)" rid (if ok then "ok" else "err") body)
     | Sv_op { origin; opid; op } ->
         Some (Printf.sprintf "sv_op<%d.%d>(%s)" origin opid (op_to_string op))
+    | Cl_stats { rid; format } ->
+        Some
+          (Printf.sprintf "cl_stats#%d(%s)" rid
+             (match format with
+             | Stats_json -> "json"
+             | Stats_prometheus -> "prom"))
+    | Cl_health { rid } -> Some (Printf.sprintf "cl_health#%d" rid)
     | _ -> None)
 
 let write_op w = function
@@ -92,6 +103,15 @@ let () =
           W.varint w opid;
           write_op w op;
           true
+      | Cl_stats { rid; format } ->
+          W.u8 w 6;
+          W.varint w rid;
+          W.u8 w (match format with Stats_json -> 0 | Stats_prometheus -> 1);
+          true
+      | Cl_health { rid } ->
+          W.u8 w 7;
+          W.varint w rid;
+          true
       | _ -> false)
     ~decode:(fun _dec r ->
       match W.read_u8 r with
@@ -122,6 +142,20 @@ let () =
           let opid = W.read_varint r in
           let op = read_op r in
           Sv_op { origin; opid; op }
+      | 6 ->
+          let rid = W.read_varint r in
+          let format =
+            match W.read_u8 r with
+            | 0 -> Stats_json
+            | 1 -> Stats_prometheus
+            | k ->
+                Payload.malformed
+                  (Printf.sprintf "proto: bad stats format %d" k)
+          in
+          Cl_stats { rid; format }
+      | 7 ->
+          let rid = W.read_varint r in
+          Cl_health { rid }
       | k ->
           Payload.malformed
             (Printf.sprintf "proto: bad constructor discriminator %d" k))

@@ -15,6 +15,11 @@ type op =
 val op_commutes : op -> bool
 val op_to_string : op -> string
 
+type stats_format = Stats_json | Stats_prometheus
+(** Exposition format of a [Cl_stats] reply body: the registry's compact
+    JSON (parse with {!Gc_obs.Snapshot.of_json} via the ["metrics"]
+    member) or Prometheus text exposition. *)
+
 type Gc_net.Payload.t +=
   | Cl_put of { rid : int; key : string; value : string }
   | Cl_incr of { rid : int; key : string; delta : int }
@@ -27,3 +32,11 @@ type Gc_net.Payload.t +=
       (** The replicated envelope servers broadcast through the stack;
           [origin]'s server answers the submitting client when its own
           stack delivers the envelope. *)
+  | Cl_stats of { rid : int; format : stats_format }
+      (** Admin: full telemetry snapshot of the serving replica — its
+          metrics registry (every protocol layer, the event loop, the
+          network edge) plus KV order/state digests and view.  Answered
+          locally, never replicated. *)
+  | Cl_health of { rid : int }
+      (** Admin: one-line liveness summary (view, joined/alive flags,
+          client count, uptime) — cheap enough for tight poll loops. *)

@@ -3,6 +3,9 @@ module Evloop = Gc_runtime_unix.Evloop
 module Fconn = Gc_runtime_unix.Fconn
 module Stack = Gcs.Gcs_stack
 module View = Gc_membership.View
+module Process = Gc_kernel.Process
+module Json = Gc_obs.Json
+module Snapshot = Gc_obs.Snapshot
 
 type t = {
   id : int;
@@ -12,10 +15,12 @@ type t = {
   metrics : Gc_obs.Metrics.t;
   log : string -> unit;
   mutable next_opid : int;
-  pending : (int, Fconn.t * int) Hashtbl.t; (* opid -> submitting conn, rid *)
+  pending : (int, Fconn.t * int * float) Hashtbl.t;
+      (* opid -> submitting conn, rid, submit time (runtime clock) *)
   mutable clients : Fconn.t list;
   mutable client_listener : Unix.file_descr option;
   loop : Evloop.t;
+  started_at : float; (* runtime clock at creation, for uptime *)
 }
 
 let id t = t.id
@@ -23,6 +28,11 @@ let stack t = t.stack
 let kv t = t.kv
 let metrics t = t.metrics
 let peer_port t = Runtime_unix.port t.endpoint
+
+(* The runtime clock capability: wall-clock under the unix backend,
+   virtual time under the simulator — so latency stamps perturb
+   neither. *)
+let now_ms t = Process.now (Stack.process t.stack)
 
 let client_port t =
   match t.client_listener with Some s -> Fconn.bound_port s | None -> 0
@@ -36,10 +46,88 @@ let reply conn ~rid ~ok body =
 let submit t conn ~rid op =
   let opid = t.next_opid in
   t.next_opid <- opid + 1;
-  Hashtbl.replace t.pending opid (conn, rid);
+  Hashtbl.replace t.pending opid (conn, rid, now_ms t);
   let envelope = Proto.Sv_op { origin = t.id; opid; op } in
   if Proto.op_commutes op then Stack.rbcast t.stack envelope
   else Stack.abcast t.stack envelope
+
+(* ---------- telemetry bodies ---------- *)
+
+let uptime_ms t = now_ms t -. t.started_at
+
+let kv_json t : Json.t =
+  Obj
+    [
+      ("order_digest", Str (Kv.order_digest t.kv));
+      ("state_digest", Str (Kv.state_digest t.kv));
+      ("ordered", Num (float_of_int (Kv.ordered_count t.kv)));
+      ("commuting", Num (float_of_int (Kv.commuting_count t.kv)));
+    ]
+
+let view_json t : Json.t =
+  let v = Stack.view t.stack in
+  Obj
+    [
+      ("vid", Num (float_of_int v.View.vid));
+      ( "members",
+        Arr (List.map (fun m -> Json.Num (float_of_int m)) v.View.members) );
+    ]
+
+let conns_json t : Json.t =
+  Arr
+    (List.rev_map
+       (fun conn ->
+         let s = Fconn.stats conn in
+         Json.Obj
+           [
+             ("bytes_in", Num (float_of_int s.Fconn.bytes_in));
+             ("bytes_out", Num (float_of_int s.Fconn.bytes_out));
+             ("frames_in", Num (float_of_int s.Fconn.frames_in));
+             ("frames_out", Num (float_of_int s.Fconn.frames_out));
+           ])
+       t.clients)
+
+let snapshot t = Snapshot.of_metrics t.metrics
+
+let stats_json t : Json.t =
+  Obj
+    [
+      ("node", Num (float_of_int t.id));
+      ("now_ms", Num (now_ms t));
+      ("uptime_ms", Num (uptime_ms t));
+      ("kv", kv_json t);
+      ("view", view_json t);
+      ("clients", conns_json t);
+      ("metrics", Snapshot.to_json (snapshot t));
+    ]
+
+let health_json t : Json.t =
+  let v = Stack.view t.stack in
+  Obj
+    [
+      ("node", Num (float_of_int t.id));
+      ("alive", Bool (Stack.alive t.stack));
+      ("joined", Bool (Stack.joined t.stack));
+      ("vid", Num (float_of_int v.View.vid));
+      ("members", Num (float_of_int (List.length v.View.members)));
+      ("clients", Num (float_of_int (List.length t.clients)));
+      ("uptime_ms", Num (uptime_ms t));
+    ]
+
+let stats_body t format =
+  match format with
+  | Proto.Stats_json -> Json.to_string (stats_json t)
+  | Proto.Stats_prometheus ->
+      let labels = [ ("node", string_of_int t.id) ] in
+      Snapshot.to_prometheus ~labels (snapshot t)
+      (* Digests ride as an info-style gauge: constant value, identifying
+         labels — hex-only values, nothing to escape. *)
+      ^ Printf.sprintf
+          "# TYPE gcs_kv_info gauge\n\
+           gcs_kv_info{node=\"%d\",order_digest=\"%s\",state_digest=\"%s\"} 1\n"
+          t.id (Kv.order_digest t.kv) (Kv.state_digest t.kv)
+
+let health_body t = Json.to_string (health_json t)
 
 let on_client_payload t conn payload =
   match payload with
@@ -52,6 +140,12 @@ let on_client_payload t conn payload =
       | Some value -> reply conn ~rid ~ok:true value
       | None -> reply conn ~rid ~ok:false "not found")
   | Proto.Cl_dump { rid } -> reply conn ~rid ~ok:true (Kv.dump t.kv)
+  | Proto.Cl_stats { rid; format } ->
+      Gc_obs.Metrics.incr t.metrics "server.stats_requests";
+      reply conn ~rid ~ok:true (stats_body t format)
+  | Proto.Cl_health { rid } ->
+      Gc_obs.Metrics.incr t.metrics "server.health_requests";
+      reply conn ~rid ~ok:true (health_body t)
   | _ -> Gc_obs.Metrics.incr t.metrics "server.bad_request"
 
 let on_delivery t ~origin:_ ~ordered payload =
@@ -61,8 +155,16 @@ let on_delivery t ~origin:_ ~ordered payload =
       Gc_obs.Metrics.incr t.metrics "server.applied";
       if origin = t.id then
         match Hashtbl.find_opt t.pending opid with
-        | Some (conn, rid) ->
+        | Some (conn, rid, submitted) ->
             Hashtbl.remove t.pending opid;
+            (* Client-visible submit->deliver latency at the serving
+               replica, split by ordering primitive. *)
+            let lat = now_ms t -. submitted in
+            Gc_obs.Metrics.observe t.metrics "server.latency_ms" lat;
+            Gc_obs.Metrics.observe t.metrics
+              (if ordered then "server.latency_abcast_ms"
+               else "server.latency_rbcast_ms")
+              lat;
             reply conn ~rid ~ok:true result
         | None -> ())
   | _ -> Gc_obs.Metrics.incr t.metrics "server.bad_delivery"
@@ -106,6 +208,7 @@ let create ~loop ~id ~initial ?config ?metrics ?(log = ignore) ?join_via
       clients = [];
       client_listener = None;
       loop;
+      started_at = Process.now (Stack.process stack);
     }
   in
   t.client_listener <-

@@ -29,6 +29,22 @@ val create :
     declare the mesh with {!set_peers}. *)
 
 val set_peers : t -> (int * Unix.sockaddr) list -> unit
+
+val stats_json : t -> Gc_obs.Json.t
+(** The full telemetry snapshot a [Cl_stats] (JSON format) reply
+    carries: node id, uptime, KV digests/counters, current view,
+    per-client-connection I/O, and the whole metrics registry under
+    ["metrics"] (parse with {!Gc_obs.Snapshot.of_json}).  Also what the
+    [--telemetry-interval] JSONL writer appends each tick. *)
+
+val stats_body : t -> Proto.stats_format -> string
+(** [stats_json] rendered per the requested exposition format —
+    compact JSON or Prometheus text (with a [gcs_kv_info] digest line). *)
+
+val health_body : t -> string
+(** Small JSON liveness summary ([Cl_health] reply body). *)
+
+
 val peer_port : t -> int
 val client_port : t -> int
 val id : t -> int

@@ -118,3 +118,9 @@ let get t ?timeout ~key () =
   request t ?timeout (fun rid -> Proto.Cl_get { rid; key })
 
 let dump t ?timeout () = request t ?timeout (fun rid -> Proto.Cl_dump { rid })
+
+let stats t ?timeout ?(format = Proto.Stats_json) () =
+  request t ?timeout (fun rid -> Proto.Cl_stats { rid; format })
+
+let health t ?timeout () =
+  request t ?timeout (fun rid -> Proto.Cl_health { rid })

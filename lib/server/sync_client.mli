@@ -28,3 +28,12 @@ val incr :
 val get : t -> ?timeout:float -> key:string -> unit -> (string, error) result
 val dump : t -> ?timeout:float -> unit -> (string, error) result
 (** The replica's {!Kv.dump} line (order/state digests + counters). *)
+
+val stats :
+  t -> ?timeout:float -> ?format:Proto.stats_format -> unit ->
+  (string, error) result
+(** The replica's full telemetry snapshot ({!Server.stats_body});
+    [format] defaults to [Stats_json]. *)
+
+val health : t -> ?timeout:float -> unit -> (string, error) result
+(** The replica's liveness summary ({!Server.health_body}). *)

@@ -1,0 +1,48 @@
+module Evloop = Gc_runtime_unix.Evloop
+module Json = Gc_obs.Json
+
+type t = {
+  oc : out_channel;
+  mutable timer : Gc_kernel.Runtime.timer option;
+  mutable stopped : bool;
+}
+
+let tick server t =
+  if not t.stopped then begin
+    let line =
+      Json.to_string
+        (Obj
+           [
+             ("ts", Num (Unix.gettimeofday ()));
+             ("node", Num (float_of_int (Server.id server)));
+             ("stats", Server.stats_json server);
+           ])
+    in
+    output_string t.oc line;
+    output_char t.oc '\n';
+    flush t.oc
+  end
+
+let start ~loop ~server ~interval_ms ~path =
+  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+  let t = { oc; timer = None; stopped = false } in
+  let rec arm () =
+    t.timer <-
+      Some
+        (Evloop.schedule loop ~delay:interval_ms (fun () ->
+             tick server t;
+             if not t.stopped then arm ()))
+  in
+  arm ();
+  t
+
+let stop t =
+  if not t.stopped then begin
+    t.stopped <- true;
+    (match t.timer with
+    | Some timer ->
+        Gc_kernel.Runtime.cancel timer;
+        t.timer <- None
+    | None -> ());
+    close_out_noerr t.oc
+  end

@@ -1,0 +1,24 @@
+(** Periodic telemetry time-series: every [interval_ms] (on the server's
+    event loop) append one JSON line
+    [{"ts": <epoch seconds>, "node": <id>, "stats": <Server.stats_json>}]
+    to [path] and flush, so an external tail sees snapshots as they
+    happen.  The file is opened in append mode — restarts extend the
+    series rather than truncating it.
+
+    The timestamp is wall-clock ([Unix.gettimeofday]) because the series
+    exists to correlate with the outside world; everything inside
+    ["stats"] uses the runtime clock like the live [Cl_stats] endpoint. *)
+
+type t
+
+val start :
+  loop:Gc_runtime_unix.Evloop.t ->
+  server:Server.t ->
+  interval_ms:float ->
+  path:string ->
+  t
+(** Open (append/create) [path] and arm the first timer.  Raises
+    [Sys_error] if the file cannot be opened. *)
+
+val stop : t -> unit
+(** Cancel the timer and close the file.  Idempotent. *)

@@ -1,7 +1,10 @@
 #!/usr/bin/env bash
 # Loopback cluster smoke test: boot a 3-node gcs_server cluster over real
 # TCP on 127.0.0.1, drive concurrent client operations against every
-# replica, and assert all three report the same total-order digest.
+# replica, scrape the live Stats endpoint from each replica mid-load
+# (gcs_top --once --assert-live), and assert all three report the same
+# total-order digest.  Each server also appends a telemetry JSONL
+# time-series into $logdir, checked for well-formedness at the end.
 #
 #   scripts/loopback_smoke.sh [logdir]
 #
@@ -12,6 +15,7 @@ set -u
 LOGDIR="${1:-smoke-logs}"
 SERVER=_build/default/bin/gcs_server.exe
 CLIENT=_build/default/bin/gcs_client.exe
+TOP=_build/default/bin/gcs_top.exe
 PEERS=7101,7102,7103
 CPORTS=(8101 8102 8103)
 PIDS=()
@@ -35,10 +39,11 @@ fail() {
   exit 1
 }
 
-dune build bin/gcs_server.exe bin/gcs_client.exe || fail "build"
+dune build bin/gcs_server.exe bin/gcs_client.exe bin/gcs_top.exe || fail "build"
 
 for i in 0 1 2; do
   "$SERVER" --id "$i" --peers "$PEERS" --client-port "${CPORTS[$i]}" \
+    --telemetry-interval 250 --telemetry-file "$LOGDIR/telemetry-$i.jsonl" \
     >"$LOGDIR/server-$i.log" 2>&1 &
   PIDS+=($!)
 done
@@ -57,10 +62,30 @@ done
 # Concurrent mixed load against every replica.
 LOAD_PIDS=()
 for i in 0 1 2; do
-  "$CLIENT" load --server "${CPORTS[$i]}" --ops 80 --conflicting 30 \
+  "$CLIENT" load --server "${CPORTS[$i]}" --ops 400 --conflicting 30 \
     --timeout 15000 >"$LOGDIR/load-$i.out" 2>&1 &
   LOAD_PIDS+=($!)
 done
+
+# Mid-load: scrape the admin Stats endpoint from every replica and gate
+# on liveness — parseable snapshots, delivered abcast traffic, populated
+# submit->deliver latency histograms (finite p99), event-loop profiling,
+# and matching order digests.  Digests may legitimately differ while
+# ordered traffic is in flight (replicas at different prefixes of the
+# same order), so the gate retries briefly before declaring failure.
+sleep 1
+top_ok=""
+for _ in 1 2 3 4 5; do
+  if "$TOP" --servers "${CPORTS[0]},${CPORTS[1]},${CPORTS[2]}" --once --assert-live \
+      >"$LOGDIR/gcs_top.out" 2>&1; then
+    top_ok=1
+    break
+  fi
+  sleep 1
+done
+cat "$LOGDIR/gcs_top.out"
+[ -n "$top_ok" ] || fail "gcs_top --assert-live"
+
 for pid in "${LOAD_PIDS[@]}"; do
   wait "$pid" || true
 done
@@ -84,5 +109,29 @@ for i in 0 1 2; do
 done
 [ "${digests[0]}" = "${digests[1]}" ] || fail "order digests diverge (0 vs 1)"
 [ "${digests[0]}" = "${digests[2]}" ] || fail "order digests diverge (0 vs 2)"
+
+# Every server's telemetry time-series must exist, have accumulated
+# several snapshots, and parse line-by-line as JSON with the expected
+# members (checked with python3 when available).
+for i in 0 1 2; do
+  tf="$LOGDIR/telemetry-$i.jsonl"
+  [ -s "$tf" ] || fail "telemetry file for node $i missing or empty"
+  lines=$(wc -l <"$tf")
+  [ "$lines" -ge 3 ] || fail "telemetry file for node $i has only $lines lines"
+done
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$LOGDIR" <<'PY' || fail "telemetry JSONL malformed"
+import json, sys
+logdir = sys.argv[1]
+for i in range(3):
+    with open(f"{logdir}/telemetry-{i}.jsonl") as f:
+        for ln, line in enumerate(f, 1):
+            rec = json.loads(line)
+            assert rec["node"] == i, (i, ln, rec.get("node"))
+            assert "ts" in rec and "stats" in rec, (i, ln)
+            assert "metrics" in rec["stats"], (i, ln)
+print("telemetry JSONL well-formed on all 3 replicas")
+PY
+fi
 
 echo "SMOKE OK: identical total order on all 3 replicas"

@@ -46,11 +46,13 @@ module type Backend = sig
   val name : string
   val deterministic : bool
 
-  val run_scenario : unit -> log array
+  val run_scenario : unit -> log array * Gc_obs.Metrics.t
   (** Build a [nodes]-member cluster, let node [i] submit operations
       [Cop {origin = i; k}] for [k < per_node] (even [k] conflicting via
       abcast, odd [k] commuting via rbcast), and return each node's
-      delivery log once everything has been delivered everywhere. *)
+      delivery log once everything has been delivered everywhere, plus
+      the merged metrics of all stacks (for the stats round-trip
+      obligation). *)
 end
 
 let submit stacks i k =
@@ -97,7 +99,8 @@ module Sim_backend = struct
       done
     done;
     Engine.run ~until:60_000.0 engine;
-    harvest logs
+    ( harvest logs,
+      Gc_obs.Metrics.merged (Array.to_list stacks |> List.map Stack.metrics) )
 end
 
 module Unix_backend = struct
@@ -146,7 +149,8 @@ module Unix_backend = struct
       Evloop.run_once loop ~max_wait:20.0
     done;
     Array.iter Ru.shutdown endpoints;
-    harvest logs
+    ( harvest logs,
+      Gc_obs.Metrics.merged (Array.to_list stacks |> List.map Stack.metrics) )
 end
 
 (* ---------- the conformance obligations ---------- *)
@@ -186,12 +190,12 @@ module Conformance (B : Backend) = struct
             id (pp_log (ordered_of l)) (pp_log reference))
       logs
 
-  let test_agreement () = check_logs (B.run_scenario ())
+  let test_agreement () = check_logs (fst (B.run_scenario ()))
 
   let test_determinism () =
     if B.deterministic then begin
-      let a = B.run_scenario () in
-      let b = B.run_scenario () in
+      let a = fst (B.run_scenario ()) in
+      let b = fst (B.run_scenario ()) in
       Array.iteri
         (fun id l ->
           if l <> b.(id) then
@@ -199,10 +203,61 @@ module Conformance (B : Backend) = struct
         a
     end
 
+  (* The live-telemetry obligation: whatever this backend's stacks
+     recorded must survive the exact wire path a [Cl_stats] reply takes —
+     snapshot -> JSON body -> framed [Cl_reply] -> decoder -> snapshot —
+     with counters and quantile estimates intact. *)
+  let test_stats_roundtrip () =
+    let _, metrics = B.run_scenario () in
+    let module Snapshot = Gc_obs.Snapshot in
+    let module Proto = Gc_server.Proto in
+    let module Frame = Gc_net.Frame in
+    let snap = Snapshot.of_metrics metrics in
+    Alcotest.(check bool)
+      "scenario recorded abcast deliveries" true
+      (Snapshot.counter snap "abcast.delivered" > 0);
+    Alcotest.(check bool)
+      "scenario recorded rbcast deliveries" true
+      (Snapshot.counter snap "rbcast.delivered" > 0);
+    let body = Gc_obs.Json.to_string (Snapshot.to_json snap) in
+    let frame =
+      match Frame.encode (Proto.Cl_reply { rid = 7; ok = true; body }) with
+      | Ok f -> f
+      | Error e -> Alcotest.failf "encode failed: %s" (Frame.error_to_string e)
+    in
+    let dec = Frame.Decoder.create () in
+    Frame.Decoder.feed dec
+      (Bytes.of_string frame)
+      ~off:0 ~len:(String.length frame);
+    match Frame.Decoder.next dec with
+    | `Payload (Proto.Cl_reply { rid = 7; ok = true; body = body' }) ->
+        let snap' = Snapshot.of_json (Gc_obs.Json.of_string body') in
+        (* JSON exposition drops zero-valued entries by default, so the
+           expectation is the local JSON round-trip, not the raw capture. *)
+        Alcotest.(check (list string))
+          "names survive the wire"
+          (Snapshot.names (Snapshot.of_json (Snapshot.to_json snap)))
+          (Snapshot.names snap');
+        List.iter
+          (fun name ->
+            Alcotest.(check int)
+              (name ^ " counter survives")
+              (Snapshot.counter snap name)
+              (Snapshot.counter snap' name))
+          [ "abcast.delivered"; "rbcast.delivered"; "consensus.instances_decided" ];
+        Alcotest.(check (float 1e-9))
+          "latency p99 estimate survives"
+          (Snapshot.quantile snap "abcast.latency_ms" 0.99)
+          (Snapshot.quantile snap' "abcast.latency_ms" 0.99)
+    | _ -> Alcotest.fail "stats reply did not round-trip the frame codec"
+
   let cases =
     Alcotest.test_case
       (Printf.sprintf "%s: one total order, complete delivery" B.name)
       `Quick test_agreement
+    :: Alcotest.test_case
+         (Printf.sprintf "%s: stats snapshot wire round-trip" B.name)
+         `Quick test_stats_roundtrip
     ::
     (if B.deterministic then
        [

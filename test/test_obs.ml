@@ -115,6 +115,176 @@ let test_json_roundtrip () =
     "text round-trip" (Json.to_string j)
     (Json.to_string (Metrics.to_json m''))
 
+(* ---------- snapshots: capture, delta, exposition ---------- *)
+
+module Snapshot = Gc_obs.Snapshot
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let check_contains what hay needle =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: %S present" what needle)
+    true (contains hay needle)
+
+let test_snapshot_immutable () =
+  let m = Metrics.create () in
+  Metrics.incr m "c" ~by:2;
+  Metrics.observe m "h" 1.0;
+  let s = Snapshot.of_metrics m in
+  Metrics.incr m "c" ~by:40;
+  Metrics.observe m "h" 9.0;
+  check_int "capture frozen: counter" 2 (Snapshot.counter s "c");
+  check_int "capture frozen: hist count" 1 (Snapshot.hist_count s "h");
+  (* And it round-trips through JSON bit-compatibly with Metrics.to_json. *)
+  let j = Snapshot.to_json s in
+  Alcotest.(check string)
+    "snapshot json round-trip"
+    (Json.to_string j)
+    (Json.to_string (Snapshot.to_json (Snapshot.of_json j)))
+
+let test_snapshot_delta () =
+  let m = Metrics.create () in
+  Metrics.incr m "c" ~by:10;
+  Metrics.set_gauge m "g" 1.0;
+  for v = 1 to 50 do
+    Metrics.observe m "h" (float_of_int v)
+  done;
+  let before = Snapshot.of_metrics m in
+  Metrics.incr m "c" ~by:7;
+  Metrics.set_gauge m "g" 2.5;
+  for v = 51 to 80 do
+    Metrics.observe m "h" (float_of_int v)
+  done;
+  Metrics.incr m "late";
+  let after = Snapshot.of_metrics m in
+  let d = Snapshot.delta ~before ~after in
+  check_int "counters subtract" 7 (Snapshot.counter d "c");
+  check_float "gauges keep the after reading" 2.5 (Snapshot.gauge d "g");
+  check_int "histogram window count" 30 (Snapshot.hist_count d "h");
+  check_int "entries born inside the window survive" 1
+    (Snapshot.counter d "late");
+  (* The window held 51..80 only: its median must sit far above the
+     cumulative median (~40), even with one-bucket resolution. *)
+  let p50 = Snapshot.quantile d "h" 0.5 in
+  Alcotest.(check bool)
+    (Printf.sprintf "window p50 %.1f reflects only the window" p50)
+    true
+    (p50 >= 50.0 && p50 <= 80.0)
+
+let test_snapshot_counter_reset () =
+  let a = Metrics.create () in
+  Metrics.incr a "c" ~by:100;
+  for _ = 1 to 20 do
+    Metrics.observe a "h" 5.0
+  done;
+  let before = Snapshot.of_metrics a in
+  (* The source restarts: a fresh registry with smaller readings. *)
+  let b = Metrics.create () in
+  Metrics.incr b "c" ~by:3;
+  Metrics.observe b "h" 5.0;
+  let after = Snapshot.of_metrics b in
+  let d = Snapshot.delta ~before ~after in
+  check_int "decreased counter: after stands alone" 3 (Snapshot.counter d "c");
+  check_int "decreased histogram: after stands alone" 1
+    (Snapshot.hist_count d "h")
+
+let test_snapshot_quantiles_known () =
+  let m = Metrics.create () in
+  (* A point mass: every quantile is the exact observed value. *)
+  for _ = 1 to 100 do
+    Metrics.observe m "point" 42.0
+  done;
+  let s = Snapshot.of_metrics m in
+  check_float "point mass p50" 42.0 (Snapshot.quantile s "point" 0.5);
+  check_float "point mass p99" 42.0 (Snapshot.quantile s "point" 0.99);
+  (* A 9:1 bimodal mix: p50 near the low mode, p99 at the high one. *)
+  let m2 = Metrics.create () in
+  for _ = 1 to 90 do
+    Metrics.observe m2 "bi" 1.0
+  done;
+  for _ = 1 to 10 do
+    Metrics.observe m2 "bi" 1000.0
+  done;
+  let s2 = Snapshot.of_metrics m2 in
+  let p50 = Snapshot.quantile s2 "bi" 0.5 in
+  let p99 = Snapshot.quantile s2 "bi" 0.99 in
+  Alcotest.(check bool)
+    (Printf.sprintf "bimodal p50 %.2f stays at the low mode" p50)
+    true
+    (p50 >= 0.9 && p50 <= 1.25);
+  check_float "bimodal p99 clamps to max" 1000.0 p99;
+  Alcotest.(check bool)
+    "absent histogram quantile is nan" true
+    (Float.is_nan (Snapshot.quantile s2 "nope" 0.5))
+
+let test_include_zeros () =
+  let m = Metrics.create () in
+  Metrics.incr m "live";
+  Metrics.incr m "dead" ~by:0;
+  ignore (Metrics.quantile m "empty_hist" 0.5);
+  let default = Json.to_string (Metrics.to_json m) in
+  let kept = Json.to_string (Metrics.to_json ~include_zeros:true m) in
+  check_contains "default keeps live entries" default "\"live\"";
+  Alcotest.(check bool)
+    "default drops zero counters" false
+    (contains default "\"dead\"");
+  check_contains "include_zeros keeps zero counters" kept "\"dead\"";
+  (* Snapshot exposition honours the same flag. *)
+  let s = Snapshot.of_metrics m in
+  Alcotest.(check bool)
+    "snapshot default drops zeros too" false
+    (contains (Json.to_string (Snapshot.to_json s)) "\"dead\"");
+  check_contains "snapshot include_zeros"
+    (Json.to_string (Snapshot.to_json ~include_zeros:true s))
+    "\"dead\""
+
+let test_prometheus_exposition () =
+  let m = Metrics.create () in
+  Metrics.incr m "abcast.delivered" ~by:12;
+  Metrics.set_gauge m "evloop.open_fds" 9.0;
+  Metrics.observe m "server.latency_ms" 0.5;
+  Metrics.observe m "server.latency_ms" 2.0;
+  Metrics.observe m "server.latency_ms" 100.0;
+  let s = Snapshot.of_metrics m in
+  let text =
+    Snapshot.to_prometheus ~labels:[ ("node", "a\\b\"c\nd") ] s
+  in
+  (* Dotted names sanitise to the exposition charset, under the gcs_
+     namespace. *)
+  check_contains "counter TYPE" text "# TYPE gcs_abcast_delivered counter";
+  check_contains "counter sample" text "gcs_abcast_delivered{node=";
+  check_contains "gauge TYPE" text "# TYPE gcs_evloop_open_fds gauge";
+  check_contains "histogram TYPE" text
+    "# TYPE gcs_server_latency_ms histogram";
+  (* Label values escape backslash, quote and newline. *)
+  check_contains "label escaping" text {|node="a\\b\"c\nd"|};
+  (* Cumulative buckets end at +Inf = count, with sum and count samples. *)
+  check_contains "+Inf bucket" text {|le="+Inf"|};
+  check_contains "sum sample" text "gcs_server_latency_ms_sum";
+  check_contains "count sample" text "gcs_server_latency_ms_count";
+  let inf_line =
+    List.find
+      (fun l -> contains l {|le="+Inf"|})
+      (String.split_on_char '\n' text)
+  in
+  check_contains "+Inf bucket equals count" inf_line "} 3";
+  (* le values are monotone: every bucket count <= the +Inf count. *)
+  List.iter
+    (fun l ->
+      if contains l "_bucket{" && not (contains l "+Inf") then
+        match String.rindex_opt l ' ' with
+        | Some i ->
+            let c =
+              float_of_string
+                (String.sub l (i + 1) (String.length l - i - 1))
+            in
+            Alcotest.(check bool) "bucket below count" true (c <= 3.0)
+        | None -> Alcotest.fail "unparseable bucket line")
+    (String.split_on_char '\n' text)
+
 (* ---------- trace capacity and structured emission ---------- *)
 
 let test_trace_capacity () =
@@ -212,6 +382,16 @@ let suite =
         Alcotest.test_case "histogram quantiles" `Quick test_quantiles;
         Alcotest.test_case "merge semantics" `Quick test_merge;
         Alcotest.test_case "json round-trip" `Quick test_json_roundtrip;
+        Alcotest.test_case "snapshot is immutable" `Quick
+          test_snapshot_immutable;
+        Alcotest.test_case "snapshot delta" `Quick test_snapshot_delta;
+        Alcotest.test_case "snapshot counter reset" `Quick
+          test_snapshot_counter_reset;
+        Alcotest.test_case "snapshot quantiles on known distributions" `Quick
+          test_snapshot_quantiles_known;
+        Alcotest.test_case "to_json include_zeros" `Quick test_include_zeros;
+        Alcotest.test_case "prometheus exposition" `Quick
+          test_prometheus_exposition;
         Alcotest.test_case "trace capacity eviction" `Quick test_trace_capacity;
         Alcotest.test_case "structured emit" `Quick test_structured_emit;
         Alcotest.test_case "rbcast uses fewer consensus instances" `Quick
