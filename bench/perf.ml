@@ -14,10 +14,17 @@
    - [gbcast_commuting] the full stack under a commuting-only workload:
                         rbcast fast path, acks through the reliable channel,
                         no consensus on the critical path.
+   - [gbcast_batch_b*]  the same commuting workload across the submission
+                        batch-size sweep (batch_max in {1, 16, 64}): the
+                        cost of the gbcast hot path as batching amortises
+                        the per-message relay and ack fan-out.
 
    Output is BENCH_perf.json (schema: DESIGN.md par.12).  [--smoke] shrinks
    the workload for CI; [--check FILE] compares against a committed baseline
-   and fails when any cell's msgs/sec regressed by more than 2x.
+   and fails when any cell's msgs/sec regressed by more than 2x.  Every run
+   additionally fails if the stack's gbcast commuting throughput falls more
+   than 3x below raw abcast at the same n (the paper's whole point is that
+   commuting traffic is *cheaper* than total order).
 
    Usage:
      dune exec bench/perf.exe                            # full run
@@ -171,6 +178,31 @@ let gbcast_commuting ~seed ~n ~count =
   measure ~name:"gbcast_commuting" ~n ~msgs:(count * n)
     ~engine:w.Bench_util.engine ~horizon:120_000.0 ~done_:all_delivered ()
 
+(* The batch-size sweep: identical commuting workload, submission batching
+   set explicitly.  [batch_max = 1] is the unbatched protocol (one reliable
+   broadcast and n-1 acks per message); larger watermarks amortise both. *)
+let gbcast_batch ~seed ~n ~count ~batch_max =
+  let config = Stack.Config.make ~batch_max () in
+  let w = Bench_util.new_world ~record:false ~config ~seed ~n () in
+  ignore
+    (Engine.schedule w.Bench_util.engine ~delay:0.0 (fun () ->
+         for k = 0 to count - 1 do
+           Stack.rbcast
+             w.Bench_util.stacks.(k mod n)
+             (Bench_util.Load { k; sent_at = 0.0 })
+         done));
+  let all_delivered () =
+    let ok = ref true in
+    for i = 0 to n - 1 do
+      if Bench_util.delivered_count w i <> count then ok := false
+    done;
+    !ok
+  in
+  measure
+    ~name:(Printf.sprintf "gbcast_batch_b%d" batch_max)
+    ~n ~msgs:(count * n) ~engine:w.Bench_util.engine ~horizon:120_000.0
+    ~done_:all_delivered ()
+
 (* ---------- json ---------- *)
 
 let cell_json c =
@@ -233,6 +265,30 @@ let check_against ~path cells =
   List.iter (fun r -> Printf.printf "PERF REGRESSION: %s\n" r) regressions;
   regressions = []
 
+(* The gbcast-gap guard: commuting traffic through the full stack must stay
+   within 3x of raw atomic broadcast at the same group size.  Absolute
+   rates drift with the host; the *ratio* between two cells of the same run
+   is stable, so this check needs no baseline file and runs everywhere. *)
+let check_gb_ab_ratio cells =
+  let rate name n =
+    List.find_opt (fun c -> c.name = name && c.n = n) cells
+    |> Option.map (fun c -> c.msgs_per_sec)
+  in
+  let bad =
+    List.filter_map
+      (fun n ->
+        match (rate "abcast_saturation" n, rate "gbcast_commuting" n) with
+        | Some ab, Some gb when gb < ab /. 3.0 ->
+            Some
+              (Printf.sprintf
+                 "gbcast_commuting n=%d: %.0f msg/s vs abcast %.0f (gap > 3x)"
+                 n gb ab)
+        | _ -> None)
+      (List.sort_uniq compare (List.map (fun c -> c.n) cells))
+  in
+  List.iter (fun r -> Printf.printf "PERF REGRESSION: %s\n" r) bad;
+  bad = []
+
 (* ---------- driver ---------- *)
 
 let () =
@@ -276,7 +332,10 @@ let () =
     (fun n ->
       run (fun () -> rchannel_echo ~seed ~n ~count:echo_count);
       run (fun () -> abcast_saturation ~seed ~n ~count:ab_count);
-      run (fun () -> gbcast_commuting ~seed ~n ~count:gb_count))
+      run (fun () -> gbcast_commuting ~seed ~n ~count:gb_count);
+      List.iter
+        (fun b -> run (fun () -> gbcast_batch ~seed ~n ~count:gb_count ~batch_max:b))
+        [ 1; 16; 64 ])
     [ 3; 5; 8 ];
   let cells = List.rev !cells in
   let mode = if !smoke then "smoke" else "full" in
@@ -289,7 +348,8 @@ let () =
   let incomplete = List.exists (fun c -> not c.completed) cells in
   if incomplete then
     Printf.eprintf "ERROR: some cells did not finish within the horizon\n";
+  let ratio_ok = check_gb_ab_ratio cells in
   let ok =
     match !check with Some path -> check_against ~path cells | None -> true
   in
-  if (not ok) || incomplete then exit 1
+  if (not ok) || (not ratio_ok) || incomplete then exit 1

@@ -36,7 +36,8 @@ let () =
         let rb = Rb.create proc rc in
         let ab = Ab.create proc ~rc ~rb ~fd ~members () in
         let gb =
-          Gb.create proc ~rc ~rb ~ab ~conflict:Sm.Kv.conflict ~members ()
+          Gb.create proc ~rc ~rb ~ab
+            ~conflict:(Gc_gbcast.Conflict.of_relation Sm.Kv.conflict) ~members ()
         in
         Gb.on_deliver gb (fun ~origin:_ payload ->
             match payload with

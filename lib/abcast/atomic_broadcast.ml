@@ -28,6 +28,10 @@ module Delivered = Delivered_set
 type Gc_net.Payload.t +=
   | Ab_data of msg
   | Ab_batch of msg list
+  | Ab_submit of msg list
+        (* several submissions from one origin riding one reliable
+           broadcast; distinct from [Ab_batch], which is a consensus
+           proposal value *)
 
 let () =
   Gc_net.Payload.register_printer (function
@@ -35,6 +39,13 @@ let () =
         Some
           (Printf.sprintf "ab.data#%d.%d(%s)" m.origin m.mseq
              (Gc_net.Payload.to_string m.body))
+    | Ab_submit l ->
+        Some
+          (Printf.sprintf "ab.submit[%s]"
+             (String.concat ";"
+                (List.map
+                   (fun m -> Printf.sprintf "%d.%d" m.origin m.mseq)
+                   l)))
     | Ab_batch l ->
         (* Listing the message ids makes the rendering content-distinguishing,
            so equality of the printed form means equality of the batch — the
@@ -75,11 +86,16 @@ let () =
           W.u8 w 1;
           W.list w (write_msg enc) l;
           true
+      | Ab_submit l ->
+          W.u8 w 2;
+          W.list w (write_msg enc) l;
+          true
       | _ -> false)
     ~decode:(fun dec r ->
       match W.read_u8 r with
       | 0 -> Ab_data (read_msg dec r)
       | 1 -> Ab_batch (W.read_list r (read_msg dec))
+      | 2 -> Ab_submit (W.read_list r (read_msg dec))
       | k -> Gc_net.Payload.malformed (Printf.sprintf "ab constructor %d" k))
 
 type t = {
@@ -95,6 +111,7 @@ type t = {
   proposed : (int, unit) Hashtbl.t; (* pruned below next_to_apply *)
   decided_batches : (int, msg list) Hashtbl.t; (* out-of-order decisions *)
   mutable max_solicited : int;
+  mutable submit_batch : msg Batcher.t option;
   mutable subscribers : (origin:int -> Gc_net.Payload.t -> unit) list;
   mutable n_delivered : int;
 }
@@ -191,7 +208,8 @@ let on_solicit t ~inst =
   if inst >= t.next_to_apply then try_start t
 
 let create proc ~rc ~rb ~fd ?(suspect_timeout = 200.0) ?(adaptive = false)
-    ~members () =
+    ?(batch_max = 1) ?(batch_delay = 1.0) ~members () =
+  if batch_max < 1 then invalid_arg "Atomic_broadcast.create: batch_max < 1";
   let t =
     {
       proc;
@@ -206,10 +224,23 @@ let create proc ~rc ~rb ~fd ?(suspect_timeout = 200.0) ?(adaptive = false)
       proposed = Hashtbl.create 64;
       decided_batches = Hashtbl.create 16;
       max_solicited = -1;
+      submit_batch = None;
       subscribers = [];
       n_delivered = 0;
     }
   in
+  t.submit_batch <-
+    Some
+      (Batcher.create proc ~metric:"abcast.submit_batch_size"
+         ~max_batch:batch_max ~max_delay:batch_delay
+         ~emit:(fun ms ->
+           match ms with
+           | [ m ] ->
+               Rb.broadcast t.rb ~size:m.size ~dests:t.member_list (Ab_data m)
+           | ms ->
+               let size = List.fold_left (fun a m -> a + m.size) 16 ms in
+               Rb.broadcast t.rb ~size ~dests:t.member_list (Ab_submit ms))
+         ());
   Process.incr ~by:0 proc "abcast.delivered";
   let consensus =
     Consensus.create proc ~rc ~rb ~fd ~suspect_timeout ~adaptive
@@ -226,6 +257,23 @@ let create proc ~rc ~rb ~fd ?(suspect_timeout = 200.0) ?(adaptive = false)
           if not (Delivered.mem t.delivered id || Pending.mem id t.pending)
           then begin
             pending_add t id m;
+            note_pending t;
+            try_start t
+          end
+      | Ab_submit ms ->
+          (* One pending-set update and one proposal attempt for the whole
+             batch: the point of submit batching. *)
+          let added = ref false in
+          List.iter
+            (fun m ->
+              let id = msg_id m in
+              if not (Delivered.mem t.delivered id || Pending.mem id t.pending)
+              then begin
+                pending_add t id m;
+                added := true
+              end)
+            ms;
+          if !added then begin
             note_pending t;
             try_start t
           end
@@ -249,7 +297,9 @@ let abcast t ?(size = 64) body =
       Process.event t.proc ~component:"abcast" ~kind:Gc_obs.Event.Send
         ~msg:(Printf.sprintf "ab:%d.%d" m.origin m.mseq)
         ();
-    Rb.broadcast t.rb ~size ~dests:t.member_list (Ab_data m)
+    match t.submit_batch with
+    | Some b -> Batcher.add b m
+    | None -> Rb.broadcast t.rb ~size ~dests:t.member_list (Ab_data m)
   end
 
 let on_deliver t f = t.subscribers <- f :: t.subscribers

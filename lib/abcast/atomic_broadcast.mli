@@ -31,13 +31,23 @@ val create :
   fd:Gc_fd.Failure_detector.t ->
   ?suspect_timeout:float ->
   ?adaptive:bool ->
+  ?batch_max:int ->
+  ?batch_delay:float ->
   members:int list ->
   unit ->
   t
 (** Build the component with an initial static member list.  The component
     owns its consensus instance stack (wired to the given failure detector
     with the aggressive [suspect_timeout], default 200 ms; [adaptive]
-    switches it to the self-tuning monitor). *)
+    switches it to the self-tuning monitor).
+
+    [batch_max] (default 1 = unbatched) and [batch_delay] (default 1 ms)
+    batch submissions through a size/tick watermark ({!Batcher}): up to
+    [batch_max] messages from this origin ride one reliable broadcast
+    ([Ab_submit]) and enter the pending set with a single proposal attempt,
+    amortising the O(n^2) relay cost.  Consensus proposals were already
+    batched (the whole pending set per instance); this batches the {e
+    submission} side too. *)
 
 val abcast : t -> ?size:int -> Gc_net.Payload.t -> unit
 (** Broadcast [payload] to the current members with total-order delivery.

@@ -20,6 +20,8 @@ type config = {
   state_transfer_delay : float;
   gb_ack_mode : Gb.ack_mode;
   same_view_delivery : bool;
+  batch_max : int;
+  batch_delay : float;
 }
 
 let default_config =
@@ -34,6 +36,8 @@ let default_config =
     state_transfer_delay = 0.0;
     gb_ack_mode = Gb.All_members;
     same_view_delivery = true;
+    batch_max = 64;
+    batch_delay = 1.0;
   }
 
 module Config = struct
@@ -57,7 +61,7 @@ module Config = struct
 
   let make ?(runtime = Sim) ?hb_period ?consensus_timeout ?consensus_adaptive
       ?exclusion_timeout ?rto ?stuck_after ?policy ?state_transfer_delay
-      ?gb_ack_mode ?same_view_delivery () =
+      ?gb_ack_mode ?same_view_delivery ?batch_max ?batch_delay () =
     let base = match runtime with Sim -> default_config | Unix -> unix_default in
     let dfl field = function Some v -> v | None -> field base in
     {
@@ -74,6 +78,8 @@ module Config = struct
       gb_ack_mode = dfl (fun c -> c.gb_ack_mode) gb_ack_mode;
       same_view_delivery =
         dfl (fun c -> c.same_view_delivery) same_view_delivery;
+      batch_max = dfl (fun c -> c.batch_max) batch_max;
+      batch_delay = dfl (fun c -> c.batch_delay) batch_delay;
     }
 end
 
@@ -143,13 +149,15 @@ let () =
 
 (* The conflict relation of Section 3.3: rbcast-class application messages
    commute with each other; everything else (abcast-class application
-   messages, membership changes) is ordered against everything. *)
-let stack_conflict a b =
-  match (a, b) with
-  | Gcs_app { klass = Conflict.Commuting; _ }, Gcs_app { klass = Conflict.Commuting; _ }
-    ->
-      false
-  | _, _ -> true
+   messages, membership changes) is ordered against everything.  Declared
+   in indexed form — two conflict classes with a 2x2 matrix — so the
+   generic-broadcast fast path answers "conflicts with anything pending?"
+   from two occupancy counters instead of scanning the pending set. *)
+let stack_conflict =
+  Conflict.two_class
+    ~classify:(function
+      | Gcs_app { klass = Conflict.Commuting; _ } -> Conflict.Commuting
+      | _ -> Conflict.Ordered)
 
 type t = {
   proc : Process.t;
@@ -172,7 +180,8 @@ let create runtime ?metrics ~id ~initial ?(config = default_config)
   let rb = Rb.create proc rc in
   let ab =
     Ab.create proc ~rc ~rb ~fd ~suspect_timeout:config.consensus_timeout
-      ~adaptive:config.consensus_adaptive ~members:initial ()
+      ~adaptive:config.consensus_adaptive ~batch_max:config.batch_max
+      ~batch_delay:config.batch_delay ~members:initial ()
   in
   (* Default All_members mode: ordered traffic (including view changes)
      rides the consensus-backed cut path and stays live with f < n/2;
@@ -180,7 +189,8 @@ let create runtime ?metrics ~id ~initial ?(config = default_config)
      excluded. *)
   let gb =
     Gb.create proc ~rc ~rb ~ab ~conflict:stack_conflict
-      ~ack_mode:config.gb_ack_mode ~members:initial ()
+      ~ack_mode:config.gb_ack_mode ~batch_max:config.batch_max
+      ~batch_delay:config.batch_delay ~members:initial ()
   in
   let ab_ref = ref ab and gb_ref = ref gb in
   let state_provider () =

@@ -57,6 +57,14 @@ type config = {
           delivered in the same view everywhere (default true, the paper's
           design); false is the ablation: view changes ride plain atomic
           broadcast and commuting messages may straddle views (Section 4.4) *)
+  batch_max : int;
+      (** submission batching watermark for the ordering layers (default
+          64): up to this many application messages ride one reliable
+          broadcast / one acknowledgement vector, amortising the O(n^2)
+          relay and O(n) ack cost per message; 1 disables batching *)
+  batch_delay : float;
+      (** tick watermark, ms (default 1): a partial batch is flushed this
+          long after its first message, bounding added latency *)
 }
 
 val default_config : config
@@ -93,6 +101,8 @@ module Config : sig
     ?state_transfer_delay:float ->
     ?gb_ack_mode:Gc_gbcast.Generic_broadcast.ack_mode ->
     ?same_view_delivery:bool ->
+    ?batch_max:int ->
+    ?batch_delay:float ->
     unit ->
     t
   (** Every omitted argument takes its value from the [runtime] baseline

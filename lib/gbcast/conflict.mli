@@ -2,7 +2,20 @@
 
     A conflict relation says which pairs of messages must be delivered in the
     same order everywhere.  Generic broadcast pays ordering cost only for
-    conflicting pairs (Section 3.2.1 of the paper). *)
+    conflicting pairs (Section 3.2.1 of the paper).
+
+    Two representations coexist:
+
+    - a bare pairwise {!relation} — maximally general, but the broadcast
+      layer can only evaluate "does [m] conflict with anything pending?" by
+      scanning every pending message;
+    - an {!index} — messages are mapped onto a small number of {e conflict
+      classes} with a class-level conflict matrix, so the same question is
+      answered from per-class occupancy counters in O(classes), independent
+      of how many messages are pending (see {!Conflict_index}).
+
+    Any relation expressible as classes + matrix should use the indexed
+    form; {!check} recovers the pairwise view when one is needed. *)
 
 type relation = Gc_net.Payload.t -> Gc_net.Payload.t -> bool
 (** [conflict m m'] — must be symmetric.  Reflexivity is not required: the
@@ -30,3 +43,38 @@ val by_class : classify:(Gc_net.Payload.t -> klass) -> relation
     rbcast   no conflict   conflict
     abcast    conflict     conflict
     v} *)
+
+type index = {
+  classes : int;  (** number of conflict classes, [>= 1] *)
+  classify : Gc_net.Payload.t -> int;
+      (** total map into [\[0, classes)]; must be a pure function of the
+          payload *)
+  matrix : int -> int -> bool;
+      (** class-level conflict; must be symmetric on [\[0, classes)^2] *)
+}
+
+type t = Relation of relation | Indexed of index
+(** A conflict specification as handed to {!Generic_broadcast.create}. *)
+
+val of_relation : relation -> t
+
+val indexed :
+  classes:int ->
+  classify:(Gc_net.Payload.t -> int) ->
+  matrix:(int -> int -> bool) ->
+  t
+(** Raises [Invalid_argument] if [classes < 1]. *)
+
+val two_class : classify:(Gc_net.Payload.t -> klass) -> t
+(** The indexed form of {!by_class}: class 0 = [Commuting], class 1 =
+    [Ordered], conflict everywhere except [Commuting x Commuting]. *)
+
+val check : t -> relation
+(** The pairwise view of a specification — [check (of_relation r) = r];
+    for an indexed specification, the relation induced by classifying both
+    payloads and consulting the matrix. *)
+
+val map_payload : (Gc_net.Payload.t -> Gc_net.Payload.t) -> t -> t
+(** Pre-compose the specification with a payload projection — e.g. peeling
+    an envelope before classifying (see
+    {!Fifo_generic_broadcast.lift_conflict}). *)

@@ -10,6 +10,7 @@ let () =
 let unwrap = function Fgb { body; _ } -> body | p -> p
 
 let lift_conflict rel a b = rel (unwrap a) (unwrap b)
+let lift spec = Conflict.map_payload unwrap spec
 
 type t = {
   gb : Generic_broadcast.t;

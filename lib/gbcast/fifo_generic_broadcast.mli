@@ -23,6 +23,10 @@ val lift_conflict : Conflict.relation -> Conflict.relation
     lifted relation, otherwise it would compare envelopes instead of
     application payloads. *)
 
+val lift : Conflict.t -> Conflict.t
+(** {!lift_conflict} for a full conflict specification (indexed
+    specifications have their classifier unwrapped the same way). *)
+
 val create : Generic_broadcast.t -> t
 (** Wrap an existing generic-broadcast instance.  Deliveries must then be
     consumed through {!on_deliver} of this wrapper ({e not} of the wrapped

@@ -2,6 +2,8 @@ module Process = Gc_kernel.Process
 module Rc = Gc_rchannel.Reliable_channel
 module Rb = Gc_rbcast.Reliable_broadcast
 module Ab = Gc_abcast.Atomic_broadcast
+module Batcher = Gc_abcast.Batcher
+module Delivered = Gc_abcast.Delivered_set
 module Sorted = Gc_sim.Sorted
 
 type msg = {
@@ -17,15 +19,32 @@ let compare_msg a b = compare (msg_id a) (msg_id b)
 
 type Gc_net.Payload.t +=
   | Gb_fast of msg
+  | Gb_fast_batch of msg list
   | Gb_ack of { id : int * int; stage : int }
+  | Gb_acks of ((int * int) * int) list (* (id, stage) per acknowledged msg *)
   | Gb_state of { stage : int; acked : msg list; pending : msg list }
   | Gb_cut of { stage : int; first : msg list; rest : msg list }
 
 let () =
   Gc_net.Payload.register_printer (function
     | Gb_fast m -> Some (Printf.sprintf "gb.fast#%d.%d" m.origin m.gseq)
+    | Gb_fast_batch ms ->
+        Some
+          (Printf.sprintf "gb.fastbatch[%s]"
+             (String.concat ";"
+                (List.map
+                   (fun m -> Printf.sprintf "%d.%d" m.origin m.gseq)
+                   ms)))
     | Gb_ack { id = o, s; stage } ->
         Some (Printf.sprintf "gb.ack#%d.%d@%d" o s stage)
+    | Gb_acks l ->
+        Some
+          (Printf.sprintf "gb.acks[%s]"
+             (String.concat ";"
+                (List.map
+                   (fun ((o, s), stage) ->
+                     Printf.sprintf "%d.%d@%d" o s stage)
+                   l)))
     | Gb_state { stage; _ } -> Some (Printf.sprintf "gb.state@%d" stage)
     | Gb_cut { stage; first; rest } ->
         Some
@@ -49,6 +68,13 @@ let () =
     let sent_at = W.read_f64 r in
     let body = dec r in
     { origin; gseq; size; sent_at; body }
+  in
+  let write_ack w ((o, s), stage) =
+    W.triple w W.varint W.varint W.varint (o, s, stage)
+  in
+  let read_ack r =
+    let o, s, stage = W.read_triple r W.read_varint W.read_varint W.read_varint in
+    ((o, s), stage)
   in
   Gc_net.Payload.register_codec ~tag:"gb"
     ~encode:(fun enc w p ->
@@ -75,6 +101,14 @@ let () =
           W.list w (write_msg enc) first;
           W.list w (write_msg enc) rest;
           true
+      | Gb_fast_batch ms ->
+          W.u8 w 4;
+          W.list w (write_msg enc) ms;
+          true
+      | Gb_acks l ->
+          W.u8 w 5;
+          W.list w write_ack l;
+          true
       | _ -> false)
     ~decode:(fun dec r ->
       match W.read_u8 r with
@@ -94,6 +128,8 @@ let () =
           let first = W.read_list r (read_msg dec) in
           let rest = W.read_list r (read_msg dec) in
           Gb_cut { stage; first; rest }
+      | 4 -> Gb_fast_batch (W.read_list r (read_msg dec))
+      | 5 -> Gb_acks (W.read_list r read_ack)
       | k -> Gc_net.Payload.malformed (Printf.sprintf "gb constructor %d" k))
 
 type ack_mode = Two_thirds | All_members
@@ -103,7 +139,8 @@ type t = {
   rb : Rb.t;
   rc : Rc.t;
   ab : Ab.t;
-  conflict : Conflict.relation;
+  conflict : Conflict.relation; (* pairwise view of [conflict_spec] *)
+  index : Conflict_index.t; (* occupancy over pending U stage_history *)
   ack_mode : ack_mode;
   mutable member_list : int list;
   mutable next_gseq : int;
@@ -115,13 +152,15 @@ type t = {
      them, otherwise a conflicting message could gather a quorum too, or a
      fast-delivered message could drop out of the stage-change cut. *)
   stage_history : (int * int, msg) Hashtbl.t;
-  delivered : (int * int, unit) Hashtbl.t;
+  delivered : Delivered.t;
   ack_counts : ((int * int) * int, (int, unit) Hashtbl.t) Hashtbl.t;
   (* stage -> sender -> (acked, pending) *)
   states : (int, (int, msg list * msg list) Hashtbl.t) Hashtbl.t;
   cut_proposed : (int, unit) Hashtbl.t;
   cut_timer_armed : (int, unit) Hashtbl.t;
   cut_backoff : float;
+  mutable submit_batch : msg Batcher.t option;
+  mutable ack_batch : ((int * int) * int) Batcher.t option;
   mutable subscribers : (origin:int -> Gc_net.Payload.t -> unit) list;
   mutable n_delivered : int;
   mutable n_fast : int;
@@ -155,11 +194,25 @@ let send_all t ?size payload =
   List.iter (fun q -> if q <> me then Rc.send t.rc ?size ~dst:q payload)
     t.member_list
 
+let note_occupancy t =
+  Process.set_gauge t.proc "gbcast.conflict_class_occupancy"
+    (float_of_int (Conflict_index.occupancy t.index))
+
+(* Track a newly rdelivered message: the conflict index mirrors
+   pending U stage_history, and new arrivals enter through pending. *)
+let track_pending t id m =
+  Hashtbl.replace t.pending id m;
+  Conflict_index.add t.index id m.body
+
 let deliver t m =
   let id = msg_id m in
-  if not (Hashtbl.mem t.delivered id) then begin
-    Hashtbl.replace t.delivered id ();
+  if Delivered.add t.delivered id then begin
     Hashtbl.remove t.pending id;
+    (* The examine scan still sees stage-history entries (the ack rule keeps
+       them until the stage ends), so the index only forgets ids that left
+       both tables. *)
+    if not (Hashtbl.mem t.stage_history id) then
+      Conflict_index.remove t.index id;
     t.n_delivered <- t.n_delivered + 1;
     Process.incr t.proc "gbcast.delivered";
     Process.observe t.proc "gbcast.latency_ms" (Process.now t.proc -. m.sent_at);
@@ -312,24 +365,18 @@ and force_cut t =
   end
 
 (* Fast-path examination of a pending message: acknowledge it unless it
-   conflicts with another message of the stage; a conflict changes stage. *)
+   conflicts with another message of the stage; a conflict changes stage.
+   The "conflicts with anything pending or acked?" probe goes through the
+   conflict index — O(classes) for indexed relations — instead of a scan
+   over every stage-relevant message. *)
 let rec examine t m =
   let id = msg_id m in
   if
     member t && (not t.frozen)
-    && (not (Hashtbl.mem t.delivered id))
+    && (not (Delivered.mem t.delivered id))
     && Hashtbl.mem t.pending id
     && not (Hashtbl.mem t.stage_history id)
   then begin
-    let against tbl acc =
-      (* gcs-lint: allow D3 — commutative OR-accumulation over the whole
-         table; the result is independent of visit order, and this sits on
-         the per-message fast path where key-sorting every probe would cost
-         O(n log n) per examine. *)
-      Hashtbl.fold
-        (fun id' m' acc -> acc || (id' <> id && t.conflict m.body m'.body))
-        tbl acc
-    in
     (* In all-members mode, a self-conflicting (ordered-class) message never
        takes the fast path: routing it through the stage-change cut keeps
        its delivery live with f < n/2, since the cut only needs atomic
@@ -338,19 +385,22 @@ let rec examine t m =
       t.ack_mode = All_members && t.conflict m.body m.body
     in
     let conflicts_with_stage =
-      self_conflicting || against t.pending (against t.stage_history false)
+      self_conflicting || Conflict_index.blocked t.index ~excluding:id m.body
     in
     if conflicts_with_stage then freeze t
     else begin
       Hashtbl.replace t.stage_history id m;
       Hashtbl.replace (ack_set t id t.stage) (Process.id t.proc) ();
-      send_all t ~size:24 (Gb_ack { id; stage = t.stage });
+      (match t.ack_batch with
+      | Some b -> Batcher.add b (id, t.stage)
+      | None -> send_all t ~size:24 (Gb_ack { id; stage = t.stage }));
       try_fast_deliver t id
     end
   end
 
 and try_fast_deliver t id =
-  if (not (Hashtbl.mem t.delivered id)) && Hashtbl.mem t.pending id then begin
+  if (not (Delivered.mem t.delivered id)) && Hashtbl.mem t.pending id
+  then begin
     let acks = ack_set t id t.stage in
     if Hashtbl.length acks >= ack_quorum t then begin
       match Hashtbl.find_opt t.pending id with
@@ -369,6 +419,13 @@ and try_fast_deliver t id =
     end
   end
 
+(* Acks buffered by [examine] go out at the end of the handler that
+   produced them: one [Gb_acks] vector per incoming fast batch instead of
+   n-1 unicasts per message (the batcher's tick watermark is only a safety
+   net). *)
+let flush_acks t =
+  match t.ack_batch with Some b -> Batcher.flush b | None -> ()
+
 let reexamine_pending t =
   List.iter (fun m -> examine t m) (pending_msgs t)
 
@@ -381,7 +438,7 @@ let apply_cut t ~stage ~first ~rest =
       Process.observe t.proc "gbcast.check_ms"
         (Process.now t.proc -. t.froze_at);
     let via_cut m =
-      if not (Hashtbl.mem t.delivered (msg_id m)) then
+      if not (Delivered.mem t.delivered (msg_id m)) then
         Process.incr t.proc "gbcast.cut_deliveries";
       deliver t m
     in
@@ -391,6 +448,10 @@ let apply_cut t ~stage ~first ~rest =
        (messages that arrived during the change) are re-examined. *)
     Hashtbl.remove t.states stage;
     Hashtbl.reset t.stage_history;
+    (* The index mirrors pending U stage_history; with the history gone it
+       is rebuilt from the pending survivors. *)
+    Conflict_index.clear t.index;
+    Sorted.iter (fun id m -> Conflict_index.add t.index id m.body) t.pending;
     t.stage <- stage + 1;
     t.frozen <- false;
     Process.emit t.proc ~component:"gbcast" ~event:"new_stage"
@@ -407,14 +468,16 @@ let apply_cut t ~stage ~first ~rest =
   end
 
 let create proc ~rc ~rb ~ab ~conflict ?(ack_mode = Two_thirds)
-    ?(cut_backoff = 15.0) ~members () =
+    ?(cut_backoff = 15.0) ?(batch_max = 1) ?(batch_delay = 1.0) ~members () =
+  if batch_max < 1 then invalid_arg "Generic_broadcast.create: batch_max < 1";
   let t =
     {
       proc;
       rb;
       rc;
       ab;
-      conflict;
+      conflict = Conflict.check conflict;
+      index = Conflict_index.create conflict;
       ack_mode;
       member_list = members;
       next_gseq = 0;
@@ -422,12 +485,14 @@ let create proc ~rc ~rb ~ab ~conflict ?(ack_mode = Two_thirds)
       frozen = false;
       pending = Hashtbl.create 64;
       stage_history = Hashtbl.create 64;
-      delivered = Hashtbl.create 256;
+      delivered = Delivered.create ();
       ack_counts = Hashtbl.create 256;
       states = Hashtbl.create 8;
       cut_proposed = Hashtbl.create 8;
       cut_timer_armed = Hashtbl.create 8;
       cut_backoff;
+      submit_batch = None;
+      ack_batch = None;
       subscribers = [];
       n_delivered = 0;
       n_fast = 0;
@@ -436,21 +501,73 @@ let create proc ~rc ~rb ~ab ~conflict ?(ack_mode = Two_thirds)
   in
   Process.incr ~by:0 proc "gbcast.fast_deliveries";
   Process.incr ~by:0 proc "gbcast.cut_deliveries";
+  t.submit_batch <-
+    Some
+      (Batcher.create proc ~metric:"gbcast.batch_size" ~max_batch:batch_max
+         ~max_delay:batch_delay
+         ~emit:(fun ms ->
+           match ms with
+           | [ m ] ->
+               Rb.broadcast t.rb ~size:m.size ~dests:t.member_list (Gb_fast m)
+           | ms ->
+               let size = List.fold_left (fun a m -> a + m.size) 16 ms in
+               Rb.broadcast t.rb ~size ~dests:t.member_list (Gb_fast_batch ms))
+         ());
+  (* Acks only batch when submissions do: with [batch_max = 1] the wire
+     traffic stays exactly the per-message [Gb_ack] of the unbatched
+     protocol. *)
+  if batch_max > 1 then
+    t.ack_batch <-
+      Some
+        (Batcher.create proc ~metric:"gbcast.ack_batch_size"
+           ~max_batch:(max batch_max 16) ~max_delay:batch_delay
+           ~emit:(fun l ->
+             match l with
+             | [ (id, stage) ] -> send_all t ~size:24 (Gb_ack { id; stage })
+             | l ->
+                 send_all t
+                   ~size:(16 + (8 * List.length l))
+                   (Gb_acks l))
+           ());
   Rb.on_deliver rb (fun ~origin:_ payload ->
       match payload with
       | Gb_fast m ->
           let id = msg_id m in
-          if not (Hashtbl.mem t.delivered id || Hashtbl.mem t.pending id)
+          if not (Delivered.mem t.delivered id || Hashtbl.mem t.pending id)
           then begin
-            Hashtbl.replace t.pending id m;
+            track_pending t id m;
             examine t m
-          end
+          end;
+          flush_acks t;
+          note_occupancy t
+      | Gb_fast_batch ms ->
+          (* Messages are tracked and examined in submission order, exactly
+             as if they had arrived as consecutive singletons — per-sender
+             FIFO and intra-batch conflict behaviour are unchanged. *)
+          List.iter
+            (fun m ->
+              let id = msg_id m in
+              if
+                not (Delivered.mem t.delivered id || Hashtbl.mem t.pending id)
+              then begin
+                track_pending t id m;
+                examine t m
+              end)
+            ms;
+          flush_acks t;
+          note_occupancy t
       | _ -> ());
   Rc.on_deliver rc (fun ~src payload ->
       match payload with
       | Gb_ack { id; stage } ->
           Hashtbl.replace (ack_set t id stage) src ();
           if stage = t.stage then try_fast_deliver t id
+      | Gb_acks l ->
+          List.iter
+            (fun (id, stage) ->
+              Hashtbl.replace (ack_set t id stage) src ();
+              if stage = t.stage then try_fast_deliver t id)
+            l
       | Gb_state { stage; acked; pending } ->
           (* A state for a stage we have not reached yet can only result from
              reordering relative to the cut that ends our stage; it is keyed
@@ -458,14 +575,19 @@ let create proc ~rc ~rb ~ab ~conflict ?(ack_mode = Two_thirds)
           List.iter
             (fun m ->
               let id = msg_id m in
-              if not (Hashtbl.mem t.delivered id || Hashtbl.mem t.pending id)
-              then Hashtbl.replace t.pending id m)
+              if not (Delivered.mem t.delivered id || Hashtbl.mem t.pending id)
+              then track_pending t id m)
             (acked @ pending);
-          record_state t ~src ~stage ~acked ~pending
+          record_state t ~src ~stage ~acked ~pending;
+          note_occupancy t
       | _ -> ());
   Ab.on_deliver ab (fun ~origin:_ payload ->
       match payload with
-      | Gb_cut { stage; first; rest } -> apply_cut t ~stage ~first ~rest
+      | Gb_cut { stage; first; rest } ->
+          apply_cut t ~stage ~first ~rest;
+          (* Re-examining the pending survivors may have produced acks. *)
+          flush_acks t;
+          note_occupancy t
       | _ -> ());
   t
 
@@ -486,7 +608,9 @@ let gbcast t ?(size = 64) body =
       Process.event t.proc ~component:"gbcast" ~kind:Gc_obs.Event.Send
         ~msg:(Printf.sprintf "gb:%d.%d" m.origin m.gseq)
         ();
-    Rb.broadcast t.rb ~size ~dests:t.member_list (Gb_fast m)
+    match t.submit_batch with
+    | Some b -> Batcher.add b m
+    | None -> Rb.broadcast t.rb ~size ~dests:t.member_list (Gb_fast m)
   end
 
 let on_deliver t f = t.subscribers <- f :: t.subscribers
@@ -496,11 +620,11 @@ let delivered_count t = t.n_delivered
 let fast_delivered_count t = t.n_fast
 let stage t = t.stage
 
-let delivered_ids t = Sorted.keys t.delivered
+let delivered_ids t = Delivered.ids t.delivered
 
 let bootstrap t ~stage ~delivered =
   t.stage <- stage;
-  List.iter (fun id -> Hashtbl.replace t.delivered id ()) delivered;
+  List.iter (fun id -> ignore (Delivered.add t.delivered id)) delivered;
   (* States published by members already frozen in this stage may be waiting. *)
   if Hashtbl.length (state_table t t.stage) > 0 then begin
     freeze t;

@@ -65,16 +65,31 @@ val create :
   rc:Gc_rchannel.Reliable_channel.t ->
   rb:Gc_rbcast.Reliable_broadcast.t ->
   ab:Gc_abcast.Atomic_broadcast.t ->
-  conflict:Conflict.relation ->
+  conflict:Conflict.t ->
   ?ack_mode:ack_mode ->
   ?cut_backoff:float ->
+  ?batch_max:int ->
+  ?batch_delay:float ->
   members:int list ->
   unit ->
   t
 (** [ack_mode] defaults to [Two_thirds] (the paper-cited algorithm); the
     full stack uses [All_members] for [f < n/2] robustness.  [cut_backoff]
     (default 15 ms) staggers stage-change proposals by member rank so that
-    normally a single cut is broadcast. *)
+    normally a single cut is broadcast.
+
+    [conflict] may be a bare pairwise relation or an indexed class
+    specification ({!Conflict.t}); indexed specifications make the
+    per-message "conflicts with anything pending?" probe O(classes)
+    instead of a scan (see {!Conflict_index}).
+
+    [batch_max] (default 1 = unbatched) and [batch_delay] (default 1 ms)
+    batch submissions through a size/tick watermark ({!Gc_abcast.Batcher}):
+    up to [batch_max] messages ride one reliable broadcast, and their
+    fast-path acknowledgements ride one vector, amortising the O(n^2)
+    relay and O(n) ack cost per application message.  Per-sender FIFO is
+    preserved; with [batch_max = 1] the wire traffic is exactly the
+    unbatched protocol's. *)
 
 val gbcast : t -> ?size:int -> Gc_net.Payload.t -> unit
 (** Generic-broadcast [payload] to the current members. *)

@@ -39,6 +39,11 @@ let pair w fst_w snd_w (a, b) =
   fst_w w a;
   snd_w w b
 
+let triple w fst_w snd_w trd_w (a, b, c) =
+  fst_w w a;
+  snd_w w b;
+  trd_w w c
+
 type reader = { src : string; limit : int; mutable pos : int }
 
 exception Short
@@ -91,5 +96,11 @@ let read_pair r fst_r snd_r =
   let a = fst_r r in
   let b = snd_r r in
   (a, b)
+
+let read_triple r fst_r snd_r trd_r =
+  let a = fst_r r in
+  let b = snd_r r in
+  let c = trd_r r in
+  (a, b, c)
 
 let remaining r = r.limit - r.pos

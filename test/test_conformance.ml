@@ -251,6 +251,24 @@ module Conformance (B : Backend) = struct
           (Snapshot.quantile snap' "abcast.latency_ms" 0.99)
     | _ -> Alcotest.fail "stats reply did not round-trip the frame codec"
 
+  (* The batching obligation (DESIGN.md Section 15): every backend must
+     route submissions through the batcher (the stack default is
+     [batch_max = 64]) and expose the batching telemetry — the same wire
+     vocabulary ([Gb_fast_batch]/[Ab_submit] and their singleton
+     degenerations) on sim and TCP alike. *)
+  let test_batching_engaged () =
+    let _, metrics = B.run_scenario () in
+    let module M = Gc_obs.Metrics in
+    Alcotest.(check bool)
+      "gbcast submissions ride the batcher" true
+      (M.hist_count metrics "gbcast.batch_size" > 0);
+    Alcotest.(check bool)
+      "cut traffic rides the abcast submit batcher" true
+      (M.hist_count metrics "abcast.submit_batch_size" > 0);
+    Alcotest.(check bool)
+      "conflict-class occupancy gauge exposed" true
+      (List.mem "gbcast.conflict_class_occupancy" (M.names metrics))
+
   let cases =
     Alcotest.test_case
       (Printf.sprintf "%s: one total order, complete delivery" B.name)
@@ -258,6 +276,9 @@ module Conformance (B : Backend) = struct
     :: Alcotest.test_case
          (Printf.sprintf "%s: stats snapshot wire round-trip" B.name)
          `Quick test_stats_roundtrip
+    :: Alcotest.test_case
+         (Printf.sprintf "%s: submission batching engaged" B.name)
+         `Quick test_batching_engaged
     ::
     (if B.deterministic then
        [

@@ -30,7 +30,7 @@ let build ?(delay = Gc_net.Delay.Uniform { lo = 1.0; hi = 30.0 }) ~seed ~n () =
         in
         let gb =
           Gb.create node.proc ~rc:node.rc ~rb:node.rb ~ab
-            ~conflict:(Fgb.lift_conflict (Conflict.by_class ~classify))
+            ~conflict:(Fgb.lift (Conflict.of_relation (Conflict.by_class ~classify)))
             ~members:(ids n) ()
         in
         let fgb = Fgb.create gb in

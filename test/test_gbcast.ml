@@ -35,8 +35,8 @@ let build ?(conflict = Conflict.by_class ~classify) w =
     Array.mapi
       (fun i node ->
         let gb =
-          Gb.create node.proc ~rc:node.rc ~rb:node.rb ~ab:abs.(i) ~conflict
-            ~members:(ids n) ()
+          Gb.create node.proc ~rc:node.rc ~rb:node.rb ~ab:abs.(i)
+            ~conflict:(Conflict.of_relation conflict) ~members:(ids n) ()
         in
         Gb.on_deliver gb (fun ~origin:_ payload ->
             logs.(i) <- payload :: logs.(i));

@@ -218,7 +218,8 @@ let test_kv_per_key_conflicts () =
             in
             let gb =
               Gb.create node.proc ~rc:node.rc ~rb:node.rb ~ab
-                ~conflict:Sm.Kv.conflict ~members:(ids n) ()
+                ~conflict:(Gc_gbcast.Conflict.of_relation Sm.Kv.conflict)
+                ~members:(ids n) ()
             in
             Gb.on_deliver gb (fun ~origin:_ payload ->
                 match payload with

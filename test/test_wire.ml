@@ -106,6 +106,199 @@ let test_codec_errors () =
   | Error (Payload.Trailing 1) -> ()
   | _ -> Alcotest.fail "trailing bytes must be typed"
 
+(* ---------- hot-path codecs (gbcast / abcast / consensus) ----------
+
+   The gbcast, abcast and consensus payload constructors are module-private,
+   so their binary codecs are exercised behaviourally: a batched three-node
+   Ab+Gb world runs a conflicting/commuting mix over a runtime whose [send]
+   is wrapped to capture every payload that crosses the wire.  Every
+   captured payload must be binary-encodable (the hot path never falls back
+   to the structural escape hatch), survive a round-trip with its printed
+   form and its bytes intact, reject every strict prefix with a typed
+   error, and never escape an exception on corrupted bytes. *)
+
+module Ab = Gc_abcast.Atomic_broadcast
+module Gb = Gc_gbcast.Generic_broadcast
+module Conflict = Gc_gbcast.Conflict
+module Runtime = Gc_kernel.Runtime
+
+type Gc_net.Payload.t += Wop of { klass : int; k : int }
+
+let () =
+  Payload.register_codec ~tag:"test.wop"
+    ~encode:(fun _enc w p ->
+      match p with
+      | Wop { klass; k } ->
+          Wire.u8 w klass;
+          Wire.varint w k;
+          true
+      | _ -> false)
+    ~decode:(fun _dec r ->
+      let klass = Wire.read_u8 r in
+      let k = Wire.read_varint r in
+      Wop { klass; k })
+
+let capture_mode_payloads ack_mode =
+  let n = 3 in
+  let engine = Engine.create ~seed:4242L () in
+  let trace = Trace.create ~enabled:false () in
+  let net = Netsim.create engine ~trace ~delay:Gc_net.Delay.lan ~n () in
+  let captured = ref [] in
+  let conflict =
+    Conflict.two_class ~classify:(function
+      | Wop { klass = 0; _ } -> Conflict.Commuting
+      | _ -> Conflict.Ordered)
+  in
+  let make_node i =
+    let base = Runtime.of_netsim net ~trace in
+    let runtime =
+      {
+        base with
+        Runtime.send =
+          (fun ?size ~src ~dst p ->
+            captured := p :: !captured;
+            base.Runtime.send ?size ~src ~dst p);
+      }
+    in
+    let proc = Process.create runtime ~id:i in
+    let fd = Fd.create proc ~hb_period:20.0 ~peers:(ids n) () in
+    let rc = Rc.create proc ~rto:50.0 ~stuck_after:10_000.0 () in
+    let rb = Rb.create proc rc in
+    let ab =
+      Ab.create proc ~rc ~rb ~fd ~batch_max:3 ~batch_delay:2.0 ~members:(ids n)
+        ()
+    in
+    let gb =
+      Gb.create proc ~rc ~rb ~ab ~conflict ~ack_mode ~batch_max:3
+        ~batch_delay:2.0 ~members:(ids n) ()
+    in
+    (ab, gb)
+  in
+  let nodes = Array.init n make_node in
+  let at time f = ignore (Engine.schedule_at engine ~time f) in
+  (* Three back-to-back commuting ops fill a submission batch
+     (gb.fastbatch) whose acknowledgements ride one vector (gb.acks). *)
+  at 100.0 (fun () ->
+      for k = 0 to 2 do
+        Gb.gbcast (snd nodes.(0)) (Wop { klass = 0; k })
+      done);
+  (* An ordered op forces a stage change: gb.state, gb.cut and the
+     consensus instance behind it (cs.*, with ab.batch nested). *)
+  at 200.0 (fun () -> Gb.gbcast (snd nodes.(1)) (Wop { klass = 1; k = 10 }));
+  (* A lone commuting op flushes by tick: singleton gb.fast / gb.ack. *)
+  at 300.0 (fun () -> Gb.gbcast (snd nodes.(2)) (Wop { klass = 0; k = 20 }));
+  (* Back-to-back direct abcasts fill an ab.submit batch. *)
+  at 400.0 (fun () ->
+      for k = 30 to 32 do
+        Ab.abcast (fst nodes.(0)) (Wop { klass = 1; k })
+      done);
+  Engine.run ~until:5_000.0 engine;
+  List.rev !captured
+
+(* Both quorum modes: All_members cuts straight from the local state, so
+   [Gb_state] only crosses the wire in Two_thirds mode. *)
+let capture_hot_path_payloads () =
+  let captured =
+    capture_mode_payloads Gb.All_members
+    @ capture_mode_payloads Gb.Two_thirds
+  in
+  (* Dedupe by printed form: the codec checks are per-shape, not per-copy. *)
+  let seen = Hashtbl.create 64 in
+  List.filter
+    (fun p ->
+      let s = Payload.to_string p in
+      if Hashtbl.mem seen s then false
+      else begin
+        Hashtbl.replace seen s ();
+        true
+      end)
+    captured
+
+let test_hot_path_codec_coverage () =
+  let payloads = capture_hot_path_payloads () in
+  let printed = List.map Payload.to_string payloads in
+  (* Wire payloads arrive wrapped in rc/rb envelopes ("rc.data#..(rb#..(gb.
+     fast#..))"), so coverage is a substring check on the printed form. *)
+  let contains s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  let covers needle =
+    check_bool
+      (Printf.sprintf "workload produced a %s payload" needle)
+      true
+      (List.exists (fun s -> contains s needle) printed)
+  in
+  (* The batching-era wire vocabulary must actually appear on the wire —
+     batch containers, their singleton degenerations, the stage-change
+     path and the consensus instances behind it. *)
+  List.iter covers
+    [
+      "gb.fast#"; "gb.fastbatch["; "gb.acks["; "gb.state@"; "gb.cut@";
+      "cs.est["; "cs.prop["; "cs.ack["; "cs.decide["; "ab.submit[";
+    ]
+
+let test_hot_path_codec_roundtrip () =
+  let payloads = capture_hot_path_payloads () in
+  check_bool "captured a meaningful payload set" true
+    (List.length payloads >= 10);
+  List.iter
+    (fun p ->
+      let s = Payload.to_string p in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s encodable" s)
+        true (Payload.encodable p);
+      let bytes =
+        match Payload.encode p with
+        | Ok b -> b
+        | Error e ->
+            Alcotest.failf "%s encode: %s" s (Payload.codec_error_to_string e)
+      in
+      let p' =
+        match Payload.decode bytes with
+        | Ok p' -> p'
+        | Error e ->
+            Alcotest.failf "%s decode: %s" s (Payload.codec_error_to_string e)
+      in
+      check_str (s ^ " printed form survives") s (Payload.to_string p');
+      match Payload.encode p' with
+      | Ok bytes' -> check_str (s ^ " re-encodes to identical bytes") bytes bytes'
+      | Error e ->
+          Alcotest.failf "%s re-encode: %s" s (Payload.codec_error_to_string e))
+    payloads
+
+let test_hot_path_codec_truncation_and_garbage () =
+  let payloads = capture_hot_path_payloads () in
+  List.iter
+    (fun p ->
+      let s = Payload.to_string p in
+      let bytes =
+        match Payload.encode p with Ok b -> b | Error _ -> assert false
+      in
+      let len = String.length bytes in
+      (* Every strict prefix must fail with a *typed* error. *)
+      for cut = 0 to len - 1 do
+        match Payload.decode (String.sub bytes 0 cut) with
+        | Error _ -> ()
+        | Ok p' ->
+            Alcotest.failf "%s truncated to %d bytes decoded as %s" s cut
+              (Payload.to_string p')
+      done;
+      (* Single-byte corruption anywhere must yield Ok or a typed error —
+         decode is total; exceptions must not escape the codec layer. *)
+      for i = 0 to len - 1 do
+        let mutated = Bytes.of_string bytes in
+        Bytes.set mutated i '\xff';
+        match Payload.decode (Bytes.to_string mutated) with
+        | Ok p' -> ignore (Payload.to_string p')
+        | Error _ -> ()
+        | exception e ->
+            Alcotest.failf "%s corrupt at byte %d escaped exception %s" s i
+              (Printexc.to_string e)
+      done)
+    payloads
+
 (* ---------- framing ---------- *)
 
 let frame_of p =
@@ -190,6 +383,12 @@ let suite =
         Alcotest.test_case "codec round-trip (incl. nesting)" `Quick
           test_codec_roundtrip;
         Alcotest.test_case "codec typed errors" `Quick test_codec_errors;
+        Alcotest.test_case "hot-path codec coverage" `Quick
+          test_hot_path_codec_coverage;
+        Alcotest.test_case "hot-path codec round-trip" `Quick
+          test_hot_path_codec_roundtrip;
+        Alcotest.test_case "hot-path codec truncation/garbage" `Quick
+          test_hot_path_codec_truncation_and_garbage;
         Alcotest.test_case "frame round-trip" `Quick test_frame_roundtrip;
         Alcotest.test_case "frame oversized both ways" `Quick
           test_frame_oversized;
