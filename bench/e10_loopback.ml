@@ -138,15 +138,13 @@ let run () =
     Bench_util.conclude
       "identical total order on every replica over real TCP loopback";
   (* Client-observed percentiles as explicit gauges, so the perf report
-     reads them without re-deriving quantiles from bucket arrays. *)
-  List.iter
-    (fun (name, q) ->
-      Metrics.set_gauge cm name (Metrics.quantile cm "client.latency" q))
-    [
-      ("client.latency_p50", 0.50);
-      ("client.latency_p90", 0.90);
-      ("client.latency_p99", 0.99);
-    ];
+     reads them without re-deriving quantiles from bucket arrays.  One
+     call per literal name keeps every metric statically checkable
+     (lint rule E2). *)
+  let q p = Metrics.quantile cm "client.latency" p in
+  Metrics.set_gauge cm "client.latency_p50" (q 0.50);
+  Metrics.set_gauge cm "client.latency_p90" (q 0.90);
+  Metrics.set_gauge cm "client.latency_p99" (q 0.99);
   Metrics.set_gauge cm "client.latency_max" (Metrics.hist_max cm "client.latency");
   Bench_util.note_metrics ~experiment:"e10" ~cell:"loopback"
     (Metrics.merged (cm :: lm :: Array.to_list metrics));

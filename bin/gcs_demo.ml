@@ -23,6 +23,11 @@ module Client = Gc_replication.Client
 
 type Gc_net.Payload.t += Demo of { k : int; sent_at : float }
 
+let () =
+  Gc_net.Payload.register_printer (function
+    | Demo { k; _ } -> Some (Printf.sprintf "demo[%d]" k)
+    | _ -> None)
+
 let save_record trace = function
   | None -> ()
   | Some path ->

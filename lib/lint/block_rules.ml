@@ -1,0 +1,93 @@
+(* Rules B1/B2: what must not happen inside the event loop.
+
+   B1 — a blocking primitive reachable from any loop callback.  The
+   select loop in [Evloop] is single-threaded: one [Unix.sleep] (or a
+   blocking read on a file descriptor nobody marked non-blocking)
+   inside a callback stalls every connection the server carries.  Hard
+   blockers are flagged wherever they are reachable; soft blockers
+   (read/write/connect/accept...) are sanctioned inside a compilation
+   unit that calls [Unix.set_nonblock], because that unit has declared
+   its descriptors non-blocking and handles EWOULDBLOCK instead of
+   stalling.
+
+   B2 — a raise that can escape a protocol *message handler*.  A
+   handler that raises halfway through mutating protocol state leaves
+   the replica torn: counters bumped, queues half-drained, views
+   half-installed.  Only lexically unprotected raise sites inside
+   [Catalog.b2_site_scope] are flagged (lib/net's codec rejects are
+   caught at the frame boundary, see the catalog), and only when the
+   site is reachable from a Handler root.  Intentional [Exit]-style
+   control flow keeps working through the ordinary waiver syntax. *)
+
+module D = Diagnostic
+
+let check (g : Callgraph.t) =
+  let ds = ref [] in
+  let add ~file ~line ~suggestion msg rule =
+    ds := D.v ~file ~line ~rule ~suggestion msg :: !ds
+  in
+  (* ---- B1: blocking calls reachable from any loop entry ---- *)
+  let parent = Callgraph.reach g ~kinds:[ Callgraph.Loop; Callgraph.Handler ] in
+  let visited =
+    Hashtbl.fold (fun name _ acc -> name :: acc) parent []
+    |> List.sort String.compare
+  in
+  List.iter
+    (fun name ->
+      match Callgraph.find g name with
+      | None -> ()
+      | Some node ->
+          let sanctioned =
+            Hashtbl.mem g.Callgraph.nonblock_sources node.Callgraph.source
+          in
+          List.iter
+            (fun (callee, line) ->
+              let hard = List.mem callee Catalog.hard_blocking in
+              let soft = List.mem callee Catalog.soft_blocking in
+              if hard || (soft && not sanctioned) then
+                add ~file:node.Callgraph.source ~line
+                  ~suggestion:
+                    (if hard then
+                       "move the blocking call off the loop (timer + state \
+                        machine), or drop it"
+                     else
+                       "call Unix.set_nonblock on the unit's fds and handle \
+                        EWOULDBLOCK")
+                  (Printf.sprintf
+                     "%s call %s reachable from the event loop via %s"
+                     (if hard then "blocking" else "possibly-blocking")
+                     callee
+                     (Callgraph.chain parent name))
+                  "B1")
+            (List.sort_uniq compare node.Callgraph.calls))
+    visited;
+  (* ---- B2: escaping raises reachable from a message handler ---- *)
+  let hparent = Callgraph.reach g ~kinds:[ Callgraph.Handler ] in
+  let hvisited =
+    Hashtbl.fold (fun name _ acc -> name :: acc) hparent []
+    |> List.sort String.compare
+  in
+  List.iter
+    (fun name ->
+      match Callgraph.find g name with
+      | None -> ()
+      | Some node ->
+          if Catalog.b2_site_scope node.Callgraph.source then
+            List.iter
+              (fun (site : Callgraph.raise_site) ->
+                if not site.Callgraph.r_protected then
+                  add ~file:node.Callgraph.source ~line:site.Callgraph.r_line
+                    ~suggestion:
+                      "catch it before protocol state mutates, or waive with \
+                       a reason if the escape is intentional"
+                    (Printf.sprintf
+                       "raise %s can escape a message handler (reached via %s)"
+                       site.Callgraph.r_exn
+                       (Callgraph.chain hparent name))
+                    "B2")
+              (List.sort
+                 (fun (a : Callgraph.raise_site) b ->
+                   compare a.Callgraph.r_line b.Callgraph.r_line)
+                 node.Callgraph.raises))
+    hvisited;
+  List.rev !ds

@@ -1,0 +1,480 @@
+(* Cross-module call graph over the typed units, with event-loop roots.
+
+   Nodes are top-level definitions (canonical dotted names such as
+   [Gc_runtime_unix.Fconn.on_readable]); a lambda handed directly to a
+   callback registrar becomes a synthetic node of its own.  Edges are
+   [Texp_ident] references appearing inside a definition's body — an
+   over-approximation of "may call" that is exactly what the blocking
+   and escape rules need: if a name is never even mentioned, it cannot
+   run.
+
+   Roots are the places control re-enters user code from the event
+   loop: arguments to the registrars in [Catalog.registrars], lambdas
+   stored in [Gc_kernel.Runtime.t] capability records, and callbacks
+   installed through the record's [register]/[schedule] fields.
+   [Handler] roots are the subset that process protocol messages; rule
+   B2 cares only about those.
+
+   Shadowed top-level definitions keep distinct nodes: the later
+   definition owns the plain canonical name (it is the one the rest of
+   the repo links against) and the earlier one is renamed to
+   [name@line].  Local calls still resolve exactly, by Ident stamp. *)
+
+type root_kind = Catalog.cb_kind = Loop | Handler
+
+type raise_site = {
+  r_exn : string;  (* best-effort exception name: "Exit", "Failure", "?" *)
+  r_line : int;
+  r_protected : bool;  (* lexically inside a try (or exception match) *)
+}
+
+type node = {
+  mutable name : string;
+  source : string;  (* repo-relative source of the defining unit *)
+  def_line : int;
+  mutable calls : (string * int) list;  (* callee canonical name, call line *)
+  mutable root : root_kind option;
+  mutable root_line : int;  (* registration site, for diagnostics *)
+  mutable raises : raise_site list;
+}
+
+type t = {
+  nodes : (string, node) Hashtbl.t;
+  (* source files whose unit calls Unix.set_nonblock: their soft-blocking
+     syscalls are sanctioned (rule B1). *)
+  nonblock_sources : (string, unit) Hashtbl.t;
+  mutable unit_count : int;
+}
+
+let create () =
+  {
+    nodes = Hashtbl.create 256;
+    nonblock_sources = Hashtbl.create 8;
+    unit_count = 0;
+  }
+
+let find t name = Hashtbl.find_opt t.nodes name
+
+let mark_root node kind line =
+  (* Handler is the stronger claim (B2 applies); never downgrade. *)
+  (match (node.root, kind) with
+  | Some Handler, Loop -> ()
+  | _ -> node.root <- Some kind);
+  if node.root_line = 0 then node.root_line <- line
+
+(* ---------- pass A: collect definitions ---------- *)
+
+(* [def_at] keys definitions by the start offset of their binding
+   pattern so pass B can find the node again while walking the same
+   tree. *)
+type unit_ctx = {
+  u : Typed_loader.unit_info;
+  resolver : Typed_loader.resolver;
+  stamps : (string, node) Hashtbl.t;  (* Ident.unique_name -> node *)
+  def_at : (int, node) Hashtbl.t;     (* pat/item start offset -> node *)
+}
+
+let add_def t ctx ~prefix ~line ~key ?stamp base_name =
+  let full = prefix ^ "." ^ base_name in
+  (match Hashtbl.find_opt t.nodes full with
+  | Some old ->
+      (* shadowed: earlier def moves aside, later one takes the name *)
+      let aside = Printf.sprintf "%s@%d" full old.def_line in
+      old.name <- aside;
+      Hashtbl.remove t.nodes full;
+      Hashtbl.replace t.nodes aside old
+  | None -> ());
+  let node =
+    {
+      name = full;
+      source = ctx.u.Typed_loader.source;
+      def_line = line;
+      calls = [];
+      root = None;
+      root_line = 0;
+      raises = [];
+    }
+  in
+  Hashtbl.replace t.nodes full node;
+  Hashtbl.replace ctx.def_at key node;
+  Option.iter (fun s -> Hashtbl.replace ctx.stamps s node) stamp;
+  node
+
+let rec collect_defs t ctx prefix (items : Typedtree.structure_item list) =
+  List.iter
+    (fun (item : Typedtree.structure_item) ->
+      let item_line = Typed_loader.line_of item.Typedtree.str_loc in
+      match item.Typedtree.str_desc with
+      | Typedtree.Tstr_value (_, vbs) ->
+          List.iter
+            (fun (vb : Typedtree.value_binding) ->
+              let pat = vb.Typedtree.vb_pat in
+              let key = pat.Typedtree.pat_loc.Location.loc_start.Lexing.pos_cnum in
+              let line = Typed_loader.line_of pat.Typedtree.pat_loc in
+              match pat.Typedtree.pat_desc with
+              | Typedtree.Tpat_var (id, _) ->
+                  ignore
+                    (add_def t ctx ~prefix ~line ~key
+                       ~stamp:(Ident.unique_name id) (Ident.name id))
+              | _ ->
+                  (* [let () = ...], tuple bindings: body still needs a
+                     home so its calls and raises are attributed. *)
+                  ignore
+                    (add_def t ctx ~prefix ~line ~key
+                       (Printf.sprintf "<def@%d>" line)))
+            vbs
+      | Typedtree.Tstr_eval (e, _) ->
+          let key = e.Typedtree.exp_loc.Location.loc_start.Lexing.pos_cnum in
+          ignore
+            (add_def t ctx ~prefix ~line:item_line ~key
+               (Printf.sprintf "<eval@%d>" item_line))
+      | Typedtree.Tstr_module
+          {
+            Typedtree.mb_id = Some id;
+            mb_expr = { Typedtree.mod_desc = Typedtree.Tmod_structure str; _ };
+            _;
+          } ->
+          collect_defs t ctx
+            (prefix ^ "." ^ Ident.name id)
+            str.Typedtree.str_items
+      | _ -> ())
+    items
+
+(* ---------- pass B: edges, roots, raises ---------- *)
+
+let exn_name_of_arg (args : (Asttypes.arg_label * Typedtree.expression option) list)
+    =
+  match args with
+  | (_, Some { Typedtree.exp_desc = Typedtree.Texp_construct (_, cd, _); _ })
+    :: _ ->
+      cd.Types.cstr_name
+  | _ -> "?"
+
+let visit_unit t ctx =
+  let r = ctx.resolver in
+  let current = ref None in
+  let try_depth = ref 0 in
+  (* lambdas scheduled to become synthetic root nodes, keyed by the
+     lambda expression's start offset *)
+  let pending : (int, string * root_kind) Hashtbl.t = Hashtbl.create 8 in
+  let resolve (p : Path.t) =
+    match p with
+    | Path.Pident id -> (
+        match Hashtbl.find_opt ctx.stamps (Ident.unique_name id) with
+        | Some node -> Some node.name
+        | None -> None (* parameter or let-local: not a graph name *))
+    | _ -> Some (Typed_loader.canon_of_path r p)
+  in
+  let record_call name line =
+    match !current with
+    | Some node -> node.calls <- (name, line) :: node.calls
+    | None -> ()
+  in
+  let record_raise exn line =
+    match !current with
+    | Some node ->
+        node.raises <-
+          { r_exn = exn; r_line = line; r_protected = !try_depth > 0 }
+          :: node.raises
+    | None -> ()
+  in
+  (* An expression handed to a registrar: a literal lambda becomes its
+     own synthetic root, anything resolving to a known definition is
+     marked a root directly (unwrapping [Some cb] and partial
+     applications). *)
+  let rec claim_callback kind (e : Typedtree.expression) =
+    match e.Typedtree.exp_desc with
+    | Typedtree.Texp_construct (_, _, [ inner ]) ->
+        (* [Some (fun () -> ...)]: the lambda inside the option is the
+           callback *)
+        claim_callback kind inner
+    | Typedtree.Texp_function _ ->
+        let line = Typed_loader.line_of e.Typedtree.exp_loc in
+        let owner =
+          match !current with Some n -> n.name | None -> r.Typed_loader.unit_canon
+        in
+        let name = Printf.sprintf "%s.<cb@%d>" owner line in
+        Hashtbl.replace pending
+          e.Typedtree.exp_loc.Location.loc_start.Lexing.pos_cnum (name, kind)
+    | _ -> (
+        match Typed_loader.head_path e with
+        | Some p -> (
+            match resolve p with
+            | Some name -> (
+                match find t name with
+                | Some node ->
+                    mark_root node kind (Typed_loader.line_of e.Typedtree.exp_loc)
+                | None -> ())
+            | None -> ())
+        | None -> ())
+  in
+  (* Type paths sometimes surface in mangled unit form
+     ([Gc_kernel__Runtime.t]); normalise so the comparison against
+     [Catalog.runtime_record_type] sees the canonical dotted name. *)
+  let record_type_name (ty : Types.type_expr) =
+    match Types.get_desc ty with
+    | Types.Tconstr (p, _, _) ->
+        Some
+          (Typed_loader.canon_of_unit_name
+             (Typed_loader.canon_of_path r p))
+    | _ -> None
+  in
+  let open Tast_iterator in
+  let expr sub (e : Typedtree.expression) =
+    match e.Typedtree.exp_desc with
+    | Typedtree.Texp_ident (p, _, _) ->
+        (match resolve p with
+        | Some name -> record_call name (Typed_loader.line_of e.Typedtree.exp_loc)
+        | None -> ());
+        default_iterator.expr sub e
+    | Typedtree.Texp_function _ -> (
+        let key = e.Typedtree.exp_loc.Location.loc_start.Lexing.pos_cnum in
+        match Hashtbl.find_opt pending key with
+        | Some (name, kind) ->
+            Hashtbl.remove pending key;
+            let node =
+              {
+                name;
+                source = ctx.u.Typed_loader.source;
+                def_line = Typed_loader.line_of e.Typedtree.exp_loc;
+                calls = [];
+                root = Some kind;
+                root_line = Typed_loader.line_of e.Typedtree.exp_loc;
+                raises = [];
+              }
+            in
+            Hashtbl.replace t.nodes name node;
+            let saved = !current and saved_depth = !try_depth in
+            current := Some node;
+            try_depth := 0;
+            default_iterator.expr sub e;
+            current := saved;
+            try_depth := saved_depth
+        | None -> default_iterator.expr sub e)
+    | Typedtree.Texp_apply (f, args) ->
+        (match Typed_loader.head_path f with
+        | Some p -> (
+            let canon = Option.value (resolve p) ~default:"" in
+            (match List.assoc_opt canon Catalog.registrars with
+            | Some kind ->
+                List.iter
+                  (fun (_, a) -> Option.iter (claim_callback kind) a)
+                  args
+            | None -> ());
+            if List.mem canon Catalog.raise_fns then
+              let exn =
+                match canon with
+                | "Stdlib.failwith" -> "Failure"
+                | "Stdlib.invalid_arg" -> "Invalid_argument"
+                | _ -> exn_name_of_arg args
+              in
+              record_raise exn (Typed_loader.line_of e.Typedtree.exp_loc))
+        | None -> (
+            (* calls through a capability record field:
+               [runtime.Runtime.register dispatch] *)
+            match f.Typedtree.exp_desc with
+            | Typedtree.Texp_field (recd, _, lbl) -> (
+                match
+                  ( record_type_name recd.Typedtree.exp_type,
+                    List.assoc_opt lbl.Types.lbl_name Catalog.field_registrars )
+                with
+                | Some ty, Some kind when ty = Catalog.runtime_record_type ->
+                    List.iter
+                      (fun (_, a) -> Option.iter (claim_callback kind) a)
+                      args
+                | _ -> ())
+            | _ -> ()));
+        default_iterator.expr sub e
+    | Typedtree.Texp_record { fields; _ } ->
+        (* building a capability record: its lambdas are what protocol
+           code will call from inside handlers *)
+        (match record_type_name e.Typedtree.exp_type with
+        | Some ty when ty = Catalog.runtime_record_type ->
+            Array.iter
+              (fun (_, (def : Typedtree.record_label_definition)) ->
+                match def with
+                | Typedtree.Overridden (_, v) -> claim_callback Handler v
+                | Typedtree.Kept _ -> ())
+              fields
+        | _ -> ());
+        default_iterator.expr sub e
+    | Typedtree.Texp_try (body, _cases) ->
+        incr try_depth;
+        sub.expr sub body;
+        decr try_depth;
+        (* handler cases run outside the protection of this try *)
+        List.iter (fun (c : _ Typedtree.case) -> sub.expr sub c.Typedtree.c_rhs)
+          _cases
+    | Typedtree.Texp_match (scrut, cases, _) ->
+        let has_exn_case =
+          List.exists
+            (fun (c : _ Typedtree.case) ->
+              match Typedtree.split_pattern c.Typedtree.c_lhs with
+              | _, Some _ -> true
+              | _ -> false)
+            cases
+        in
+        if has_exn_case then (
+          incr try_depth;
+          sub.expr sub scrut;
+          decr try_depth)
+        else sub.expr sub scrut;
+        List.iter
+          (fun (c : _ Typedtree.case) ->
+            Option.iter (sub.expr sub) c.Typedtree.c_guard;
+            sub.expr sub c.Typedtree.c_rhs)
+          cases
+    | _ -> default_iterator.expr sub e
+  in
+  let it = { default_iterator with expr } in
+  (* walk item by item so [current] tracks the enclosing definition *)
+  let rec walk_items (items : Typedtree.structure_item list) =
+    List.iter
+      (fun (item : Typedtree.structure_item) ->
+        match item.Typedtree.str_desc with
+        | Typedtree.Tstr_value (_, vbs) ->
+            List.iter
+              (fun (vb : Typedtree.value_binding) ->
+                let key =
+                  vb.Typedtree.vb_pat.Typedtree.pat_loc.Location.loc_start
+                    .Lexing.pos_cnum
+                in
+                current := Hashtbl.find_opt ctx.def_at key;
+                try_depth := 0;
+                it.expr it vb.Typedtree.vb_expr;
+                current := None)
+              vbs
+        | Typedtree.Tstr_eval (e, _) ->
+            let key = e.Typedtree.exp_loc.Location.loc_start.Lexing.pos_cnum in
+            current := Hashtbl.find_opt ctx.def_at key;
+            try_depth := 0;
+            it.expr it e;
+            current := None
+        | Typedtree.Tstr_module
+            {
+              Typedtree.mb_expr =
+                { Typedtree.mod_desc = Typedtree.Tmod_structure str; _ };
+              _;
+            } ->
+            walk_items str.Typedtree.str_items
+        | _ -> ())
+      items
+  in
+  walk_items ctx.u.Typed_loader.structure.Typedtree.str_items;
+  (* nonblock sanction: any reference to Unix.set_nonblock in this unit *)
+  let uses_nonblock =
+    Hashtbl.fold
+      (fun _ (node : node) acc ->
+        acc
+        || node.source = ctx.u.Typed_loader.source
+           && List.exists (fun (c, _) -> c = Catalog.nonblock_marker) node.calls)
+      t.nodes false
+  in
+  if uses_nonblock then
+    Hashtbl.replace t.nonblock_sources ctx.u.Typed_loader.source ()
+
+let build (units : Typed_loader.unit_info list) =
+  let t = create () in
+  t.unit_count <- List.length units;
+  let ctxs =
+    List.map
+      (fun (u : Typed_loader.unit_info) ->
+        let resolver =
+          Typed_loader.build_resolver ~canon:u.Typed_loader.canon
+            u.Typed_loader.structure
+        in
+        let ctx =
+          { u; resolver; stamps = Hashtbl.create 64; def_at = Hashtbl.create 64 }
+        in
+        collect_defs t ctx u.Typed_loader.canon
+          u.Typed_loader.structure.Typedtree.str_items;
+        ctx)
+      units
+  in
+  List.iter (visit_unit t) ctxs;
+  t
+
+(* ---------- reachability ---------- *)
+
+let roots t =
+  Hashtbl.fold
+    (fun _ node acc ->
+      match node.root with Some k -> (node, k) :: acc | None -> acc)
+    t.nodes []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a.name b.name)
+
+(* BFS from the roots of the given kinds.  Returns visited-node ->
+   parent-name (roots map to themselves), deterministically: roots and
+   successors are explored in sorted order. *)
+let reach t ~kinds =
+  let parent : (string, string) Hashtbl.t = Hashtbl.create 128 in
+  let queue = Queue.create () in
+  List.iter
+    (fun (node, k) ->
+      if List.mem k kinds && not (Hashtbl.mem parent node.name) then (
+        Hashtbl.replace parent node.name node.name;
+        Queue.add node.name queue))
+    (roots t);
+  while not (Queue.is_empty queue) do
+    let name = Queue.take queue in
+    match find t name with
+    | None -> ()
+    | Some node ->
+        List.iter
+          (fun (callee, _) ->
+            if (not (Hashtbl.mem parent callee)) && Hashtbl.mem t.nodes callee
+            then (
+              Hashtbl.replace parent callee name;
+              Queue.add callee queue))
+          (List.sort_uniq compare node.calls)
+  done;
+  parent
+
+(* "root -> a -> b" chain for diagnostics. *)
+let chain parent name =
+  let rec go name acc =
+    match Hashtbl.find_opt parent name with
+    | Some p when p <> name -> go p (name :: acc)
+    | Some _ -> name :: acc
+    | None -> acc
+  in
+  String.concat " -> " (go name [])
+
+(* ---------- dot output ---------- *)
+
+let to_dot t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "digraph callgraph {\n";
+  Buffer.add_string buf "  rankdir=LR;\n  node [shape=box, fontsize=10];\n";
+  let parent = reach t ~kinds:[ Loop; Handler ] in
+  let visited =
+    Hashtbl.fold (fun name _ acc -> name :: acc) parent []
+    |> List.sort String.compare
+  in
+  List.iter
+    (fun name ->
+      match find t name with
+      | None -> ()
+      | Some node ->
+          let attrs =
+            match node.root with
+            | Some Handler -> " [style=filled, fillcolor=lightsalmon]"
+            | Some Loop -> " [style=filled, fillcolor=lightblue]"
+            | None -> ""
+          in
+          Buffer.add_string buf (Printf.sprintf "  \"%s\"%s;\n" name attrs))
+    visited;
+  List.iter
+    (fun name ->
+      match find t name with
+      | None -> ()
+      | Some node ->
+          List.iter
+            (fun (callee, _) ->
+              if Hashtbl.mem parent callee then
+                Buffer.add_string buf
+                  (Printf.sprintf "  \"%s\" -> \"%s\";\n" name callee))
+            (List.sort_uniq compare node.calls))
+    visited;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

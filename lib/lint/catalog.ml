@@ -13,7 +13,11 @@
    never reach; everything touches the network only through gc_kernel /
    gc_net; gc_obs is pure observability and depends on nothing. *)
 
-let rule_ids = [ "D1"; "D2"; "D3"; "D4"; "E1"; "L1"; "L2"; "W1"; "P0" ]
+let rule_ids =
+  [
+    "D1"; "D2"; "D3"; "D4"; "E1"; "E2"; "L1"; "L2"; "W1"; "W2"; "W3"; "B1";
+    "B2"; "P0"; "T0";
+  ]
 
 let rule_summary = function
   | "D1" -> "ambient nondeterminism (Random/Unix/Sys.time) outside lib/sim/rng.ml"
@@ -21,10 +25,16 @@ let rule_summary = function
   | "D3" -> "unordered Hashtbl.iter/fold feeding protocol state"
   | "D4" -> "bare polymorphic compare/(=) passed at a call site"
   | "E1" -> "Process.event outside the registered component/prefix catalog"
+  | "E2" -> "metric name or kind outside the Catalog.metrics register"
   | "L1" -> "dune dependency outside the declared architecture DAG"
   | "L2" -> "module reference outside the declared architecture DAG"
   | "W1" -> "malformed gcs-lint waiver annotation"
+  | "W2" -> "wire-codec tag conflict (duplicate string tag or u8 discriminator)"
+  | "W3" -> "Payload constructor without a registered printer or codec arm"
+  | "B1" -> "blocking call reachable from an event-loop callback"
+  | "B2" -> "raise can escape a protocol message handler"
   | "P0" -> "source file does not parse"
+  | "T0" -> "typed pass found no .cmt files (build the repo first)"
   | r -> "unknown rule " ^ r
 
 (* lib/ subdirectories whose modules are protocol code. *)
@@ -54,13 +64,28 @@ let dir_of_path path =
    rules keep every protocol lib below the seam. *)
 let realtime_dirs = [ "runtime_unix"; "server" ]
 
-(* D1 exemptions: the one simulated randomness source, and the declared
-   real-time boundary. *)
+(* bin/ and bench/ files that sit on the real-time side of the seam by
+   design: entry points that own sockets and wall clocks.  Everything
+   else under bin/ and bench/ (demo, trace, fuzz drivers, simulated
+   bench cells) is deterministic and stays under D1. *)
+let realtime_files =
+  [
+    "bin/gcs_server.ml"; "bin/gcs_client.ml"; "bin/gcs_top.ml";
+    "bench/e10_loopback.ml"; "bench/perf.ml";
+  ]
+
+let has_suffix ~suffix s =
+  let ls = String.length suffix and l = String.length s in
+  l >= ls && String.sub s (l - ls) ls = suffix
+
+(* D1 exemptions: the one simulated randomness source, the declared
+   real-time boundary, and the real-time entry points. *)
 let rng_exempt path =
-  match List.rev (String.split_on_char '/' path) with
+  (match List.rev (String.split_on_char '/' path) with
   | file :: dir :: _ ->
       (dir = "sim" && file = "rng.ml") || List.mem dir realtime_dirs
-  | _ -> false
+  | _ -> false)
+  || List.exists (fun f -> has_suffix ~suffix:f path) realtime_files
 
 (* Registered trace components -> allowed msg-id prefixes.  A component
    with an empty prefix list may emit events but never a ~msg id. *)
@@ -176,3 +201,175 @@ let abgb_libs =
   ]
 
 let legacy_libs = [ "gc_traditional"; "gc_totem" ]
+
+(* ---------- typed-pass vocabulary (rules W2/W3, B1/B2, E2) ---------- *)
+
+(* Callback registration points.  A function (or lambda) handed to one of
+   these runs inside the event loop; [Handler] additionally marks it as a
+   protocol *message* handler whose state mutations must not be torn by an
+   escaping raise (rule B2).  Names are canonical typed paths, so the rule
+   sees through every local [module W = ...] alias. *)
+type cb_kind = Loop | Handler
+
+let registrars =
+  [
+    ("Gc_runtime_unix.Evloop.set_read", Loop);
+    ("Gc_runtime_unix.Evloop.set_write", Loop);
+    ("Gc_runtime_unix.Evloop.schedule", Loop);
+    ("Gc_runtime_unix.Fconn.listen", Loop);
+    ("Gc_runtime_unix.Fconn.attach", Handler);
+    ("Gc_kernel.Process.on_receive", Handler);
+    ("Gc_kernel.Process.timer", Loop);
+    ("Gc_kernel.Process.every", Loop);
+  ]
+
+(* Capability records: a lambda stored in a [Gc_kernel.Runtime.t] field is
+   invoked by protocol code from inside a handler, so it is a Handler
+   root; the [register]/[schedule] fields install callbacks when applied
+   through the record. *)
+let runtime_record_type = "Gc_kernel.Runtime.t"
+let field_registrars = [ ("register", Handler); ("schedule", Loop) ]
+
+(* Blocking primitives (rule B1).  Hard blockers are never legitimate on
+   the event loop; soft blockers are sanctioned inside a compilation unit
+   that calls [Unix.set_nonblock] (the unit has declared its fds
+   non-blocking, so read/write return EWOULDBLOCK instead of stalling). *)
+let hard_blocking =
+  [
+    "Unix.sleep"; "Unix.sleepf"; "Unix.select"; "Unix.gethostbyname";
+    "Unix.gethostbyaddr"; "Unix.getaddrinfo"; "Unix.getnameinfo";
+    "Unix.system"; "Unix.wait"; "Unix.waitpid";
+  ]
+
+let soft_blocking =
+  [
+    "Unix.read"; "Unix.write"; "Unix.single_write"; "Unix.connect";
+    "Unix.accept"; "Unix.recv"; "Unix.recvfrom"; "Unix.send"; "Unix.sendto";
+  ]
+
+let nonblock_marker = "Unix.set_nonblock"
+
+(* Raise heads (rule B2). *)
+let raise_fns =
+  [ "Stdlib.raise"; "Stdlib.raise_notrace"; "Stdlib.failwith";
+    "Stdlib.invalid_arg" ]
+
+(* Where B2 raise *sites* matter: protocol state machines and the
+   real-time boundary that drives them.  lib/net and lib/obs are
+   excluded on purpose — codec rejects (Payload.Codec_reject, Wire.Short)
+   are caught at the frame boundary before any protocol state mutates,
+   which test_wire's corrupt-bytes property exercises. *)
+let has_prefix ~prefix s =
+  let lp = String.length prefix and l = String.length s in
+  l >= lp && String.sub s 0 lp = prefix
+
+let b2_site_scope source =
+  match dir_of_path source with
+  | Some d -> is_protocol_dir d || List.mem d realtime_dirs
+  (* the planted typed fixtures exercise the rule from test/ *)
+  | None -> has_prefix ~prefix:"test/lint_fixtures/typed/" source
+
+(* Wire-codec registry names (rules W2/W3). *)
+let payload_codec_registrar = "Gc_net.Payload.register_codec"
+let payload_printer_registrar = "Gc_net.Payload.register_printer"
+let payload_type = "Gc_net.Payload.t"
+let wire_u8_write = "Gc_net.Wire.u8"
+let wire_u8_read = "Gc_net.Wire.read_u8"
+
+(* ---------- metric catalog (rule E2) ---------- *)
+
+type metric_kind = MCounter | MGauge | MHist
+
+let metric_kind_name = function
+  | MCounter -> "counter"
+  | MGauge -> "gauge"
+  | MHist -> "histogram"
+
+(* Metric recording/reading entry points and the kind each one implies.
+   Local forwarders (a def whose body passes its own string parameter to
+   one of these) are discovered by the rule itself. *)
+let metric_recorders =
+  [
+    ("Gc_obs.Metrics.incr", MCounter);
+    ("Gc_obs.Metrics.counter", MCounter);
+    ("Gc_obs.Metrics.set_gauge", MGauge);
+    ("Gc_obs.Metrics.gauge", MGauge);
+    ("Gc_obs.Metrics.observe", MHist);
+    ("Gc_obs.Metrics.quantile", MHist);
+    ("Gc_obs.Metrics.hist_count", MHist);
+    ("Gc_obs.Metrics.hist_max", MHist);
+    ("Gc_obs.Metrics.hist_mean", MHist);
+    ("Gc_kernel.Process.incr", MCounter);
+    ("Gc_kernel.Process.set_gauge", MGauge);
+    ("Gc_kernel.Process.observe", MHist);
+    ("Gc_obs.Snapshot.counter", MCounter);
+    ("Gc_obs.Snapshot.gauge", MGauge);
+    ("Gc_obs.Snapshot.quantile", MHist);
+    ("Gc_obs.Snapshot.hist_count", MHist);
+    ("Gc_obs.Snapshot.hist_max", MHist);
+    ("Gc_obs.Snapshot.hist_mean", MHist);
+  ]
+
+(* The Metrics store implementation itself rehydrates registries from
+   serialized views and JSON, where names are data, not literals — the
+   original recording sites were already checked.  E2's
+   static-checkability requirement stops at the store boundary. *)
+let e2_exempt path = has_suffix ~suffix:"lib/obs/metrics.ml" path
+
+(* Every metric name the repo may record or read, with its kind.  This
+   list is the single source of truth: rule E2 checks call sites against
+   it, and (in repo mode) checks it against the DESIGN.md section 8
+   table, so doc and code cannot drift apart. *)
+let metrics =
+  let c n = (n, MCounter) and g n = (n, MGauge) and h n = (n, MHist) in
+  [
+    (* consensus *)
+    c "consensus.instances_started"; c "consensus.instances_decided";
+    h "consensus.rounds"; c "consensus.coordinator_suspicions";
+    (* abcast *)
+    c "abcast.submitted"; c "abcast.proposals"; h "abcast.batch_size";
+    c "abcast.delivered"; h "abcast.latency_ms"; g "abcast.pending_size";
+    h "abcast.submit_batch_size";
+    (* gbcast *)
+    c "gbcast.submitted"; c "gbcast.fast_deliveries";
+    c "gbcast.cut_deliveries"; c "gbcast.delivered"; h "gbcast.latency_ms";
+    c "gbcast.freezes"; c "gbcast.cuts_proposed"; h "gbcast.check_ms";
+    h "gbcast.batch_size"; h "gbcast.ack_batch_size";
+    g "gbcast.conflict_class_occupancy";
+    (* rbcast / rchannel *)
+    c "rbcast.broadcasts"; c "rbcast.delivered";
+    c "rchannel.sends"; c "rchannel.retransmissions";
+    h "rchannel.retransmit_burst"; c "rchannel.stale_gen_ignored";
+    g "rchannel.window_occupancy"; g "rchannel.window_peak";
+    c "rchannel.stuck_detections";
+    (* failure detection / membership / monitoring *)
+    c "fd.suspicions"; c "fd.wrong_suspicions"; c "fd.retractions";
+    h "fd.mistake_ms";
+    c "membership.view_changes"; h "membership.join_ms";
+    h "membership.change_ms"; g "membership.sender_blocked_ms_total";
+    c "monitoring.exclusions_proposed"; c "monitoring.wrongful_exclusions";
+    (* competing stacks and replication *)
+    c "traditional.flushes"; c "traditional.view_changes";
+    c "traditional.exclusions"; h "traditional.blocked_ms";
+    g "traditional.blocked_ms_total";
+    c "totem.recoveries"; c "totem.view_changes"; c "totem.exclusions";
+    c "passive.discards"; c "passive.primary_changes";
+    (* event loop (runtime_unix) *)
+    c "evloop.ticks"; h "evloop.select_wait_ms"; h "evloop.callback_ms";
+    h "evloop.tick_ms"; h "evloop.timer_lag_ms"; c "evloop.timer_overdue";
+    g "evloop.open_fds";
+    (* wire transport (framing + TCP backend + simulated net) *)
+    c "net.frames_in"; c "net.frames_out"; c "net.bytes_in";
+    c "net.bytes_out"; c "net.frame_reject"; c "net.reconnects";
+    c "net.tx_drop"; c "net.dropped_gone"; c "net.dropped_policy";
+    c "net.duplicated";
+    (* gcs_server facade *)
+    c "server.applied"; c "server.bad_delivery"; c "server.bad_request";
+    c "server.client_accepts"; c "server.health_requests";
+    c "server.stats_requests"; h "server.latency_ms";
+    h "server.latency_abcast_ms"; h "server.latency_rbcast_ms";
+    (* loopback bench client *)
+    h "client.latency"; g "client.latency_max"; g "client.latency_p50";
+    g "client.latency_p90"; g "client.latency_p99"; c "client.refused";
+    c "client.unexpected";
+  ]

@@ -1,5 +1,12 @@
-(* Driver: walk lib/**, lint every .ml against the AST rules, every dune
-   file against the architecture spec, apply waivers, and report. *)
+(* Driver: walk lib/**, bin/ and bench/, lint every .ml against the AST
+   rules, every lib dune file against the architecture spec, run the
+   typedtree rules (W2/W3, B1/B2, E2) over the .cmt files of the last
+   build, apply waivers globally, and report.
+
+   Waivers are collected from every swept source file and applied to the
+   whole finding set at the end — a typed finding (whose diagnostics
+   carry the same repo-relative paths the sweep uses) is waivable with
+   the same comment syntax as a parsetree one. *)
 
 module D = Diagnostic
 
@@ -9,6 +16,7 @@ type result = {
   waivers : Waiver.t list;
   libs : Arch.dune_lib list;
   files_seen : int;
+  typed_units : int;  (* compilation units the typed pass saw *)
 }
 
 let read_file path =
@@ -37,68 +45,123 @@ let lint_file_source ~path source =
   in
   (List.sort D.order unwaived, waived, waivers)
 
-(* Full repo run, rooted at [root] (the directory containing lib/). *)
-let run ~root =
-  let lib_root = Filename.concat root "lib" in
-  let findings = ref [] in
-  let waived = ref [] in
-  let waivers = ref [] in
-  let libs = ref [] in
-  let files_seen = ref 0 in
-  (* per-library: roots referenced across all its files, with one source
-     file to blame per root *)
+(* Typed rules over an explicit unit list: the fixture tests load planted
+   .cmt files and run exactly this. *)
+let lint_typed_units units =
+  let graph = Callgraph.build units in
+  Wire_rules.check units @ Block_rules.check graph @ Metric_rules.check units
+
+(* ---------- repo sweep ---------- *)
+
+type sweep = {
+  mutable s_findings : D.t list;
+  mutable s_waivers : Waiver.t list;
+  mutable s_libs : Arch.dune_lib list;
+  mutable s_files : int;
+}
+
+let sweep_source st ~path ~dune_libs source =
+  st.s_files <- st.s_files + 1;
+  let ast_findings, roots = Rules.lint_source ~path source in
+  let ws, w1s = Waiver.scan ~file:path source in
+  st.s_waivers <- st.s_waivers @ ws;
+  let l2s =
+    List.concat_map
+      (fun l -> Arch.check_usage ~lib:l ~file:path ~roots)
+      dune_libs
+  in
+  st.s_findings <- st.s_findings @ ast_findings @ w1s @ l2s
+
+(* lib/<dir>: sources plus the dune architecture checks. *)
+let sweep_lib_dir st ~root dir =
+  let dir_path = Filename.concat (Filename.concat root "lib") dir in
+  let entries = list_dir dir_path in
+  let dune_path = Filename.concat dir_path "dune" in
+  let dune_libs =
+    if Sys.file_exists dune_path then
+      Arch.parse_dune
+        ~dune_file:(Printf.sprintf "lib/%s/dune" dir)
+        (read_file dune_path)
+    else []
+  in
+  st.s_libs <- st.s_libs @ dune_libs;
+  List.iter
+    (fun l -> st.s_findings <- st.s_findings @ Arch.check_declared l)
+    dune_libs;
+  List.iter
+    (fun entry ->
+      if Filename.check_suffix entry ".ml" then
+        sweep_source st
+          ~path:(Printf.sprintf "lib/%s/%s" dir entry)
+          ~dune_libs
+          (read_file (Filename.concat dir_path entry)))
+    entries
+
+(* bin/ and bench/: executables, no architecture DAG membership — source
+   rules only (D1 and the waiver scan; the protocol-only rules D2-D4/E1
+   do not apply outside lib/<protocol dir>). *)
+let sweep_exe_dir st ~root dir =
+  let dir_path = Filename.concat root dir in
+  List.iter
+    (fun entry ->
+      if Filename.check_suffix entry ".ml" then
+        sweep_source st
+          ~path:(Printf.sprintf "%s/%s" dir entry)
+          ~dune_libs:[]
+          (read_file (Filename.concat dir_path entry)))
+    (list_dir dir_path)
+
+(* Full repo run, rooted at [root] (the directory containing lib/).
+   [typed] (default true) also runs the .cmt-backed rules; it needs a
+   prior [dune build @all]. *)
+let run ?(typed = true) ~root () =
+  let st = { s_findings = []; s_waivers = []; s_libs = []; s_files = 0 } in
   List.iter
     (fun dir ->
-      let dir_path = Filename.concat lib_root dir in
-      if Sys.is_directory dir_path then begin
-        let entries = list_dir dir_path in
-        let dune_path = Filename.concat dir_path "dune" in
-        let dune_libs =
-          if Sys.file_exists dune_path then
-            Arch.parse_dune
-              ~dune_file:(Printf.sprintf "lib/%s/dune" dir)
-              (read_file dune_path)
-          else []
-        in
-        libs := !libs @ dune_libs;
-        List.iter
-          (fun l -> findings := Arch.check_declared l @ !findings)
-          dune_libs;
-        List.iter
-          (fun entry ->
-            if Filename.check_suffix entry ".ml" then begin
-              incr files_seen;
-              let path = Printf.sprintf "lib/%s/%s" dir entry in
-              let source = read_file (Filename.concat dir_path entry) in
-              let ast_findings, roots = Rules.lint_source ~path source in
-              let ws, w1s = Waiver.scan ~file:path source in
-              waivers := !waivers @ ws;
-              let l2s =
-                List.concat_map
-                  (fun l -> Arch.check_usage ~lib:l ~file:path ~roots)
-                  dune_libs
-              in
-              let unwaived, here_waived =
-                List.partition_map
-                  (fun d ->
-                    match List.find_opt (fun w -> Waiver.covers w d) ws with
-                    | Some w -> Right (d, w)
-                    | None -> Left d)
-                  (ast_findings @ w1s @ l2s)
-              in
-              findings := unwaived @ !findings;
-              waived := here_waived @ !waived
-            end)
-          entries
-      end)
-    (list_dir lib_root);
+      if Sys.is_directory (Filename.concat (Filename.concat root "lib") dir)
+      then sweep_lib_dir st ~root dir)
+    (list_dir (Filename.concat root "lib"));
+  List.iter (fun dir -> sweep_exe_dir st ~root dir) [ "bin"; "bench" ];
+  let typed_units =
+    if not typed then 0
+    else begin
+      let units = Typed_loader.load ~root in
+      (if units = [] then
+         st.s_findings <-
+           st.s_findings
+           @ [
+               D.v ~file:"." ~line:1 ~rule:"T0"
+                 ~suggestion:"run `dune build @all` before linting"
+                 "typed pass found no .cmt files; W2/W3/B1/B2/E2 did not run";
+             ]
+       else
+         st.s_findings <- st.s_findings @ lint_typed_units units);
+      let design_path = Filename.concat root "DESIGN.md" in
+      if Sys.file_exists design_path then
+        st.s_findings <-
+          st.s_findings
+          @ Metric_rules.check_design ~design_path:"DESIGN.md"
+              (read_file design_path);
+      List.length units
+    end
+  in
+  let unwaived, waived =
+    List.partition_map
+      (fun d ->
+        match
+          List.find_opt (fun w -> Waiver.covers w d) st.s_waivers
+        with
+        | Some w -> Right (d, w)
+        | None -> Left d)
+      st.s_findings
+  in
   {
-    findings = List.sort D.order !findings;
-    waived =
-      List.sort (fun (a, _) (b, _) -> D.order a b) !waived;
-    waivers = !waivers;
-    libs = !libs;
-    files_seen = !files_seen;
+    findings = List.sort D.order unwaived;
+    waived = List.sort (fun (a, _) (b, _) -> D.order a b) waived;
+    waivers = st.s_waivers;
+    libs = st.s_libs;
+    files_seen = st.s_files;
+    typed_units;
   }
 
 let pp_report ppf r =
@@ -108,9 +171,11 @@ let pp_report ppf r =
       (List.length r.findings) r.files_seen
   end
   else
-    Format.fprintf ppf "gcs_lint: clean — %d file(s), %d librar%s checked.@."
+    Format.fprintf ppf
+      "gcs_lint: clean — %d file(s), %d librar%s, %d typed unit(s) checked.@."
       r.files_seen (List.length r.libs)
-      (if List.length r.libs = 1 then "y" else "ies");
+      (if List.length r.libs = 1 then "y" else "ies")
+      r.typed_units;
   if r.waived <> [] then begin
     Format.fprintf ppf "%d waived finding(s):@." (List.length r.waived);
     List.iter

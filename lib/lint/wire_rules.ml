@@ -1,0 +1,388 @@
+(* Rules W2/W3: static safety of the Payload/Wire codec registry.
+
+   The registry is stringly at runtime: [Payload.register_codec ~tag]
+   keys families by a string tag, and inside a family the constructors
+   are discriminated by the first [Wire.u8] each encode arm writes and
+   the integer cases of the decode's [match Wire.read_u8 r with].  A
+   duplicate tag or discriminator silently corrupts the wire vocabulary
+   — decode routes bytes to the wrong constructor — so both are checked
+   here, repo-wide, against the typed tree.
+
+   W2 fires on: duplicate string tag across the repo; duplicate u8
+   discriminator inside a family; an arm mix where some constructors
+   carry a discriminator and some do not (single-constructor families
+   like "dg" legitimately write none at all); an encode discriminator
+   with no decode case or vice versa; and a non-literal ~tag, which the
+   analysis cannot check.
+
+   W3 fires on: a [Payload.t] constructor with no printer arm anywhere
+   in the repo (unprintable payloads make traces lie by omission), and
+   a constructor declared in a codec-bearing unit that the unit's
+   encode never emits (it would hit the [| _ -> false] fallthrough and
+   be dropped on the wire).  Units that never register a codec are
+   sim-only by construction and only need the printer. *)
+
+module D = Diagnostic
+
+type codec_reg = {
+  c_source : string;
+  c_line : int;
+  c_tag : string option;  (* None: not a string literal *)
+  c_encode_arms : (string * int option * int) list;  (* ctor, disc, line *)
+  c_decode_cases : (int * int) list;  (* case value, line *)
+}
+
+type unit_facts = {
+  f_source : string;
+  f_codecs : codec_reg list;
+  f_printed : string list;  (* ctors covered by a printer arm, this unit *)
+  f_declared : (string * int) list;  (* Payload.t ctors declared, with line *)
+}
+
+let offset (e : Typedtree.expression) =
+  e.Typedtree.exp_loc.Location.loc_start.Lexing.pos_cnum
+
+(* Constructor names bound by a pattern, restricted to extension
+   constructors (Payload.t is extensible; ordinary variants like
+   Conflict.t must not leak in). *)
+let rec pattern_ext_ctors : type k. k Typedtree.general_pattern -> string list =
+ fun p ->
+  match p.Typedtree.pat_desc with
+  | Typedtree.Tpat_construct (_, cstr, _, _) -> (
+      match cstr.Types.cstr_tag with
+      | Types.Cstr_extension _ -> [ cstr.Types.cstr_name ]
+      | _ -> [])
+  | Typedtree.Tpat_alias (p', _, _) -> pattern_ext_ctors p'
+  | Typedtree.Tpat_or (a, b, _) -> pattern_ext_ctors a @ pattern_ext_ctors b
+  | Typedtree.Tpat_value v ->
+      pattern_ext_ctors (v :> Typedtree.value Typedtree.general_pattern)
+  | _ -> []
+
+(* First [Wire.u8] application in [e] whose payload argument is a direct
+   int literal — source order, so the discriminator write that opens an
+   encode arm wins over later flag bytes. *)
+let first_u8_literal r (e : Typedtree.expression) =
+  let best = ref None in
+  let consider off n =
+    match !best with
+    | Some (o, _) when o <= off -> ()
+    | _ -> best := Some (off, n)
+  in
+  let open Tast_iterator in
+  let expr sub (e : Typedtree.expression) =
+    (match e.Typedtree.exp_desc with
+    | Typedtree.Texp_apply (f, args)
+      when Typed_loader.head_canon r f = Some Catalog.wire_u8_write -> (
+        match Typed_loader.int_literal_arg args with
+        | Some (n, _) -> consider (offset e) n
+        | None -> ())
+    | _ -> ());
+    default_iterator.expr sub e
+  in
+  let it = { default_iterator with expr } in
+  it.expr it e;
+  Option.map snd !best
+
+(* The outermost [match Wire.read_u8 r with] in the decode body: minimal
+   source offset.  Nested discriminators (gcs reads a second u8 for the
+   conflict class inside case 0) must not contribute cases. *)
+let decode_cases r (e : Typedtree.expression) =
+  let best = ref None in
+  let open Tast_iterator in
+  let expr sub (e : Typedtree.expression) =
+    (match e.Typedtree.exp_desc with
+    | Typedtree.Texp_match (scrut, cases, _)
+      when Typed_loader.head_canon r scrut = Some Catalog.wire_u8_read -> (
+        match !best with
+        | Some (o, _) when o <= offset e -> ()
+        | _ -> best := Some (offset e, cases))
+    | _ -> ());
+    default_iterator.expr sub e
+  in
+  let it = { default_iterator with expr } in
+  it.expr it e;
+  match !best with
+  | None -> []
+  | Some (_, cases) ->
+      List.filter_map
+        (fun (c : _ Typedtree.case) ->
+          let rec ints : type k. k Typedtree.general_pattern -> (int * int) list
+              =
+           fun p ->
+            match p.Typedtree.pat_desc with
+            | Typedtree.Tpat_constant (Asttypes.Const_int n) ->
+                [ (n, Typed_loader.line_of p.Typedtree.pat_loc) ]
+            | Typedtree.Tpat_or (a, b, _) -> ints a @ ints b
+            | Typedtree.Tpat_value v ->
+                ints (v :> Typedtree.value Typedtree.general_pattern)
+            | _ -> []
+          in
+          match ints c.Typedtree.c_lhs with [] -> None | l -> Some l)
+        cases
+      |> List.concat
+
+(* Encode arms: every extension-constructor pattern arm anywhere in the
+   encode body, paired with the first literal u8 its right-hand side
+   writes. *)
+let encode_arms r (e : Typedtree.expression) =
+  let arms = ref [] in
+  let open Tast_iterator in
+  let expr sub (e : Typedtree.expression) =
+    (match e.Typedtree.exp_desc with
+    | Typedtree.Texp_match (_, cases, _) ->
+        List.iter
+          (fun (c : _ Typedtree.case) ->
+            List.iter
+              (fun ctor ->
+                arms :=
+                  ( ctor,
+                    first_u8_literal r c.Typedtree.c_rhs,
+                    Typed_loader.line_of
+                      c.Typedtree.c_lhs.Typedtree.pat_loc )
+                  :: !arms)
+              (pattern_ext_ctors c.Typedtree.c_lhs))
+          cases
+    | Typedtree.Texp_function _ -> ()
+    | _ -> ());
+    default_iterator.expr sub e
+  in
+  let it = { default_iterator with expr } in
+  it.expr it e;
+  List.rev !arms
+
+(* Printer arms: extension-constructor patterns in the printer function. *)
+let printer_ctors (e : Typedtree.expression) =
+  let acc = ref [] in
+  let open Tast_iterator in
+  let pat : type k. _ -> k Typedtree.general_pattern -> unit =
+   fun sub p ->
+    acc := pattern_ext_ctors p @ !acc;
+    default_iterator.pat sub p
+  in
+  let it = { default_iterator with pat } in
+  it.expr it e;
+  List.sort_uniq String.compare !acc
+
+let labelled name args =
+  List.find_map
+    (fun ((l : Asttypes.arg_label), a) ->
+      match (l, a) with
+      | (Asttypes.Labelled n | Asttypes.Optional n), Some e when n = name ->
+          Some (e : Typedtree.expression)
+      | _ -> None)
+    args
+
+(* ---------- per-unit fact collection ---------- *)
+
+let collect_unit (u : Typed_loader.unit_info) =
+  let r =
+    Typed_loader.build_resolver ~canon:u.Typed_loader.canon
+      u.Typed_loader.structure
+  in
+  let codecs = ref [] and printed = ref [] and declared = ref [] in
+  let open Tast_iterator in
+  let expr sub (e : Typedtree.expression) =
+    (match e.Typedtree.exp_desc with
+    | Typedtree.Texp_apply (f, args) -> (
+        match Typed_loader.head_canon r f with
+        | Some h when h = Catalog.payload_codec_registrar ->
+            let tag =
+              match labelled "tag" args with
+              | Some te -> (
+                  match Typed_loader.string_literals te with
+                  | [ (s, _) ] -> Some s
+                  | _ -> None)
+              | None -> None
+            in
+            let enc_arms =
+              match labelled "encode" args with
+              | Some ee -> encode_arms r ee
+              | None -> []
+            in
+            let dec_cases =
+              match labelled "decode" args with
+              | Some de -> decode_cases r de
+              | None -> []
+            in
+            codecs :=
+              {
+                c_source = u.Typed_loader.source;
+                c_line = Typed_loader.line_of e.Typedtree.exp_loc;
+                c_tag = tag;
+                c_encode_arms = enc_arms;
+                c_decode_cases = dec_cases;
+              }
+              :: !codecs
+        | Some h when h = Catalog.payload_printer_registrar ->
+            List.iter
+              (fun (_, a) ->
+                Option.iter (fun a -> printed := printer_ctors a @ !printed) a)
+              args
+        | _ -> ())
+    | _ -> ());
+    default_iterator.expr sub e
+  in
+  let structure_item sub (item : Typedtree.structure_item) =
+    (match item.Typedtree.str_desc with
+    | Typedtree.Tstr_typext te ->
+        let path_name =
+          Typed_loader.canon_of_unit_name (Path.name te.Typedtree.tyext_path)
+        in
+        if path_name = Catalog.payload_type then
+          List.iter
+            (fun (ec : Typedtree.extension_constructor) ->
+              declared :=
+                ( Ident.name ec.Typedtree.ext_id,
+                  Typed_loader.line_of ec.Typedtree.ext_loc )
+                :: !declared)
+            te.Typedtree.tyext_constructors
+    | _ -> ());
+    default_iterator.structure_item sub item
+  in
+  let it = { default_iterator with expr; structure_item } in
+  it.structure it u.Typed_loader.structure;
+  {
+    f_source = u.Typed_loader.source;
+    f_codecs = List.rev !codecs;
+    f_printed = List.sort_uniq String.compare !printed;
+    f_declared = List.rev !declared;
+  }
+
+(* ---------- the rules ---------- *)
+
+let check (units : Typed_loader.unit_info list) =
+  let facts = List.map collect_unit units in
+  let ds = ref [] in
+  let add ~file ~line ~suggestion msg rule =
+    ds := D.v ~file ~line ~rule ~suggestion msg :: !ds
+  in
+  (* W2: repo-wide duplicate string tags *)
+  let tags : (string, string * int) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun f ->
+      List.iter
+        (fun c ->
+          match c.c_tag with
+          | None ->
+              add ~file:c.c_source ~line:c.c_line
+                ~suggestion:"pass the tag as a single string literal"
+                "register_codec tag is not a string literal; W2 cannot check \
+                 it for conflicts"
+                "W2"
+          | Some tag -> (
+              match Hashtbl.find_opt tags tag with
+              | Some (other_file, other_line) ->
+                  add ~file:c.c_source ~line:c.c_line
+                    ~suggestion:"pick an unused tag string"
+                    (Printf.sprintf
+                       "duplicate codec tag %S (already registered at %s:%d)"
+                       tag other_file other_line)
+                    "W2"
+              | None -> Hashtbl.replace tags tag (c.c_source, c.c_line)))
+        f.f_codecs)
+    facts;
+  (* W2: per-family discriminator discipline *)
+  List.iter
+    (fun f ->
+      List.iter
+        (fun c ->
+          let fam = match c.c_tag with Some t -> t | None -> "?" in
+          let with_disc =
+            List.filter_map
+              (fun (ctor, d, line) ->
+                Option.map (fun d -> (ctor, d, line)) d)
+              c.c_encode_arms
+          in
+          let without_disc =
+            List.filter (fun (_, d, _) -> d = None) c.c_encode_arms
+          in
+          (* mixed arms: ambiguous framing unless every arm writes one *)
+          if with_disc <> [] && without_disc <> [] then
+            List.iter
+              (fun (ctor, _, line) ->
+                add ~file:c.c_source ~line
+                  ~suggestion:
+                    "open every encode arm of the family with a literal \
+                     Wire.u8 discriminator"
+                  (Printf.sprintf
+                     "constructor %s in family %S writes no u8 discriminator \
+                      while sibling arms do"
+                     ctor fam)
+                  "W2")
+              without_disc;
+          (* duplicate discriminators inside the family *)
+          let seen : (int, string * int) Hashtbl.t = Hashtbl.create 8 in
+          List.iter
+            (fun (ctor, d, line) ->
+              match Hashtbl.find_opt seen d with
+              | Some (other, other_line) ->
+                  add ~file:c.c_source ~line
+                    ~suggestion:"renumber the discriminator"
+                    (Printf.sprintf
+                       "duplicate u8 discriminator %d in family %S: %s and %s \
+                        (line %d)"
+                       d fam other ctor other_line)
+                    "W2"
+              | None -> Hashtbl.replace seen d (ctor, line))
+            with_disc;
+          (* encode/decode agreement *)
+          let dec = List.sort_uniq compare (List.map fst c.c_decode_cases) in
+          List.iter
+            (fun (ctor, d, line) ->
+              if not (List.mem d dec) then
+                add ~file:c.c_source ~line
+                  ~suggestion:"add the matching decode case"
+                  (Printf.sprintf
+                     "encode writes discriminator %d for %s but decode of \
+                      family %S never matches it"
+                     d ctor fam)
+                  "W2")
+            with_disc;
+          let enc = List.sort_uniq compare (List.map (fun (_, d, _) -> d) with_disc) in
+          List.iter
+            (fun (n, line) ->
+              if with_disc <> [] && not (List.mem n enc) then
+                add ~file:c.c_source ~line
+                  ~suggestion:"remove the dead case or add the encode arm"
+                  (Printf.sprintf
+                     "decode of family %S matches discriminator %d that no \
+                      encode arm writes"
+                     fam n)
+                  "W2")
+            c.c_decode_cases)
+        f.f_codecs)
+    facts;
+  (* W3: every declared constructor needs a printer arm somewhere *)
+  let all_printed =
+    List.concat_map (fun f -> f.f_printed) facts |> List.sort_uniq String.compare
+  in
+  List.iter
+    (fun f ->
+      let unit_encoded =
+        List.concat_map
+          (fun c -> List.map (fun (ctor, _, _) -> ctor) c.c_encode_arms)
+          f.f_codecs
+      in
+      List.iter
+        (fun (ctor, line) ->
+          if not (List.mem ctor all_printed) then
+            add ~file:f.f_source ~line
+              ~suggestion:"add a Payload.register_printer arm for it"
+              (Printf.sprintf
+                 "Payload constructor %s has no printer arm anywhere in the \
+                  repo; traces will show it as <unknown>"
+                 ctor)
+              "W3";
+          if f.f_codecs <> [] && not (List.mem ctor unit_encoded) then
+            add ~file:f.f_source ~line
+              ~suggestion:
+                "add an encode arm (and decode case) to the unit's codec"
+              (Printf.sprintf
+                 "Payload constructor %s is declared in a codec-bearing unit \
+                  but its codec never encodes it (falls through to the wire \
+                  as unsendable)"
+                 ctor)
+              "W3")
+        f.f_declared)
+    facts;
+  List.rev !ds

@@ -90,6 +90,15 @@ let set_write t fd cb =
 
 let forget t fd = Hashtbl.remove t.watchers fd
 
+(* Watched descriptors in ascending fd order.  [Unix.file_descr] is
+   abstract, but on every Unix port it is the numeric descriptor, so
+   polymorphic compare yields the OS ordering; sorting here makes the
+   dispatch order of a wakeup a function of the fd set alone, not of
+   Hashtbl bucket layout (which varies with insertion history and the
+   hash seed). *)
+let watched_fds t =
+  List.sort compare (Hashtbl.fold (fun fd _ acc -> fd :: acc) t.watchers [])
+
 let fire_due t =
   let rec go () =
     match Heap.peek t.timers with
@@ -129,12 +138,22 @@ let run_once t ~max_wait =
     | Some d -> Float.min max_wait (Float.max 0.0 (d -. t0))
     | None -> max_wait
   in
-  let reads, writes =
-    Hashtbl.fold
-      (fun fd w (r, wr) ->
-        ( (if w.on_read <> None then fd :: r else r),
-          if w.on_write <> None then fd :: wr else wr ))
-      t.watchers ([], [])
+  (* Sorted, so [select]'s ready lists — and therefore callback dispatch —
+     come back in fd order on every platform, every run. *)
+  let watched =
+    List.filter_map
+      (fun fd ->
+        Option.map (fun w -> (fd, w)) (Hashtbl.find_opt t.watchers fd))
+      (watched_fds t)
+  in
+  let reads =
+    List.filter_map
+      (fun (fd, w) -> if w.on_read <> None then Some fd else None)
+      watched
+  and writes =
+    List.filter_map
+      (fun (fd, w) -> if w.on_write <> None then Some fd else None)
+      watched
   in
   let ready_r, ready_w, _ =
     if reads = [] && writes = [] then begin
@@ -146,6 +165,10 @@ let run_once t ~max_wait =
       with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
   in
   let t_woke = now t in
+  (* [select] makes no ordering promise on its ready lists (the OCaml
+     runtime returns them reversed); sort so dispatch is in fd order. *)
+  let ready_r = List.sort compare ready_r
+  and ready_w = List.sort compare ready_w in
   (* Look each callback up at dispatch time: an earlier callback in the
      batch may close a sibling's descriptor and unregister it. *)
   List.iter

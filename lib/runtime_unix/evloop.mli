@@ -35,6 +35,11 @@ val set_write : t -> Unix.file_descr -> (unit -> unit) option -> unit
 val forget : t -> Unix.file_descr -> unit
 (** Drop both callbacks (before closing the descriptor). *)
 
+val watched_fds : t -> Unix.file_descr list
+(** The currently watched descriptors in ascending fd order — the order
+    {!run_once} polls and dispatches them in, independent of registration
+    history. *)
+
 val run_once : t -> max_wait:float -> unit
 (** One iteration: wait up to [max_wait] ms (bounded by the next timer
     deadline) for descriptor activity, dispatch ready callbacks, fire due

@@ -127,6 +127,8 @@ let dial t link =
         | exception Unix.Unix_error (Unix.EINPROGRESS, _, _) -> true
         | exception Unix.Unix_error _ ->
             (try Unix.close sock with Unix.Unix_error _ -> ());
+            (* gcs-lint: allow B2 — Exit is control flow, not a fault: the
+               [dial] wrapper below catches it to abandon this attempt *)
             raise Exit
       in
       let conn =
@@ -169,7 +171,9 @@ let shutdown t =
   | None -> ());
   List.iter Fconn.close t.inbound;
   t.inbound <- [];
-  Hashtbl.iter
+  (* Close peer links in node-id order so shutdown traffic (FIN ordering,
+     trace records) does not depend on Hashtbl layout. *)
+  Gc_sim.Sorted.iter ~cmp:Int.compare
     (fun _ link -> match link.conn with Some c -> Fconn.close c | None -> ())
     t.peers
 

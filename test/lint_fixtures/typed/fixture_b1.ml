@@ -1,0 +1,11 @@
+(* Planted B1 violation: a read callback reaches [Unix.sleep] through two
+   ordinary calls.  The unit never calls [Unix.set_nonblock], and sleep
+   is a hard blocker anyway — the loop would stall for a full second. *)
+
+module Evloop = Gc_runtime_unix.Evloop
+
+let slow_step () = Unix.sleep 1
+let helper () = slow_step ()
+
+let _install loop fd =
+  Evloop.set_read loop fd (Some (fun () -> helper ()))

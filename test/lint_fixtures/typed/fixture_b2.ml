@@ -1,0 +1,12 @@
+(* Planted B2 violation: a message handler that raises with nothing
+   catching it — the exception unwinds through the event loop mid-state
+   mutation.  The [try]-protected raise below it must stay silent. *)
+
+module Process = Gc_kernel.Process
+
+let _install proc =
+  Process.on_receive proc (fun ~src:_ _payload -> failwith "boom")
+
+let _protected proc =
+  Process.on_receive proc (fun ~src:_ _payload ->
+      try failwith "caught locally" with Failure _ -> ())

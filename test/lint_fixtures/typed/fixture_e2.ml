@@ -1,0 +1,10 @@
+(* Planted E2 violations: a metric name outside Catalog.metrics (a typo
+   mints a dead time series) and a catalogued counter recorded through a
+   histogram API (kind mismatch).  The catalogued call stays silent. *)
+
+module Metrics = Gc_obs.Metrics
+
+let _record m =
+  Metrics.incr m "fixture.not_in_catalog";
+  Metrics.observe m "abcast.delivered" 1.0;
+  Metrics.incr m "abcast.delivered"

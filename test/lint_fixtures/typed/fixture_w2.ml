@@ -1,0 +1,37 @@
+(* Planted W2 violations: a duplicate u8 discriminator inside one
+   encoder, a decode case with no matching encoder arm, and a string tag
+   registered twice.  Printers cover both constructors so W3 stays out of
+   this fixture. *)
+
+type Gc_net.Payload.t += Fw_a of int | Fw_b of int
+
+let _register () =
+  let module W = Gc_net.Wire in
+  Gc_net.Payload.register_codec ~tag:"fw"
+    ~encode:(fun _enc w p ->
+      match p with
+      | Fw_a n ->
+          W.u8 w 0;
+          W.varint w n;
+          true
+      | Fw_b n ->
+          W.u8 w 0 (* duplicate discriminator: collides with Fw_a *);
+          W.varint w n;
+          true
+      | _ -> false)
+    ~decode:(fun _dec r ->
+      match W.read_u8 r with
+      | 0 -> Fw_a (W.read_varint r)
+      | 2 -> Fw_b (W.read_varint r) (* no encoder ever writes 2 *)
+      | _ -> Gc_net.Payload.malformed "fixture")
+
+let _register_same_tag_again () =
+  Gc_net.Payload.register_codec ~tag:"fw"
+    ~encode:(fun _enc _w _p -> false)
+    ~decode:(fun _dec _r -> Gc_net.Payload.malformed "fixture")
+
+let _printers () =
+  Gc_net.Payload.register_printer (function
+    | Fw_a n -> Some (Printf.sprintf "fw_a[%d]" n)
+    | Fw_b n -> Some (Printf.sprintf "fw_b[%d]" n)
+    | _ -> None)

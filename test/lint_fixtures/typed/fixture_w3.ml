@@ -1,0 +1,19 @@
+(* Planted W3 violations: [Fz_missing] is declared next to a codec but
+   has no encoder arm, and no printer anywhere prints it.  [Fz_seen] is
+   fully covered and must stay silent. *)
+
+type Gc_net.Payload.t += Fz_seen of int | Fz_missing of int
+
+let _register () =
+  let module W = Gc_net.Wire in
+  Gc_net.Payload.register_codec ~tag:"fz"
+    ~encode:(fun _enc w p ->
+      match p with
+      | Fz_seen n ->
+          W.varint w n;
+          true
+      | _ -> false)
+    ~decode:(fun _dec r -> Fz_seen (W.read_varint r));
+  Gc_net.Payload.register_printer (function
+    | Fz_seen n -> Some (Printf.sprintf "fz[%d]" n)
+    | _ -> None)

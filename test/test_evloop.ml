@@ -1,0 +1,67 @@
+(* The select loop's wakeup order: watched descriptors are polled and
+   dispatched in ascending fd order, whatever order they were registered
+   in.  Hashtbl iteration order depends on insertion history, so before
+   the sort a run's callback interleaving was an accident of connection
+   arrival order — this pins the deterministic order down. *)
+
+module Evloop = Gc_runtime_unix.Evloop
+
+let with_pipes n f =
+  let pipes = List.init n (fun _ -> Unix.pipe ()) in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun (r, w) ->
+          (try Unix.close r with Unix.Unix_error _ -> ());
+          try Unix.close w with Unix.Unix_error _ -> ())
+        pipes)
+    (fun () -> f pipes)
+
+let test_watched_sorted () =
+  with_pipes 5 (fun pipes ->
+      let loop = Evloop.create () in
+      (* register in reverse order: the loop must not care *)
+      List.iter
+        (fun (r, _) -> Evloop.set_read loop r (Some ignore))
+        (List.rev pipes);
+      let fds = Evloop.watched_fds loop in
+      Alcotest.(check int) "all watched" 5 (List.length fds);
+      Alcotest.(check bool) "ascending fd order" true
+        (fds = List.sort compare fds);
+      List.iter (fun (r, _) -> Evloop.forget loop r) pipes;
+      Alcotest.(check int) "forget empties" 0
+        (List.length (Evloop.watched_fds loop)))
+
+let test_dispatch_order () =
+  with_pipes 6 (fun pipes ->
+      let loop = Evloop.create () in
+      let fired = ref [] in
+      (* scrambled registration: middle, last, first, ... *)
+      let scrambled =
+        match pipes with
+        | [ a; b; c; d; e; f ] -> [ d; f; a; e; b; c ]
+        | _ -> assert false
+      in
+      List.iter
+        (fun (r, _) ->
+          Evloop.set_read loop r (Some (fun () -> fired := r :: !fired)))
+        scrambled;
+      (* make every descriptor ready before the tick *)
+      List.iter
+        (fun (_, w) -> ignore (Unix.write w (Bytes.of_string "x") 0 1))
+        pipes;
+      Evloop.run_once loop ~max_wait:0.0;
+      let order = List.rev !fired in
+      Alcotest.(check int) "every callback fired" 6 (List.length order);
+      Alcotest.(check bool) "fired in ascending fd order" true
+        (order = List.sort compare order))
+
+let suite =
+  [
+    ( "evloop",
+      [
+        Alcotest.test_case "watched_fds is sorted" `Quick test_watched_sorted;
+        Alcotest.test_case "ready callbacks dispatch in fd order" `Quick
+          test_dispatch_order;
+      ] );
+  ]

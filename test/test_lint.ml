@@ -93,6 +93,69 @@ let test_waiver_parse () =
   | Ok None -> ()
   | _ -> Alcotest.fail "ordinary comments are not waivers"
 
+(* Waiver grammar edge cases, through the full file-lint path: comments
+   spanning several lines, CRLF sources, a waiver ending the file, and an
+   unknown rule surfacing as W1 from a scan (not just from [parse]). *)
+let test_waiver_multiline () =
+  let src =
+    "let f h n =\n\
+    \  (* gcs-lint: allow D3 —\n\
+    \     commutative count over the\n\
+    \     whole table *)\n\
+    \  Hashtbl.iter (fun _ _ -> incr n) h\n"
+  in
+  let unwaived, waived, waivers =
+    Lint.lint_file_source ~path:"lib/rchannel/x.ml" src
+  in
+  Alcotest.check pairs "nothing unwaived" [] (rule_lines unwaived);
+  Alcotest.check pairs "D3 on the line after the comment is waived"
+    [ ("D3", 5) ]
+    (rule_lines (List.map fst waived));
+  match waivers with
+  | [ w ] ->
+      Alcotest.(check string) "line breaks collapse in the reason"
+        "commutative count over the whole table" w.Waiver.reason
+  | ws -> Alcotest.failf "expected 1 waiver, got %d" (List.length ws)
+
+let test_waiver_crlf () =
+  let src =
+    String.concat "\r\n"
+      [
+        "let f h n =";
+        "  (* gcs-lint: allow D3 — crlf sources must parse too *)";
+        "  Hashtbl.iter (fun _ _ -> incr n) h";
+        "";
+      ]
+  in
+  let unwaived, waived, _ =
+    Lint.lint_file_source ~path:"lib/rchannel/x.ml" src
+  in
+  Alcotest.check pairs "nothing unwaived" [] (rule_lines unwaived);
+  Alcotest.check pairs "D3 waived under CRLF" [ ("D3", 3) ]
+    (rule_lines (List.map fst waived))
+
+let test_waiver_last_line () =
+  (* same-line waiver, terminal comment, no trailing newline *)
+  let src =
+    "let g h = Hashtbl.iter ignore h (* gcs-lint: allow D3 — same line *)"
+  in
+  let unwaived, waived, _ =
+    Lint.lint_file_source ~path:"lib/rchannel/x.ml" src
+  in
+  Alcotest.check pairs "nothing unwaived" [] (rule_lines unwaived);
+  Alcotest.check pairs "same-line finding waived" [ ("D3", 1) ]
+    (rule_lines (List.map fst waived))
+
+let test_waiver_unknown_rule_scan () =
+  let src = "(* gcs-lint: allow Z9 -- no such rule *)\nlet x = 1\n" in
+  let unwaived, waived, waivers =
+    Lint.lint_file_source ~path:"lib/rchannel/x.ml" src
+  in
+  Alcotest.check pairs "malformed waiver is a W1 finding" [ ("W1", 1) ]
+    (rule_lines unwaived);
+  Alcotest.(check int) "it waives nothing" 0 (List.length waived);
+  Alcotest.(check int) "and is not a waiver" 0 (List.length waivers)
+
 let test_arch_bad_dune () =
   let source = read_file "lint_fixtures/bad_dune.sexp" in
   let libs = Arch.parse_dune ~dune_file:"lib/consensus/dune" source in
@@ -138,12 +201,82 @@ let test_arch_usage () =
                         (gc_totem)")
   | ds -> Alcotest.failf "expected 1 legacy L2, got %d" (List.length ds)
 
+(* ---------- typed rules (W2/W3, B1/B2, E2) against planted fixtures ----------
+
+   The lint_fixture_typed library under lint_fixtures/typed/ compiles
+   known-bad shapes (it is linked but never run); each test loads just the
+   .cmt files it needs and asserts the planted findings — and only those —
+   fire. *)
+
+module Typed = Gc_lint.Typed_loader
+
+let typed_units names =
+  let dir = "lint_fixtures/typed/.lint_fixture_typed.objs/byte" in
+  let units =
+    Typed.load_files
+      (List.map
+         (fun n -> Filename.concat dir ("lint_fixture_typed__" ^ n ^ ".cmt"))
+         names)
+  in
+  Alcotest.(check int) "fixture cmts load" (List.length names)
+    (List.length units);
+  units
+
+let typed_findings ~rule names =
+  List.filter
+    (fun d -> d.D.rule = rule)
+    (Lint.lint_typed_units (typed_units names))
+
+let test_typed_w2 () =
+  (* duplicate tag (repo-wide pass, line 29), then the per-family pass:
+     duplicate discriminator at Fw_b's arm (17), dead decode case (25) *)
+  Alcotest.check pairs "planted W2 findings"
+    [ ("W2", 29); ("W2", 17); ("W2", 25) ]
+    (rule_lines (typed_findings ~rule:"W2" [ "Fixture_w2" ]));
+  Alcotest.check pairs "no W3 leaks from the W2 fixture" []
+    (rule_lines (typed_findings ~rule:"W3" [ "Fixture_w2" ]))
+
+let test_typed_w3 () =
+  Alcotest.check pairs "planted W3 findings"
+    [ ("W3", 5); ("W3", 5) ]
+    (rule_lines (typed_findings ~rule:"W3" [ "Fixture_w3" ]));
+  Alcotest.check pairs "no W2 leaks from the W3 fixture" []
+    (rule_lines (typed_findings ~rule:"W2" [ "Fixture_w3" ]))
+
+let test_typed_b1 () =
+  match typed_findings ~rule:"B1" [ "Fixture_b1" ] with
+  | [ d ] ->
+      Alcotest.(check int) "flagged at the sleeping call" 7 d.D.line;
+      let contains needle hay =
+        let n = String.length needle in
+        let rec go i =
+          i + n <= String.length hay
+          && (String.sub hay i n = needle || go (i + 1))
+        in
+        go 0
+      in
+      Alcotest.(check bool) "chain names the blocker" true
+        (contains "Unix.sleep" d.D.message)
+  | ds -> Alcotest.failf "expected exactly 1 B1, got %d" (List.length ds)
+
+let test_typed_b2 () =
+  match typed_findings ~rule:"B2" [ "Fixture_b2" ] with
+  | [ d ] ->
+      Alcotest.(check int) "the unprotected raise, not the try-caught one" 8
+        d.D.line
+  | ds -> Alcotest.failf "expected exactly 1 B2, got %d" (List.length ds)
+
+let test_typed_e2 () =
+  Alcotest.check pairs "unknown name and kind mismatch"
+    [ ("E2", 8); ("E2", 9) ]
+    (rule_lines (typed_findings ~rule:"E2" [ "Fixture_e2" ]))
+
 (* The shipped repo lints clean: the zero-findings baseline is itself a
    regression test.  (The test binary runs in _build/default/test, so the
    repo root — with lib/ under it — is one level up.) *)
 let test_repo_clean () =
   if Sys.file_exists "../lib" && Sys.is_directory "../lib" then begin
-    let r = Lint.run ~root:".." in
+    let r = Lint.run ~root:".." () in
     Alcotest.(check bool) "files linted > 40" true (r.Lint.files_seen > 40);
     Alcotest.check pairs "repo is finding-free" []
       (rule_lines r.Lint.findings);
@@ -167,8 +300,18 @@ let suite =
         Alcotest.test_case "protocol scoping" `Quick test_non_protocol;
         Alcotest.test_case "waivers cover what they name" `Quick test_waivers;
         Alcotest.test_case "waiver grammar" `Quick test_waiver_parse;
+        Alcotest.test_case "multiline waiver" `Quick test_waiver_multiline;
+        Alcotest.test_case "CRLF waiver" `Quick test_waiver_crlf;
+        Alcotest.test_case "last-line waiver" `Quick test_waiver_last_line;
+        Alcotest.test_case "unknown rule scans as W1" `Quick
+          test_waiver_unknown_rule_scan;
         Alcotest.test_case "L1 bad dune stanza" `Quick test_arch_bad_dune;
         Alcotest.test_case "L2 module usage" `Quick test_arch_usage;
+        Alcotest.test_case "W2 planted tag conflicts" `Quick test_typed_w2;
+        Alcotest.test_case "W3 planted coverage gaps" `Quick test_typed_w3;
+        Alcotest.test_case "B1 planted blocking call" `Quick test_typed_b1;
+        Alcotest.test_case "B2 planted escaping raise" `Quick test_typed_b2;
+        Alcotest.test_case "E2 planted catalog misses" `Quick test_typed_e2;
         Alcotest.test_case "repo lints clean" `Quick test_repo_clean;
       ] );
   ]
