@@ -18,6 +18,10 @@
                         batch-size sweep (batch_max in {1, 16, 64}): the
                         cost of the gbcast hot path as batching amortises
                         the per-message relay and ack fan-out.
+   - [log_recovery_*k]  crash-recovery cost vs durable-log length: a cold
+                        Fstore open (CRC scan of the whole file) plus the
+                        replay iteration a restarting server performs
+                        before accepting traffic.
 
    Output is BENCH_perf.json (schema: DESIGN.md par.12).  [--smoke] shrinks
    the workload for CI; [--check FILE] compares against a committed baseline
@@ -203,6 +207,59 @@ let gbcast_batch ~seed ~n ~count ~batch_max =
     ~n ~msgs:(count * n) ~engine:w.Bench_util.engine ~horizon:120_000.0
     ~done_:all_delivered ()
 
+(* Crash-recovery cost as a function of log length: build a CRC-framed
+   on-disk delivery log of [count] records, then time a cold open (the
+   full scan-and-verify recovery pass) plus the replay iteration a
+   restarting server performs before it accepts traffic.  Pure wall-clock
+   file I/O — no simulator engine involved — so the cell is constructed
+   directly rather than through [measure]. *)
+let log_recovery ~count =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "gcs_perf_recovery_%d_%d" (Unix.getpid ()) count)
+  in
+  let st = Gc_runtime_unix.Fstore.open_dir ~dir () in
+  for k = 0 to count - 1 do
+    ignore
+      (Gc_kernel.Storage.append st
+         (Gc_kernel.Storage.Record.encode
+            {
+              Gc_kernel.Storage.Record.origin = k mod 5;
+              seq = k;
+              ordered = k mod 3 <> 0;
+              payload = String.make 64 'x';
+            }))
+  done;
+  Gc_kernel.Storage.sync st;
+  Gc_kernel.Storage.close st;
+  let gc0 = Gc.quick_stat () in
+  let t0 = Unix.gettimeofday () in
+  let st = Gc_runtime_unix.Fstore.open_dir ~dir () in
+  let replayed = ref 0 in
+  Gc_kernel.Storage.iter_from st 0 (fun ~index:_ entry ->
+      ignore (Gc_kernel.Storage.Record.decode entry);
+      incr replayed);
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let gc1 = Gc.quick_stat () in
+  Gc_kernel.Storage.close st;
+  Array.iter
+    (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+    (Sys.readdir dir);
+  (try Sys.rmdir dir with Sys_error _ -> ());
+  let fm = float_of_int count in
+  {
+    name = Printf.sprintf "log_recovery_%dk" (count / 1000);
+    n = 1;
+    msgs = count;
+    wall_s;
+    msgs_per_sec = (if wall_s > 0.0 then fm /. wall_s else infinity);
+    minor_words_per_msg = (gc1.Gc.minor_words -. gc0.Gc.minor_words) /. fm;
+    promoted_words_per_msg =
+      (gc1.Gc.promoted_words -. gc0.Gc.promoted_words) /. fm;
+    completed = !replayed = count;
+  }
+
 (* ---------- json ---------- *)
 
 let cell_json c =
@@ -337,6 +394,11 @@ let () =
         (fun b -> run (fun () -> gbcast_batch ~seed ~n ~count:gb_count ~batch_max:b))
         [ 1; 16; 64 ])
     [ 3; 5; 8 ];
+  (* Recovery time vs log length: how long a kill -9'd server spends
+     scanning and replaying its durable log before accepting traffic. *)
+  List.iter
+    (fun count -> run (fun () -> log_recovery ~count))
+    (if !smoke then [ 1_000; 10_000 ] else [ 10_000; 100_000; 1_000_000 ]);
   let cells = List.rev !cells in
   let mode = if !smoke then "smoke" else "full" in
   let oc = open_out !out in

@@ -34,7 +34,8 @@ let parse_stacks = function
 let parse_profile = function
   | "default" -> Ok Generator.default
   | "aggressive" -> Ok Generator.aggressive
-  | s -> Error (Printf.sprintf "unknown profile %S (default|aggressive)" s)
+  | "restart" -> Ok Generator.restart
+  | s -> Error (Printf.sprintf "unknown profile %S (default|aggressive|restart)" s)
 
 (* ---------- run ---------- *)
 
@@ -196,8 +197,10 @@ let run_term =
       value & opt string "default"
       & info [ "profile" ] ~docv:"P"
           ~doc:
-            "Generator profile: $(b,default) (liveness-safe windows) or \
-             $(b,aggressive) (longer freezes, more events).")
+            "Generator profile: $(b,default) (liveness-safe windows), \
+             $(b,aggressive) (longer freezes, more events), or \
+             $(b,restart) (aggressive plus kill -9 reboots from the \
+             durable log).")
   and nodes =
     Arg.(
       value & opt int 5

@@ -48,7 +48,7 @@ let parse_peers spec =
   go [] (String.split_on_char ',' spec)
 
 let run id peers_spec client_port join_via hb_period telemetry_interval
-    telemetry_file =
+    telemetry_file data_dir =
   if not Sys.win32 then Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   match parse_peers peers_spec with
   | Error msg ->
@@ -71,33 +71,65 @@ let run id peers_spec client_port join_via hb_period telemetry_interval
       let config =
         Stack.Config.make ~runtime:Stack.Config.Unix ?hb_period ()
       in
+      let storage =
+        Option.map
+          (fun dir ->
+            log_line "node %d: durable log in %s" id dir;
+            Gc_runtime_unix.Fstore.open_dir ~metrics ~dir ())
+          data_dir
+      in
       let server =
         Server.create ~loop ~id ~initial ~config ~metrics
           ~log:(fun msg -> log_line "node %d: %s" id msg)
-          ?join_via
+          ?join_via ?storage
           ~peer_listen:(Unix.ADDR_INET (my_addr, my_port))
           ~client_listen:(Unix.ADDR_INET (Unix.inet_addr_loopback, client_port))
           ()
       in
       Server.set_peers server
         (List.mapi (fun i (addr, port) -> (i, Unix.ADDR_INET (addr, port))) peers);
-      (match telemetry_interval with
-      | Some interval_ms when interval_ms > 0.0 ->
-          let path =
-            match telemetry_file with
-            | Some p -> p
-            | None -> Printf.sprintf "gcs-telemetry-%d.jsonl" id
-          in
-          ignore
-            (Gc_server.Telemetry.start ~loop ~server ~interval_ms ~path);
-          log_line "node %d: telemetry every %.0f ms -> %s" id interval_ms path
-      | _ -> ());
+      let telemetry =
+        match telemetry_interval with
+        | Some interval_ms when interval_ms > 0.0 ->
+            let path =
+              match telemetry_file with
+              | Some p -> p
+              | None -> Printf.sprintf "gcs-telemetry-%d.jsonl" id
+            in
+            let t = Gc_server.Telemetry.start ~loop ~server ~interval_ms ~path in
+            log_line "node %d: telemetry every %.0f ms -> %s" id interval_ms path;
+            Some t
+        | _ -> None
+      in
+      (* SIGTERM/SIGINT: an orderly exit instead of dropping whatever the
+         batchers and the log buffer still hold.  Signal handlers only set
+         a flag — the teardown itself runs on the event loop thread, after
+         select returns. *)
+      let stopping = ref false in
+      let request_stop signame =
+        if not !stopping then begin
+          stopping := true;
+          log_line "node %d: %s, shutting down" id signame;
+          Evloop.stop loop
+        end
+      in
+      if not Sys.win32 then begin
+        Sys.set_signal Sys.sigterm
+          (Sys.Signal_handle (fun _ -> request_stop "SIGTERM"));
+        Sys.set_signal Sys.sigint
+          (Sys.Signal_handle (fun _ -> request_stop "SIGINT"))
+      end;
       log_line "node %d: peer mesh on %d, clients on %d%s" id my_port
         (Server.client_port server)
         (match join_via with
         | Some via -> Printf.sprintf ", joining via %d" via
         | None -> " (founding member)");
-      Evloop.run loop
+      Evloop.run loop;
+      (* Orderly teardown: final telemetry flush, then Server.shutdown
+         (flush batchers, sync + snapshot the durable log, close peers). *)
+      Option.iter Gc_server.Telemetry.stop telemetry;
+      Server.shutdown server;
+      log_line "node %d: stopped" id
 
 let id_t =
   Arg.(required & opt (some int) None & info [ "id" ] ~docv:"ID" ~doc:"Node id (index into $(b,--peers)).")
@@ -146,11 +178,22 @@ let telemetry_file_t =
           "Telemetry time-series destination (default \
            gcs-telemetry-ID.jsonl in the working directory).")
 
+let data_dir_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "data-dir" ] ~docv:"DIR"
+        ~doc:
+          "Durable state directory (created as needed): the delivery log \
+           and snapshot live here, and a restart with the same $(docv) \
+           recovers the replica by log replay instead of losing its \
+           state.")
+
 let cmd =
   Cmd.v
     (Cmd.info "gcs_server" ~doc:"Group communication daemon (AB-GB stack over TCP)")
     Term.(
       const run $ id_t $ peers_t $ client_port_t $ join_via_t $ hb_t
-      $ telemetry_interval_t $ telemetry_file_t)
+      $ telemetry_interval_t $ telemetry_file_t $ data_dir_t)
 
 let () = exit (Cmd.eval cmd)

@@ -101,6 +101,7 @@ let () =
 type t = {
   proc : Process.t;
   rb : Rb.t;
+  storage : Gc_kernel.Storage.t option;
   mutable consensus : Consensus.t option;
   mutable member_list : int list;
   mutable next_mseq : int;
@@ -142,6 +143,23 @@ let pending_remove t id =
     t.pending_n <- t.pending_n - 1
   end
 
+(* Write-ahead: one Storage.Record per delivery, appended after the
+   delivered-set dedup accepts the id and before the application sees the
+   message, so a crash between the two replays it on recovery rather than
+   losing it.  A payload without a registered codec cannot be made durable;
+   it is counted and delivered anyway (sim-only payloads hit this). *)
+let log_delivery t ~origin ~seq ~ordered body =
+  match t.storage with
+  | None -> ()
+  | Some store -> (
+      match Gc_net.Payload.encode body with
+      | Ok payload ->
+          ignore
+            (Gc_kernel.Storage.append store
+               (Gc_kernel.Storage.Record.encode
+                  { Gc_kernel.Storage.Record.origin; seq; ordered; payload }))
+      | Error _ -> Process.incr t.proc "storage.append_skipped")
+
 let try_start t =
   if member t && not (Hashtbl.mem t.proposed t.next_to_apply) then begin
     let batch = current_batch t in
@@ -170,6 +188,8 @@ let apply_decisions t =
             let id = msg_id m in
             if Delivered.add t.delivered id then begin
               pending_remove t id;
+              log_delivery t ~origin:m.origin ~seq:t.n_delivered ~ordered:true
+                m.body;
               t.n_delivered <- t.n_delivered + 1;
               Process.incr t.proc "abcast.delivered";
               Process.observe t.proc "abcast.latency_ms"
@@ -207,16 +227,23 @@ let on_solicit t ~inst =
   if inst > t.max_solicited then t.max_solicited <- inst;
   if inst >= t.next_to_apply then try_start t
 
+(* Message ids are (origin, mseq) and receivers dedup on them for the life
+   of the run, so a process restarting from its log must never reuse an
+   mseq from a previous incarnation: scope the counter by boot epoch,
+   leaving 2^40 submissions per boot.  Epoch 0 keeps historical numbering. *)
+let epoch_bits = 40
+
 let create proc ~rc ~rb ~fd ?(suspect_timeout = 200.0) ?(adaptive = false)
-    ?(batch_max = 1) ?(batch_delay = 1.0) ~members () =
+    ?(batch_max = 1) ?(batch_delay = 1.0) ?storage ?(epoch = 0) ~members () =
   if batch_max < 1 then invalid_arg "Atomic_broadcast.create: batch_max < 1";
   let t =
     {
       proc;
       rb;
+      storage;
       consensus = None;
       member_list = members;
-      next_mseq = 0;
+      next_mseq = epoch lsl epoch_bits;
       next_to_apply = 0;
       pending = Pending.empty;
       pending_n = 0;
@@ -302,6 +329,7 @@ let abcast t ?(size = 64) body =
     | None -> Rb.broadcast t.rb ~size ~dests:t.member_list (Ab_data m)
   end
 
+let flush t = match t.submit_batch with Some b -> Batcher.flush b | None -> ()
 let on_deliver t f = t.subscribers <- f :: t.subscribers
 let set_members t members = t.member_list <- members
 let members t = t.member_list

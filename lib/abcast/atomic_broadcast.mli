@@ -33,6 +33,8 @@ val create :
   ?adaptive:bool ->
   ?batch_max:int ->
   ?batch_delay:float ->
+  ?storage:Gc_kernel.Storage.t ->
+  ?epoch:int ->
   members:int list ->
   unit ->
   t
@@ -40,6 +42,16 @@ val create :
     owns its consensus instance stack (wired to the given failure detector
     with the aggressive [suspect_timeout], default 200 ms; [adaptive]
     switches it to the self-tuning monitor).
+
+    [storage], when given, receives one {!Gc_kernel.Storage.Record} per
+    adelivered message, appended between the duplicate-suppression check and
+    the subscriber callbacks (write-ahead with respect to the application),
+    so a crash-recovered process can replay exactly what it had delivered.
+
+    [epoch] (default 0) is the boot incarnation: message ids are
+    [(origin, mseq)] and receivers dedup on them for the life of the run,
+    so a restarted process must number its submissions above every
+    previous incarnation's.
 
     [batch_max] (default 1 = unbatched) and [batch_delay] (default 1 ms)
     batch submissions through a size/tick watermark ({!Batcher}): up to
@@ -57,6 +69,12 @@ val on_deliver : t -> (origin:int -> Gc_net.Payload.t -> unit) -> unit
 (** Subscribe to adeliver events.  Subscribers run synchronously while a
     decision is applied; they may call {!set_members} (membership layer) or
     {!abcast}. *)
+
+val flush : t -> unit
+(** Emit any submissions parked in the batcher immediately instead of
+    waiting for the tick watermark — part of orderly shutdown: without it a
+    submit during the last [batch_delay] before teardown is silently
+    dropped. *)
 
 val set_members : t -> int list -> unit
 (** Replace the member set.  Must only be called from an {!on_deliver}

@@ -168,39 +168,52 @@ type t = {
   gb : Gb.t;
   membership : Gm.t;
   monitoring : Mon.t;
+  storage : Gc_kernel.Storage.t option;
   mutable subscribers :
     (origin:int -> ordered:bool -> Gc_net.Payload.t -> unit) list;
 }
 
 let create runtime ?metrics ~id ~initial ?(config = default_config)
-    ?app_state_provider ?app_state_installer () =
+    ?app_state_provider ?app_state_installer ?storage ?(boot_epoch = 0) () =
   let proc = Process.create ?metrics runtime ~id in
   let fd = Fd.create proc ~hb_period:config.hb_period ~peers:initial () in
-  let rc = Rc.create proc ~rto:config.rto ~stuck_after:config.stuck_after () in
-  let rb = Rb.create proc rc in
+  let rc =
+    Rc.create proc ~epoch:boot_epoch ~rto:config.rto
+      ~stuck_after:config.stuck_after ()
+  in
+  (* Every layer that numbers its own messages gets the boot epoch: a
+     restarted process must never reuse a channel generation or a broadcast
+     id from a previous incarnation, or peers' per-stream state and dedup
+     sets silently swallow its new traffic. *)
+  let rb = Rb.create proc ~epoch:boot_epoch rc in
   let ab =
     Ab.create proc ~rc ~rb ~fd ~suspect_timeout:config.consensus_timeout
       ~adaptive:config.consensus_adaptive ~batch_max:config.batch_max
-      ~batch_delay:config.batch_delay ~members:initial ()
+      ~batch_delay:config.batch_delay ~epoch:boot_epoch ~members:initial ()
   in
   (* Default All_members mode: ordered traffic (including view changes)
      rides the consensus-backed cut path and stays live with f < n/2;
      commuting traffic uses the all-ack fast path until a dead member is
      excluded. *)
+  (* The durable log hangs off generic broadcast only: gb is the delivery
+     surface the application sees (every abcast rides through it), so one
+     layer logging means one record per delivered message — giving both
+     layers the log would replay everything twice. *)
   let gb =
     Gb.create proc ~rc ~rb ~ab ~conflict:stack_conflict
       ~ack_mode:config.gb_ack_mode ~batch_max:config.batch_max
-      ~batch_delay:config.batch_delay ~members:initial ()
+      ~batch_delay:config.batch_delay ?storage ~epoch:boot_epoch
+      ~members:initial ()
   in
   let ab_ref = ref ab and gb_ref = ref gb in
-  let state_provider () =
+  let state_provider ~have =
     Gcs_snapshot
       {
         next_instance = Ab.next_instance !ab_ref;
         ab_delivered = Ab.delivered_ids !ab_ref;
         gb_stage = Gb.stage !gb_ref;
         gb_delivered = Gb.delivered_ids !gb_ref;
-        app = Option.map (fun f -> f ()) app_state_provider;
+        app = Option.map (fun f -> f ~have) app_state_provider;
       }
   in
   let state_installer snapshot =
@@ -245,7 +258,18 @@ let create runtime ?metrics ~id ~initial ?(config = default_config)
       ~exclusion_timeout:config.exclusion_timeout ~policy:config.policy ()
   in
   let t =
-    { proc; fd; rc; rb; ab; gb; membership; monitoring; subscribers = [] }
+    {
+      proc;
+      fd;
+      rc;
+      rb;
+      ab;
+      gb;
+      membership;
+      monitoring;
+      storage;
+      subscribers = [];
+    }
   in
   (* Keep the lower layers' member sets in lockstep with the view: this runs
      while the view-change message is being delivered, i.e. at the same point
@@ -275,7 +299,7 @@ let rbcast t ?size body =
 
 let on_deliver t f = t.subscribers <- f :: t.subscribers
 
-let join ?force t ~via = Gm.join ?force t.membership ~via
+let join ?force ?have t ~via = Gm.join ?force ?have t.membership ~via
 let add t p = Gm.add t.membership p
 let remove t q = Gm.remove t.membership q
 let join_remove_list t ~adds ~removes = Gm.join_remove_list t.membership ~adds ~removes
@@ -286,6 +310,21 @@ let on_view t f = Gm.on_view t.membership f
 
 let id t = Process.id t.proc
 let crash t = Process.crash t.proc
+
+(* Orderly teardown, distinct from [crash] (which the fuzzer uses to model
+   fail-stop): emit whatever the submission/ack batchers are still parking —
+   otherwise a message submitted within [batch_delay] of teardown is
+   silently dropped — then make the log durable, then stop. *)
+let shutdown t =
+  Gb.flush t.gb;
+  Ab.flush t.ab;
+  (* The flushed broadcasts route through our own reliable channel first
+     (the uniform loopback hop); deliver that hop now so they are relayed
+     to the peers before the process stops existing. *)
+  Rc.drain_loopback t.rc;
+  (match t.storage with Some s -> Gc_kernel.Storage.sync s | None -> ());
+  Process.crash t.proc
+
 let alive t = Process.alive t.proc
 
 let process t = t.proc

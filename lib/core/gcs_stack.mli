@@ -110,6 +110,26 @@ module Config : sig
       arity [make ()] is unchanged and means [make ~runtime:Sim ()]. *)
 end
 
+module Conflict = Gc_gbcast.Conflict
+(** Re-exported so applications that decode [Gcs_app] envelopes (e.g. a
+    server replaying its durable log) can name the conflict classes
+    without depending on the gbcast layer directly. *)
+
+(** The stack's own payloads, exposed for crash recovery: the durable
+    delivery log stores generic-broadcast bodies verbatim, so a recovering
+    application decodes [Gcs_app] envelopes back out of its log.
+    [Gcs_snapshot] is the joiner state-transfer container (ordering-layer
+    bookkeeping plus the application's opaque state). *)
+type Gc_net.Payload.t +=
+  | Gcs_app of { klass : Gc_gbcast.Conflict.klass; body : Gc_net.Payload.t }
+  | Gcs_snapshot of {
+      next_instance : int;
+      ab_delivered : (int * int) list;
+      gb_stage : int;
+      gb_delivered : (int * int) list;
+      app : Gc_net.Payload.t option;
+    }
+
 type t
 
 val create :
@@ -118,14 +138,29 @@ val create :
   id:int ->
   initial:int list ->
   ?config:config ->
-  ?app_state_provider:(unit -> Gc_net.Payload.t) ->
+  ?app_state_provider:(have:int -> Gc_net.Payload.t) ->
   ?app_state_installer:(Gc_net.Payload.t -> unit) ->
+  ?storage:Gc_kernel.Storage.t ->
+  ?boot_epoch:int ->
   unit ->
   t
 (** Build the stack for node [id].  [initial] is the founding view: a
     founding member lists itself in [initial]; a process joining later passes
     the current membership (without itself) and calls {!join}.  The app state
-    hooks serialise/install application state for joiner state transfer.
+    hooks serialise/install application state for joiner state transfer;
+    the provider receives the joiner's announced durable-log high-water
+    mark ([have], -1 when it has none) so it can ship a delta instead of the
+    full state.  [storage], when given, is the durable delivery log: generic
+    broadcast (the delivery surface for every application message) appends
+    one record per delivery, write-ahead of the application callbacks.
+    [boot_epoch] (default 0) is this boot's incarnation number: a process
+    restarting after a crash must pass a strictly larger value than its
+    previous boot.  It scopes every identifier the stack mints — reliable
+    channel generations (so streams reopen both directions instead of
+    losing traffic against peers' stale per-stream state, see
+    {!Gc_rchannel.Reliable_channel.create}) and the per-origin broadcast
+    ids of the rbcast/abcast/gbcast layers (so peers' dedup sets never
+    mistake a new incarnation's messages for already-seen ones).
     [metrics] (default: a fresh registry) collects every layer's counters and
     latency histograms; read it back with {!metrics}. *)
 
@@ -146,9 +181,11 @@ val on_deliver :
 
 (** {1 Membership} *)
 
-val join : ?force:bool -> t -> via:int -> unit
+val join : ?force:bool -> ?have:int -> t -> via:int -> unit
 (** Ask [via] to sponsor this process into the group; [force] rejoins even if
-    this process still believes it is a member (post-partition recovery). *)
+    this process still believes it is a member (post-partition recovery).
+    [have] (default -1) announces this process's durable-log high-water mark
+    to the sponsor's state provider, enabling delta state transfer. *)
 
 val add : t -> int -> unit
 val remove : t -> int -> unit
@@ -163,6 +200,12 @@ val on_view : t -> (Gc_membership.View.t -> unit) -> unit
 val id : t -> int
 val crash : t -> unit
 (** Crash-stop the whole process (simulation control). *)
+
+val shutdown : t -> unit
+(** Orderly teardown: flush the ordering layers' submission/ack batchers (a
+    message submitted within [batch_delay] of teardown would otherwise be
+    silently dropped), sync the durable log if one is attached, then crash
+    the process.  Use {!crash} to model fail-stop. *)
 
 val alive : t -> bool
 

@@ -13,6 +13,7 @@ type event =
   | Delay_spike of { at : float; until : float; nodes : int list; extra : float }
   | Duplicate of { at : float; until : float; src : int; dst : int; prob : float }
   | Fd_flap of { at : float; until : float; node : int; peer : int }
+  | Restart of { node : int; at : float; back_at : float }
 
 type t = { seed : int64; nodes : int; horizon : float; events : event list }
 
@@ -22,7 +23,8 @@ let time_of = function
   | Drop_burst { at; _ }
   | Delay_spike { at; _ }
   | Duplicate { at; _ }
-  | Fd_flap { at; _ } -> at
+  | Fd_flap { at; _ }
+  | Restart { at; _ } -> at
 
 let sorted t =
   { t with events = List.stable_sort (fun a b -> compare (time_of a) (time_of b)) t.events }
@@ -34,6 +36,7 @@ let event_label = function
   | Delay_spike _ -> "delay_spike"
   | Duplicate _ -> "duplicate"
   | Fd_flap _ -> "fd_flap"
+  | Restart _ -> "restart"
 
 (* ---------- validation ---------- *)
 
@@ -97,6 +100,9 @@ let validate t =
         let* () = check_window "fd_flap" at until in
         if node = peer then err "fd_flap: node %d flapping itself" node
         else Ok ()
+    | Restart { node; at; back_at } ->
+        let* () = check_node "restart" node in
+        check_window "restart" at back_at
   in
   if t.nodes < 2 then err "script needs at least 2 nodes, got %d" t.nodes
   else if t.horizon <= 0.0 then err "non-positive horizon %g" t.horizon
@@ -132,6 +138,8 @@ let simplify_event e =
         Duplicate { d with at = round10 d.at; until = round10 (Float.max d.at d.until) }
     | Fd_flap f ->
         Fd_flap { f with at = round10 f.at; until = round10 (Float.max f.at f.until) }
+    | Restart { node; at; back_at } ->
+        Restart { node; at = round10 at; back_at = round10 (Float.max at back_at) }
   in
   let halved =
     match e with
@@ -160,6 +168,9 @@ let simplify_event e =
     | Fd_flap ({ at; until; _ } as f) when until -. at > 20.0 ->
         [ Fd_flap { f with until = shorter at until } ]
     | Fd_flap _ -> []
+    | Restart ({ at; back_at; _ } as r) when back_at -. at > 20.0 ->
+        [ Restart { r with back_at = shorter at back_at } ]
+    | Restart _ -> []
   in
   (if rounded <> e then [ rounded ] else []) @ halved
 
@@ -224,6 +235,9 @@ let event_to_json e =
           ("node", inum node);
           ("peer", inum peer);
         ]
+  | Restart { node; at; back_at } ->
+      Json.Obj
+        [ ("type", tag); ("node", inum node); ("at", num at); ("back_at", num back_at) ]
 
 let to_json t =
   Json.Obj
@@ -317,6 +331,9 @@ let event_of_json j =
           node = jint j "node";
           peer = jint j "peer";
         }
+  | Some "restart" ->
+      Restart
+        { node = jint j "node"; at = jfloat j "at"; back_at = jfloat j "back_at" }
   | Some other -> fail "fault script: unknown event type %S" other
   | None -> fail "fault script: event without type"
 
@@ -382,6 +399,9 @@ let pp_event ppf e =
   | Fd_flap { at; until; node; peer } ->
       Format.fprintf ppf "@%.0f..%.0f fd flap: %d deaf to %d" at until node
         peer
+  | Restart { node; at; back_at } ->
+      Format.fprintf ppf "@%.0f kill -9 node %d, boot from log @%.0f" at node
+        back_at
 
 let pp ppf t =
   Format.fprintf ppf "fault script: seed %Ld, %d nodes, horizon %.0fms, %d event%s@."

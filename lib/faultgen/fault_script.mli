@@ -34,6 +34,11 @@ type event =
   | Fd_flap of { at : float; until : float; node : int; peer : int }
       (** Force [node]'s failure detector to ignore [peer]'s heartbeats for
           the window: a suspicion followed by a retraction. *)
+  | Restart of { node : int; at : float; back_at : float }
+      (** Kill -9 semantics: [node] crashes at [at] losing all volatile
+          state, and boots again at [back_at] with only its durable log —
+          the harness rebuilds the process from storage and rejoins it
+          (unlike {!Crash} recovery, which resumes with state intact). *)
 
 type t = {
   seed : int64;  (** drives the engine and workload on replay *)

@@ -8,6 +8,7 @@ type profile = {
   spike_extra_max : float;
   drop_rate_min : float;
   dup_prob_max : float;
+  with_restart : bool;
 }
 
 let default =
@@ -24,6 +25,7 @@ let default =
     spike_extra_max = 800.0;
     drop_rate_min = 0.3;
     dup_prob_max = 1.0;
+    with_restart = false;
   }
 
 let aggressive =
@@ -35,7 +37,14 @@ let aggressive =
     spike_extra_max = 3_000.0;
     drop_rate_min = 0.5;
     dup_prob_max = 1.0;
+    with_restart = false;
   }
+
+(* Aggressive plus kill -9 restarts.  A separate profile — not a default —
+   because adding the seventh event kind widens the RNG draw and would
+   shift every existing profile's random stream (and with it the committed
+   determinism pins). *)
+let restart = { aggressive with with_restart = true }
 
 (* Crash intervals must always leave a strict majority of nodes running,
    otherwise the run measures nothing (no consensus, no deliveries) and
@@ -75,8 +84,23 @@ let generate ?(profile = default) ~seed ~nodes ~horizon () =
       Some (Fault_script.Crash { node = c; at; recover_at })
     end
   in
+  let sample_restart () =
+    (* A restarting node is down for the window, so it counts against the
+       same strict-majority budget as the freezes. *)
+    let at = start () in
+    let back_at = at +. window () in
+    let c = node () in
+    let clashing = overlapping !crashed ~at ~until:back_at in
+    if List.length clashing >= cap || List.exists (fun (n, _, _) -> n = c) clashing
+    then None
+    else begin
+      crashed := (c, at, back_at) :: !crashed;
+      Some (Fault_script.Restart { node = c; at; back_at })
+    end
+  in
+  let arms = if profile.with_restart then 7 else 6 in
   let sample () =
-    match Rng.int rng 6 with
+    match Rng.int rng arms with
     | 0 -> sample_crash ()
     | 1 ->
         let at = start () in
@@ -124,12 +148,13 @@ let generate ?(profile = default) ~seed ~nodes ~horizon () =
                dst = other_node src;
                prob = Rng.uniform rng ~lo:0.2 ~hi:profile.dup_prob_max;
              })
-    | _ ->
+    | 5 ->
         let at = start () in
         let n = node () in
         Some
           (Fault_script.Fd_flap
              { at; until = at +. window (); node = n; peer = other_node n })
+    | _ -> sample_restart ()
   in
   let rec collect acc k budget =
     if k = 0 || budget = 0 then acc

@@ -22,6 +22,9 @@ type profile = {
   spike_extra_max : float;  (** delay spikes add 100..this many ms *)
   drop_rate_min : float;  (** drop bursts lose at least this fraction *)
   dup_prob_max : float;  (** duplication bursts cap *)
+  with_restart : bool;
+      (** also draw kill -9 {!Fault_script.Restart} events (widens the
+          random stream: scripts differ from the same seed without it) *)
 }
 
 val default : profile
@@ -31,6 +34,12 @@ val default : profile
 val aggressive : profile
 (** Longer windows (frozen nodes do get excluded and come back stale),
     more events — for nightly runs hunting waiver-worthy behaviour. *)
+
+val restart : profile
+(** {!aggressive} plus kill -9 restarts: nodes lose volatile state and
+    boot again from their durable delivery log mid-run — probes the
+    crash-recovery path (log replay, delta state transfer, channel
+    stream reopening). *)
 
 val generate :
   ?profile:profile -> seed:int64 -> nodes:int -> horizon:float -> unit ->

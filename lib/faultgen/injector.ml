@@ -13,7 +13,7 @@ let emit trace engine label attrs =
 let f = Printf.sprintf "%g"
 let i = string_of_int
 
-let install ?(fd_of = fun _ -> None) ?trace net script =
+let install ?(fd_of = fun _ -> None) ?on_restart ?on_restore ?trace net script =
   let engine = Netsim.engine net in
   let at time thunk = ignore (Engine.schedule_at engine ~time thunk) in
   let apply = function
@@ -72,5 +72,20 @@ let install ?(fd_of = fun _ -> None) ?trace net script =
                    [peer] and trusts it again once the backlog lands. *)
                 Netsim.delay_spike net ~nodes:[ peer ] ~until
                   ~extra:(until -. t0 +. 500.0))
+    | Fault_script.Restart { node; at = t0; back_at } ->
+        (* Kill -9: volatile state is gone.  [on_restart] must hard-crash
+           the node's process; [on_restore] must rebuild it from whatever
+           it persisted and rejoin.  Without the callbacks (a stack with no
+           durable state to rebuild from) the event degrades to a
+           freeze/recover — state intact, which for such a stack is the
+           closest legal meaning. *)
+        at t0 (fun () ->
+            emit trace engine "restart" [ ("node", i node) ];
+            Netsim.crash net node;
+            match on_restart with Some f -> f ~node | None -> ());
+        at back_at (fun () ->
+            emit trace engine "restore" [ ("node", i node) ];
+            Netsim.recover net node;
+            match on_restore with Some f -> f ~node | None -> ())
   in
   List.iter apply script.Fault_script.events

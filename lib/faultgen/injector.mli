@@ -12,12 +12,20 @@
     spike on the flapped peer, which provokes the same suspicion through
     the network.
 
+    [on_restart] / [on_restore] give {!Fault_script.Restart} events their
+    kill -9 semantics: the injector freezes/unfreezes the node at the
+    network level and invokes the callbacks, which must hard-crash the
+    node's process and later rebuild it from its durable log and rejoin.
+    Without them a restart degrades to a freeze/recover (state intact).
+
     [trace] (the run's flight recorder) makes the injector emit one
     environment event (node [-1], component ["fault"]) per applied fault,
     so recorded artifacts are self-describing. *)
 
 val install :
   ?fd_of:(int -> Gc_fd.Failure_detector.t option) ->
+  ?on_restart:(node:int -> unit) ->
+  ?on_restore:(node:int -> unit) ->
   ?trace:Gc_sim.Trace.t ->
   Gc_net.Netsim.t ->
   Fault_script.t ->

@@ -54,8 +54,11 @@ let waivers_for = function
       [
         Audit.excluded_rejoin ~check:Audit.Total_order;
         Audit.recovered_freeze ~check:Audit.Total_order;
+        Audit.restarted_rejoin ~check:Audit.Total_order;
         Audit.excluded_rejoin ~check:Audit.Fifo;
         Audit.recovered_freeze ~check:Audit.Fifo;
+        Audit.restarted_rejoin ~check:Audit.Fifo;
+        Audit.restarted_rejoin ~check:Audit.Replay_idempotence;
       ]
 
 let checks_for (_ : stack_kind) = Audit.all_checks
@@ -110,23 +113,70 @@ let run ?(casts = 12) ?(inject_reorder = false) ~stack script =
   let initial = List.init nodes (fun i -> i) in
   let delivered = ref 0 in
   let count_at_0 id = if id = 0 then incr delivered in
-  let send, fd_of =
+  let send, fd_of, on_restart, on_restore =
     match stack with
     | Abgb | Gbcast ->
-        let stacks =
-          Array.init nodes (fun id -> Stack.create (Gc_kernel.Runtime.of_netsim net ~trace) ~id ~initial ())
+        (* Kill -9 support: each node keeps an in-memory durable log that
+           survives the rebuild (the sim analogue of a --data-dir), plus a
+           boot counter scoping its channel generations.  Only armed when
+           the script actually restarts someone, so fault-free runs stay
+           bit-for-bit identical to the committed determinism pins. *)
+        let has_restart =
+          List.exists
+            (function Fault_script.Restart _ -> true | _ -> false)
+            script.Fault_script.events
         in
-        Array.iter
-          (fun s ->
-            Stack.on_deliver s (fun ~origin:_ ~ordered:_ _ ->
-                count_at_0 (Stack.id s)))
-          stacks;
+        let storages =
+          if has_restart then
+            Some (Array.init nodes (fun _ -> Gc_kernel.Storage.in_memory ()))
+          else None
+        in
+        let storage_for id = Option.map (fun a -> a.(id)) storages in
+        let boots = Array.make nodes 0 in
+        let make ~id ~initial =
+          let s =
+            Stack.create (Gc_kernel.Runtime.of_netsim net ~trace) ~id ~initial
+              ?storage:(storage_for id) ~boot_epoch:boots.(id) ()
+          in
+          Stack.on_deliver s (fun ~origin:_ ~ordered:_ _ ->
+              count_at_0 (Stack.id s));
+          s
+        in
+        let stacks = Array.init nodes (fun id -> make ~id ~initial) in
+        let on_restart ~node = Stack.crash stacks.(node) in
+        let on_restore ~node =
+          boots.(node) <- boots.(node) + 1;
+          (* Rebuild as a passive joiner — the founding view without
+             itself — so the fresh stack does not participate from
+             protocol position zero (re-running decided instances,
+             re-delivering the prefix) before the sponsor's resync
+             snapshot bootstraps it at the group's current position. *)
+          let s =
+            make ~id:node ~initial:(List.filter (fun p -> p <> node) initial)
+          in
+          stacks.(node) <- s;
+          let via = ref None in
+          for p = nodes - 1 downto 0 do
+            if p <> node && Netsim.alive net p then via := Some p
+          done;
+          match !via with
+          | Some v ->
+              let have =
+                match storage_for node with
+                | Some st -> snd (Gc_kernel.Storage.extent st)
+                | None -> -1
+              in
+              Stack.join s ~force:true ~have ~via:v
+          | None -> ()
+        in
         ( (fun i k ->
             if stack = Gbcast && k mod 2 = 1 then Stack.rbcast stacks.(i) (Fuzz k)
             else Stack.abcast stacks.(i) (Fuzz k)),
-          fun i ->
+          (fun i ->
             if i >= 0 && i < nodes then Some (Stack.failure_detector stacks.(i))
-            else None )
+            else None),
+          Some on_restart,
+          Some on_restore )
     | Traditional ->
         let stacks =
           Array.init nodes (fun id -> Tr.create (Gc_kernel.Runtime.of_netsim net ~trace) ~id ~initial ())
@@ -135,7 +185,7 @@ let run ?(casts = 12) ?(inject_reorder = false) ~stack script =
           (fun s ->
             Tr.on_deliver s (fun ~origin:_ ~ordered:_ _ -> count_at_0 (Tr.id s)))
           stacks;
-        ((fun i k -> Tr.abcast stacks.(i) (Fuzz k)), fun _ -> None)
+        ((fun i k -> Tr.abcast stacks.(i) (Fuzz k)), (fun _ -> None), None, None)
     | Totem ->
         let stacks =
           Array.init nodes (fun id -> Tt.create (Gc_kernel.Runtime.of_netsim net ~trace) ~id ~initial ())
@@ -144,9 +194,9 @@ let run ?(casts = 12) ?(inject_reorder = false) ~stack script =
           (fun s ->
             Tt.on_deliver s (fun ~origin:_ _ -> count_at_0 (Tt.id s)))
           stacks;
-        ((fun i k -> Tt.abcast stacks.(i) (Fuzz k)), fun _ -> None)
+        ((fun i k -> Tt.abcast stacks.(i) (Fuzz k)), (fun _ -> None), None, None)
   in
-  Injector.install ~fd_of ~trace net script;
+  Injector.install ~fd_of ?on_restart ?on_restore ~trace net script;
   (* Spread the workload over the fault window so broadcasts hit every
      phase of every fault, leaving the tail of the run to settle. *)
   let span = 0.65 *. horizon in

@@ -32,9 +32,11 @@ type outcome = {
 }
 
 val waivers_for : stack_kind -> Gc_obs.Audit.waiver list
-(** The AB-GB stacks get none — any violation is a bug.  The
-    kill-and-rejoin baselines get the documented-limitation waivers
-    ({!Gc_obs.Audit.excluded_rejoin}, {!Gc_obs.Audit.recovered_freeze}). *)
+(** The AB-GB stacks get none — any violation is a bug, including across
+    kill -9 restarts (their durable log plus rejoin state transfer is
+    supposed to make recovery exact).  The kill-and-rejoin baselines get
+    the documented-limitation waivers ({!Gc_obs.Audit.excluded_rejoin},
+    {!Gc_obs.Audit.recovered_freeze}, {!Gc_obs.Audit.restarted_rejoin}). *)
 
 val ordered_component : stack_kind -> string
 (** Trace component carrying the stack's total-order deliveries. *)

@@ -139,6 +139,7 @@ type t = {
   rb : Rb.t;
   rc : Rc.t;
   ab : Ab.t;
+  storage : Gc_kernel.Storage.t option;
   conflict : Conflict.relation; (* pairwise view of [conflict_spec] *)
   index : Conflict_index.t; (* occupancy over pending U stage_history *)
   ack_mode : ack_mode;
@@ -204,6 +205,27 @@ let track_pending t id m =
   Hashtbl.replace t.pending id m;
   Conflict_index.add t.index id m.body
 
+(* Write-ahead delivery log (see Atomic_broadcast.log_delivery): appended
+   after dedup accepts the id, before subscribers run.  [ordered] records
+   the message's conflict class so recovery can distinguish totally-ordered
+   deliveries from commuting ones. *)
+let log_delivery t m =
+  match t.storage with
+  | None -> ()
+  | Some store -> (
+      match Gc_net.Payload.encode m.body with
+      | Ok payload ->
+          ignore
+            (Gc_kernel.Storage.append store
+               (Gc_kernel.Storage.Record.encode
+                  {
+                    Gc_kernel.Storage.Record.origin = m.origin;
+                    seq = t.n_delivered;
+                    ordered = t.conflict m.body m.body;
+                    payload;
+                  }))
+      | Error _ -> Process.incr t.proc "storage.append_skipped")
+
 let deliver t m =
   let id = msg_id m in
   if Delivered.add t.delivered id then begin
@@ -213,6 +235,7 @@ let deliver t m =
        both tables. *)
     if not (Hashtbl.mem t.stage_history id) then
       Conflict_index.remove t.index id;
+    log_delivery t m;
     t.n_delivered <- t.n_delivered + 1;
     Process.incr t.proc "gbcast.delivered";
     Process.observe t.proc "gbcast.latency_ms" (Process.now t.proc -. m.sent_at);
@@ -467,8 +490,15 @@ let apply_cut t ~stage ~first ~rest =
     else if t.frozen then try_cut t
   end
 
+(* Message ids are (origin, gseq) and receivers dedup on them for the life
+   of the run, so a process restarting from its log must never reuse a
+   gseq from a previous incarnation: scope the counter by boot epoch,
+   leaving 2^40 submissions per boot.  Epoch 0 keeps historical numbering. *)
+let epoch_bits = 40
+
 let create proc ~rc ~rb ~ab ~conflict ?(ack_mode = Two_thirds)
-    ?(cut_backoff = 15.0) ?(batch_max = 1) ?(batch_delay = 1.0) ~members () =
+    ?(cut_backoff = 15.0) ?(batch_max = 1) ?(batch_delay = 1.0) ?storage
+    ?(epoch = 0) ~members () =
   if batch_max < 1 then invalid_arg "Generic_broadcast.create: batch_max < 1";
   let t =
     {
@@ -476,11 +506,12 @@ let create proc ~rc ~rb ~ab ~conflict ?(ack_mode = Two_thirds)
       rb;
       rc;
       ab;
+      storage;
       conflict = Conflict.check conflict;
       index = Conflict_index.create conflict;
       ack_mode;
       member_list = members;
-      next_gseq = 0;
+      next_gseq = epoch lsl epoch_bits;
       stage = 0;
       frozen = false;
       pending = Hashtbl.create 64;
@@ -612,6 +643,10 @@ let gbcast t ?(size = 64) body =
     | Some b -> Batcher.add b m
     | None -> Rb.broadcast t.rb ~size ~dests:t.member_list (Gb_fast m)
   end
+
+let flush t =
+  (match t.submit_batch with Some b -> Batcher.flush b | None -> ());
+  flush_acks t
 
 let on_deliver t f = t.subscribers <- f :: t.subscribers
 let set_members t members = t.member_list <- members

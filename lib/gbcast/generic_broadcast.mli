@@ -70,6 +70,8 @@ val create :
   ?cut_backoff:float ->
   ?batch_max:int ->
   ?batch_delay:float ->
+  ?storage:Gc_kernel.Storage.t ->
+  ?epoch:int ->
   members:int list ->
   unit ->
   t
@@ -89,12 +91,27 @@ val create :
     fast-path acknowledgements ride one vector, amortising the O(n^2)
     relay and O(n) ack cost per application message.  Per-sender FIFO is
     preserved; with [batch_max = 1] the wire traffic is exactly the
-    unbatched protocol's. *)
+    unbatched protocol's.
+
+    [storage], when given, receives one {!Gc_kernel.Storage.Record} per
+    g-delivered message, appended between duplicate suppression and the
+    subscriber callbacks (write-ahead with respect to the application);
+    the record's [ordered] flag is the message's conflict class.
+
+    [epoch] (default 0) is the boot incarnation: message ids are
+    [(origin, gseq)] and receivers dedup on them for the life of the run,
+    so a restarted process must number its submissions above every
+    previous incarnation's. *)
 
 val gbcast : t -> ?size:int -> Gc_net.Payload.t -> unit
 (** Generic-broadcast [payload] to the current members. *)
 
 val on_deliver : t -> (origin:int -> Gc_net.Payload.t -> unit) -> unit
+
+val flush : t -> unit
+(** Emit anything parked in the submission and acknowledgement batchers
+    immediately — part of orderly shutdown: without it a gbcast during the
+    last [batch_delay] before teardown is silently dropped. *)
 
 val set_members : t -> int list -> unit
 (** Replace the member set (affects quorum sizes and destinations for new

@@ -1,0 +1,73 @@
+(** The durability seam: an append-only ordered-delivery log plus a
+    snapshot slot, as a record of closures — the persistence counterpart of
+    {!Runtime}.
+
+    Two backends implement it:
+
+    - {!in_memory}: a deterministic store for the simulator.  Appending
+      draws nothing from the engine (no clocks, no RNG, no timers), so
+      seeded runs replay bit-for-bit whether or not a stack logs; the log
+      survives a simulated process restart because the harness keeps the
+      record across stack rebuilds.
+    - [Gc_runtime_unix.Fstore]: CRC-framed records in a [--data-dir] file,
+      with fsync batching and torn-tail tolerance on open.  The substrate
+      for [gcs_server] crash recovery.
+
+    Entries are opaque strings to the store; the ordering layers write
+    {!Record}-encoded delivered messages.  Indices are dense and monotonic:
+    the live window is [\[lo, next)] (see {!extent}), [append] returns the
+    index it assigned, and [truncate_before] advances [lo] after a
+    snapshot has made the prefix redundant. *)
+
+(** The entry format the ordering layers log: one delivered message, enough
+    to replay it through the application after a crash. *)
+module Record : sig
+  type t = {
+    origin : int;  (** submitting node *)
+    seq : int;  (** delivery index at the logging node *)
+    ordered : bool;  (** abcast/conflicting (true) vs commuting rbcast *)
+    payload : string;  (** [Gc_net.Payload] codec bytes of the message *)
+  }
+
+  val encode : t -> string
+
+  val decode : string -> t
+  (** @raise Gc_net.Wire.Short on a truncated entry. *)
+end
+
+type t = {
+  backend : string;  (** ["memory"] or ["file"], for logs and assertions *)
+  append : string -> int;
+      (** append one entry, returning the index it occupies.  Buffered:
+          not durable until the next [sync] *)
+  sync : unit -> unit;  (** make every prior append durable (fsync batch) *)
+  iter_from : int -> (index:int -> string -> unit) -> unit;
+      (** replay entries with index >= the argument, in index order *)
+  truncate_before : int -> unit;
+      (** drop entries below the index (after a covering snapshot) *)
+  extent : unit -> int * int;
+      (** [(lo, next)]: live entries occupy [\[lo, next)] *)
+  save_snapshot : index:int -> string -> unit;
+      (** durably store an application snapshot covering indices < [index];
+          replaces any previous snapshot *)
+  load_snapshot : unit -> (int * string) option;
+      (** the latest stored snapshot as [(index, blob)], if any *)
+  close : unit -> unit;
+}
+
+(** Convenience wrappers over the record fields. *)
+
+val append : t -> string -> int
+val sync : t -> unit
+val iter_from : t -> int -> (index:int -> string -> unit) -> unit
+val truncate_before : t -> int -> unit
+val extent : t -> int * int
+val save_snapshot : t -> index:int -> string -> unit
+val load_snapshot : t -> (int * string) option
+val close : t -> unit
+
+val in_memory : ?metrics:Gc_obs.Metrics.t -> unit -> t
+(** The deterministic backend.  [sync] only counts ([storage.syncs]);
+    appends are always visible to [iter_from].  Metrics recorded:
+    [storage.appends], [storage.syncs], [storage.snapshots],
+    [storage.truncations] (counters) and [storage.log_entries] (gauge). *)

@@ -341,12 +341,13 @@ let metrics =
     c "rchannel.sends"; c "rchannel.retransmissions";
     h "rchannel.retransmit_burst"; c "rchannel.stale_gen_ignored";
     g "rchannel.window_occupancy"; g "rchannel.window_peak";
-    c "rchannel.stuck_detections";
+    c "rchannel.stuck_detections"; c "rchannel.stream_resets";
     (* failure detection / membership / monitoring *)
     c "fd.suspicions"; c "fd.wrong_suspicions"; c "fd.retractions";
     h "fd.mistake_ms";
     c "membership.view_changes"; h "membership.join_ms";
     h "membership.change_ms"; g "membership.sender_blocked_ms_total";
+    c "membership.resyncs";
     c "monitoring.exclusions_proposed"; c "monitoring.wrongful_exclusions";
     (* competing stacks and replication *)
     c "traditional.flushes"; c "traditional.view_changes";
@@ -363,11 +364,18 @@ let metrics =
     c "net.bytes_out"; c "net.frame_reject"; c "net.reconnects";
     c "net.tx_drop"; c "net.dropped_gone"; c "net.dropped_policy";
     c "net.duplicated";
+    (* durable delivery log (Storage seam + file backend) *)
+    c "storage.appends"; c "storage.syncs"; c "storage.snapshots";
+    c "storage.truncations"; c "storage.torn_tail_dropped";
+    c "storage.append_skipped"; g "storage.log_entries";
     (* gcs_server facade *)
     c "server.applied"; c "server.bad_delivery"; c "server.bad_request";
     c "server.client_accepts"; c "server.health_requests";
     c "server.stats_requests"; h "server.latency_ms";
     h "server.latency_abcast_ms"; h "server.latency_rbcast_ms";
+    c "server.delta_transfers"; c "server.full_transfers";
+    c "server.recovered_ops"; c "server.dup_ops_skipped";
+    h "server.recovery_ms";
     (* loopback bench client *)
     h "client.latency"; g "client.latency_max"; g "client.latency_p50";
     g "client.latency_p90"; g "client.latency_p99"; c "client.refused";

@@ -104,3 +104,23 @@ let read_triple r fst_r snd_r trd_r =
   (a, b, c)
 
 let remaining r = r.limit - r.pos
+
+(* IEEE CRC-32 (reflected, polynomial 0xEDB88320), table-driven.  Used by
+   the durable-log record framing to detect torn or corrupted tails. *)
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let crc32 ?(pos = 0) ?len s =
+  let len = match len with Some l -> l | None -> String.length s - pos in
+  let table = Lazy.force crc_table in
+  let c = ref 0xFFFFFFFF in
+  for i = pos to pos + len - 1 do
+    c := table.((!c lxor Char.code s.[i]) land 0xff) lxor (!c lsr 8)
+  done;
+  !c lxor 0xFFFFFFFF

@@ -48,3 +48,8 @@ val read_triple : reader -> (reader -> 'a) -> (reader -> 'b) -> (reader -> 'c) -
 
 val remaining : reader -> int
 (** Unread bytes left in the slice. *)
+
+val crc32 : ?pos:int -> ?len:int -> string -> int
+(** IEEE CRC-32 (the zlib/ethernet polynomial) of a slice (default: the
+    whole string), returned as a non-negative int in [\[0, 2^32)].  Used to
+    frame durable-log records so a torn tail is detected on recovery. *)

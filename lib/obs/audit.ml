@@ -1,6 +1,13 @@
-type check = Fifo | Total_order | Conflict_order | Same_view | Agreement
+type check =
+  | Fifo
+  | Total_order
+  | Conflict_order
+  | Same_view
+  | Agreement
+  | Replay_idempotence
 
-let all_checks = [ Fifo; Total_order; Conflict_order; Same_view; Agreement ]
+let all_checks =
+  [ Fifo; Total_order; Conflict_order; Same_view; Agreement; Replay_idempotence ]
 
 let check_to_string = function
   | Fifo -> "fifo"
@@ -8,6 +15,7 @@ let check_to_string = function
   | Conflict_order -> "conflict-order"
   | Same_view -> "same-view"
   | Agreement -> "agreement"
+  | Replay_idempotence -> "replay-idempotence"
 
 let check_of_string = function
   | "fifo" -> Some Fifo
@@ -15,6 +23,7 @@ let check_of_string = function
   | "conflict-order" | "conflict_order" -> Some Conflict_order
   | "same-view" | "same_view" -> Some Same_view
   | "agreement" -> Some Agreement
+  | "replay-idempotence" | "replay_idempotence" -> Some Replay_idempotence
   | _ -> None
 
 type violation = {
@@ -340,6 +349,76 @@ let check_agreement events =
     events;
   !v
 
+(* ---------- replay idempotence across restarts ---------- *)
+
+(* A node kill -9'd and rebooted from its durable log must not hand the
+   application a message it already delivered in a previous incarnation:
+   log replay dedups what the old incarnation logged, and the delta state
+   transfer dedups what arrives while rejoining.  The check fires when the
+   same (node, component, message) appears on both sides of a restart of
+   that node on an {e application} delivery surface — the components whose
+   deliveries are logged and reach the app.  Dissemination layers below
+   them (rbcast relays, consensus decisions) keep their dedup state in
+   volatile memory on purpose: peers' channels legitimately retransmit
+   in-flight traffic to a rebooted node, and the logged layers above
+   absorb those duplicates by message id.  Duplicates within one
+   incarnation are Total_order's business, so without restart events the
+   check passes vacuously. *)
+let replay_surfaces = [ "abcast"; "gbcast"; "traditional"; "totem" ]
+
+let check_replay_idempotence events =
+  let restarts : (int, float list ref) Hashtbl.t = Hashtbl.create 4 in
+  List.iter
+    (fun (e : Event.t) ->
+      if e.Event.component = "fault" && e.Event.kind = Event.Custom "restart"
+      then
+        match Option.bind (Event.attr e "node") int_of_string_opt with
+        | Some n -> (
+            match Hashtbl.find_opt restarts n with
+            | Some l -> l := e.Event.time :: !l
+            | None -> Hashtbl.replace restarts n (ref [ e.Event.time ]))
+        | None -> ())
+    events;
+  if Hashtbl.length restarts = 0 then None
+  else begin
+    (* (node, component, msg) -> earliest delivery *)
+    let first : (int * string * string, Event.t) Hashtbl.t =
+      Hashtbl.create 1024
+    in
+    let v = ref None in
+    List.iter
+      (fun (e : Event.t) ->
+        if
+          !v = None
+          && e.Event.kind = Event.Deliver
+          && e.Event.msg <> None
+          && List.mem e.Event.component replay_surfaces
+        then
+          let key = (e.Event.node, e.Event.component, msg_of e) in
+          match Hashtbl.find_opt first key with
+          | None -> Hashtbl.replace first key e
+          | Some e0 -> (
+              match Hashtbl.find_opt restarts e.Event.node with
+              | Some times
+                when List.exists
+                       (fun t -> e0.Event.time <= t && t <= e.Event.time)
+                       !times ->
+                  v :=
+                    Some
+                      {
+                        c_message =
+                          Printf.sprintf
+                            "node %d redelivered %s (%s) after restarting \
+                             from its log"
+                            e.Event.node (msg_of e) e.Event.component;
+                        c_pair = (e0, e);
+                        c_msgs = [ msg_of e ];
+                      }
+              | _ -> ()))
+      events;
+    !v
+  end
+
 (* ---------- per-channel FIFO ---------- *)
 
 let check_fifo events =
@@ -402,6 +481,7 @@ let run ?(checks = all_checks) ?(waivers = []) events =
       | Conflict_order -> check_conflict_order events
       | Same_view -> check_same_view events
       | Agreement -> check_agreement events
+      | Replay_idempotence -> check_replay_idempotence events
     in
     Option.map
       (fun { c_message; c_pair; c_msgs } ->
@@ -467,6 +547,24 @@ let recovered_freeze ~check =
           e.Event.component = "net"
           && e.Event.kind = Event.Custom "recover"
           && List.mem e.Event.node nodes)
+        events)
+
+let restarted_rejoin ~check =
+  waiver ~name:"restarted-rejoin" ~check
+    ~reason:
+      "this node was kill -9'd and rebooted mid-run; a kill-and-rejoin \
+       stack makes no cross-incarnation delivery guarantee for it (the \
+       log-recovering architecture is held to the full property)"
+    (fun events v ->
+      let nodes = pair_nodes v in
+      List.exists
+        (fun (e : Event.t) ->
+          e.Event.component = "fault"
+          && e.Event.kind = Event.Custom "restart"
+          &&
+          match Option.bind (Event.attr e "node") int_of_string_opt with
+          | Some p -> List.mem p nodes
+          | None -> false)
         events)
 
 let pp_report ppf r =

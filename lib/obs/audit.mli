@@ -18,20 +18,34 @@
       same membership view at every member that delivers it
       (Section 4.4);
     - {b agreement}: all consensus decide events for one instance carry
-      the same decision value.
+      the same decision value;
+    - {b replay-idempotence}: a node kill -9'd and rebooted from its
+      durable delivery log never hands the application a message it
+      already delivered in a previous incarnation (log replay and delta
+      state transfer must dedup).  Only the application delivery surfaces
+      (abcast/gbcast and the baselines) are audited: dissemination layers
+      below them keep volatile dedup state by design and may legitimately
+      re-deliver retransmitted traffic to a rebooted node.  Passes
+      vacuously when the history has no restart fault events.
 
     Checks are tolerant of truncated histories (a ring buffer dropping
     the oldest records keeps every check sound except same-view — see
     {!Gc_sim.Trace.dropped}) and of components that never appear: a
     check with no relevant events passes vacuously. *)
 
-type check = Fifo | Total_order | Conflict_order | Same_view | Agreement
+type check =
+  | Fifo
+  | Total_order
+  | Conflict_order
+  | Same_view
+  | Agreement
+  | Replay_idempotence
 
 val all_checks : check list
 
 val check_to_string : check -> string
 (** ["fifo"], ["total-order"], ["conflict-order"], ["same-view"],
-    ["agreement"]. *)
+    ["agreement"], ["replay-idempotence"]. *)
 
 val check_of_string : string -> check option
 
@@ -94,5 +108,12 @@ val recovered_freeze : check:check -> waiver
     through a network crash/recover freeze ({!Gc_net.Netsim.recover}):
     kill-and-rejoin stacks resume a frozen process with its pre-freeze
     ordering state. *)
+
+val restarted_rejoin : check:check -> waiver
+(** Waives a violation of [check] when one of the violating nodes was
+    kill -9'd and rebooted mid-run (a ["fault"]/["restart"] event names
+    it): kill-and-rejoin baselines make no cross-incarnation delivery
+    guarantee.  The log-recovering architecture does {e not} take this
+    waiver — restarts are exactly what its durable log is for. *)
 
 val pp_report : Format.formatter -> report -> unit

@@ -75,13 +75,19 @@ let handle t = function
       end
   | _ -> ()
 
-let create proc rc =
+(* Broadcast ids are (origin, bid) and peers dedup on them forever, so a
+   process restarting from its log must never reuse a bid from a previous
+   incarnation: scope the counter by boot epoch, leaving 2^40 broadcasts
+   per boot.  Epoch 0 (the default) keeps the historical numbering. *)
+let epoch_bits = 40
+
+let create proc ?(epoch = 0) rc =
   let t =
     {
       proc;
       rc;
       seen = Hashtbl.create 64;
-      next_bid = 0;
+      next_bid = epoch lsl epoch_bits;
       subscribers = [];
       delivered = 0;
     }

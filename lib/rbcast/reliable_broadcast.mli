@@ -15,7 +15,11 @@
 
 type t
 
-val create : Gc_kernel.Process.t -> Gc_rchannel.Reliable_channel.t -> t
+val create : Gc_kernel.Process.t -> ?epoch:int -> Gc_rchannel.Reliable_channel.t -> t
+(** [epoch] (default 0) is the boot incarnation: broadcast ids are
+    [(origin, bid)] and receivers dedup on them for the life of the run, so
+    a restarted process must number its broadcasts above every previous
+    incarnation's or peers silently drop its new messages as duplicates. *)
 
 val broadcast : t -> ?size:int -> dests:int list -> Gc_net.Payload.t -> unit
 (** Reliably broadcast to [dests] (the sender should normally be included;

@@ -8,7 +8,11 @@ module Sorted = Gc_sim.Sorted
    a TCP reset). *)
 type Gc_net.Payload.t +=
   | Rc_data of { gen : int; seq : int; inner : Gc_net.Payload.t; size : int }
-  | Rc_ack of { gen : int; cum : int }
+  | Rc_ack of { gen : int; cum : int; repoch : int }
+        (* [repoch]: the receiver's boot epoch.  A jump tells the sender its
+           peer restarted and lost the incoming stream state, so the acked
+           prefix must not be trusted and the unacked suffix needs a fresh
+           generation (see [renumber]). *)
 
 let () =
   Gc_net.Payload.register_printer (function
@@ -16,7 +20,7 @@ let () =
         Some
           (Printf.sprintf "rc.data#%d.%d(%s)" gen seq
              (Gc_net.Payload.to_string inner))
-    | Rc_ack { gen; cum } -> Some (Printf.sprintf "rc.ack#%d<=%d" gen cum)
+    | Rc_ack { gen; cum; _ } -> Some (Printf.sprintf "rc.ack#%d<=%d" gen cum)
     | _ -> None)
 
 let () =
@@ -31,10 +35,11 @@ let () =
           W.varint w size;
           enc w inner;
           true
-      | Rc_ack { gen; cum } ->
+      | Rc_ack { gen; cum; repoch } ->
           W.u8 w 1;
           W.varint w gen;
           W.varint w cum;
+          W.varint w repoch;
           true
       | _ -> false)
     ~decode:(fun dec r ->
@@ -48,7 +53,8 @@ let () =
       | 1 ->
           let gen = W.read_varint r in
           let cum = W.read_varint r in
-          Rc_ack { gen; cum }
+          let repoch = W.read_varint r in
+          Rc_ack { gen; cum; repoch }
       | k -> Gc_net.Payload.malformed (Printf.sprintf "rc constructor %d" k))
 
 type pending = {
@@ -63,6 +69,7 @@ type outgoing = {
   mutable gen : int;
   window : pending Window.t; (* unacked, seq-indexed; seqs assigned by push *)
   mutable stuck_reported : bool;
+  mutable peer_epoch : int; (* last repoch acked by this dst; -1 = unknown *)
 }
 
 type incoming = {
@@ -73,6 +80,7 @@ type incoming = {
 
 type t = {
   proc : Process.t;
+  epoch : int; (* this process's boot epoch; scopes generation numbers *)
   rto : float;
   stuck_after : float;
   max_burst : int; (* retransmissions per destination per tick *)
@@ -81,12 +89,22 @@ type t = {
   mutable subscribers : (src:int -> Gc_net.Payload.t -> unit) list;
   mutable on_stuck : (dst:int -> age:float -> unit) option;
   mutable accepted : int;
+  loopback : Gc_net.Payload.t Queue.t; (* self-sends awaiting their 0-delay hop *)
 }
 
 (* Retransmission intervals back off per packet: rto, 2*rto, 4*rto, then
    capped at 8*rto, so a destination that stays silent costs a bounded,
    decaying stream instead of a full-window storm every tick. *)
 let backoff_cap = 3
+
+(* Generations are scoped by the sender's boot epoch: a process that
+   crashed and restarted opens its streams at [epoch lsl gen_bits], which
+   is strictly above anything its previous incarnation used, so receivers
+   take the reset branch instead of silently acking (and so losing) the
+   restarted sender's fresh seq-0 stream against their stale [expected].
+   [forget] and [renumber] bump within the epoch's block; 2^20 bumps per
+   boot is unreachable. *)
+let gen_bits = 20
 
 let retx_interval t p = t.rto *. float_of_int (1 lsl min p.tries backoff_cap)
 
@@ -100,7 +118,14 @@ let outgoing_for t dst =
   match Hashtbl.find_opt t.out dst with
   | Some o -> o
   | None ->
-      let o = { gen = 0; window = Window.create (); stuck_reported = false } in
+      let o =
+        {
+          gen = t.epoch lsl gen_bits;
+          window = Window.create ();
+          stuck_reported = false;
+          peer_epoch = -1;
+        }
+      in
       Hashtbl.replace t.out dst o;
       o
 
@@ -155,18 +180,57 @@ let handle_data t ~src ~gen ~seq ~inner =
     flush ();
     (* Cumulative ack: everything below [expected] has been delivered. *)
     Process.send t.proc ~size:16 ~dst:src
-      (Rc_ack { gen = i.gen; cum = i.expected - 1 })
+      (Rc_ack { gen = i.gen; cum = i.expected - 1; repoch = t.epoch })
   end
 
-let handle_ack t ~src ~gen ~cum =
+(* The destination restarted: its incoming state for this stream — the
+   delivered prefix, the reorder buffer — is gone, so the acknowledged
+   prefix is only as durable as whatever the layers above persisted, and
+   the unacked suffix would be silently swallowed by the ghost of the old
+   stream (acked against a stale [expected], never delivered).  Reopen the
+   stream: new generation, unacked entries renumbered from seq 0 and sent
+   immediately.  Entries keep their [since] so stuck detection still
+   measures the real age of the obligation. *)
+let renumber t dst (o : outgoing) =
+  let pending = List.map snd (Window.to_list o.window) in
+  Window.reset o.window;
+  o.gen <- o.gen + 1;
+  o.stuck_reported <- false;
+  Process.incr t.proc "rchannel.stream_resets";
+  Process.emit t.proc ~component:"rchannel" ~event:"stream_reset"
+    ~attrs:[ ("dst", string_of_int dst); ("gen", string_of_int o.gen) ]
+    ();
+  let now = Process.now t.proc in
+  List.iter
+    (fun p ->
+      p.last_tx <- now;
+      p.tries <- 0;
+      let seq = Window.push o.window p in
+      Process.send t.proc ~size:p.size ~dst
+        (Rc_data { gen = o.gen; seq; inner = p.inner; size = p.size }))
+    pending;
+  note_window t o
+
+let handle_ack t ~src ~gen ~cum ~repoch =
   match Hashtbl.find_opt t.out src with
   | None -> ()
   | Some o ->
-      if gen = o.gen then begin
-        let released = Window.advance_to o.window cum in
-        if released > 0 then begin
-          o.stuck_reported <- false;
-          note_window t o
+      (* A repoch jump outranks the cumulative ack: the new incarnation's
+         [expected] says nothing about what the old one delivered.  The
+         epoch is monotonic per boot, so duplicated or reordered old acks
+         (carrying the old epoch) can never fake a restart. *)
+      if o.peer_epoch >= 0 && repoch > o.peer_epoch then begin
+        o.peer_epoch <- repoch;
+        renumber t src o
+      end
+      else begin
+        if repoch > o.peer_epoch then o.peer_epoch <- repoch;
+        if gen = o.gen then begin
+          let released = Window.advance_to o.window cum in
+          if released > 0 then begin
+            o.stuck_reported <- false;
+            note_window t o
+          end
         end
       end
 
@@ -210,10 +274,12 @@ let retransmit t =
       | _ -> ())
     t.out
 
-let create proc ?(rto = 50.0) ?(stuck_after = 10_000.0) ?(max_burst = 64) () =
+let create proc ?(epoch = 0) ?(rto = 50.0) ?(stuck_after = 10_000.0)
+    ?(max_burst = 64) () =
   let t =
     {
       proc;
+      epoch;
       rto;
       stuck_after;
       max_burst;
@@ -222,16 +288,18 @@ let create proc ?(rto = 50.0) ?(stuck_after = 10_000.0) ?(max_burst = 64) () =
       subscribers = [];
       on_stuck = None;
       accepted = 0;
+      loopback = Queue.create ();
     }
   in
   (* Pre-register the headline counters so merged reports carry them even
      when nothing fired (absent and zero must read the same). *)
   Process.incr ~by:0 proc "rchannel.sends";
   Process.incr ~by:0 proc "rchannel.retransmissions";
+  Process.incr ~by:0 proc "rchannel.stream_resets";
   Process.on_receive proc (fun ~src payload ->
       match payload with
       | Rc_data { gen; seq; inner; _ } -> handle_data t ~src ~gen ~seq ~inner
-      | Rc_ack { gen; cum } -> handle_ack t ~src ~gen ~cum
+      | Rc_ack { gen; cum; repoch } -> handle_ack t ~src ~gen ~cum ~repoch
       | _ -> ());
   ignore (Process.every proc ~period:rto (fun () -> retransmit t));
   t
@@ -240,13 +308,21 @@ let send t ?(size = 64) ~dst payload =
   if Process.alive t.proc then begin
     t.accepted <- t.accepted + 1;
     Process.incr t.proc "rchannel.sends";
-    if dst = Process.id t.proc then
+    if dst = Process.id t.proc then begin
       (* Local loopback: deliver through the event queue so that a broadcast
          to a set including self behaves uniformly (no synchronous
-         reentrancy). *)
+         reentrancy).  The payload waits in [loopback] rather than in the
+         timer closure so an orderly shutdown can drain it synchronously —
+         an alive-guarded timer is silently skipped once the process
+         crashes, and a broadcast flushed in the same instant as the crash
+         would otherwise die on this self-hop before ever being relayed. *)
+      Queue.push payload t.loopback;
       ignore
         (Process.timer t.proc ~delay:0.0 (fun () ->
-             deliver t ~src:dst payload))
+             match Queue.take_opt t.loopback with
+             | Some p -> deliver t ~src:dst p
+             | None -> ()))
+    end
     else begin
       let o = outgoing_for t dst in
       let now = Process.now t.proc in
@@ -264,6 +340,23 @@ let send t ?(size = 64) ~dst payload =
         (Rc_data { gen = o.gen; seq; inner = payload; size })
     end
   end
+
+(* Deliver any self-sends still waiting on their zero-delay hop, now.
+   Orderly teardown calls this after flushing the ordering layers'
+   batchers: a broadcast routes through the sender's own channel first
+   (see [send]), and crashing before that hop lands would silently drop
+   the message before it was ever relayed to a peer.  The timers armed for
+   the drained payloads find the queue empty and no-op. *)
+let drain_loopback t =
+  let me = Process.id t.proc in
+  let rec go () =
+    match Queue.take_opt t.loopback with
+    | Some p ->
+        deliver t ~src:me p;
+        go ()
+    | None -> ()
+  in
+  go ()
 
 let on_deliver t f = t.subscribers <- f :: t.subscribers
 let set_on_stuck t f = t.on_stuck <- Some f

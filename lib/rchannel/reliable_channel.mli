@@ -19,12 +19,23 @@ type t
 
 val create :
   Gc_kernel.Process.t ->
+  ?epoch:int ->
   ?rto:float ->
   ?stuck_after:float ->
   ?max_burst:int ->
   unit ->
   t
-(** [rto] is the retransmission period (default 50 ms); [stuck_after] the
+(** [epoch] (default 0) is this process's boot incarnation; pass a value
+    strictly greater than any previous boot's after a crash-restart.  It
+    scopes the channel's generation numbers (streams open at
+    [epoch lsl 20]) and rides every acknowledgement, which is how both
+    directions of a stream survive a peer restart: receivers reset their
+    incoming state on the higher generation, and a sender that sees the
+    acked epoch jump reopens the stream — unacked messages are renumbered
+    into a fresh generation and resent, instead of being acked into the
+    void against the dead incarnation's delivery cursor.
+
+    [rto] is the retransmission period (default 50 ms); [stuck_after] the
     output-buffer age that triggers the stuck callback (default 10_000 ms —
     "long timeout values", as the paper prescribes for output-triggered
     suspicion).
@@ -39,6 +50,14 @@ val create :
 val send : t -> ?size:int -> dst:int -> Gc_net.Payload.t -> unit
 (** Enqueue [payload] for reliable FIFO delivery at [dst].  Sending to
     yourself delivers locally (via the event queue, not synchronously). *)
+
+val drain_loopback : t -> unit
+(** Deliver any self-sends still waiting on their zero-delay event-queue
+    hop, synchronously.  Orderly teardown calls this between flushing the
+    ordering layers' batchers and crashing the process: a broadcast routes
+    through the sender's own channel first, and a crash in the same
+    instant would otherwise drop it on the self-hop before any peer saw
+    it.  A no-op when nothing is queued. *)
 
 val on_deliver : t -> (src:int -> Gc_net.Payload.t -> unit) -> unit
 (** Subscribe to delivered payloads.  All subscribers see every delivery. *)

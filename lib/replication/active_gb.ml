@@ -48,7 +48,7 @@ let create runtime ~id ~initial ?config ~classify ~make_sm () =
     | _ -> ()
   in
   let stack =
-    Stack.create runtime ~id ~initial ?config ~app_state_provider:provider
+    Stack.create runtime ~id ~initial ?config ~app_state_provider:(fun ~have:_ -> provider ())
       ~app_state_installer:installer ()
   in
   let t = { stack; sm; classify; completed; applied = 0 } in

@@ -43,10 +43,19 @@ let count t name by =
   | Some m -> Gc_obs.Metrics.incr ~by m name
   | None -> ()
 
+(* Teardown happens exactly once, no matter which path finds the peer gone
+   first (EOF on read, EPIPE/ECONNRESET mid-flush, an explicit close): the
+   [is_closed] latch flips before anything else runs, the watcher — read
+   AND write callback — is dropped before the descriptor is closed (so a
+   reused fd number can never inherit a stale callback), and the out
+   buffer is released here rather than waiting for the GC to collect the
+   connection (it caps at [out_cap] — 256 KiB of dead bytes otherwise). *)
 let close t =
   if not t.is_closed then begin
     t.is_closed <- true;
     Evloop.forget t.loop t.sock;
+    Buffer.clear t.out;
+    t.out_pos <- 0;
     (try Unix.close t.sock with Unix.Unix_error _ -> ());
     t.on_close t
   end
@@ -73,7 +82,16 @@ let rec flush t =
           else Evloop.set_write t.loop t.sock (Some (fun () -> flush t))
       | exception Unix.Unix_error ((Unix.EWOULDBLOCK | Unix.EAGAIN), _, _) ->
           Evloop.set_write t.loop t.sock (Some (fun () -> flush t))
-      | exception Unix.Unix_error _ -> close t
+      | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+          (* A signal interrupting the write is not a dead peer: the bytes
+             are still queued, try again. *)
+          flush t
+      | exception Unix.Unix_error _ ->
+          (* EPIPE / ECONNRESET / anything fatal mid-flush: full teardown.
+             [close] drops the write callback with the watcher, so the
+             half-flushed buffer can never be retried against a closed
+             (or recycled) descriptor. *)
+          close t
     end
   end
 
@@ -113,6 +131,8 @@ let on_readable t () =
         Frame.Decoder.feed t.decoder t.scratch ~off:0 ~len:n;
         drain_frames t
     | exception Unix.Unix_error ((Unix.EWOULDBLOCK | Unix.EAGAIN), _, _) -> ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+        () (* interrupted, not dead: select will report readable again *)
     | exception Unix.Unix_error _ -> close t
 
 let finish_connect t () =

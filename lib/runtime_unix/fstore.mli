@@ -1,0 +1,23 @@
+(** File-backed {!Gc_kernel.Storage} backend: the durable delivery log and
+    snapshot slot behind [gcs_server --data-dir].
+
+    Records are CRC-framed ([varint index | str entry | CRC-32]); opening a
+    directory scans the log, truncates any torn or corrupt tail back to the
+    last intact frame (counting [storage.torn_tail_dropped]) and replays
+    the surviving prefix into an in-memory mirror.  [append] buffers;
+    [sync] writes the batch and fsyncs once (group commit), and a batch
+    larger than 1 MiB syncs itself.  [iter_from] reads the mirror, so
+    unsynced appends are replayable within the process.  Snapshots are
+    written to a temp file, fsynced and renamed — always either the old or
+    the new snapshot, never a torn one. *)
+
+type t
+
+val create : ?metrics:Gc_obs.Metrics.t -> dir:string -> unit -> t
+(** Open (creating as needed) the data directory and recover the log. *)
+
+val storage : t -> Gc_kernel.Storage.t
+(** The capability record over this store. *)
+
+val open_dir : ?metrics:Gc_obs.Metrics.t -> dir:string -> unit -> Gc_kernel.Storage.t
+(** [storage (create ...)]. *)

@@ -1,6 +1,14 @@
+module W = Gc_net.Wire
+
 type t = {
   table : (string, string) Hashtbl.t;
   order_log : Buffer.t;
+  (* Exactly-once evidence: every applied (origin, opid).  Makes replay
+     idempotent — recovery replays the local log and then installs a
+     possibly-overlapping delta from a live peer, and both paths funnel
+     through [seen]/[apply].  Grows with the operation count, like
+     [order_log] (the digests need the full history anyway). *)
+  applied : (int * int, unit) Hashtbl.t;
   mutable ordered : int;
   mutable commuting : int;
 }
@@ -9,13 +17,16 @@ let create () =
   {
     table = Hashtbl.create 64;
     order_log = Buffer.create 256;
+    applied = Hashtbl.create 64;
     ordered = 0;
     commuting = 0;
   }
 
 let get t key = Hashtbl.find_opt t.table key
+let seen t ~origin ~opid = Hashtbl.mem t.applied (origin, opid)
 
 let apply t ~origin ~opid ~ordered op =
+  Hashtbl.replace t.applied (origin, opid) ();
   if ordered then begin
     t.ordered <- t.ordered + 1;
     Buffer.add_string t.order_log
@@ -49,3 +60,38 @@ let state_digest t =
 let dump t =
   Printf.sprintf "order=%s state=%s ordered=%d commuting=%d" (order_digest t)
     (state_digest t) t.ordered t.commuting
+
+(* Snapshot serialisation: everything above, wire-encoded.  Both sides are
+   deterministic (sorted table / applied list) so equal states produce
+   equal blobs. *)
+
+let to_blob t =
+  let w = Buffer.create 1024 in
+  W.varint w t.ordered;
+  W.varint w t.commuting;
+  W.str w (Buffer.contents t.order_log);
+  let entries =
+    List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.table [])
+  in
+  W.list w (fun w kv -> W.pair w W.str W.str kv) entries;
+  let ids =
+    List.sort compare (Hashtbl.fold (fun id () acc -> id :: acc) t.applied [])
+  in
+  W.list w (fun w id -> W.pair w W.varint W.varint id) ids;
+  Buffer.contents w
+
+let restore t blob =
+  let r = W.reader blob in
+  let ordered = W.read_varint r in
+  let commuting = W.read_varint r in
+  let order_log = W.read_str r in
+  let entries = W.read_list r (fun r -> W.read_pair r W.read_str W.read_str) in
+  let ids = W.read_list r (fun r -> W.read_pair r W.read_varint W.read_varint) in
+  Hashtbl.reset t.table;
+  Hashtbl.reset t.applied;
+  Buffer.clear t.order_log;
+  t.ordered <- ordered;
+  t.commuting <- commuting;
+  Buffer.add_string t.order_log order_log;
+  List.iter (fun (k, v) -> Hashtbl.replace t.table k v) entries;
+  List.iter (fun id -> Hashtbl.replace t.applied id ()) ids

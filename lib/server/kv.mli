@@ -12,7 +12,13 @@ val create : unit -> t
 
 val apply : t -> origin:int -> opid:int -> ordered:bool -> Proto.op -> string
 (** Apply one delivered operation; returns a rendering of the new value
-    (the body of the originating client's reply). *)
+    (the body of the originating client's reply).  Records [(origin, opid)]
+    in the applied-set — callers replaying a log or installing a delta must
+    consult {!seen} first to keep replay idempotent. *)
+
+val seen : t -> origin:int -> opid:int -> bool
+(** Has [(origin, opid)] already been applied?  (Crash recovery replays the
+    local log and then a peer delta; overlap is expected and skipped.) *)
 
 val get : t -> string -> string option
 
@@ -30,3 +36,12 @@ val state_digest : t -> string
 
 val dump : t -> string
 (** One-line summary: both digests and both counters. *)
+
+val to_blob : t -> string
+(** Deterministic wire serialisation of the whole state — table, order log,
+    applied-set, counters — for the durable snapshot slot and for full
+    state transfer to joiners. *)
+
+val restore : t -> string -> unit
+(** Replace this state with a {!to_blob} image.
+    @raise Gc_net.Wire.Short on a truncated blob. *)

@@ -22,6 +22,13 @@ type Payload.t +=
   | Sv_op of { origin : int; opid : int; op : op }
   | Cl_stats of { rid : int; format : stats_format }
   | Cl_health of { rid : int }
+  | Sv_state of { blob : string }
+        (* full application state for a joiner: a [Kv.to_blob] image *)
+  | Sv_delta of { from : int; entries : string list }
+        (* log-suffix state transfer: [Storage.Record]-encoded entries from
+           the sponsor's delivery-log index [from]; the joiner applies them
+           through its applied-set, so overlap with its replayed prefix is
+           skipped *)
 
 let () =
   Payload.register_printer (function
@@ -42,6 +49,9 @@ let () =
              | Stats_json -> "json"
              | Stats_prometheus -> "prom"))
     | Cl_health { rid } -> Some (Printf.sprintf "cl_health#%d" rid)
+    | Sv_state { blob } -> Some (Printf.sprintf "sv_state(%dB)" (String.length blob))
+    | Sv_delta { from; entries } ->
+        Some (Printf.sprintf "sv_delta(@%d,%d entries)" from (List.length entries))
     | _ -> None)
 
 let write_op w = function
@@ -112,6 +122,15 @@ let () =
           W.u8 w 7;
           W.varint w rid;
           true
+      | Sv_state { blob } ->
+          W.u8 w 8;
+          W.str w blob;
+          true
+      | Sv_delta { from; entries } ->
+          W.u8 w 9;
+          W.varint w from;
+          W.list w W.str entries;
+          true
       | _ -> false)
     ~decode:(fun _dec r ->
       match W.read_u8 r with
@@ -156,6 +175,11 @@ let () =
       | 7 ->
           let rid = W.read_varint r in
           Cl_health { rid }
+      | 8 -> Sv_state { blob = W.read_str r }
+      | 9 ->
+          let from = W.read_varint r in
+          let entries = W.read_list r W.read_str in
+          Sv_delta { from; entries }
       | k ->
           Payload.malformed
             (Printf.sprintf "proto: bad constructor discriminator %d" k))

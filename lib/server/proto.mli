@@ -40,3 +40,12 @@ type Gc_net.Payload.t +=
   | Cl_health of { rid : int }
       (** Admin: one-line liveness summary (view, joined/alive flags,
           client count, uptime) — cheap enough for tight poll loops. *)
+  | Sv_state of { blob : string }
+      (** Full application state for a joiner: a {!Kv.to_blob} image,
+          carried inside the membership snapshot. *)
+  | Sv_delta of { from : int; entries : string list }
+      (** Log-suffix state transfer for a crash-recovered joiner:
+          {!Gc_kernel.Storage.Record}-encoded entries from the sponsor's
+          delivery-log index [from].  The joiner replays them through its
+          applied-set (overlap with its own log replay is skipped), so the
+          transfer is proportional to the outage, not the state. *)

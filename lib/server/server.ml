@@ -4,14 +4,34 @@ module Fconn = Gc_runtime_unix.Fconn
 module Stack = Gcs.Gcs_stack
 module View = Gc_membership.View
 module Process = Gc_kernel.Process
+module Storage = Gc_kernel.Storage
 module Json = Gc_obs.Json
 module Snapshot = Gc_obs.Snapshot
+
+(* Delta state transfer backs off this many entries below the joiner's
+   announced log high-water mark: commuting deliveries may interleave
+   differently across replicas, so log indices near the crash point are
+   only approximately comparable between nodes.  Re-sending the margin is
+   harmless — every operation funnels through the (origin, opid)
+   applied-set, so overlap is skipped, not re-applied. *)
+let delta_margin = 256
+
+(* How many log entries the periodic snapshot leaves behind when it
+   truncates the prefix: the window delta transfer can serve from.  Must
+   comfortably exceed [delta_margin]. *)
+let log_retain = 1024
 
 type t = {
   id : int;
   endpoint : Runtime_unix.t;
   stack : Stack.t;
   kv : Kv.t;
+  storage : Storage.t option;
+  incarnation : int;
+      (* bumped (and durably persisted) once per boot before serving, so
+         this boot's opids can never collide with an in-flight pre-crash
+         submission that later gets delivered *)
+  persist : unit -> unit; (* snapshot kv+incarnation into the storage slot *)
   metrics : Gc_obs.Metrics.t;
   log : string -> unit;
   mutable next_opid : int;
@@ -44,8 +64,12 @@ let reply conn ~rid ~ok body =
     Fconn.send conn (Proto.Cl_reply { rid; ok; body })
 
 let submit t conn ~rid op =
-  let opid = t.next_opid in
-  t.next_opid <- opid + 1;
+  let seq = t.next_opid in
+  t.next_opid <- seq + 1;
+  (* Incarnation-scoped opids: the sequence restarts at 0 every boot, the
+     incarnation never repeats, so (origin, opid) is unique across
+     crashes. *)
+  let opid = (t.incarnation lsl 32) lor seq in
   Hashtbl.replace t.pending opid (conn, rid, now_ms t);
   let envelope = Proto.Sv_op { origin = t.id; opid; op } in
   if Proto.op_commutes op then Stack.rbcast t.stack envelope
@@ -150,6 +174,10 @@ let on_client_payload t conn payload =
 
 let on_delivery t ~origin:_ ~ordered payload =
   match payload with
+  | Proto.Sv_op { origin; opid; op = _ } when Kv.seen t.kv ~origin ~opid ->
+      (* Already applied during log replay or delta install — the live
+         delivery raced the state transfer.  Skip, don't double-apply. *)
+      Gc_obs.Metrics.incr t.metrics "server.dup_ops_skipped"
   | Proto.Sv_op { origin; opid; op } -> (
       let result = Kv.apply t.kv ~origin ~opid ~ordered op in
       Gc_obs.Metrics.incr t.metrics "server.applied";
@@ -181,10 +209,133 @@ let accept_client t sock _addr =
   in
   t.clients <- conn :: t.clients
 
+(* ---------- crash recovery ---------- *)
+
+(* The durable snapshot slot holds the incarnation alongside the KV image:
+   both must move together (a KV state without the incarnation that
+   produced its applied-set would let a rebooted node mint colliding
+   opids). *)
+let persist_blob kv incarnation =
+  let w = Buffer.create 1024 in
+  Gc_net.Wire.varint w incarnation;
+  Gc_net.Wire.str w (Kv.to_blob kv);
+  Buffer.contents w
+
+(* Decode one durable-log entry back into the replicated operation it
+   carried, if any — the log also records membership traffic and anything
+   else that rode generic broadcast, which replay skips. *)
+let op_of_entry entry =
+  match Storage.Record.decode entry with
+  | exception Gc_net.Wire.Short -> None
+  | record -> (
+      match Gc_net.Payload.decode record.Storage.Record.payload with
+      | Ok (Stack.Gcs_app { klass; body = Proto.Sv_op { origin; opid; op } })
+        ->
+          Some (origin, opid, op, klass = Stack.Conflict.Ordered)
+      | _ -> None)
+
+let apply_entry kv metrics entry ~on_fresh =
+  match op_of_entry entry with
+  | None -> ()
+  | Some (origin, opid, op, ordered) ->
+      if Kv.seen kv ~origin ~opid then
+        Gc_obs.Metrics.incr metrics "server.dup_ops_skipped"
+      else begin
+        ignore (Kv.apply kv ~origin ~opid ~ordered op);
+        on_fresh entry
+      end
+
 let create ~loop ~id ~initial ?config ?metrics ?(log = ignore) ?join_via
+    ?storage ?(snapshot_interval = 10_000.0) ?(sync_interval = 1_000.0)
     ~peer_listen ~client_listen () =
   let metrics =
     match metrics with Some m -> m | None -> Gc_obs.Metrics.create ()
+  in
+  (* Recovery runs before the stack exists: rebuild the KV from the durable
+     snapshot plus the log suffix, bump the incarnation, and persist the
+     bump before a single client request can be accepted. *)
+  let kv = Kv.create () in
+  let incarnation = ref 0 in
+  let had_state = ref false in
+  let persist () =
+    match storage with
+    | None -> ()
+    | Some store ->
+        let _, next = Storage.extent store in
+        Storage.save_snapshot store ~index:next (persist_blob kv !incarnation);
+        Storage.sync store
+  in
+  (match storage with
+  | None -> ()
+  | Some store ->
+      let t0 = Unix.gettimeofday () in
+      let replay_from =
+        match Storage.load_snapshot store with
+        | Some (index, blob) ->
+            had_state := true;
+            (try
+               let r = Gc_net.Wire.reader blob in
+               incarnation := Gc_net.Wire.read_varint r;
+               Kv.restore kv (Gc_net.Wire.read_str r)
+             with Gc_net.Wire.Short ->
+               Gc_obs.Metrics.incr metrics "server.bad_delivery");
+            index
+        | None -> 0
+      in
+      Storage.iter_from store replay_from (fun ~index:_ entry ->
+          had_state := true;
+          apply_entry kv metrics entry ~on_fresh:(fun _ ->
+              Gc_obs.Metrics.incr metrics "server.recovered_ops"));
+      incarnation := !incarnation + 1;
+      persist ();
+      Gc_obs.Metrics.observe metrics "server.recovery_ms"
+        ((Unix.gettimeofday () -. t0) *. 1000.);
+      log
+        (Printf.sprintf "recovered incarnation %d: %s" !incarnation
+           (Kv.dump kv)));
+  (* Joiner state transfer, durable-log flavoured: a joiner that announces
+     a log high-water mark within our retained window gets the log suffix
+     (cost proportional to the outage); anyone else gets the full image. *)
+  let app_state_provider ~have =
+    let serve_full () =
+      Gc_obs.Metrics.incr metrics "server.full_transfers";
+      Proto.Sv_state { blob = Kv.to_blob kv }
+    in
+    match storage with
+    | Some store when have >= 0 ->
+        let lo, _next = Storage.extent store in
+        if have - delta_margin >= lo then begin
+          let from = have - delta_margin in
+          let entries = ref [] in
+          Storage.iter_from store from (fun ~index:_ entry ->
+              entries := entry :: !entries);
+          Gc_obs.Metrics.incr metrics "server.delta_transfers";
+          Proto.Sv_delta { from; entries = List.rev !entries }
+        end
+        else serve_full ()
+    | _ -> serve_full ()
+  in
+  let app_state_installer payload =
+    (match payload with
+    | Proto.Sv_state { blob } -> (
+        try Kv.restore kv blob
+        with Gc_net.Wire.Short ->
+          Gc_obs.Metrics.incr metrics "server.bad_delivery")
+    | Proto.Sv_delta { from = _; entries } ->
+        List.iter
+          (fun entry ->
+            apply_entry kv metrics entry ~on_fresh:(fun entry ->
+                (* Keep our own log complete: the next restart replays
+                   these the same as locally-delivered entries. *)
+                match storage with
+                | Some store -> ignore (Storage.append store entry)
+                | None -> ()))
+          entries
+    | _ -> Gc_obs.Metrics.incr metrics "server.bad_delivery");
+    (* An installed state must be durable before we serve on top of it —
+       otherwise a crash right after the join replays an empty log over a
+       stale snapshot. *)
+    persist ()
   in
   let endpoint = Runtime_unix.create ~loop ~me:id ~metrics ~listen:peer_listen () in
   let config =
@@ -192,15 +343,32 @@ let create ~loop ~id ~initial ?config ?metrics ?(log = ignore) ?join_via
     | Some c -> c
     | None -> Stack.Config.make ~runtime:Stack.Config.Unix ()
   in
+  (* A replica recovering with a sponsor available comes back as a passive
+     joiner: listing itself in the founding view would have the rebuilt
+     stack participate from protocol position zero — re-running decided
+     consensus instances and re-delivering the prefix — before the resync
+     snapshot lands.  Dropping itself keeps every layer quiescent until the
+     sponsor's snapshot bootstraps it at the group's current position.
+     With no sponsor (first boot, or a full-cluster restart where everyone
+     resumes from its own log) it must keep its seat or nobody serves. *)
+  let stack_initial =
+    if !had_state && join_via <> None then List.filter (fun p -> p <> id) initial
+    else initial
+  in
   let stack =
-    Stack.create (Runtime_unix.runtime endpoint) ~metrics ~id ~initial ~config ()
+    Stack.create (Runtime_unix.runtime endpoint) ~metrics ~id ~initial:stack_initial
+      ~config ~app_state_provider ~app_state_installer ?storage
+      ~boot_epoch:!incarnation ()
   in
   let t =
     {
       id;
       endpoint;
       stack;
-      kv = Kv.create ();
+      kv;
+      storage;
+      incarnation = !incarnation;
+      persist;
       metrics;
       log;
       next_opid = 0;
@@ -221,8 +389,32 @@ let create ~loop ~id ~initial ?config ?metrics ?(log = ignore) ?join_via
       log
         (Printf.sprintf "view %d: {%s}" view.View.vid
            (String.concat "," (List.map string_of_int view.View.members))));
+  (match storage with
+  | None -> ()
+  | Some store ->
+      let proc = Stack.process stack in
+      (* Periodic snapshot + prefix truncation keeps replay bounded; the
+         retained suffix is the window delta transfer serves from. *)
+      ignore
+        (Process.every proc ~period:snapshot_interval (fun () ->
+             persist ();
+             let _, next = Storage.extent store in
+             Storage.truncate_before store (next - log_retain)));
+      (* Group-commit heartbeat: bounds the window of acknowledged-but-
+         unsynced log entries lost to a power cut to [sync_interval]. *)
+      ignore
+        (Process.every proc ~period:sync_interval (fun () ->
+             Storage.sync store)));
   (match join_via with
-  | Some via -> Stack.join stack ~via
+  | Some via -> (
+      match storage with
+      | Some store ->
+          let _, next = Storage.extent store in
+          (* Announce our log high-water mark so the sponsor can serve a
+             delta; force the join in case peers still list us from before
+             the crash. *)
+          Stack.join stack ~force:!had_state ~have:next ~via
+      | None -> Stack.join stack ~via)
   | None -> ());
   t
 
@@ -235,5 +427,12 @@ let shutdown t =
   | None -> ());
   List.iter Fconn.close t.clients;
   t.clients <- [];
-  Stack.crash t.stack;
+  (* Orderly stack teardown flushes the submission/ack batchers and syncs
+     the log — a request accepted just before shutdown still replicates. *)
+  Stack.shutdown t.stack;
+  (match t.storage with
+  | Some store ->
+      t.persist ();
+      Storage.close store
+  | None -> ());
   Runtime_unix.shutdown t.endpoint

@@ -18,6 +18,9 @@ val create :
   ?metrics:Gc_obs.Metrics.t ->
   ?log:(string -> unit) ->
   ?join_via:int ->
+  ?storage:Gc_kernel.Storage.t ->
+  ?snapshot_interval:float ->
+  ?sync_interval:float ->
   peer_listen:Unix.sockaddr ->
   client_listen:Unix.sockaddr ->
   unit ->
@@ -26,7 +29,17 @@ val create :
     member lists itself in [initial]; a later joiner passes the current
     membership and [join_via] (its sponsor).  Port 0 binds are supported;
     read the real ports back with {!peer_port} / {!client_port}, then
-    declare the mesh with {!set_peers}. *)
+    declare the mesh with {!set_peers}.
+
+    [storage] (typically {!Gc_runtime_unix.Fstore} over [--data-dir])
+    makes the replica crash-recoverable: before the stack boots, the KV is
+    rebuilt from the durable snapshot plus the delivery-log suffix, the
+    opid incarnation is bumped and durably persisted, and the rejoin
+    announces the log high-water mark so a sponsor can ship a log-delta
+    instead of the full state.  [snapshot_interval] (ms, default 10s) is
+    the periodic snapshot + log-truncation cadence; [sync_interval] (ms,
+    default 1s) bounds how much acknowledged-but-unsynced log a power cut
+    can lose. *)
 
 val set_peers : t -> (int * Unix.sockaddr) list -> unit
 

@@ -3,8 +3,12 @@
 # TCP on 127.0.0.1, drive concurrent client operations against every
 # replica, scrape the live Stats endpoint from each replica mid-load
 # (gcs_top --once --assert-live), and assert all three report the same
-# total-order digest.  Each server also appends a telemetry JSONL
-# time-series into $logdir, checked for well-formedness at the end.
+# total-order digest.  Then the crash-recovery gate: kill -9 one replica,
+# write more through the survivors, boot it back on the same --data-dir
+# and assert it recovers via log replay plus a sponsor delta transfer
+# (not a full state ship) and reconverges.  Each server also appends a
+# telemetry JSONL time-series into $logdir, checked for well-formedness
+# at the end.
 #
 #   scripts/loopback_smoke.sh [logdir]
 #
@@ -43,6 +47,7 @@ dune build bin/gcs_server.exe bin/gcs_client.exe bin/gcs_top.exe || fail "build"
 
 for i in 0 1 2; do
   "$SERVER" --id "$i" --peers "$PEERS" --client-port "${CPORTS[$i]}" \
+    --data-dir "$LOGDIR/data-$i" \
     --telemetry-interval 250 --telemetry-file "$LOGDIR/telemetry-$i.jsonl" \
     >"$LOGDIR/server-$i.log" 2>&1 &
   PIDS+=($!)
@@ -109,6 +114,58 @@ for i in 0 1 2; do
 done
 [ "${digests[0]}" = "${digests[1]}" ] || fail "order digests diverge (0 vs 1)"
 [ "${digests[0]}" = "${digests[2]}" ] || fail "order digests diverge (0 vs 2)"
+
+# Crash recovery: kill -9 a replica, keep writing through the survivors,
+# then boot it back on the same --data-dir.  It must replay its own
+# durable log, fetch only the operations it missed from the sponsor (a
+# delta transfer, not the full state), and reconverge on the same digest.
+echo "--- crash recovery phase: kill -9 node 2 ---"
+kill -9 "${PIDS[2]}" 2>/dev/null || fail "could not kill node 2"
+wait "${PIDS[2]}" 2>/dev/null || true
+
+"$CLIENT" load --server "${CPORTS[0]}" --ops 300 --conflicting 30 \
+  --timeout 20000 >"$LOGDIR/load-postkill.out" 2>&1 \
+  || fail "load via survivors after kill -9: $(cat "$LOGDIR/load-postkill.out")"
+"$CLIENT" put --server "${CPORTS[1]}" phase recovery --timeout 10000 >/dev/null \
+  || fail "put via survivor after kill -9"
+
+"$SERVER" --id 2 --peers "$PEERS" --client-port "${CPORTS[2]}" \
+  --data-dir "$LOGDIR/data-2" --join-via 0 \
+  --telemetry-interval 250 --telemetry-file "$LOGDIR/telemetry-2-restarted.jsonl" \
+  >"$LOGDIR/server-2-restarted.log" 2>&1 &
+PIDS[2]=$!
+
+ok=""
+for _ in $(seq 1 30); do
+  sleep 0.5
+  if v=$("$CLIENT" get --server "${CPORTS[2]}" phase --timeout 5000 2>/dev/null) \
+      && [ "$v" = "recovery" ]; then
+    ok=1
+    break
+  fi
+done
+[ -n "$ok" ] || fail "restarted node 2 did not recover the missed writes"
+
+# The sponsor must have served the rejoin from its log suffix, not by
+# shipping the full state.
+deltas=$("$CLIENT" stats --server "${CPORTS[0]}" --prom --timeout 10000 \
+  | awk '$1 ~ /^gcs_server_delta_transfers(\{|$)/ { s += int($2) } END { print s + 0 }')
+[ -n "$deltas" ] && [ "$deltas" -ge 1 ] \
+  || fail "sponsor served no delta transfer (delta_transfers=${deltas:-0})"
+
+# A post-recovery write through the reborn replica, then digests again.
+"$CLIENT" incr --server "${CPORTS[2]}" hits 7 --timeout 10000 >/dev/null \
+  || fail "incr via restarted node 2"
+sleep 2
+digests=()
+for i in 0 1 2; do
+  d=$("$CLIENT" dump --server "${CPORTS[$i]}" --timeout 10000) || fail "post-recovery dump via node $i"
+  echo "replica $i (post-recovery): $d"
+  digests+=("$(echo "$d" | sed 's/ .*//')")
+done
+[ "${digests[0]}" = "${digests[1]}" ] || fail "post-recovery digests diverge (0 vs 1)"
+[ "${digests[0]}" = "${digests[2]}" ] || fail "post-recovery digests diverge (0 vs 2)"
+echo "crash recovery OK: node 2 rebooted from its log and reconverged (delta transfers: $deltas)"
 
 # Every server's telemetry time-series must exist, have accumulated
 # several snapshots, and parse line-by-line as JSON with the expected

@@ -56,6 +56,46 @@ let test_dispatch_order () =
       Alcotest.(check bool) "fired in ascending fd order" true
         (order = List.sort compare order))
 
+module Fconn = Gc_runtime_unix.Fconn
+module Proto = Gc_server.Proto
+
+(* The flush-path teardown regression: kill the peer between two partial
+   writes.  The first write fills the (shrunk) socket buffer and parks the
+   rest behind a write callback; the peer then dies; the retry hits
+   EPIPE/ECONNRESET.  The connection must tear down exactly once — one
+   [on_close], watcher gone (no stale write callback left to fire against
+   a recycled fd), out buffer released — and a later explicit [close] must
+   be a no-op. *)
+let test_peer_death_between_partial_writes () =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.setsockopt_int a Unix.SO_SNDBUF 4096
+   with Unix.Unix_error _ -> ());
+  let loop = Evloop.create () in
+  let closes = ref 0 in
+  let conn =
+    Fconn.attach ~loop a
+      ~on_payload:(fun _ _ -> ())
+      ~on_close:(fun _ -> incr closes)
+  in
+  (* Bigger than any plausible socket buffer, smaller than out_cap: the
+     send leaves a flushed prefix and a parked suffix. *)
+  let big = String.make 200_000 'x' in
+  Fconn.send conn (Proto.Cl_put { rid = 1; key = "k"; value = big });
+  Alcotest.(check bool) "partial write does not close" false (Fconn.closed conn);
+  Unix.close b;
+  let deadline = Unix.gettimeofday () +. 5.0 in
+  while (not (Fconn.closed conn)) && Unix.gettimeofday () < deadline do
+    Evloop.run_once loop ~max_wait:20.0
+  done;
+  Alcotest.(check bool) "dead peer detected" true (Fconn.closed conn);
+  Alcotest.(check int) "on_close fired exactly once" 1 !closes;
+  Alcotest.(check int) "watcher torn down" 0
+    (List.length (Evloop.watched_fds loop));
+  (* sending and closing after death are no-ops, not double teardowns *)
+  Fconn.send conn (Proto.Cl_put { rid = 2; key = "k"; value = "v" });
+  Fconn.close conn;
+  Alcotest.(check int) "close is idempotent" 1 !closes
+
 let suite =
   [
     ( "evloop",
@@ -63,5 +103,7 @@ let suite =
         Alcotest.test_case "watched_fds is sorted" `Quick test_watched_sorted;
         Alcotest.test_case "ready callbacks dispatch in fd order" `Quick
           test_dispatch_order;
+        Alcotest.test_case "peer death between partial writes" `Quick
+          test_peer_death_between_partial_writes;
       ] );
   ]

@@ -32,6 +32,7 @@ let full_script =
           { at = 5_000.0; until = 5_400.0; src = 1; dst = 3; prob = 0.5 };
         Fault_script.Fd_flap
           { at = 6_000.0; until = 6_300.0; node = 0; peer = 2 };
+        Fault_script.Restart { node = 3; at = 7_000.0; back_at = 7_400.0 };
       ];
   }
 

@@ -125,6 +125,32 @@ let test_artifact_roundtrip_and_replay () =
       check_bool "violation reproduces" false (Audit.ok o'.Harness.report);
       check_bool "trace matches stored recording" true (matches = Some true))
 
+let test_restart_recovers_from_log () =
+  (* Kill -9 a node mid-run and boot it back from its durable log: the
+     rebuilt stack must rejoin via the sponsor's snapshot without
+     redelivering anything it delivered before the crash and without
+     disturbing the survivors' total order.  The AB-GB stacks carry no
+     waivers, so any violation — including replay-idempotence — fails. *)
+  List.iter
+    (fun stack ->
+      for_seeds ~count:3 (fun seed ->
+          let script =
+            faultless ~seed
+              [
+                Fault_script.Restart
+                  { node = 2; at = 2_500.0; back_at = 2_600.0 };
+              ]
+          in
+          let o = Harness.run ~stack script in
+          check_bool
+            (Printf.sprintf "%s seed %Ld: no unwaived violation"
+               (Harness.stack_to_string stack)
+               seed)
+            true
+            (Audit.ok o.Harness.report);
+          check_bool "group kept delivering" true (o.Harness.delivered > 0)))
+    [ Harness.Abgb; Harness.Gbcast ]
+
 (* ---------- campaign sweep ---------- *)
 
 let test_sweep_clean_stacks () =
@@ -165,6 +191,8 @@ let suite =
         Alcotest.test_case "replay is bit-for-bit" `Slow test_replay_bit_for_bit;
         Alcotest.test_case "artifact round-trip + replay" `Quick
           test_artifact_roundtrip_and_replay;
+        Alcotest.test_case "restart recovers from log" `Slow
+          test_restart_recovers_from_log;
         Alcotest.test_case "sweep: clean stacks" `Slow test_sweep_clean_stacks;
         Alcotest.test_case "sweep: finds and shrinks" `Slow
           test_sweep_finds_and_shrinks_injected_failure;
