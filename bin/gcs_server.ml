@@ -48,7 +48,7 @@ let parse_peers spec =
   go [] (String.split_on_char ',' spec)
 
 let run id peers_spec client_port join_via hb_period telemetry_interval
-    telemetry_file data_dir =
+    telemetry_file data_dir sync_replies =
   if not Sys.win32 then Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   match parse_peers peers_spec with
   | Error msg ->
@@ -81,7 +81,7 @@ let run id peers_spec client_port join_via hb_period telemetry_interval
       let server =
         Server.create ~loop ~id ~initial ~config ~metrics
           ~log:(fun msg -> log_line "node %d: %s" id msg)
-          ?join_via ?storage
+          ?join_via ?storage ~sync_replies
           ~peer_listen:(Unix.ADDR_INET (my_addr, my_port))
           ~client_listen:(Unix.ADDR_INET (Unix.inet_addr_loopback, client_port))
           ()
@@ -119,8 +119,13 @@ let run id peers_spec client_port join_via hb_period telemetry_interval
         Sys.set_signal Sys.sigint
           (Sys.Signal_handle (fun _ -> request_stop "SIGINT"))
       end;
-      log_line "node %d: peer mesh on %d, clients on %d%s" id my_port
-        (Server.client_port server)
+      (* A joiner's client listener is deferred until its resync install
+         lands, so its port reads 0 here; the server logs the real port
+         when it opens. *)
+      log_line "node %d: peer mesh on %d, clients on %s%s" id my_port
+        (match Server.client_port server with
+        | 0 -> "(deferred until joined)"
+        | p -> string_of_int p)
         (match join_via with
         | Some via -> Printf.sprintf ", joining via %d" via
         | None -> " (founding member)");
@@ -189,11 +194,20 @@ let data_dir_t =
            recovers the replica by log replay instead of losing its \
            state.")
 
+let sync_replies_t =
+  Arg.(
+    value & flag
+    & info [ "sync-replies" ]
+        ~doc:
+          "Fsync the delivery log before every client reply \
+           (acked-means-durable), instead of relying on the periodic \
+           group-commit sync.  Requires $(b,--data-dir).")
+
 let cmd =
   Cmd.v
     (Cmd.info "gcs_server" ~doc:"Group communication daemon (AB-GB stack over TCP)")
     Term.(
       const run $ id_t $ peers_t $ client_port_t $ join_via_t $ hb_t
-      $ telemetry_interval_t $ telemetry_file_t $ data_dir_t)
+      $ telemetry_interval_t $ telemetry_file_t $ data_dir_t $ sync_replies_t)
 
 let () = exit (Cmd.eval cmd)

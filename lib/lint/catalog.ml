@@ -374,6 +374,7 @@ let metrics =
     c "server.stats_requests"; h "server.latency_ms";
     h "server.latency_abcast_ms"; h "server.latency_rbcast_ms";
     c "server.delta_transfers"; c "server.full_transfers";
+    c "server.delta_rejected"; c "server.reply_syncs";
     c "server.recovered_ops"; c "server.dup_ops_skipped";
     h "server.recovery_ms";
     (* loopback bench client *)

@@ -183,13 +183,38 @@ let handle_data t ~src ~gen ~seq ~inner =
       (Rc_ack { gen = i.gen; cum = i.expected - 1; repoch = t.epoch })
   end
 
+(* Paced resend toward one destination: at most [max_burst] due packets
+   per call, due-ness governed by each packet's exponential backoff.
+   Shared by the periodic retransmit tick and the post-renumber catch-up
+   so every resend path honours the same pacing. *)
+let resend_due t dst (o : outgoing) ~now =
+  let sent = ref 0 in
+  Window.iter_while o.window (fun seq p ->
+      if !sent >= t.max_burst then false
+      else begin
+        if now -. p.last_tx >= retx_interval t p then begin
+          p.last_tx <- now;
+          p.tries <- p.tries + 1;
+          incr sent;
+          Process.incr t.proc "rchannel.retransmissions";
+          Process.send t.proc ~size:p.size ~dst
+            (Rc_data { gen = o.gen; seq; inner = p.inner; size = p.size })
+        end;
+        true
+      end);
+  if !sent > 0 then
+    Process.observe t.proc "rchannel.retransmit_burst" (float_of_int !sent)
+
 (* The destination restarted: its incoming state for this stream — the
    delivered prefix, the reorder buffer — is gone, so the acknowledged
    prefix is only as durable as whatever the layers above persisted, and
    the unacked suffix would be silently swallowed by the ghost of the old
    stream (acked against a stale [expected], never delivered).  Reopen the
-   stream: new generation, unacked entries renumbered from seq 0 and sent
-   immediately.  Entries keep their [since] so stuck detection still
+   stream: new generation, unacked entries renumbered from seq 0, all
+   marked immediately due, but resent under the regular [max_burst]
+   pacing — one inline burst now, the rest via the rto tick — so a large
+   window does not greet the freshly rebooted peer with a synchronous
+   packet storm.  Entries keep their [since] so stuck detection still
    measures the real age of the obligation. *)
 let renumber t dst (o : outgoing) =
   let pending = List.map snd (Window.to_list o.window) in
@@ -203,12 +228,13 @@ let renumber t dst (o : outgoing) =
   let now = Process.now t.proc in
   List.iter
     (fun p ->
-      p.last_tx <- now;
+      (* Backdating by 2*rto (not exactly rto) keeps the due test robust
+         to float rounding. *)
+      p.last_tx <- now -. (2.0 *. t.rto);
       p.tries <- 0;
-      let seq = Window.push o.window p in
-      Process.send t.proc ~size:p.size ~dst
-        (Rc_data { gen = o.gen; seq; inner = p.inner; size = p.size }))
+      ignore (Window.push o.window p))
     pending;
+  resend_due t dst o ~now;
   note_window t o
 
 let handle_ack t ~src ~gen ~cum ~repoch =
@@ -243,22 +269,7 @@ let retransmit t =
       (* Resend only packets whose per-packet backoff interval has elapsed
          since their last transmission, at most [max_burst] per tick; the
          scan still walks the ineligible tail but sends nothing for it. *)
-      let sent = ref 0 in
-      Window.iter_while o.window (fun seq p ->
-          if !sent >= t.max_burst then false
-          else begin
-            if now -. p.last_tx >= retx_interval t p then begin
-              p.last_tx <- now;
-              p.tries <- p.tries + 1;
-              incr sent;
-              Process.incr t.proc "rchannel.retransmissions";
-              Process.send t.proc ~size:p.size ~dst
-                (Rc_data { gen = o.gen; seq; inner = p.inner; size = p.size })
-            end;
-            true
-          end);
-      if !sent > 0 then
-        Process.observe t.proc "rchannel.retransmit_burst" (float_of_int !sent);
+      resend_due t dst o ~now;
       match (Window.peek_oldest o.window, t.on_stuck) with
       | Some oldest, Some f when not o.stuck_reported ->
           let age = now -. oldest.since in

@@ -26,6 +26,7 @@ type t = {
   mutable next : int;
   mutable fd : Unix.file_descr;  (* log, append mode *)
   pending : Buffer.t;  (* framed records not yet written *)
+  mutable dirty : bool;  (* appends since the last fsync *)
   mutable closed : bool;
 }
 
@@ -114,10 +115,15 @@ let write_pending t =
    long gap between explicit syncs cannot grow the batch without bound. *)
 let auto_sync_bytes = 1 lsl 20
 
+(* Clean-store syncs are free: callers that sync eagerly (per-reply
+   acked-means-durable mode, the group-commit timer on an idle server)
+   pay for an fsync only when something was actually appended since the
+   last one. *)
 let do_sync t =
-  if not t.closed then begin
+  if (not t.closed) && t.dirty then begin
     write_pending t;
     (try Unix.fsync t.fd with Unix.Unix_error _ -> ());
+    t.dirty <- false;
     Metrics.incr t.metrics "storage.syncs"
   end
 
@@ -126,6 +132,7 @@ let do_append t entry =
   Hashtbl.replace t.entries idx entry;
   t.next <- idx + 1;
   frame t.pending ~index:idx entry;
+  t.dirty <- true;
   Metrics.incr t.metrics "storage.appends";
   update_gauge t;
   if Buffer.length t.pending >= auto_sync_bytes then do_sync t;
@@ -167,6 +174,9 @@ let do_truncate_before t upto =
       Hashtbl.remove t.entries idx
     done;
     t.lo <- upto;
+    (* The rewrite durably captured every live entry (temp + fsync +
+       rename): nothing is left to sync. *)
+    t.dirty <- false;
     Metrics.incr t.metrics "storage.truncations";
     update_gauge t
   end
@@ -232,6 +242,7 @@ let create ?metrics ~dir () =
       next;
       fd;
       pending = Buffer.create 4096;
+      dirty = false;
       closed = false;
     }
   in

@@ -9,15 +9,31 @@ type t = {
      through [seen]/[apply].  Grows with the operation count, like
      [order_log] (the digests need the full history anyway). *)
   applied : (int * int, unit) Hashtbl.t;
+  (* XOR of MD5("origin.opid") over the applied-set: an incremental,
+     order-independent fingerprint of exactly which operations have been
+     applied.  Two replicas with equal counters and equal [applied_xor]
+     hold the same applied-set (w.h.p.), however their commuting
+     deliveries interleaved — the check that makes delta state transfer
+     safe to fall back from. *)
+  applied_xor : Bytes.t;
   mutable ordered : int;
   mutable commuting : int;
 }
+
+let xor_id_into acc ~origin ~opid =
+  let d = Digest.string (Printf.sprintf "%d.%d" origin opid) in
+  for i = 0 to 15 do
+    Bytes.unsafe_set acc i
+      (Char.chr
+         (Char.code (Bytes.unsafe_get acc i) lxor Char.code (String.unsafe_get d i)))
+  done
 
 let create () =
   {
     table = Hashtbl.create 64;
     order_log = Buffer.create 256;
     applied = Hashtbl.create 64;
+    applied_xor = Bytes.make 16 '\000';
     ordered = 0;
     commuting = 0;
   }
@@ -27,6 +43,7 @@ let seen t ~origin ~opid = Hashtbl.mem t.applied (origin, opid)
 
 let apply t ~origin ~opid ~ordered op =
   Hashtbl.replace t.applied (origin, opid) ();
+  xor_id_into t.applied_xor ~origin ~opid;
   if ordered then begin
     t.ordered <- t.ordered + 1;
     Buffer.add_string t.order_log
@@ -49,6 +66,8 @@ let apply t ~origin ~opid ~ordered op =
 
 let ordered_count t = t.ordered
 let commuting_count t = t.commuting
+let applied_count t = Hashtbl.length t.applied
+let applied_digest t = Bytes.to_string t.applied_xor
 let order_digest t = Digest.to_hex (Digest.string (Buffer.contents t.order_log))
 
 let state_digest t =
@@ -89,9 +108,14 @@ let restore t blob =
   let ids = W.read_list r (fun r -> W.read_pair r W.read_varint W.read_varint) in
   Hashtbl.reset t.table;
   Hashtbl.reset t.applied;
+  Bytes.fill t.applied_xor 0 16 '\000';
   Buffer.clear t.order_log;
   t.ordered <- ordered;
   t.commuting <- commuting;
   Buffer.add_string t.order_log order_log;
   List.iter (fun (k, v) -> Hashtbl.replace t.table k v) entries;
-  List.iter (fun id -> Hashtbl.replace t.applied id ()) ids
+  List.iter
+    (fun (origin, opid) ->
+      Hashtbl.replace t.applied (origin, opid) ();
+      xor_id_into t.applied_xor ~origin ~opid)
+    ids

@@ -25,6 +25,18 @@ val get : t -> string -> string option
 val ordered_count : t -> int
 val commuting_count : t -> int
 
+val applied_count : t -> int
+(** Size of the applied-set — the number of distinct operations ever
+    applied, ordered and commuting alike. *)
+
+val applied_digest : t -> string
+(** 16 raw bytes: the XOR of MD5 over every applied [(origin, opid)] id.
+    Order-independent — two replicas that applied the same {e set} of
+    operations report the same digest regardless of how their commuting
+    deliveries interleaved, and (with [applied_count]) unequal sets
+    collide only with negligible probability.  This is the cross-replica
+    comparable cursor that delta state transfer verifies against. *)
+
 val order_digest : t -> string
 (** MD5 (hex) over the sequence of ordered deliveries
     [(origin, opid, op)...], in delivery order. *)

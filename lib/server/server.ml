@@ -8,19 +8,6 @@ module Storage = Gc_kernel.Storage
 module Json = Gc_obs.Json
 module Snapshot = Gc_obs.Snapshot
 
-(* Delta state transfer backs off this many entries below the joiner's
-   announced log high-water mark: commuting deliveries may interleave
-   differently across replicas, so log indices near the crash point are
-   only approximately comparable between nodes.  Re-sending the margin is
-   harmless — every operation funnels through the (origin, opid)
-   applied-set, so overlap is skipped, not re-applied. *)
-let delta_margin = 256
-
-(* How many log entries the periodic snapshot leaves behind when it
-   truncates the prefix: the window delta transfer can serve from.  Must
-   comfortably exceed [delta_margin]. *)
-let log_retain = 1024
-
 type t = {
   id : int;
   endpoint : Runtime_unix.t;
@@ -34,6 +21,17 @@ type t = {
   persist : unit -> unit; (* snapshot kv+incarnation into the storage slot *)
   metrics : Gc_obs.Metrics.t;
   log : string -> unit;
+  sync_replies : bool;
+      (* acked-means-durable: fsync the delivery log before answering a
+         client, instead of relying on the group-commit timer *)
+  awaiting_full : bool ref;
+      (* a delta install failed verification and a full transfer is on its
+         way; live deliveries in this window are buffered so the full
+         image's restore cannot wipe them (shared by ref with the
+         installer closure, which outlives [create]'s scope) *)
+  resync_buffer : (int * int * Proto.op * bool) list ref;
+      (* (origin, opid, op, ordered) applied live while awaiting_full, in
+         reverse delivery order *)
   mutable next_opid : int;
   pending : (int, Fconn.t * int * float) Hashtbl.t;
       (* opid -> submitting conn, rid, submit time (runtime clock) *)
@@ -181,6 +179,12 @@ let on_delivery t ~origin:_ ~ordered payload =
   | Proto.Sv_op { origin; opid; op } -> (
       let result = Kv.apply t.kv ~origin ~opid ~ordered op in
       Gc_obs.Metrics.incr t.metrics "server.applied";
+      (* Mid-fallback window: a full Sv_state image is on its way and its
+         restore will overwrite the KV wholesale.  This delivery is
+         already marked consumed by the stack's dedup sets, so park it for
+         a post-restore merge — dropping it here would lose it forever. *)
+      if !(t.awaiting_full) then
+        t.resync_buffer := (origin, opid, op, ordered) :: !(t.resync_buffer);
       if origin = t.id then
         match Hashtbl.find_opt t.pending opid with
         | Some (conn, rid, submitted) ->
@@ -193,6 +197,16 @@ let on_delivery t ~origin:_ ~ordered payload =
               (if ordered then "server.latency_abcast_ms"
                else "server.latency_rbcast_ms")
               lat;
+            (* Acked-means-durable mode: the delivery was appended to the
+               log just before this callback ran, so one sync here makes
+               the acknowledged op crash-proof before the client hears
+               about it. *)
+            (if t.sync_replies then
+               match t.storage with
+               | Some store ->
+                   Storage.sync store;
+                   Gc_obs.Metrics.incr t.metrics "server.reply_syncs"
+               | None -> ());
             reply conn ~rid ~ok:true result
         | None -> ())
   | _ -> Gc_obs.Metrics.incr t.metrics "server.bad_delivery"
@@ -221,33 +235,9 @@ let persist_blob kv incarnation =
   Gc_net.Wire.str w (Kv.to_blob kv);
   Buffer.contents w
 
-(* Decode one durable-log entry back into the replicated operation it
-   carried, if any — the log also records membership traffic and anything
-   else that rode generic broadcast, which replay skips. *)
-let op_of_entry entry =
-  match Storage.Record.decode entry with
-  | exception Gc_net.Wire.Short -> None
-  | record -> (
-      match Gc_net.Payload.decode record.Storage.Record.payload with
-      | Ok (Stack.Gcs_app { klass; body = Proto.Sv_op { origin; opid; op } })
-        ->
-          Some (origin, opid, op, klass = Stack.Conflict.Ordered)
-      | _ -> None)
-
-let apply_entry kv metrics entry ~on_fresh =
-  match op_of_entry entry with
-  | None -> ()
-  | Some (origin, opid, op, ordered) ->
-      if Kv.seen kv ~origin ~opid then
-        Gc_obs.Metrics.incr metrics "server.dup_ops_skipped"
-      else begin
-        ignore (Kv.apply kv ~origin ~opid ~ordered op);
-        on_fresh entry
-      end
-
 let create ~loop ~id ~initial ?config ?metrics ?(log = ignore) ?join_via
     ?storage ?(snapshot_interval = 10_000.0) ?(sync_interval = 1_000.0)
-    ~peer_listen ~client_listen () =
+    ?(sync_replies = false) ~peer_listen ~client_listen () =
   let metrics =
     match metrics with Some m -> m | None -> Gc_obs.Metrics.create ()
   in
@@ -284,8 +274,10 @@ let create ~loop ~id ~initial ?config ?metrics ?(log = ignore) ?join_via
       in
       Storage.iter_from store replay_from (fun ~index:_ entry ->
           had_state := true;
-          apply_entry kv metrics entry ~on_fresh:(fun _ ->
-              Gc_obs.Metrics.incr metrics "server.recovered_ops"));
+          Resync.apply_entry ~kv ~metrics
+            ~on_fresh:(fun ~entry:_ ~origin:_ ~opid:_ ~result:_ ->
+              Gc_obs.Metrics.incr metrics "server.recovered_ops")
+            entry);
       incarnation := !incarnation + 1;
       persist ();
       Gc_obs.Metrics.observe metrics "server.recovery_ms"
@@ -293,49 +285,61 @@ let create ~loop ~id ~initial ?config ?metrics ?(log = ignore) ?join_via
       log
         (Printf.sprintf "recovered incarnation %d: %s" !incarnation
            (Kv.dump kv)));
-  (* Joiner state transfer, durable-log flavoured: a joiner that announces
-     a log high-water mark within our retained window gets the log suffix
-     (cost proportional to the outage); anyone else gets the full image. *)
-  let app_state_provider ~have =
-    let serve_full () =
-      Gc_obs.Metrics.incr metrics "server.full_transfers";
-      Proto.Sv_state { blob = Kv.to_blob kv }
-    in
-    match storage with
-    | Some store when have >= 0 ->
-        let lo, _next = Storage.extent store in
-        if have - delta_margin >= lo then begin
-          let from = have - delta_margin in
-          let entries = ref [] in
-          Storage.iter_from store from (fun ~index:_ entry ->
-              entries := entry :: !entries);
-          Gc_obs.Metrics.incr metrics "server.delta_transfers";
-          Proto.Sv_delta { from; entries = List.rev !entries }
-        end
-        else serve_full ()
-    | _ -> serve_full ()
+  let app_state_provider ~have = Resync.provide ~kv ~metrics ?storage ~have () in
+  (* Shared by ref with [t] and with closures wired up only after the
+     stack exists: the installer runs long after [create] returns. *)
+  let pending = Hashtbl.create 64 in
+  let awaiting_full = ref false in
+  let resync_buffer = ref [] in
+  let open_listener = ref (fun () -> ()) in
+  let request_full = ref (fun () -> ()) in
+  let on_fresh ~entry ~origin ~opid ~result =
+    (* Keep our own log complete: the next restart replays these the same
+       as locally-delivered entries. *)
+    (match storage with
+    | Some store -> ignore (Storage.append store entry)
+    | None -> ());
+    (* A client that submitted just before the crash-or-resync window may
+       be waiting on this very op (it reached the group and came back via
+       the sponsor's delta): answer it rather than leaking the pending
+       entry until the client times out. *)
+    if origin = id then
+      match Hashtbl.find_opt pending opid with
+      | Some (conn, rid, _) ->
+          Hashtbl.remove pending opid;
+          reply conn ~rid ~ok:true result
+      | None -> ()
   in
   let app_state_installer payload =
-    (match payload with
-    | Proto.Sv_state { blob } -> (
-        try Kv.restore kv blob
-        with Gc_net.Wire.Short ->
-          Gc_obs.Metrics.incr metrics "server.bad_delivery")
-    | Proto.Sv_delta { from = _; entries } ->
+    match Resync.install ~kv ~metrics ~on_fresh payload with
+    | `Installed ->
+        (* Merge back anything delivered live while the full image was in
+           flight: the restore just wiped those ops from the KV, yet the
+           stack's dedup sets already count them as delivered, so this
+           merge is their only chance.  Ops the sponsor captured before
+           shipping are in the blob's applied-set and skip. *)
+        let buffered = List.rev !resync_buffer in
+        resync_buffer := [];
+        awaiting_full := false;
         List.iter
-          (fun entry ->
-            apply_entry kv metrics entry ~on_fresh:(fun entry ->
-                (* Keep our own log complete: the next restart replays
-                   these the same as locally-delivered entries. *)
-                match storage with
-                | Some store -> ignore (Storage.append store entry)
-                | None -> ()))
-          entries
-    | _ -> Gc_obs.Metrics.incr metrics "server.bad_delivery");
-    (* An installed state must be durable before we serve on top of it —
-       otherwise a crash right after the join replays an empty log over a
-       stale snapshot. *)
-    persist ()
+          (fun (origin, opid, op, ordered) ->
+            if not (Kv.seen kv ~origin ~opid) then begin
+              ignore (Kv.apply kv ~origin ~opid ~ordered op);
+              Gc_obs.Metrics.incr metrics "server.applied"
+            end)
+          buffered;
+        (* An installed state must be durable before we serve on top of
+           it — otherwise a crash right after the join replays an empty
+           log over a stale snapshot. *)
+        persist ();
+        !open_listener ()
+    | `Verify_failed ->
+        (* The delta missed operations (log indices are not comparable
+           across replicas); their redelivery is suppressed, so only a
+           full image can repair us.  Do NOT persist or serve this state. *)
+        awaiting_full := true;
+        !request_full ()
+    | `Unrecognised -> ()
   in
   let endpoint = Runtime_unix.create ~loop ~me:id ~metrics ~listen:peer_listen () in
   let config =
@@ -371,18 +375,31 @@ let create ~loop ~id ~initial ?config ?metrics ?(log = ignore) ?join_via
       persist;
       metrics;
       log;
+      sync_replies;
+      awaiting_full;
+      resync_buffer;
       next_opid = 0;
-      pending = Hashtbl.create 64;
+      pending;
       clients = [];
       client_listener = None;
       loop;
       started_at = Process.now (Stack.process stack);
     }
   in
-  t.client_listener <-
-    Some
-      (Fconn.listen ~loop client_listen ~on_accept:(fun fd addr ->
-           accept_client t fd addr));
+  (open_listener :=
+     fun () ->
+       if t.client_listener = None then begin
+         t.client_listener <-
+           Some
+             (Fconn.listen ~loop client_listen ~on_accept:(fun fd addr ->
+                  accept_client t fd addr));
+         log (Printf.sprintf "serving clients on port %d" (client_port t))
+       end);
+  (* A founding member (or a lone log-recovered restart) serves clients
+     immediately; a joiner defers its listener until the resync install
+     lands, so no op can be submitted into the pre-join window where its
+     reply would never come. *)
+  if join_via = None then !open_listener ();
   Stack.on_deliver stack (fun ~origin ~ordered payload ->
       on_delivery t ~origin ~ordered payload);
   Stack.on_view stack (fun view ->
@@ -399,15 +416,27 @@ let create ~loop ~id ~initial ?config ?metrics ?(log = ignore) ?join_via
         (Process.every proc ~period:snapshot_interval (fun () ->
              persist ();
              let _, next = Storage.extent store in
-             Storage.truncate_before store (next - log_retain)));
+             Storage.truncate_before store (next - Resync.log_retain)));
       (* Group-commit heartbeat: bounds the window of acknowledged-but-
          unsynced log entries lost to a power cut to [sync_interval]. *)
       ignore
         (Process.every proc ~period:sync_interval (fun () ->
              Storage.sync store)));
   (match join_via with
-  | Some via -> (
-      match storage with
+  | Some via ->
+      (* The delta-rejection escape hatch: re-join with no announced log
+         position, which the sponsor can only answer with a full image.
+         Deferred by a zero-delay timer because the installer runs inside
+         the membership Mb_state handler, which flips the joined flag
+         right after it returns — a synchronous re-join here would be
+         clobbered. *)
+      (request_full :=
+         fun () ->
+           log "delta transfer failed verification; requesting full image";
+           ignore
+             (Process.timer (Stack.process stack) ~delay:0.0 (fun () ->
+                  Stack.join stack ~force:true ~via)));
+      (match storage with
       | Some store ->
           let _, next = Storage.extent store in
           (* Announce our log high-water mark so the sponsor can serve a

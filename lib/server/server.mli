@@ -21,25 +21,35 @@ val create :
   ?storage:Gc_kernel.Storage.t ->
   ?snapshot_interval:float ->
   ?sync_interval:float ->
+  ?sync_replies:bool ->
   peer_listen:Unix.sockaddr ->
   client_listen:Unix.sockaddr ->
   unit ->
   t
-(** Boot the daemon: bind both listeners, assemble the stack.  A founding
-    member lists itself in [initial]; a later joiner passes the current
-    membership and [join_via] (its sponsor).  Port 0 binds are supported;
-    read the real ports back with {!peer_port} / {!client_port}, then
-    declare the mesh with {!set_peers}.
+(** Boot the daemon: bind the peer listener, assemble the stack.  A
+    founding member lists itself in [initial] and accepts clients
+    immediately; a later joiner passes the current membership and
+    [join_via] (its sponsor) and defers its client listener until its
+    state-transfer install lands — an op submitted into the pre-join
+    window could be consumed by the incoming snapshot without its reply
+    ever firing.  Port 0 binds are supported; read the real ports back
+    with {!peer_port} / {!client_port} (0 while a joiner's listener is
+    still deferred), then declare the mesh with {!set_peers}.
 
     [storage] (typically {!Gc_runtime_unix.Fstore} over [--data-dir])
     makes the replica crash-recoverable: before the stack boots, the KV is
     rebuilt from the durable snapshot plus the delivery-log suffix, the
     opid incarnation is bumped and durably persisted, and the rejoin
     announces the log high-water mark so a sponsor can ship a log-delta
-    instead of the full state.  [snapshot_interval] (ms, default 10s) is
-    the periodic snapshot + log-truncation cadence; [sync_interval] (ms,
-    default 1s) bounds how much acknowledged-but-unsynced log a power cut
-    can lose. *)
+    instead of the full state.  Deltas are verified on install against
+    the sponsor's applied-set digest (see {!Resync}); on mismatch the
+    joiner automatically falls back to a full-image re-join.
+    [snapshot_interval] (ms, default 10s) is the periodic snapshot +
+    log-truncation cadence; [sync_interval] (ms, default 1s) bounds how
+    much acknowledged-but-unsynced log a power cut can lose.
+    [sync_replies] (default false) syncs the delivery log before each
+    client reply instead — acked-means-durable at the cost of one fsync
+    per originated op. *)
 
 val set_peers : t -> (int * Unix.sockaddr) list -> unit
 

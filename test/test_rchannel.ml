@@ -177,6 +177,74 @@ let test_stale_generation_not_acked () =
   done;
   check_bool "some schedule landed the stale copy late" true !exercised
 
+let test_renumber_paced_after_peer_restart () =
+  (* Regression: when an ack's repoch jump reveals a peer restart, the
+     unacked window is renumbered into a fresh generation but must drain
+     under the regular max_burst pacing — not as one synchronous storm at
+     the instant the restarted (and most fragile) peer comes back. *)
+  let max_burst = 4 in
+  let window = 30 in
+  let engine = Engine.create ~seed:99L () in
+  let trace = Gc_sim.Trace.create ~enabled:true () in
+  let net =
+    Netsim.create engine ~trace ~delay:(Gc_net.Delay.Constant 1.0) ~n:2 ()
+  in
+  let runtime = Gc_kernel.Runtime.of_netsim net ~trace in
+  let proc0 = Process.create runtime ~id:0 in
+  let rc0 = Rc.create proc0 ~rto:50.0 ~max_burst () in
+  let proc1 = Process.create runtime ~id:1 in
+  let _rc1 = Rc.create proc1 () in
+  (* One acked exchange so the sender learns the peer's epoch (0). *)
+  Rc.send rc0 ~dst:1 (Num 0);
+  Engine.run ~until:500.0 engine;
+  check_int "warmup acked" 0 (Rc.unacked rc0 ~dst:1);
+  (* Kill -9 the receiver and queue a window far larger than one burst. *)
+  Process.crash proc1;
+  Netsim.crash net 1;
+  for k = 1 to window do
+    Rc.send rc0 ~dst:1 (Num k)
+  done;
+  Engine.run ~until:2_000.0 engine;
+  check_int "window buffered across the outage" window
+    (Rc.unacked rc0 ~dst:1);
+  (* Reboot: same node id, bumped epoch — its acks carry repoch = 1. *)
+  Netsim.recover net 1;
+  let proc1b = Process.create runtime ~id:1 in
+  let rc1b = Rc.create proc1b ~epoch:1 () in
+  let log = ref [] in
+  Rc.on_deliver rc1b (nums log);
+  let restart_at = Engine.now engine in
+  Engine.run ~until:10_000.0 engine;
+  check_list_int "renumbered window delivered in order"
+    (List.init window (fun i -> i + 1))
+    (List.rev !log);
+  check_int "window drained" 0 (Rc.unacked rc0 ~dst:1);
+  (* With a constant link delay, frames sent in one instant arrive in one
+     instant, so per-instant arrivals at the reborn node bound the
+     sender's burst size.  Factor 2 allows the post-renumber inline burst
+     to coincide with a retransmit tick. *)
+  let arrivals = Hashtbl.create 64 in
+  List.iter
+    (fun (e : Gc_obs.Event.t) ->
+      if
+        e.Gc_obs.Event.node = 1
+        && e.Gc_obs.Event.component = "net"
+        && e.Gc_obs.Event.kind = Gc_obs.Event.Recv
+        && e.Gc_obs.Event.time > restart_at
+      then
+        Hashtbl.replace arrivals e.Gc_obs.Event.time
+          (1
+          + Option.value ~default:0
+              (Hashtbl.find_opt arrivals e.Gc_obs.Event.time)))
+    (Gc_sim.Trace.records trace);
+  check_bool "post-restart traffic observed" true (Hashtbl.length arrivals > 0);
+  Hashtbl.iter
+    (fun time n ->
+      if n > 2 * max_burst then
+        Alcotest.failf "burst of %d frames at t=%.3f exceeds max_burst pacing"
+          n time)
+    arrivals
+
 let prop_reliable_fifo_random_loss =
   QCheck.Test.make ~name:"reliable FIFO for random seeds and loss rates"
     ~count:15
@@ -215,6 +283,8 @@ let suite =
           test_no_retransmissions_on_lossless_link;
         Alcotest.test_case "stale generation not acked" `Quick
           test_stale_generation_not_acked;
+        Alcotest.test_case "renumber paced after peer restart" `Quick
+          test_renumber_paced_after_peer_restart;
         QCheck_alcotest.to_alcotest prop_reliable_fifo_random_loss;
       ] );
   ]
